@@ -1,0 +1,17 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+The actual harnesses live in :mod:`repro.experiments` so the command-line
+interface (``python -m repro``) and the benchmark suite share one
+implementation. Each benchmark regenerates one table or figure from the
+paper's evaluation; assertions check the *shape* (who wins, by what
+factor, how series move), not absolute numbers.
+"""
+
+from repro.experiments.harness import (  # noqa: F401 - re-exported for benchmarks
+    Table1Row,
+    catalog_plan,
+    order_plan,
+    run_direct_configuration,
+    run_rtt_point,
+    run_vep_configuration,
+)

@@ -1,0 +1,37 @@
+"""Figure 5: round trip time, direct vs channeling through wsBus.
+
+The paper plots RTT for getCatalog and submitOrder at varying request
+sizes (three runs of up to 2000 requests, zero inter-request delay) and
+finds that "channeling of SOAP through wsBus is slower (usually about 10%,
+which is not drastic) than direct SOAP-over-HTTP".
+
+Shape assertions: RTT grows with request size for both deployment modes;
+wsBus is consistently slower than direct; the median overhead stays
+moderate (the paper's ~10% plus simulator headroom, far under 2x).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import regenerate_figure5, render_figure5
+from repro.experiments.reports import DEFAULT_SIZES_KB
+
+
+def test_figure5_round_trip_time(benchmark):
+    series = benchmark.pedantic(regenerate_figure5, rounds=1, iterations=1)
+    print()
+    print(render_figure5(series))
+
+    overheads = []
+    for operation, (direct, mediated) in series.items():
+        # RTT grows with request size (strictly from smallest to largest).
+        assert direct[-1] > direct[0] * 1.5, f"{operation}: direct RTT should grow with size"
+        assert mediated[-1] > mediated[0] * 1.5, f"{operation}: wsBus RTT should grow with size"
+        # wsBus is slower than direct at every size (it adds a hop + work).
+        for size_kb, d, m in zip(DEFAULT_SIZES_KB, direct, mediated):
+            assert m > d, f"{operation} @ {size_kb}KB: wsBus ({m}) should exceed direct ({d})"
+            overheads.append((m - d) / d)
+
+    # Median overhead is moderate: the paper reports ~10%.
+    overheads.sort()
+    median_overhead = overheads[len(overheads) // 2]
+    assert 0.0 < median_overhead < 1.0, f"median overhead {median_overhead:.2%} out of range"

@@ -1,0 +1,50 @@
+"""Table 1: reliability and availability, direct vs wsBus mediation.
+
+Paper values (Section 3.2, Table 1):
+
+    Only Retailer A : 105 failures/1000, availability 0.952
+    Only Retailer B :  81 failures/1000, availability 0.992
+    Only Retailer C :  17 failures/1000, availability 0.998
+    Only Retailer D :  91 failures/1000, availability 0.983
+    wsBus VEP (all) :   6 failures/1000, availability 0.998
+
+Shape assertions: every direct configuration is strictly less reliable
+than the VEP (by a large factor), C is the best direct retailer, A the
+worst, and the VEP's availability matches or beats the best retailer's.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import regenerate_table1, render_table1
+
+
+def test_table1_reliability_and_availability(benchmark):
+    rows = benchmark.pedantic(regenerate_table1, rounds=1, iterations=1)
+    print()
+    print(render_table1(rows))
+
+    # --- shape assertions -------------------------------------------------
+    vep_failures, vep_availability = rows["VEP"]
+    direct_failures = {k: rows[k][0] for k in "ABCD"}
+    direct_availability = {k: rows[k][1] for k in "ABCD"}
+
+    # The VEP beats every direct configuration on reliability.
+    for retailer, failures in direct_failures.items():
+        assert vep_failures < failures, (
+            f"VEP ({vep_failures:.1f}/1000) should beat retailer {retailer} "
+            f"({failures:.1f}/1000)"
+        )
+    # In the paper the VEP is ~2.8x better than even the best retailer.
+    assert vep_failures * 2 < min(direct_failures.values())
+
+    # C is the most reliable direct retailer, A and D the worst pair.
+    assert direct_failures["C"] == min(direct_failures.values())
+    assert min(direct_failures["A"], direct_failures["D"]) > direct_failures["B"] * 0.9
+
+    # Availability ordering mirrors reliability: C >= B > D > A.
+    assert direct_availability["C"] >= direct_availability["B"]
+    assert direct_availability["B"] > direct_availability["D"]
+    assert direct_availability["D"] > direct_availability["A"]
+
+    # The VEP's availability at least matches the best direct retailer's.
+    assert vep_availability >= max(direct_availability.values()) - 0.01

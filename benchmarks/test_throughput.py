@@ -1,0 +1,110 @@
+"""Throughput, direct vs channeling through wsBus.
+
+Section 3.2 defines throughput ("the average number of successful requests
+processed in a sampling period") as the second key performance metric of
+the experiment, alongside the RTT plotted in Figure 5.
+
+Shape assertions: throughput scales with concurrent clients for both
+modes; mediation costs a modest slice of throughput (consistent with the
+~10% RTT overhead); and under the fault mix the VEP *delivers more
+successful requests* than a direct client pointed at a flaky retailer.
+"""
+
+from __future__ import annotations
+
+from conftest import catalog_plan, run_vep_configuration
+from repro.casestudies.scm import RETAILER_CONTRACT, build_scm_deployment
+from repro.metrics import Table
+from repro.policy import PolicyRepository
+from repro.workload import WorkloadRunner
+from repro.wsbus import WsBus
+
+CLIENT_COUNTS = (1, 2, 4, 8)
+
+
+def measure_throughput(through_bus: bool, clients: int, seed: int = 31) -> float:
+    deployment = build_scm_deployment(seed=seed, log_events=False)
+    target = deployment.retailers["C"].address
+    if through_bus:
+        bus = WsBus(
+            deployment.env,
+            deployment.network,
+            repository=PolicyRepository(),
+            registry=deployment.registry,
+            member_timeout=30.0,
+            colocated_with_clients=True,
+        )
+        vep = bus.create_vep(
+            "retailers", RETAILER_CONTRACT, members=[target], selection_strategy="primary"
+        )
+        target = vep.address
+    runner = WorkloadRunner(deployment.env, deployment.network)
+    result = runner.run(
+        catalog_plan(target, timeout=30.0, think=0.0),
+        clients=clients,
+        requests_per_client=150,
+    )
+    return result.throughput()
+
+
+def regenerate_throughput():
+    series = {"direct": [], "wsbus": []}
+    for clients in CLIENT_COUNTS:
+        series["direct"].append(measure_throughput(False, clients))
+        series["wsbus"].append(measure_throughput(True, clients))
+    return series
+
+
+def test_throughput_direct_vs_wsbus(benchmark):
+    series = benchmark.pedantic(regenerate_throughput, rounds=1, iterations=1)
+
+    table = Table(
+        ["Concurrent clients", "Direct (req/s)", "wsBus (req/s)", "Mediation cost"],
+        title="Throughput — direct vs channeling through wsBus (no faults)",
+    )
+    for clients, direct, mediated in zip(CLIENT_COUNTS, series["direct"], series["wsbus"]):
+        table.add_row(
+            [
+                clients,
+                f"{direct:.1f}",
+                f"{mediated:.1f}",
+                f"{(direct - mediated) / direct * 100:+.1f}%",
+            ]
+        )
+    print()
+    print(table.render())
+
+    # Throughput grows with client concurrency in both modes.
+    assert series["direct"][-1] > series["direct"][0] * 2
+    assert series["wsbus"][-1] > series["wsbus"][0] * 2
+    # Mediation costs some throughput, but less than half.
+    for direct, mediated in zip(series["direct"], series["wsbus"]):
+        assert mediated < direct
+        assert mediated > direct * 0.5
+
+
+def test_goodput_under_faults_favors_wsbus(benchmark):
+    """Under the Table 1 fault mix, the VEP's recovery converts failures
+    into (slower) successes: goodput beats the flaky direct retailer."""
+
+    def run_both():
+        deployment = build_scm_deployment(seed=37, log_events=False)
+        deployment.inject_table1_mix()
+        runner = WorkloadRunner(deployment.env, deployment.network)
+        direct_result = runner.run(
+            catalog_plan(deployment.retailers["A"].address, timeout=5.0, think=2.0),
+            clients=4,
+            requests_per_client=200,
+        )
+        _, _, vep_result = run_vep_configuration(seed=37, clients=4, requests=200)
+        return direct_result, vep_result
+
+    direct_result, vep_result = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    direct_successes = len(direct_result.successes)
+    vep_successes = len(vep_result.successes)
+    print(
+        f"\nGoodput under faults: direct A {direct_successes}/800 succeeded, "
+        f"wsBus VEP {vep_successes}/800 succeeded"
+    )
+    assert vep_successes > direct_successes
+    assert vep_successes >= 0.99 * len(vep_result.records)

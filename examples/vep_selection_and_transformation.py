@@ -1,0 +1,143 @@
+"""VEP virtualization features: selection strategies and message adaptation.
+
+Shows the wsBus capabilities beyond fault recovery:
+
+1. **selection strategies** — the same three search providers exposed as
+   one virtual "Web search" service (the paper's own example), selected by
+   round-robin, best-QoS and broadcast-first-wins;
+2. **message adaptation** — a member whose interface differs from the
+   VEP's abstract contract, reconciled by a PayloadTransform module in the
+   pipeline ("handles data transformation and enrichment to resolve
+   incompatibilities between services registered with a particular VEP").
+
+Run:  python examples/vep_selection_and_transformation.py
+"""
+
+from repro.policy import PolicyRepository
+from repro.services import Invoker, ProcessingModel, ServiceContainer, SimulatedService
+from repro.simulation import Environment, RandomSource
+from repro.transport import Network
+from repro.wsbus import EnrichmentModule, PayloadTransformModule, WsBus
+from repro.wsdl import MessageSchema, Operation, PartSchema, ServiceContract
+
+SEARCH_CONTRACT = ServiceContract(
+    service_type="WebSearch",
+    operations=(
+        Operation(
+            name="search",
+            input=MessageSchema("searchRequest", (PartSchema("query"),)),
+            output=MessageSchema(
+                "searchResponse", (PartSchema("results"), PartSchema("engine"))
+            ),
+        ),
+    ),
+)
+
+
+class SearchEngine(SimulatedService):
+    contract = SEARCH_CONTRACT
+
+    def op_search(self, payload, ctx):
+        yield ctx.work()
+        query = payload.child_text("query")
+        return SEARCH_CONTRACT.operation("search").output.build(
+            results=f"results for {query!r}", engine=self.name
+        )
+
+
+class LegacySearchEngine(SimulatedService):
+    """A member with a *different* contract: part named 'q', root 'findRequest'."""
+
+    contract = ServiceContract(
+        service_type="LegacySearch",
+        operations=(
+            Operation(
+                name="search",
+                input=MessageSchema("findRequest", (PartSchema("q"),)),
+                output=MessageSchema(
+                    "searchResponse", (PartSchema("results"), PartSchema("engine"))
+                ),
+            ),
+        ),
+    )
+
+    def op_search(self, payload, ctx):
+        yield ctx.work()
+        return self.contract.operation("search").output.build(
+            results=f"legacy results for {payload.child_text('q')!r}", engine=self.name
+        )
+
+
+def main() -> None:
+    env = Environment()
+    random_source = RandomSource(seed=3)
+    network = Network(env, random_source)
+    container = ServiceContainer(env, network, random_source)
+
+    # Three engines with very different speeds.
+    container.deploy(
+        SearchEngine(env, "giggle", "http://search/giggle", ProcessingModel(0.004))
+    )
+    container.deploy(
+        SearchEngine(env, "yawhoo", "http://search/yawhoo", ProcessingModel(0.030))
+    )
+    container.deploy(
+        SearchEngine(env, "bung", "http://search/bung", ProcessingModel(0.015))
+    )
+
+    bus = WsBus(env, network, repository=PolicyRepository(), member_timeout=10.0)
+    members = ["http://search/giggle", "http://search/yawhoo", "http://search/bung"]
+    client = Invoker(env, network, caller="browser")
+
+    def search(address, query):
+        payload = SEARCH_CONTRACT.operation("search").input.build(query=query)
+        response = yield from client.invoke(address, "search", payload, timeout=30.0)
+        return response.body.child_text("engine"), env.now
+
+    def demo():
+        print("== round-robin: requests rotate across all engines ==")
+        vep = bus.create_vep("search-rr", SEARCH_CONTRACT, members=list(members),
+                             selection_strategy="round_robin")
+        for index in range(4):
+            engine, _ = yield from search(vep.address, f"query-{index}")
+            print(f"  request {index} answered by {engine}")
+
+        print("\n== best_response_time: after warmup, the fastest engine wins ==")
+        vep2 = bus.create_vep("search-best", SEARCH_CONTRACT, members=list(members),
+                              selection_strategy="best_response_time")
+        for index in range(3):  # warmup happened during round-robin phase
+            engine, _ = yield from search(vep2.address, f"fast-{index}")
+            print(f"  request {index} answered by {engine}")
+
+        print("\n== broadcast: all engines invoked, first response wins ==")
+        vep3 = bus.create_vep("search-bcast", SEARCH_CONTRACT, members=list(members),
+                              broadcast=True)
+        started = env.now
+        engine, finished = yield from search(vep3.address, "race")
+        print(f"  winner: {engine} in {(finished - started) * 1000:.1f} ms")
+
+        print("\n== message adaptation: legacy member behind the same contract ==")
+        container.deploy(LegacySearchEngine(env, "antique", "http://search/antique"))
+        vep4 = bus.create_vep("search-legacy", SEARCH_CONTRACT,
+                              members=["http://search/antique"])
+        vep4.pipeline.add(
+            PayloadTransformModule(
+                name="to-legacy-schema",
+                rename_root="findRequest",
+                rename_parts={"query": "q"},
+                direction="request",
+            )
+        )
+        vep4.pipeline.add(
+            EnrichmentModule(
+                lambda envelope, ctx: {"safeSearch": "on"}, name="add-defaults"
+            )
+        )
+        engine, _ = yield from search(vep4.address, "modern query, legacy service")
+        print(f"  transparently answered by {engine} (schema translated in the pipeline)")
+
+    env.run(env.process(demo()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e .` on offline environments
+that lack the `wheel` package required for PEP 660 editable installs."""
+
+from setuptools import setup
+
+setup()

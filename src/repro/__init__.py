@@ -1,0 +1,40 @@
+"""MASC: policy-driven middleware for self-adaptation of Web services
+compositions.
+
+A complete Python reproduction of Erradi, Maheshwari & Tosic,
+*Policy-Driven Middleware for Self-adaptation of Web Services
+Compositions* (Middleware 2006): the MASC process-customization middleware,
+the wsBus messaging intermediary with Virtual End Points, the
+WS-Policy4MASC policy language, both evaluation case studies, and a
+deterministic discrete-event substrate replacing the original .NET/Java
+SOAP stacks.
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.simulation` — discrete-event kernel, seeded randomness
+- :mod:`repro.xmlutils`, :mod:`repro.soap`, :mod:`repro.wsdl`,
+  :mod:`repro.transport`, :mod:`repro.services` — the Web services substrate
+- :mod:`repro.orchestration` — the workflow engine (WF/BPEL role)
+- :mod:`repro.policy` — WS-Policy4MASC
+- :mod:`repro.core` — MASC monitoring/decision/adaptation + the
+  :class:`~repro.core.MASC` facade
+- :mod:`repro.wsbus` — the messaging middleware
+- :mod:`repro.casestudies` — Stock Trading and WS-I SCM
+- :mod:`repro.faultinjection`, :mod:`repro.workload`, :mod:`repro.metrics`,
+  :mod:`repro.experiments` — the evaluation harness
+
+Quick start::
+
+    from repro.core import MASC
+
+    masc = MASC(seed=42)
+    masc.deploy(my_service)
+    masc.load_policies(policy_xml)
+    instance = masc.start_process(my_definition)
+    masc.run()
+
+or run the paper's experiments: ``python -m repro quickcheck``.
+"""
+
+__version__ = "1.0.0"
+__all__ = ["__version__"]

@@ -1,0 +1,7 @@
+"""The paper's two evaluation case studies.
+
+- :mod:`repro.casestudies.scm` — the WS-I Supply Chain Management
+  application used to evaluate wsBus (Section 3.2, Table 1, Figure 5);
+- :mod:`repro.casestudies.stocktrading` — the Stock Trading composition
+  used to evaluate MASC customization (Section 2.2).
+"""

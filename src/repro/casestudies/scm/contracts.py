@@ -1,0 +1,123 @@
+"""Service contracts for the SCM application."""
+
+from __future__ import annotations
+
+from repro.wsdl import MessageSchema, Operation, PartSchema, ServiceContract
+
+__all__ = [
+    "CONFIGURATION_CONTRACT",
+    "LOGGING_CONTRACT",
+    "MANUFACTURER_CONTRACT",
+    "RETAILER_CONTRACT",
+    "WAREHOUSE_CONTRACT",
+]
+
+RETAILER_CONTRACT = ServiceContract(
+    service_type="Retailer",
+    operations=(
+        Operation(
+            name="getCatalog",
+            input=MessageSchema("getCatalogRequest", ()),
+            output=MessageSchema(
+                "getCatalogResponse",
+                (PartSchema("catalog"), PartSchema("itemCount", "int")),
+            ),
+        ),
+        Operation(
+            name="submitOrder",
+            input=MessageSchema(
+                "submitOrderRequest",
+                (PartSchema("orderId"), PartSchema("items"), PartSchema("customerId")),
+            ),
+            output=MessageSchema(
+                "submitOrderResponse",
+                (
+                    PartSchema("orderId"),
+                    PartSchema("status"),
+                    PartSchema("shippedFrom"),
+                ),
+            ),
+        ),
+    ),
+)
+
+WAREHOUSE_CONTRACT = ServiceContract(
+    service_type="Warehouse",
+    operations=(
+        Operation(
+            name="shipGoods",
+            input=MessageSchema(
+                "shipGoodsRequest",
+                (PartSchema("product"), PartSchema("quantity", "int")),
+            ),
+            output=MessageSchema(
+                "shipGoodsResponse",
+                (PartSchema("shipped", "bool"), PartSchema("warehouse")),
+            ),
+        ),
+        Operation(
+            name="checkStock",
+            input=MessageSchema("checkStockRequest", (PartSchema("product"),)),
+            output=MessageSchema(
+                "checkStockResponse",
+                (PartSchema("product"), PartSchema("level", "int")),
+            ),
+        ),
+    ),
+)
+
+MANUFACTURER_CONTRACT = ServiceContract(
+    service_type="Manufacturer",
+    operations=(
+        Operation(
+            name="submitPO",
+            input=MessageSchema(
+                "submitPORequest",
+                (PartSchema("product"), PartSchema("quantity", "int")),
+            ),
+            output=MessageSchema(
+                "submitPOResponse",
+                (PartSchema("accepted", "bool"), PartSchema("leadTime", "float")),
+            ),
+        ),
+    ),
+)
+
+LOGGING_CONTRACT = ServiceContract(
+    service_type="LoggingFacility",
+    operations=(
+        Operation(
+            name="logEvent",
+            input=MessageSchema(
+                "logEventRequest", (PartSchema("source"), PartSchema("event"))
+            ),
+            output=MessageSchema("logEventResponse", (PartSchema("logged", "bool"),)),
+        ),
+        Operation(
+            name="getEvents",
+            input=MessageSchema(
+                "getEventsRequest", (PartSchema("source", required=False),)
+            ),
+            output=MessageSchema(
+                "getEventsResponse",
+                (PartSchema("events"), PartSchema("count", "int")),
+            ),
+        ),
+    ),
+)
+
+CONFIGURATION_CONTRACT = ServiceContract(
+    service_type="Configuration",
+    operations=(
+        Operation(
+            name="getImplementations",
+            input=MessageSchema(
+                "getImplementationsRequest", (PartSchema("serviceType"),)
+            ),
+            output=MessageSchema(
+                "getImplementationsResponse",
+                (PartSchema("addresses"), PartSchema("count", "int")),
+            ),
+        ),
+    ),
+)

@@ -1,0 +1,253 @@
+"""SCM testbed assembly.
+
+Mirrors the paper's experimental setup: SCM backend services on one
+(simulated) server, the workload generator and wsBus on the client side,
+everything connected by a fast LAN. Retailers A-D get different processing
+and fault profiles so that their direct reliability/availability figures
+spread the way Table 1's do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.casestudies.scm.services import (
+    ConfigurationService,
+    LoggingFacilityService,
+    ManufacturerService,
+    RetailerService,
+    WarehouseService,
+)
+from repro.faultinjection import (
+    ApplicationFaultInjector,
+    AvailabilityFaultInjector,
+    EndpointFaultProfile,
+    QoSDegradationInjector,
+)
+from repro.services import ProcessingModel, ServiceContainer, ServiceRegistry
+from repro.simulation import Environment, RandomSource
+from repro.transport import LatencyModel, Network
+
+__all__ = [
+    "SCMDeployment",
+    "TABLE1_DEGRADATION_PROFILES",
+    "TABLE1_FAULT_PROFILES",
+    "build_scm_deployment",
+]
+
+RETAILER_NAMES = ("A", "B", "C", "D")
+
+#: Per-retailer availability profiles for the Table 1 experiment. MTTR is
+#: kept constant; MTBF is chosen so the *nominal* availability of each
+#: direct configuration lands near the paper's measured values
+#: (A 0.952, B 0.992, C 0.998, D 0.983).
+TABLE1_FAULT_PROFILES: dict[str, tuple[float, float]] = {
+    "A": (200.0, 10.0),  # 0.952
+    "B": (620.0, 5.0),   # 0.992
+    "C": (2495.0, 5.0),  # 0.998
+    "D": (289.0, 5.0),   # 0.983
+}
+
+#: Per-retailer QoS-degradation profiles (mean gap, mean duration) in
+#: seconds. During a degradation episode the retailer's added delay exceeds
+#: the client timeout, so requests fail as Timeout faults without the
+#: service counting as "down" — which is why the paper's failure rates
+#: (e.g. Retailer B: 81/1000) exceed what its availability (0.992) alone
+#: would produce.
+TABLE1_DEGRADATION_PROFILES: dict[str, tuple[float, float]] = {
+    "A": (150.0, 10.0),
+    "B": (130.0, 10.0),
+    "C": (660.0, 10.0),
+    "D": (125.0, 10.0),
+}
+
+#: Per-retailer application-fault probabilities for the Table 1 experiment.
+#: These produce fast ``ServiceFailure`` replies ("remote applications can
+#: produce unexpected results"), which is what lets a retailer's failure
+#: rate exceed what its downtime alone explains — exactly the relationship
+#: in the paper's Table 1 (Retailer B: 81 failures/1000 at 0.992
+#: availability). Tuned so the failure columns land near the paper's:
+#: A ≈ 105, B ≈ 81, C ≈ 17, D ≈ 91 per 1000.
+TABLE1_APPLICATION_FAULT_RATES: dict[str, float] = {
+    "A": 0.060,
+    "B": 0.073,
+    "C": 0.015,
+    "D": 0.075,
+}
+
+
+@dataclass
+class SCMDeployment:
+    """Everything the SCM experiments need, fully wired."""
+
+    env: Environment
+    random_source: RandomSource
+    network: Network
+    container: ServiceContainer
+    registry: ServiceRegistry
+    retailers: dict[str, RetailerService] = field(default_factory=dict)
+    warehouses: dict[str, WarehouseService] = field(default_factory=dict)
+    manufacturers: dict[str, ManufacturerService] = field(default_factory=dict)
+    logging: LoggingFacilityService | None = None
+    configuration: ConfigurationService | None = None
+    availability_injector: AvailabilityFaultInjector | None = None
+    degradation_injector: QoSDegradationInjector | None = None
+    application_fault_injector: ApplicationFaultInjector | None = None
+
+    @property
+    def retailer_addresses(self) -> list[str]:
+        return [self.retailers[name].address for name in sorted(self.retailers)]
+
+    def inject_table1_faults(
+        self, profiles: dict[str, tuple[float, float]] | None = None
+    ) -> None:
+        """Start availability fault injection against all retailers."""
+        profiles = profiles or TABLE1_FAULT_PROFILES
+        self.availability_injector = AvailabilityFaultInjector(
+            self.env, self.network, self.random_source.fork("availability")
+        )
+        for name, (mtbf, mttr) in profiles.items():
+            retailer = self.retailers[name]
+            self.availability_injector.inject(
+                EndpointFaultProfile(
+                    address=retailer.address,
+                    mean_time_between_failures=mtbf,
+                    mean_time_to_recover=mttr,
+                )
+            )
+
+    def inject_degradations(
+        self,
+        profiles: dict[str, tuple[float, float]] | None = None,
+        added_delay: float = 8.0,
+    ) -> None:
+        """Start QoS-degradation injection against all retailers.
+
+        The default added delay exceeds typical client timeouts so a
+        degraded retailer manifests as Timeout faults (the paper's
+        "introduced delays" causing QoS-degradation events).
+        """
+        profiles = profiles or TABLE1_DEGRADATION_PROFILES
+        self.degradation_injector = QoSDegradationInjector(
+            self.env, self.network, self.random_source.fork("degradation")
+        )
+        for name, (mean_gap, mean_duration) in profiles.items():
+            retailer = self.retailers.get(name)
+            if retailer is not None:
+                self.degradation_injector.inject(
+                    retailer.address, mean_gap, mean_duration, added_delay
+                )
+
+    def inject_application_faults(
+        self, rates: dict[str, float] | None = None
+    ) -> None:
+        """Start probabilistic application-fault injection at retailers."""
+        rates = rates or TABLE1_APPLICATION_FAULT_RATES
+        self.application_fault_injector = ApplicationFaultInjector(
+            self.env, self.network, self.random_source.fork("appfaults")
+        )
+        for name, rate in rates.items():
+            retailer = self.retailers.get(name)
+            if retailer is not None:
+                self.application_fault_injector.inject(retailer.address, rate)
+
+    def inject_table1_mix(self) -> None:
+        """The full Table 1 fault mix: downtime windows + application faults."""
+        self.inject_table1_faults()
+        self.inject_application_faults()
+
+
+def build_scm_deployment(
+    seed: int = 0,
+    latency: LatencyModel | None = None,
+    initial_stock: int = 10_000,
+    retailer_count: int = 4,
+    log_events: bool = True,
+) -> SCMDeployment:
+    """Deploy the complete SCM application on a fresh simulation.
+
+    ``initial_stock`` defaults high so reliability experiments measure
+    middleware behaviour, not stockouts; inventory experiments lower it.
+    """
+    env = Environment()
+    random_source = RandomSource(seed)
+    network = Network(env, random_source, latency=latency)
+    container = ServiceContainer(env, network, random_source)
+    registry = ServiceRegistry()
+    deployment = SCMDeployment(
+        env=env,
+        random_source=random_source,
+        network=network,
+        container=container,
+        registry=registry,
+    )
+
+    logging = LoggingFacilityService(
+        env,
+        "LoggingFacility",
+        "http://scm/logging",
+        processing=ProcessingModel(base_seconds=0.002),
+    )
+    container.deploy(logging)
+    registry.register("LoggingFacility", logging.name, logging.address)
+    deployment.logging = logging
+
+    for index, warehouse_name in enumerate(("WA", "WB", "WC")):
+        manufacturer = ManufacturerService(
+            env,
+            f"M{warehouse_name[1]}",
+            f"http://scm/manufacturer{warehouse_name[1]}",
+            processing=ProcessingModel(base_seconds=0.004),
+            lead_time_seconds=5.0 + index,
+        )
+        container.deploy(manufacturer)
+        registry.register("Manufacturer", manufacturer.name, manufacturer.address)
+        deployment.manufacturers[warehouse_name[1]] = manufacturer
+
+        warehouse = WarehouseService(
+            env,
+            warehouse_name,
+            f"http://scm/warehouse{warehouse_name[1]}",
+            processing=ProcessingModel(base_seconds=0.003),
+            manufacturer_address=manufacturer.address,
+            initial_stock=initial_stock,
+        )
+        container.deploy(warehouse)
+        registry.register("Warehouse", warehouse.name, warehouse.address)
+        deployment.warehouses[warehouse_name] = warehouse
+
+    warehouse_addresses = [
+        deployment.warehouses[name].address for name in ("WA", "WB", "WC")
+    ]
+    # Retailers differ slightly in processing speed (different "vendors").
+    processing_profiles = {
+        "A": ProcessingModel(base_seconds=0.008, per_kb_seconds=0.0004),
+        "B": ProcessingModel(base_seconds=0.006, per_kb_seconds=0.0003),
+        "C": ProcessingModel(base_seconds=0.005, per_kb_seconds=0.0003),
+        "D": ProcessingModel(base_seconds=0.007, per_kb_seconds=0.0004),
+    }
+    for name in RETAILER_NAMES[:retailer_count]:
+        retailer = RetailerService(
+            env,
+            f"Retailer{name}",
+            f"http://scm/retailer{name}",
+            processing=processing_profiles.get(name, ProcessingModel()),
+            warehouse_addresses=warehouse_addresses,
+            logging_address=logging.address,
+            log_events=log_events,
+        )
+        container.deploy(retailer)
+        registry.register("Retailer", retailer.name, retailer.address)
+        deployment.retailers[name] = retailer
+
+    configuration = ConfigurationService(
+        env,
+        "Configuration",
+        "http://scm/configuration",
+        processing=ProcessingModel(base_seconds=0.002),
+        registry=registry,
+    )
+    container.deploy(configuration)
+    registry.register("Configuration", configuration.name, configuration.address)
+    deployment.configuration = configuration
+    return deployment

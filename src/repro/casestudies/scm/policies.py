@@ -1,0 +1,95 @@
+"""WS-Policy4MASC documents used by the SCM experiments.
+
+These are the policies Section 3.2 describes: "For timeout faults, these
+policies configured the VEP for the Retailers to first retry the invocation
+of the faulty services three times with a delay between retry cycles of two
+seconds. After exhausting the maximum number of allowed retries, the
+policies configured the VEP to route the request message to a different
+Retailer based on the response time gathered from prior interactions. ...
+For the Logging service we have configured a skip policy since the
+functionality provided by the Logging service is not business critical."
+
+Each builder returns both the in-memory document and (via the XML module)
+round-trips through the wire format, so the experiments exercise the full
+parse path rather than hand-built objects.
+"""
+
+from __future__ import annotations
+
+from repro.policy import (
+    AdaptationPolicy,
+    ConcurrentInvokeAction,
+    PolicyDocument,
+    PolicyScope,
+    RetryAction,
+    SkipAction,
+    SubstituteAction,
+    parse_policy_document,
+    serialize_policy_document,
+)
+
+__all__ = [
+    "broadcast_policy_document",
+    "logging_skip_policy_document",
+    "retailer_recovery_policy_document",
+]
+
+
+def _round_trip(document: PolicyDocument) -> PolicyDocument:
+    """Serialize + re-parse so experiments use the real XML path."""
+    return parse_policy_document(serialize_policy_document(document))
+
+
+def retailer_recovery_policy_document(
+    max_retries: int = 3,
+    retry_delay_seconds: float = 2.0,
+    substitute_strategy: str = "best_response_time",
+) -> PolicyDocument:
+    """Retry n times with a fixed delay, then fail over by response time."""
+    document = PolicyDocument("scm-retailer-recovery")
+    document.adaptation_policies.append(
+        AdaptationPolicy(
+            name="retailer-retry-then-failover",
+            triggers=("fault.Timeout", "fault.ServiceUnavailable", "fault.ServiceFailure"),
+            scope=PolicyScope(service_type="Retailer"),
+            actions=(
+                RetryAction(max_retries=max_retries, delay_seconds=retry_delay_seconds),
+                SubstituteAction(strategy=substitute_strategy),
+            ),
+            priority=10,
+            adaptation_type="correction",
+        )
+    )
+    return _round_trip(document)
+
+
+def logging_skip_policy_document() -> PolicyDocument:
+    """Skip failed Logging calls — the service is not business critical."""
+    document = PolicyDocument("scm-logging-skip")
+    document.adaptation_policies.append(
+        AdaptationPolicy(
+            name="logging-skip",
+            triggers=("fault.*",),
+            scope=PolicyScope(service_type="LoggingFacility"),
+            actions=(SkipAction(reason="logging is not business critical"),),
+            priority=10,
+            adaptation_type="correction",
+        )
+    )
+    return _round_trip(document)
+
+
+def broadcast_policy_document(max_targets: int = 0) -> PolicyDocument:
+    """Concurrent invocation of equivalent Retailers, first response wins."""
+    document = PolicyDocument("scm-retailer-broadcast")
+    document.adaptation_policies.append(
+        AdaptationPolicy(
+            name="retailer-concurrent-invocation",
+            triggers=("fault.Timeout", "fault.ServiceUnavailable", "fault.ServiceFailure"),
+            scope=PolicyScope(service_type="Retailer"),
+            actions=(ConcurrentInvokeAction(max_targets=max_targets),),
+            priority=10,
+            adaptation_type="correction",
+        )
+    )
+    return _round_trip(document)

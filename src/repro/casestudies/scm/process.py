@@ -1,0 +1,70 @@
+"""The SCM composition as an orchestrated process (Figure 4).
+
+A client-side composition of the SCM use case: fetch the catalog, submit
+the order, and read back the tracked events — the flow the WS-I sample
+application drives through its Web client. Running it on the workflow
+engine exercises the full stack: orchestration → (optionally wsBus) →
+services.
+"""
+
+from __future__ import annotations
+
+from repro.orchestration import Invoke, ProcessDefinition, Reply, Sequence
+
+__all__ = ["build_scm_process"]
+
+
+def build_scm_process(
+    retailer_address: str,
+    logging_address: str,
+    order_items: str = "TVx1,DVDx2",
+    customer_id: str = "customer-1",
+    name: str = "scm-purchase",
+) -> ProcessDefinition:
+    """The purchase composition against a concrete (or VEP) retailer."""
+    root = Sequence(
+        "scm-main",
+        [
+            Invoke(
+                "get-catalog",
+                operation="getCatalog",
+                to=retailer_address,
+                inputs={},
+                output_variable="catalog_response",
+                extract={"catalog": "catalog", "item_count": "itemCount"},
+                timeout_seconds=15.0,
+            ),
+            Invoke(
+                "submit-order",
+                operation="submitOrder",
+                to=retailer_address,
+                inputs={
+                    "orderId": "$order_id",
+                    "items": "$order_items",
+                    "customerId": "$customer_id",
+                },
+                output_variable="order_response",
+                extract={"order_status": "status", "shipped_from": "shippedFrom"},
+                timeout_seconds=20.0,
+            ),
+            Invoke(
+                "track-order",
+                operation="getEvents",
+                to=logging_address,
+                inputs={},
+                output_variable="events_response",
+                extract={"event_count": "count"},
+                timeout_seconds=10.0,
+            ),
+            Reply("order-result", variable="order_status"),
+        ],
+    )
+    return ProcessDefinition(
+        name,
+        root,
+        initial_variables={
+            "order_id": "order-0001",
+            "order_items": order_items,
+            "customer_id": customer_id,
+        },
+    )

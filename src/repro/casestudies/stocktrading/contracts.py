@@ -1,0 +1,241 @@
+"""Service contracts for the Stock Trading case study (Figure 2)."""
+
+from __future__ import annotations
+
+from repro.wsdl import MessageSchema, Operation, PartSchema, ServiceContract
+
+__all__ = [
+    "CREDIT_RATING_CONTRACT",
+    "CURRENCY_CONVERSION_CONTRACT",
+    "FINANCIAL_ANALYSIS_CONTRACT",
+    "FUND_MANAGER_CONTRACT",
+    "MARKET_COMPLIANCE_CONTRACT",
+    "PAYMENT_CONTRACT",
+    "PEST_ANALYSIS_CONTRACT",
+    "STOCK_MARKET_CONTRACT",
+    "STOCK_NOTIFICATION_CONTRACT",
+    "STOCK_REGISTRY_CONTRACT",
+]
+
+FUND_MANAGER_CONTRACT = ServiceContract(
+    service_type="FundManager",
+    operations=(
+        Operation(
+            name="placeOrder",
+            input=MessageSchema(
+                "placeOrderRequest",
+                (
+                    PartSchema("investorId"),
+                    PartSchema("orderType"),  # invest | redeem
+                    PartSchema("amount", "float"),
+                    PartSchema("country"),
+                    PartSchema("profile"),  # personal | corporate
+                ),
+            ),
+            output=MessageSchema(
+                "placeOrderResponse",
+                (PartSchema("orderId"), PartSchema("status"), PartSchema("symbol")),
+            ),
+        ),
+    ),
+)
+
+FINANCIAL_ANALYSIS_CONTRACT = ServiceContract(
+    service_type="FinancialAnalysis",
+    operations=(
+        Operation(
+            name="getRecommendation",
+            input=MessageSchema(
+                "getRecommendationRequest",
+                (
+                    PartSchema("orderType"),
+                    PartSchema("amount", "float"),
+                    PartSchema("country"),
+                ),
+            ),
+            output=MessageSchema(
+                "getRecommendationResponse",
+                (
+                    PartSchema("symbol"),
+                    PartSchema("score", "float"),
+                    PartSchema("price", "float"),
+                ),
+            ),
+        ),
+        Operation(
+            name="updateQuotes",
+            input=MessageSchema(
+                "updateQuotesRequest", (PartSchema("quotes"),)
+            ),
+            output=MessageSchema(
+                "updateQuotesResponse", (PartSchema("accepted", "bool"),)
+            ),
+        ),
+    ),
+)
+
+STOCK_NOTIFICATION_CONTRACT = ServiceContract(
+    service_type="StockNotification",
+    operations=(
+        Operation(
+            name="getQuote",
+            input=MessageSchema("getQuoteRequest", (PartSchema("symbol"),)),
+            output=MessageSchema(
+                "getQuoteResponse", (PartSchema("symbol"), PartSchema("price", "float"))
+            ),
+        ),
+        Operation(
+            name="subscribe",
+            input=MessageSchema("subscribeRequest", (PartSchema("address"),)),
+            output=MessageSchema(
+                "subscribeResponse", (PartSchema("subscribed", "bool"),)
+            ),
+        ),
+    ),
+)
+
+STOCK_MARKET_CONTRACT = ServiceContract(
+    service_type="StockMarket",
+    operations=(
+        Operation(
+            name="placeTrade",
+            input=MessageSchema(
+                "placeTradeRequest",
+                (
+                    PartSchema("orderId"),
+                    PartSchema("symbol"),
+                    PartSchema("side"),  # buy | sell
+                    PartSchema("quantity", "int"),
+                    PartSchema("limitPrice", "float"),
+                ),
+            ),
+            output=MessageSchema(
+                "placeTradeResponse",
+                (
+                    PartSchema("tradeId"),
+                    PartSchema("status"),  # matched | queued
+                    PartSchema("executedPrice", "float", required=False),
+                ),
+            ),
+        ),
+    ),
+)
+
+STOCK_REGISTRY_CONTRACT = ServiceContract(
+    service_type="StockRegistry",
+    operations=(
+        Operation(
+            name="transferOwnership",
+            input=MessageSchema(
+                "transferOwnershipRequest",
+                (
+                    PartSchema("tradeId"),
+                    PartSchema("symbol"),
+                    PartSchema("quantity", "int"),
+                    PartSchema("fromParty"),
+                    PartSchema("toParty"),
+                ),
+            ),
+            output=MessageSchema(
+                "transferOwnershipResponse", (PartSchema("transferred", "bool"),)
+            ),
+        ),
+    ),
+)
+
+PAYMENT_CONTRACT = ServiceContract(
+    service_type="Payment",
+    operations=(
+        Operation(
+            name="transferFunds",
+            input=MessageSchema(
+                "transferFundsRequest",
+                (
+                    PartSchema("tradeId"),
+                    PartSchema("amount", "float"),
+                    PartSchema("fromParty"),
+                    PartSchema("toParty"),
+                ),
+            ),
+            output=MessageSchema(
+                "transferFundsResponse", (PartSchema("settled", "bool"),)
+            ),
+        ),
+    ),
+)
+
+# -- variation services used by customization policies --------------------------
+
+CURRENCY_CONVERSION_CONTRACT = ServiceContract(
+    service_type="CurrencyConversion",
+    operations=(
+        Operation(
+            name="convert",
+            input=MessageSchema(
+                "convertRequest",
+                (
+                    PartSchema("amount", "float"),
+                    PartSchema("fromCurrency"),
+                    PartSchema("toCurrency"),
+                ),
+            ),
+            output=MessageSchema(
+                "convertResponse",
+                (PartSchema("converted", "float"), PartSchema("rate", "float")),
+            ),
+        ),
+    ),
+)
+
+PEST_ANALYSIS_CONTRACT = ServiceContract(
+    service_type="PESTAnalysis",
+    operations=(
+        Operation(
+            name="assess",
+            input=MessageSchema("assessRequest", (PartSchema("country"),)),
+            output=MessageSchema(
+                "assessResponse",
+                (
+                    PartSchema("political", "float"),
+                    PartSchema("economic", "float"),
+                    PartSchema("social", "float"),
+                    PartSchema("technological", "float"),
+                    PartSchema("overallRisk", "float"),
+                ),
+            ),
+        ),
+    ),
+)
+
+CREDIT_RATING_CONTRACT = ServiceContract(
+    service_type="CreditRating",
+    operations=(
+        Operation(
+            name="check",
+            input=MessageSchema(
+                "checkRequest",
+                (PartSchema("investorId"), PartSchema("amount", "float")),
+            ),
+            output=MessageSchema(
+                "checkResponse",
+                (PartSchema("rating"), PartSchema("approved", "bool")),
+            ),
+        ),
+    ),
+)
+
+MARKET_COMPLIANCE_CONTRACT = ServiceContract(
+    service_type="MarketCompliance",
+    operations=(
+        Operation(
+            name="verify",
+            input=MessageSchema(
+                "verifyRequest",
+                (PartSchema("orderId"), PartSchema("amount", "float")),
+            ),
+            output=MessageSchema(
+                "verifyResponse", (PartSchema("compliant", "bool"),)
+            ),
+        ),
+    ),
+)

@@ -1,0 +1,116 @@
+"""The base (national) Trading Process.
+
+"The base Trading Process is initiated when a human investor places an
+investment or redemption order with their FundManagerService. The latter,
+after verifying the order, invokes the FinancialAnalysisService to get a
+recommendation... The FundManagerService makes a decision which stock to
+buy/sell... Then, the FundManagerService sends the buying/selling request
+to the StockMarketService."
+
+The process carries **no** customization logic: currency conversion, PEST
+analysis, credit rating and compliance removal are all injected/removed by
+WS-Policy4MASC policies at runtime — the paper's headline separation of
+concerns.
+"""
+
+from __future__ import annotations
+
+from repro.orchestration import Assign, Invoke, ProcessDefinition, Reply, Sequence
+
+__all__ = ["TRADING_ANCHORS", "build_trading_process"]
+
+#: The activity names policies anchor to (kept stable as a public contract).
+TRADING_ANCHORS = {
+    "verify": "verify-order",
+    "analysis": "get-analysis",
+    "compliance": "market-compliance",
+    "trade": "place-trade",
+    "reply": "trade-result",
+}
+
+
+def build_trading_process(
+    fund_manager_address: str,
+    analysis_address: str,
+    compliance_address: str,
+    market_address: str,
+    name: str = "trading-process",
+) -> ProcessDefinition:
+    """The base national-trading composition.
+
+    Targets are concrete addresses or VEP addresses — the process does not
+    care which (that is wsBus's virtualization at work).
+    """
+    root = Sequence(
+        "trading-main",
+        [
+            Invoke(
+                TRADING_ANCHORS["verify"],
+                operation="placeOrder",
+                to=fund_manager_address,
+                inputs={
+                    "investorId": "$investor_id",
+                    "orderType": "$order_type",
+                    "amount": "$amount",
+                    "country": "$country",
+                    "profile": "$profile",
+                },
+                extract={"order_id": "orderId", "order_status": "status"},
+                timeout_seconds=15.0,
+            ),
+            Invoke(
+                TRADING_ANCHORS["analysis"],
+                operation="getRecommendation",
+                to=analysis_address,
+                inputs={
+                    "orderType": "$order_type",
+                    "amount": "$amount",
+                    "country": "$country",
+                },
+                extract={"symbol": "symbol", "score": "score", "price": "price"},
+                timeout_seconds=15.0,
+            ),
+            # Trade sizing: how many shares the requested amount buys. The
+            # default quantity of 1 guards against a zero price.
+            Assign(
+                "size-trade",
+                "quantity",
+                expression="max(1, int(amount / price)) if price > 0 else 1",
+            ),
+            Invoke(
+                TRADING_ANCHORS["compliance"],
+                operation="verify",
+                to=compliance_address,
+                inputs={"orderId": "$order_id", "amount": "$amount"},
+                extract={"compliant": "compliant"},
+                timeout_seconds=15.0,
+            ),
+            Invoke(
+                TRADING_ANCHORS["trade"],
+                operation="placeTrade",
+                to=market_address,
+                inputs={
+                    "orderId": "$order_id",
+                    "symbol": "$symbol",
+                    "side": lambda v: "buy" if v.get("order_type") == "invest" else "sell",
+                    "quantity": "$quantity",
+                    "limitPrice": "$price",
+                },
+                extract={"trade_id": "tradeId", "trade_status": "status"},
+                timeout_seconds=20.0,
+            ),
+            Reply(TRADING_ANCHORS["reply"], variable="trade_status"),
+        ],
+    )
+    return ProcessDefinition(
+        name,
+        root,
+        initial_variables={
+            "investor_id": "investor-1",
+            "order_type": "invest",
+            "amount": 5000.0,
+            "country": "AU",
+            "currency": "AUD",
+            "profile": "personal",
+        },
+    )

@@ -1,0 +1,148 @@
+"""Command-line interface: reproduce the paper's experiments.
+
+Usage::
+
+    python -m repro table1 [--seeds 11 23 47] [--requests 250]
+    python -m repro figure5 [--requests 150]
+    python -m repro scenarios
+    python -m repro quickcheck
+
+``quickcheck`` runs a fast, low-volume version of everything — a smoke
+test that the full stack works on this machine in a few seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    regenerate_figure5,
+    regenerate_table1,
+    render_figure5,
+    render_table1,
+)
+
+__all__ = ["main"]
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    rows = regenerate_table1(
+        seeds=tuple(args.seeds), clients=args.clients, requests=args.requests
+    )
+    print(render_table1(rows))
+    return 0
+
+
+def _cmd_figure5(args: argparse.Namespace) -> int:
+    series = regenerate_figure5(requests=args.requests)
+    print(render_figure5(series))
+    return 0
+
+
+def _cmd_scenarios(_args: argparse.Namespace) -> int:
+    from repro.casestudies.stocktrading import (
+        build_trading_deployment,
+        compliance_removal_policy_document,
+        credit_rating_policy_document,
+        currency_conversion_policy_document,
+        pest_analysis_policy_document,
+    )
+    from repro.metrics import Table
+    from repro.policy import serialize_policy_document
+
+    deployment = build_trading_deployment(seed=5)
+    for document in (
+        currency_conversion_policy_document(),
+        pest_analysis_policy_document(),
+        credit_rating_policy_document(),
+        compliance_removal_policy_document(),
+    ):
+        deployment.masc.load_policies(serialize_policy_document(document))
+
+    scenarios = {
+        "baseline national (50k AUD)": dict(amount=50_000.0, country="AU"),
+        "international (20k USD)": dict(amount=20_000.0, country="US", currency="USD"),
+        "high-risk country (BR)": dict(amount=8_000.0, country="BR", currency="USD"),
+        "large personal trade (250k)": dict(amount=250_000.0, profile="personal"),
+        "corporate trade (2k)": dict(amount=2_000.0, profile="corporate"),
+        "small trade (500)": dict(amount=500.0),
+    }
+    table = Table(
+        ["Scenario", "Status", "CC", "PEST", "CreditRating", "Compliance"],
+        title="Section 2.2 — customization scenario matrix",
+    )
+    for label, kwargs in scenarios.items():
+        instance = deployment.run_order(**kwargs)
+        executed = instance.executed_activities
+        table.add_row(
+            [
+                label,
+                instance.status.value,
+                "convert-currency" in executed,
+                "pest-analysis" in executed,
+                "credit-rating" in executed,
+                "market-compliance" in executed,
+            ]
+        )
+    print(table.render())
+    print(f"\nBusiness-value ledger: {deployment.masc.repository.business_totals()}")
+    return 0
+
+
+def _cmd_quickcheck(_args: argparse.Namespace) -> int:
+    print("1/3 Table 1 (reduced volume)...")
+    rows = regenerate_table1(seeds=(11,), clients=2, requests=100)
+    print(render_table1(rows))
+    vep_failures = rows["VEP"][0]
+    direct_worst = max(rows[k][0] for k in "ABCD")
+    print(f"\n    VEP {vep_failures:.0f} vs worst direct {direct_worst:.0f} failures/1000")
+
+    print("\n2/3 Figure 5 (reduced sweep)...")
+    series = regenerate_figure5(sizes_kb=(1, 16, 64), requests=60)
+    print(render_figure5(series, sizes_kb=(1, 16, 64)))
+
+    print("\n3/3 Customization scenarios...")
+    result = _cmd_scenarios(_args)
+    print("\nquickcheck OK" if result == 0 else "quickcheck FAILED")
+    return result
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the MASC/wsBus (Middleware 2006) experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table1 = subparsers.add_parser("table1", help="Table 1: reliability & availability")
+    table1.add_argument("--seeds", nargs="+", type=int, default=[11, 23, 47])
+    table1.add_argument("--clients", type=int, default=4)
+    table1.add_argument("--requests", type=int, default=250, help="requests per client")
+    table1.set_defaults(handler=_cmd_table1)
+
+    figure5 = subparsers.add_parser("figure5", help="Figure 5: RTT vs request size")
+    figure5.add_argument("--requests", type=int, default=150, help="requests per point")
+    figure5.set_defaults(handler=_cmd_figure5)
+
+    scenarios = subparsers.add_parser(
+        "scenarios", help="Section 2.2 customization scenario matrix"
+    )
+    scenarios.set_defaults(handler=_cmd_scenarios)
+
+    quickcheck = subparsers.add_parser(
+        "quickcheck", help="Fast smoke run of all experiments"
+    )
+    quickcheck.set_defaults(handler=_cmd_quickcheck)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

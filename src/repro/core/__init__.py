@@ -1,0 +1,52 @@
+"""MASC core: the paper's primary contribution.
+
+The components of Figure 1, wired around the orchestration engine:
+
+- :class:`MASCPolicyParser` — imports WS-Policy4MASC files into the policy
+  repository when the adaptation service starts;
+- :class:`MASCMonitoringService` — evaluates monitoring policies against
+  exchanged SOAP messages, QoS measurements and process lifecycle events,
+  raising MASC events;
+- :class:`MonitoringStore` — the database of observed messages, used "in
+  situations when adaptation pre-conditions refer to several different SOAP
+  messages";
+- :class:`MASCPolicyDecisionMaker` — determines which adaptation policy
+  assertions apply per event (by trigger, scope, condition, state and
+  priority) and dispatches their actions to enforcement points;
+- :class:`MASCAdaptationService` — the WF-style runtime service enacting
+  process-layer actions: static and dynamic customization via suspend →
+  transient copy → edit → apply → resume, plus suspend/resume/terminate and
+  timeout extension for cross-layer coordination.
+
+:class:`MASC` is the facade that assembles a complete middleware stack.
+"""
+
+from repro.core.adaptation_service import AdaptationReport, MASCAdaptationService
+from repro.core.decision_maker import EnforcementPoint, MASCPolicyDecisionMaker, PolicyDecision
+from repro.core.events import MASCEvent
+from repro.core.masc import MASC
+from repro.core.monitoring_service import MASCMonitoringService
+from repro.core.monitoring_store import CorrelationRule, MonitoringStore, StoredMessage
+from repro.core.optimization import UtilityDrivenDecisionMaker, UtilityEstimate, estimate_utility
+from repro.core.parser import MASCPolicyParser
+from repro.core.prevention import QoSTrendDetector, TrendReport
+
+__all__ = [
+    "AdaptationReport",
+    "CorrelationRule",
+    "EnforcementPoint",
+    "MASC",
+    "MASCAdaptationService",
+    "MASCEvent",
+    "MASCMonitoringService",
+    "MASCPolicyDecisionMaker",
+    "MASCPolicyParser",
+    "MonitoringStore",
+    "PolicyDecision",
+    "QoSTrendDetector",
+    "StoredMessage",
+    "TrendReport",
+    "UtilityDrivenDecisionMaker",
+    "UtilityEstimate",
+    "estimate_utility",
+]

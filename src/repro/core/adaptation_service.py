@@ -1,0 +1,319 @@
+"""MASCAdaptationService: the process-layer enforcement point.
+
+A WF-style runtime service "for policy-based adaptation of Web services
+compositions". It enacts:
+
+- **static customization** — when the engine raises ``instance_created``,
+  matching adaptation policies edit the fresh instance tree before the
+  first activity executes;
+- **dynamic customization** — on events carrying a ProcessInstanceID, the
+  service "suspends the running process instance to be adapted", takes a
+  transient copy of the process object representation, applies the policy's
+  add/remove/replace actions, passes the changes back, and resumes;
+- **cross-layer coordination** — suspend/resume/terminate and extending the
+  pending timeout of the calling activity, invoked by the wsBus Adaptation
+  Manager before it retries a faulty service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.decision_maker import EnforcementPoint, MASCPolicyDecisionMaker
+from repro.core.events import MASCEvent
+from repro.orchestration import (
+    InstanceStatus,
+    ProcessInstance,
+    ProcessModifier,
+    RuntimeService,
+    WorkflowEngine,
+)
+from repro.policy import AdaptationPolicy
+from repro.policy.actions import (
+    AdaptationAction,
+    AddActivityAction,
+    DelayProcessAction,
+    ExtendTimeoutAction,
+    RemoveActivityAction,
+    ReplaceActivityAction,
+    ResumeProcessAction,
+    SuspendProcessAction,
+    TerminateProcessAction,
+)
+
+__all__ = ["AdaptationReport", "MASCAdaptationService"]
+
+
+@dataclass
+class AdaptationReport:
+    """One enacted process-layer adaptation (audit record)."""
+
+    time: float
+    instance_id: str
+    policy_name: str
+    action: str
+    dynamic: bool
+    detail: str | None = None
+
+
+class MASCAdaptationService(RuntimeService, EnforcementPoint):
+    """Process-layer policy enforcement, pluggable into the engine."""
+
+    layer = "process"
+
+    def __init__(self, decision_maker: MASCPolicyDecisionMaker) -> None:
+        self.decision_maker = decision_maker
+        self.decision_maker.register_enforcement_point(self)
+        self.engine: WorkflowEngine | None = None
+        self.reports: list[AdaptationReport] = []
+        #: Pending modifiers per instance, so several actions of one policy
+        #: batch into a single suspend-edit-apply-resume cycle.
+        self._active_modifiers: dict[str, ProcessModifier] = {}
+
+    # -- runtime service wiring -------------------------------------------------
+
+    def attached(self, engine: WorkflowEngine) -> None:
+        self.engine = engine
+        engine.fault_advisor = self.advise_on_fault
+
+    def instance_created(self, instance: ProcessInstance) -> None:
+        """Static customization: adapt before the first activity runs."""
+        assert self.engine is not None
+        event = MASCEvent(
+            name="process.instance_created",
+            time=self.engine.env.now,
+            process=instance.definition_name,
+            process_instance_id=instance.id,
+            context=dict(instance.variables),
+        )
+        self.decision_maker.handle(event)
+
+    # -- enforcement point --------------------------------------------------------
+
+    def enact(
+        self, action: AdaptationAction, policy: AdaptationPolicy, event: MASCEvent
+    ) -> bool:
+        instance = self._instance_for(event)
+        if instance is None:
+            return False
+        if isinstance(action, SuspendProcessAction):
+            instance.suspend()
+            self._report(instance, policy, action.describe(), dynamic=True)
+            return True
+        if isinstance(action, ResumeProcessAction):
+            instance.resume()
+            self._report(instance, policy, action.describe(), dynamic=True)
+            return True
+        if isinstance(action, TerminateProcessAction):
+            instance.terminate(action.reason)
+            self._report(instance, policy, action.describe(), dynamic=True)
+            return True
+        if isinstance(action, DelayProcessAction):
+            instance.suspend()
+
+            def resume_later():
+                yield self.engine.env.timeout(action.delay_seconds)
+                instance.resume()
+
+            self.engine.env.process(resume_later(), name=f"delay:{instance.id}")
+            self._report(instance, policy, action.describe(), dynamic=True)
+            return True
+        if isinstance(action, ExtendTimeoutAction):
+            activity_name = event.activity or event.context.get("activity")
+            extended = False
+            if activity_name:
+                extended = instance.extend_timeout(str(activity_name), action.extra_seconds)
+            else:
+                # No specific activity: extend every pending deadline.
+                for handle in list(instance._deadlines.values()):
+                    if handle.active:
+                        handle.extend(action.extra_seconds)
+                        extended = True
+            self._report(
+                instance,
+                policy,
+                action.describe(),
+                dynamic=True,
+                detail=None if extended else "no pending deadline",
+            )
+            return extended
+        if isinstance(action, (AddActivityAction, RemoveActivityAction, ReplaceActivityAction)):
+            return self._customize(instance, action, policy, event)
+        return False
+
+    # -- process-level corrective adaptation -------------------------------------
+
+    def advise_on_fault(self, instance, activity, fault, attempts: int):
+        """Fault advisor: policy-driven correction at the process layer.
+
+        The paper's ongoing work, built: "corrective adaptation at the
+        business process orchestration layer to handle process-level
+        faults". Policies trigger on ``process-fault.<Code>`` events and
+        their actions translate to engine verdicts: Retry → re-run the
+        activity with the policy's delay pattern, Skip → treat the
+        activity as completed, ReplaceActivity (targeting this activity)
+        → run the variation activity instead. First applicable policy wins
+        (priority order); no policy means the fault propagates as usual.
+        """
+        from repro.orchestration import FaultVerdict
+        from repro.policy.actions import ReplaceActivityAction, RetryAction, SkipAction
+
+        repository = self.decision_maker.repository
+        policies = repository.adaptation_policies_for(
+            f"process-fault.{fault.code.value}",
+            process=instance.definition_name,
+            activity=activity.name,
+        )
+        context = {
+            "fault_code": fault.code.value,
+            "fault_reason": fault.fault.reason,
+            "activity": activity.name,
+            "attempts": attempts,
+        }
+        context.update(
+            {
+                key: value
+                for key, value in instance.variables.items()
+                if isinstance(value, (str, int, float, bool))
+            }
+        )
+        subject_key = f"instance:{instance.id}"
+        for policy in policies:
+            if not policy.condition_holds(context):
+                continue
+            if not repository.check_state(policy, subject_key):
+                continue
+            for action in policy.actions:
+                if isinstance(action, RetryAction):
+                    if attempts >= action.max_retries:
+                        continue  # budget exhausted: maybe a later action helps
+                    verdict = FaultVerdict(
+                        "retry",
+                        delay_seconds=action.delay_for_attempt(attempts + 1),
+                        policy_name=policy.name,
+                    )
+                elif isinstance(action, SkipAction):
+                    verdict = FaultVerdict("skip", policy_name=policy.name)
+                elif isinstance(action, ReplaceActivityAction) and action.target in (
+                    activity.name,
+                    "*",
+                ):
+                    verdict = FaultVerdict(
+                        "replace",
+                        replacement=action.build_activity(),
+                        policy_name=policy.name,
+                    )
+                else:
+                    continue
+                repository.transition(policy, subject_key)
+                repository.record_business_value(self.engine.env.now, policy, subject_key)
+                self._report(
+                    instance,
+                    policy,
+                    f"process-level {verdict.kind} of {activity.name!r} "
+                    f"({fault.code.value})",
+                    dynamic=True,
+                )
+                return verdict
+        return None
+
+    # -- customization ------------------------------------------------------------
+
+    def _customize(
+        self,
+        instance: ProcessInstance,
+        action: AdaptationAction,
+        policy: AdaptationPolicy,
+        event: MASCEvent,
+    ) -> bool:
+        dynamic = bool(instance.executed_activities)
+        suspended_here = False
+        if dynamic and instance.status != InstanceStatus.SUSPENDED:
+            instance.suspend()
+            suspended_here = True
+        try:
+            modifier = ProcessModifier(instance)
+            if isinstance(action, AddActivityAction):
+                activity = action.build_activity()
+                if action.position == "before":
+                    modifier.insert_before(action.anchor, activity)
+                elif action.position == "after":
+                    modifier.insert_after(action.anchor, activity)
+                else:
+                    modifier.append_to(action.anchor, activity)
+                modifier.bind_variables(self._resolve_bindings(action.bindings, event))
+            elif isinstance(action, RemoveActivityAction):
+                for target in self._block_targets(instance, action):
+                    modifier.remove(target)
+            elif isinstance(action, ReplaceActivityAction):
+                modifier.replace(action.target, action.build_activity())
+                modifier.bind_variables(self._resolve_bindings(action.bindings, event))
+            modifier.apply()
+        except Exception as exc:  # noqa: BLE001 - surfaced via report + False
+            self._report(
+                instance, policy, action.describe(), dynamic=dynamic, detail=f"failed: {exc}"
+            )
+            if suspended_here:
+                instance.resume()
+            return False
+        if suspended_here:
+            instance.resume()
+        self._report(instance, policy, action.describe(), dynamic=dynamic)
+        return True
+
+    @staticmethod
+    def _block_targets(instance: ProcessInstance, action: RemoveActivityAction) -> list[str]:
+        """Expand a begin..end block into the sibling activities it spans."""
+        if action.block_end is None:
+            return [action.target]
+        from repro.orchestration.modification import _find_with_parent
+
+        begin, parent = _find_with_parent(instance.root, action.target)
+        end, end_parent = _find_with_parent(instance.root, action.block_end)
+        if begin is None or end is None or parent is None or parent is not end_parent:
+            raise ValueError(
+                f"block {action.target!r}..{action.block_end!r} is not a sibling range"
+            )
+        siblings = parent.children()
+        start_index = siblings.index(begin)
+        end_index = siblings.index(end)
+        if end_index < start_index:
+            start_index, end_index = end_index, start_index
+        return [sibling.name for sibling in siblings[start_index : end_index + 1]]
+
+    @staticmethod
+    def _resolve_bindings(bindings: dict[str, str], event: MASCEvent) -> dict[str, Any]:
+        """Resolve ``$name`` references against the event context."""
+        resolved: dict[str, Any] = {}
+        for variable, value in bindings.items():
+            if isinstance(value, str) and value.startswith("$"):
+                resolved[variable] = event.context.get(value[1:])
+            else:
+                resolved[variable] = value
+        return resolved
+
+    def _instance_for(self, event: MASCEvent) -> ProcessInstance | None:
+        if self.engine is None or event.process_instance_id is None:
+            return None
+        return self.engine.instances.get(event.process_instance_id)
+
+    def _report(
+        self,
+        instance: ProcessInstance,
+        policy: AdaptationPolicy,
+        action: str,
+        dynamic: bool,
+        detail: str | None = None,
+    ) -> None:
+        assert self.engine is not None
+        self.reports.append(
+            AdaptationReport(
+                time=self.engine.env.now,
+                instance_id=instance.id,
+                policy_name=policy.name,
+                action=action,
+                dynamic=dynamic,
+                detail=detail,
+            )
+        )

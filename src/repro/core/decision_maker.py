@@ -1,0 +1,138 @@
+"""MASCPolicyDecisionMaker: from events to enacted policies.
+
+"The raised events are handled by MASCPolicyDecisionMaker, which determines
+adaptation policy assertions to be applied to the process instance and
+sends an event to MASCAdaptationService. Policy priorities are used to
+determine the order of execution if several policy assertions apply per
+event."
+
+The decision maker is deliberately layer-agnostic: it dispatches each
+action of a selected policy to the enforcement point registered for that
+action's layer ("the policy decision manager passes an object
+representation of the adaptation actions to the relevant policy enforcement
+point(s) to execute the adaptation policy"). MASCAdaptationService is the
+``process``-layer point; the wsBus Adaptation Manager is the ``messaging``-
+layer point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.events import MASCEvent
+from repro.policy import AdaptationPolicy, PolicyRepository
+from repro.policy.actions import AdaptationAction
+
+__all__ = ["EnforcementPoint", "MASCPolicyDecisionMaker", "PolicyDecision"]
+
+
+class EnforcementPoint:
+    """Base class for policy enforcement points."""
+
+    #: Layer whose actions this point enacts: "process" or "messaging".
+    layer = "process"
+
+    def enact(
+        self, action: AdaptationAction, policy: AdaptationPolicy, event: MASCEvent
+    ) -> bool:
+        """Execute one action; return True on success."""
+        raise NotImplementedError
+
+
+@dataclass
+class PolicyDecision:
+    """The audit record of one policy application attempt."""
+
+    time: float
+    event_name: str
+    policy_name: str
+    subject_key: str
+    applied: bool
+    actions: list[str] = field(default_factory=list)
+    detail: str | None = None
+
+
+class MASCPolicyDecisionMaker:
+    """Selects and dispatches adaptation policies for MASC events."""
+
+    def __init__(self, env, repository: PolicyRepository) -> None:
+        self.env = env
+        self.repository = repository
+        self._points: dict[str, EnforcementPoint] = {}
+        #: Full decision audit trail (experiments read this).
+        self.decisions: list[PolicyDecision] = []
+
+    def register_enforcement_point(self, point: EnforcementPoint) -> EnforcementPoint:
+        self._points[point.layer] = point
+        return point
+
+    def enforcement_point(self, layer: str) -> EnforcementPoint | None:
+        return self._points.get(layer)
+
+    # -- decision handling ---------------------------------------------------------
+
+    def handle(self, event: MASCEvent) -> list[PolicyDecision]:
+        """Evaluate and enact all adaptation policies matching ``event``.
+
+        Returns the decisions made for this event (also appended to the
+        audit trail).
+        """
+        policies = self.repository.adaptation_policies_for(event.name, **event.subject())
+        made: list[PolicyDecision] = []
+        for policy in policies:
+            decision = self._apply(policy, event)
+            made.append(decision)
+            self.decisions.append(decision)
+        return made
+
+    def _apply(self, policy: AdaptationPolicy, event: MASCEvent) -> PolicyDecision:
+        subject_key = event.subject_key()
+        decision = PolicyDecision(
+            time=self.env.now,
+            event_name=event.name,
+            policy_name=policy.name,
+            subject_key=subject_key,
+            applied=False,
+        )
+        if not policy.condition_holds(event.context):
+            decision.detail = "condition not satisfied"
+            return decision
+        if not self.repository.check_state(policy, subject_key):
+            decision.detail = (
+                f"subject in state {self.repository.state_of(subject_key)!r}, "
+                f"policy requires {policy.state_before!r}"
+            )
+            return decision
+        all_ok = True
+        for action in policy.actions:
+            point = self._points.get(action.layer)
+            if point is None:
+                decision.actions.append(f"SKIPPED({action.layer}): {action.describe()}")
+                all_ok = False
+                continue
+            try:
+                ok = point.enact(action, policy, event)
+            except Exception as exc:  # noqa: BLE001 - recorded, not propagated
+                decision.actions.append(f"FAILED: {action.describe()} ({exc})")
+                all_ok = False
+                break
+            decision.actions.append(
+                ("OK: " if ok else "NO-EFFECT: ") + action.describe()
+            )
+            if not ok:
+                all_ok = False
+        decision.applied = all_ok
+        if all_ok:
+            self.repository.transition(policy, subject_key)
+            self.repository.record_business_value(self.env.now, policy, subject_key)
+        return decision
+
+    # -- reporting -----------------------------------------------------------------
+
+    def decisions_for(self, policy_name: str | None = None, applied_only: bool = False):
+        return [
+            decision
+            for decision in self.decisions
+            if (policy_name is None or decision.policy_name == policy_name)
+            and (not applied_only or decision.applied)
+        ]

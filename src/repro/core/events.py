@@ -1,0 +1,65 @@
+"""MASC events: what flows from sensors to the decision maker."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.soap import SoapEnvelope, SoapFault
+
+__all__ = ["MASCEvent"]
+
+
+@dataclass
+class MASCEvent:
+    """A detected situation needing a policy decision.
+
+    ``name`` follows the dotted convention used by policy triggers:
+    ``process.instance_created``, ``message.request``, ``fault.Timeout``,
+    or custom events emitted by monitoring policies (``trade.international``).
+
+    ``context`` carries "all the data required for recovery (i.e.,
+    ProcessInstanceID of the process instance to be adapted, and a Context
+    Collection that contains relevant data that could be needed during the
+    adaptation)".
+    """
+
+    name: str
+    time: float
+    service_type: str | None = None
+    endpoint: str | None = None
+    operation: str | None = None
+    process: str | None = None
+    activity: str | None = None
+    process_instance_id: str | None = None
+    envelope: SoapEnvelope | None = None
+    fault: SoapFault | None = None
+    context: dict[str, Any] = field(default_factory=dict)
+    #: The monitoring policy that raised this event, if any.
+    raised_by: str | None = None
+
+    def subject(self) -> dict[str, str | None]:
+        """The scope-matching view of this event."""
+        return {
+            "service_type": self.service_type,
+            "endpoint": self.endpoint,
+            "operation": self.operation,
+            "process": self.process,
+            "activity": self.activity,
+        }
+
+    def subject_key(self) -> str:
+        """Stable key for per-subject state tracking."""
+        if self.process_instance_id:
+            return f"instance:{self.process_instance_id}"
+        if self.endpoint:
+            return f"endpoint:{self.endpoint}"
+        if self.service_type:
+            return f"type:{self.service_type}"
+        return "global"
+
+    @classmethod
+    def for_fault(cls, time: float, fault: SoapFault, **kwargs) -> "MASCEvent":
+        """A fault event named ``fault.<Code>`` (the Monitoring Service's
+        'assign a meaningful fault type to the violation event')."""
+        return cls(name=f"fault.{fault.code.value}", time=time, fault=fault, **kwargs)

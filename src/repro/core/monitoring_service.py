@@ -1,0 +1,232 @@
+"""MASCMonitoringService: the sensor half of the MAPE loop.
+
+Taps the orchestration engine's invoker to introspect every exchanged SOAP
+message, stores messages in the :class:`~repro.core.monitoring_store.
+MonitoringStore`, and evaluates monitoring policies:
+
+- *detection* policies (no fault classification): when the relevance
+  condition and all message conditions **hold**, the policy fires and its
+  ``emits`` events are raised with the extracted context — these drive
+  dynamic customization ("the MASCMonitoringService module raises an event
+  that for a particular process instance it detected... adaptation
+  pre-conditions specified in monitoring policies");
+- *constraint* policies (with ``classify_as``): when a message condition is
+  **violated**, a fault event named ``fault.<Code>`` is raised — "the
+  Monitoring service uses ECA rules to assign a meaningful fault type to
+  the violation event";
+- QoS thresholds are checked against a pluggable QoS lookup (the wsBus QoS
+  Measurement Service implements the expected interface), raising
+  ``fault.SLAViolation`` events on breach.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.core.events import MASCEvent
+from repro.core.monitoring_store import MonitoringStore, StoredMessage
+from repro.policy import MonitoringPolicy, PolicyRepository
+from repro.services import ServiceRegistry
+from repro.soap import FaultCode, SoapEnvelope
+from repro.xmlutils import XPath
+
+__all__ = ["MASCMonitoringService"]
+
+#: Signature of a QoS aggregate lookup:
+#: (metric, window, aggregate, endpoint) -> observed value or None.
+QoSLookup = Callable[[str, int, str, str | None], float | None]
+
+
+class MASCMonitoringService:
+    """Evaluates monitoring policies over observed messages and QoS data."""
+
+    def __init__(
+        self,
+        env,
+        repository: PolicyRepository,
+        store: MonitoringStore | None = None,
+        registry: ServiceRegistry | None = None,
+        qos_lookup: QoSLookup | None = None,
+    ) -> None:
+        self.env = env
+        self.repository = repository
+        # NB: `store or ...` would discard an *empty* store (len() == 0 is
+        # falsy); identity check required.
+        self.store = store if store is not None else MonitoringStore()
+        self.registry = registry
+        self.qos_lookup = qos_lookup
+        self._sinks: list[Callable[[MASCEvent], None]] = []
+        self._xpath_cache: dict[str, XPath] = {}
+        #: Counters for experiment reporting.
+        self.messages_observed = 0
+        self.policies_fired = 0
+        self.violations_raised = 0
+
+    def add_sink(self, sink: Callable[[MASCEvent], None]) -> None:
+        """Subscribe to raised MASC events (the decision maker does this)."""
+        self._sinks.append(sink)
+
+    def attach_to_invoker(self, invoker) -> None:
+        """Introspect all messages this invoker exchanges."""
+        invoker.add_message_tap(self.observe_message)
+
+    # -- observation -------------------------------------------------------------
+
+    def observe_message(
+        self, direction: str, envelope: SoapEnvelope, operation: str, target: str
+    ) -> None:
+        """Entry point for each exchanged message (tap callback)."""
+        self.messages_observed += 1
+        message = StoredMessage(
+            time=self.env.now,
+            direction=direction,
+            operation=operation,
+            target=target,
+            envelope=envelope,
+            process_instance_id=envelope.addressing.process_instance_id,
+        )
+        fired_rules = self.store.store(message)
+        for rule, context in fired_rules:
+            self._raise(
+                MASCEvent(
+                    name=rule.emits,
+                    time=self.env.now,
+                    operation=operation,
+                    endpoint=target,
+                    service_type=self._service_type_of(target),
+                    process_instance_id=message.process_instance_id,
+                    envelope=envelope,
+                    context=context,
+                    raised_by=rule.name,
+                )
+            )
+        self._evaluate_policies(message)
+
+    def _service_type_of(self, address: str) -> str | None:
+        if self.registry is None:
+            return None
+        for service_type in self.registry.service_types:
+            for record in self.registry.find(service_type):
+                if record.address == address:
+                    return service_type
+        return None
+
+    # -- policy evaluation -----------------------------------------------------------
+
+    def _evaluate_policies(self, message: StoredMessage) -> None:
+        event_name = f"message.{message.direction}"
+        subject = {
+            "service_type": self._service_type_of(message.target),
+            "endpoint": message.target,
+            "operation": message.operation,
+        }
+        policies = self.repository.monitoring_policies_for(event_name, **subject)
+        for policy in policies:
+            self._evaluate_policy(policy, message, subject)
+
+    def _evaluate_policy(
+        self, policy: MonitoringPolicy, message: StoredMessage, subject: dict
+    ) -> None:
+        context = self._extract_context(policy, message.envelope)
+        if not policy.condition_holds(context):
+            return
+        conditions_hold = all(
+            condition.evaluate(message.envelope) for condition in policy.conditions
+        )
+        if policy.classify_as is not None:
+            # Constraint semantics: violated conditions raise a typed fault.
+            if policy.conditions and not conditions_hold:
+                self.violations_raised += 1
+                self._raise(
+                    MASCEvent(
+                        name=f"fault.{policy.classify_as.value}",
+                        time=self.env.now,
+                        process_instance_id=message.process_instance_id,
+                        envelope=message.envelope,
+                        context=context,
+                        raised_by=policy.name,
+                        **subject,
+                    )
+                )
+            self._check_qos(policy, message, subject, context)
+            return
+        # Detection semantics: all conditions holding fires the policy.
+        if conditions_hold:
+            self.policies_fired += 1
+            for emitted in policy.emits:
+                self._raise(
+                    MASCEvent(
+                        name=emitted,
+                        time=self.env.now,
+                        process_instance_id=message.process_instance_id,
+                        envelope=message.envelope,
+                        context=dict(context),
+                        raised_by=policy.name,
+                        **subject,
+                    )
+                )
+        self._check_qos(policy, message, subject, context)
+
+    def _check_qos(
+        self, policy: MonitoringPolicy, message: StoredMessage, subject: dict, context: dict
+    ) -> None:
+        if not policy.qos_thresholds or self.qos_lookup is None:
+            return
+        for threshold in policy.qos_thresholds:
+            observed = self.qos_lookup(
+                threshold.metric, threshold.window, threshold.aggregate, message.target
+            )
+            if threshold.holds(observed):
+                continue
+            self.violations_raised += 1
+            code = policy.classify_as or FaultCode.SLA_VIOLATION
+            violation_context = dict(context)
+            violation_context["violated_metric"] = threshold.metric
+            violation_context["observed_value"] = observed
+            violation_context["threshold_value"] = threshold.value
+            self._raise(
+                MASCEvent(
+                    name=f"fault.{code.value}",
+                    time=self.env.now,
+                    process_instance_id=message.process_instance_id,
+                    envelope=message.envelope,
+                    context=violation_context,
+                    raised_by=policy.name,
+                    **subject,
+                )
+            )
+
+    def _extract_context(
+        self, policy: MonitoringPolicy, envelope: SoapEnvelope
+    ) -> dict[str, Any]:
+        context: dict[str, Any] = {}
+        if envelope.body is None:
+            return context
+        for variable, xpath in policy.extract.items():
+            compiled = self._xpath_cache.get(xpath)
+            if compiled is None:
+                compiled = XPath(xpath)
+                self._xpath_cache[xpath] = compiled
+            context[variable] = _coerce(compiled.value(envelope.body))
+        return context
+
+    def _raise(self, event: MASCEvent) -> None:
+        for sink in self._sinks:
+            sink(event)
+
+
+def _coerce(text: str | None) -> Any:
+    if text is None:
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    if text in ("true", "false"):
+        return text == "true"
+    return text

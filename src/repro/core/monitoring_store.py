@@ -1,0 +1,97 @@
+"""MonitoringStore: the observed-message database.
+
+Static customization triggers come from single events, but "such events can
+also be raised by the MonitoringStore database in situations when adaptation
+pre-conditions refer to several different SOAP messages". The store keeps
+every observed message (bounded, FIFO-evicted), indexed by process instance
+and by operation, and evaluates registered correlation rules over the
+history each time a message arrives.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.soap import SoapEnvelope
+
+__all__ = ["CorrelationRule", "MonitoringStore", "StoredMessage"]
+
+
+@dataclass(frozen=True)
+class StoredMessage:
+    """One observed message with its observation metadata."""
+
+    time: float
+    direction: str  # request | response | fault
+    operation: str
+    target: str
+    envelope: SoapEnvelope
+    process_instance_id: str | None
+
+
+@dataclass(frozen=True)
+class CorrelationRule:
+    """A cross-message predicate.
+
+    ``predicate`` receives the new message and the full matching history
+    (newest last) and returns a context dict when the rule fires, or None.
+    ``emits`` is the MASC event raised on firing.
+    """
+
+    name: str
+    emits: str
+    predicate: Callable[[StoredMessage, list[StoredMessage]], dict | None]
+    #: Restrict the history handed to the predicate to one operation.
+    operation: str | None = None
+
+
+class MonitoringStore:
+    """Bounded in-memory store of observed messages with correlation rules."""
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._messages: deque[StoredMessage] = deque(maxlen=capacity)
+        self._rules: list[CorrelationRule] = []
+
+    def add_rule(self, rule: CorrelationRule) -> None:
+        self._rules.append(rule)
+
+    def store(self, message: StoredMessage) -> list[tuple[CorrelationRule, dict]]:
+        """Record a message; returns the correlation rules that fired."""
+        self._messages.append(message)
+        fired: list[tuple[CorrelationRule, dict]] = []
+        for rule in self._rules:
+            history = self.messages(operation=rule.operation)
+            context = rule.predicate(message, history)
+            if context is not None:
+                fired.append((rule, context))
+        return fired
+
+    # -- queries -------------------------------------------------------------
+
+    def messages(
+        self,
+        operation: str | None = None,
+        process_instance_id: str | None = None,
+        direction: str | None = None,
+        target: str | None = None,
+    ) -> list[StoredMessage]:
+        """Matching messages, oldest first."""
+        return [
+            message
+            for message in self._messages
+            if (operation is None or message.operation == operation)
+            and (process_instance_id is None or message.process_instance_id == process_instance_id)
+            and (direction is None or message.direction == direction)
+            and (target is None or message.target == target)
+        ]
+
+    def for_instance(self, process_instance_id: str) -> list[StoredMessage]:
+        return self.messages(process_instance_id=process_instance_id)
+
+    def __len__(self) -> int:
+        return len(self._messages)

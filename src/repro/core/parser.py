@@ -1,0 +1,63 @@
+"""MASCPolicyParser: imports WS-Policy4MASC documents into the repository.
+
+"When the MASCAdaptationService starts, our MASCPolicyParser imports
+WS-Policy4MASC files, creates instances of corresponding policy classes,
+and stores these instances in the policy repository."
+
+In the paper the policy classes are generated from the XML schema by the
+.NET XSD tool; here they are the dataclasses in :mod:`repro.policy.model`
+and the parser is :func:`repro.policy.xml.parse_policy_document`. The
+parser optionally validates documents before loading and keeps per-file
+modification stamps so re-imports only re-parse changed files (the paper's
+planned .NET optimization: "working with object representation of
+policies, which is updated only when policies change").
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.policy import PolicyDocument, PolicyRepository, parse_policy_document, validate_document
+
+__all__ = ["MASCPolicyParser"]
+
+
+class MASCPolicyParser:
+    """Loads policy XML from strings or files into a repository."""
+
+    def __init__(self, repository: PolicyRepository, validate: bool = True) -> None:
+        self.repository = repository
+        self.validate = validate
+        self._file_stamps: dict[str, float] = {}
+        self.parse_count = 0
+
+    def import_xml(self, text: str) -> PolicyDocument:
+        """Parse, optionally validate, and load one XML document."""
+        document = parse_policy_document(text)
+        if self.validate:
+            validate_document(document, raise_on_error=True)
+        self.parse_count += 1
+        return self.repository.load(document)
+
+    def import_file(self, path: str | Path) -> PolicyDocument | None:
+        """Import a policy file; skips re-parsing if unchanged on disk.
+
+        Returns the loaded document, or None if the file was unchanged.
+        """
+        path = Path(path)
+        stamp = os.stat(path).st_mtime
+        if self._file_stamps.get(str(path)) == stamp:
+            return None
+        document = self.import_xml(path.read_text())
+        self._file_stamps[str(path)] = stamp
+        return document
+
+    def import_directory(self, directory: str | Path) -> list[PolicyDocument]:
+        """Import every ``*.xml`` policy file under ``directory``."""
+        loaded = []
+        for path in sorted(Path(directory).glob("*.xml")):
+            document = self.import_file(path)
+            if document is not None:
+                loaded.append(document)
+        return loaded

@@ -1,0 +1,35 @@
+"""Experiment harnesses reproducing the paper's evaluation.
+
+The same code drives both the benchmark suite (``pytest benchmarks/``)
+and the command-line interface (``python -m repro``). Each harness builds
+a fresh seeded deployment, runs the workload, and returns plain data that
+callers render or assert on.
+"""
+
+from repro.experiments.harness import (
+    Table1Row,
+    catalog_plan,
+    order_plan,
+    run_direct_configuration,
+    run_rtt_point,
+    run_vep_configuration,
+)
+from repro.experiments.reports import (
+    regenerate_figure5,
+    regenerate_table1,
+    render_figure5,
+    render_table1,
+)
+
+__all__ = [
+    "Table1Row",
+    "catalog_plan",
+    "order_plan",
+    "regenerate_figure5",
+    "regenerate_table1",
+    "render_figure5",
+    "render_table1",
+    "run_direct_configuration",
+    "run_rtt_point",
+    "run_vep_configuration",
+]

@@ -1,0 +1,166 @@
+"""Deployment + workload harnesses for the SCM experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.casestudies.scm import (
+    RETAILER_CONTRACT,
+    build_scm_deployment,
+    logging_skip_policy_document,
+    retailer_recovery_policy_document,
+)
+from repro.metrics import reliability_report
+from repro.policy import PolicyRepository
+from repro.workload import RequestPlan, WorkloadRunner
+from repro.wsbus import WsBus
+
+def catalog_plan(target, timeout=5.0, think=2.0, padding=0):
+    return RequestPlan(
+        target=target,
+        operation="getCatalog",
+        payload_factory=lambda c, i: RETAILER_CONTRACT.operation("getCatalog").input.build(),
+        timeout=timeout,
+        think_time_seconds=think,
+        padding_bytes=padding,
+    )
+
+
+def order_plan(target, timeout=10.0, think=0.0, padding=0):
+    return RequestPlan(
+        target=target,
+        operation="submitOrder",
+        payload_factory=lambda c, i: RETAILER_CONTRACT.operation("submitOrder").input.build(
+            orderId=f"o-{c}-{i}", items="TVx1,DVDx1", customerId=f"cust-{c}"
+        ),
+        timeout=timeout,
+        think_time_seconds=think,
+        padding_bytes=padding,
+    )
+
+
+@dataclass
+class Table1Row:
+    configuration: str
+    failures_per_1000: float
+    availability: float
+
+
+def run_direct_configuration(
+    retailer: str, seed: int, clients: int = 4, requests: int = 250
+) -> Table1Row:
+    """Direct point-to-point invocations of a single Retailer under the
+    Table 1 fault mix."""
+    deployment = build_scm_deployment(seed=seed, log_events=False)
+    deployment.inject_table1_mix()
+    runner = WorkloadRunner(deployment.env, deployment.network)
+    result = runner.run(
+        catalog_plan(deployment.retailers[retailer].address),
+        clients=clients,
+        requests_per_client=requests,
+    )
+    # Reliability comes from the request sample; availability is observed
+    # over a much longer window (the injector keeps cycling after the
+    # workload ends) so rare-outage retailers like C are not all-or-nothing.
+    deployment.env.run(until=deployment.env.now + 50_000.0)
+    deployment.availability_injector.finalize()
+    log = deployment.availability_injector.logs[deployment.retailers[retailer].address]
+    report = reliability_report(f"direct {retailer}", result.records)
+    return Table1Row(
+        configuration=f"Only Retailer {retailer} used by the client",
+        failures_per_1000=report.failures_per_1000,
+        availability=log.availability(deployment.env.now),
+    )
+
+
+def run_vep_configuration(
+    seed: int,
+    clients: int = 4,
+    requests: int = 250,
+    selection_strategy: str = "round_robin",
+    broadcast: bool = False,
+    max_retries: int = 3,
+    retry_delay: float = 2.0,
+    skip_logging_policy: bool = False,
+):
+    """All four Retailers behind one wsBus VEP, same fault mix.
+
+    Returns (Table1Row, bus, workload_result).
+    """
+    deployment = build_scm_deployment(seed=seed, log_events=False)
+    deployment.inject_table1_mix()
+    repository = PolicyRepository()
+    repository.load(
+        retailer_recovery_policy_document(
+            max_retries=max_retries, retry_delay_seconds=retry_delay
+        )
+    )
+    if skip_logging_policy:
+        repository.load(logging_skip_policy_document())
+    bus = WsBus(
+        deployment.env,
+        deployment.network,
+        repository=repository,
+        registry=deployment.registry,
+        member_timeout=5.0,
+    )
+    vep = bus.create_vep(
+        "retailers",
+        RETAILER_CONTRACT,
+        members=deployment.retailer_addresses,
+        selection_strategy=selection_strategy,
+        broadcast=broadcast,
+    )
+    runner = WorkloadRunner(deployment.env, deployment.network)
+    result = runner.run(
+        catalog_plan(vep.address, timeout=60.0),
+        clients=clients,
+        requests_per_client=requests,
+    )
+    report = reliability_report("wsBus VEP", result.records)
+    row = Table1Row(
+        configuration="All 4 Retailer services exposed as 1 wsBus VEP",
+        failures_per_1000=report.failures_per_1000,
+        availability=report.availability,
+    )
+    return row, bus, result
+
+
+def run_rtt_point(
+    operation: str,
+    padding: int,
+    through_bus: bool,
+    seed: int = 21,
+    clients: int = 2,
+    requests: int = 150,
+):
+    """One Figure 5 data point: mean RTT at one request size.
+
+    No fault injection — Figure 5 measures pure mediation overhead.
+    """
+    deployment = build_scm_deployment(seed=seed, log_events=False)
+    target = deployment.retailers["C"].address
+    if through_bus:
+        # Client-side deployment, as in the paper's Figure 5 setup: the
+        # client reaches wsBus over loopback and wsBus crosses the LAN.
+        bus = WsBus(
+            deployment.env,
+            deployment.network,
+            repository=PolicyRepository(),
+            registry=deployment.registry,
+            member_timeout=30.0,
+            colocated_with_clients=True,
+        )
+        vep = bus.create_vep(
+            "retailers", RETAILER_CONTRACT, members=[target], selection_strategy="primary"
+        )
+        target = vep.address
+    plan = (
+        catalog_plan(target, timeout=30.0, think=0.0, padding=padding)
+        if operation == "getCatalog"
+        else order_plan(target, timeout=30.0, think=0.0, padding=padding)
+    )
+    runner = WorkloadRunner(deployment.env, deployment.network)
+    result = runner.run(plan, clients=clients, requests_per_client=requests)
+    stats = result.rtt_stats()
+    return stats["mean"], result

@@ -1,0 +1,118 @@
+"""Report builders: regenerate and render the paper's tables and figures."""
+
+from __future__ import annotations
+
+from repro.experiments.harness import (
+    run_direct_configuration,
+    run_rtt_point,
+    run_vep_configuration,
+)
+from repro.metrics import Table, mean
+
+__all__ = [
+    "PAPER_TABLE1",
+    "regenerate_figure5",
+    "regenerate_table1",
+    "render_figure5",
+    "render_table1",
+]
+
+#: The paper's Table 1 values: (failures per 1000, availability).
+PAPER_TABLE1 = {
+    "A": (105.0, 0.952),
+    "B": (81.0, 0.992),
+    "C": (17.0, 0.998),
+    "D": (91.0, 0.983),
+    "VEP": (6.0, 0.998),
+}
+
+TABLE1_LABELS = {
+    "A": "Only Retailer A used by the client",
+    "B": "Only Retailer B used by the client",
+    "C": "Only Retailer C used by the client",
+    "D": "Only Retailer D used by the client",
+    "VEP": "All 4 Retailers exposed as 1 wsBus VEP",
+}
+
+
+def regenerate_table1(seeds=(11, 23, 47), clients: int = 4, requests: int = 250):
+    """Run all five Table 1 configurations; returns {key: (f/1000, avail)}."""
+    rows: dict[str, tuple[float, float]] = {}
+    for retailer in ("A", "B", "C", "D"):
+        per_seed = [
+            run_direct_configuration(retailer, seed, clients=clients, requests=requests)
+            for seed in seeds
+        ]
+        rows[retailer] = (
+            mean([r.failures_per_1000 for r in per_seed]),
+            mean([r.availability for r in per_seed]),
+        )
+    vep_runs = [
+        run_vep_configuration(seed, clients=clients, requests=requests)[0] for seed in seeds
+    ]
+    rows["VEP"] = (
+        mean([r.failures_per_1000 for r in vep_runs]),
+        mean([r.availability for r in vep_runs]),
+    )
+    return rows
+
+
+def render_table1(rows) -> str:
+    table = Table(
+        ["Configuration", "Reliability (ours)", "Paper", "Availability (ours)", "Paper"],
+        title="Table 1 — Reliability and availability, direct vs wsBus VEP",
+    )
+    for key in ("A", "B", "C", "D", "VEP"):
+        failures, availability = rows[key]
+        paper_failures, paper_availability = PAPER_TABLE1[key]
+        table.add_row(
+            [
+                TABLE1_LABELS[key],
+                f"{failures:.0f} failures/1000",
+                f"{paper_failures:.0f}",
+                f"{availability:.3f}",
+                f"{paper_availability:.3f}",
+            ]
+        )
+    return table.render()
+
+
+DEFAULT_SIZES_KB = (1, 2, 4, 8, 16, 32, 64)
+
+
+def regenerate_figure5(
+    sizes_kb=DEFAULT_SIZES_KB, operations=("getCatalog", "submitOrder"), requests: int = 150
+):
+    """Figure 5 series: {operation: (direct RTTs, wsBus RTTs)} in seconds."""
+    series = {}
+    for operation in operations:
+        direct, mediated = [], []
+        for size_kb in sizes_kb:
+            padding = size_kb * 1024
+            direct_rtt, _ = run_rtt_point(operation, padding, through_bus=False, requests=requests)
+            bus_rtt, _ = run_rtt_point(operation, padding, through_bus=True, requests=requests)
+            direct.append(direct_rtt)
+            mediated.append(bus_rtt)
+        series[operation] = (direct, mediated)
+    return series
+
+
+def render_figure5(series, sizes_kb=DEFAULT_SIZES_KB) -> str:
+    parts = []
+    for operation, (direct, mediated) in series.items():
+        table = Table(
+            ["Request size", "Direct RTT (ms)", "wsBus RTT (ms)", "Overhead"],
+            title=f"Figure 5 — RTT vs request size: {operation}",
+        )
+        for size_kb, direct_rtt, bus_rtt in zip(sizes_kb, direct, mediated):
+            overhead = (bus_rtt - direct_rtt) / direct_rtt
+            table.add_row(
+                [
+                    f"{size_kb} KB",
+                    f"{direct_rtt * 1000:.2f}",
+                    f"{bus_rtt * 1000:.2f}",
+                    f"{overhead * 100:+.1f}%",
+                ]
+            )
+        parts.append(table.render())
+    return "\n\n".join(parts)

@@ -1,0 +1,34 @@
+"""Fault injection harness.
+
+Reproduces the paper's test setup: "we wrote test code that occasionally (at
+random times) injected exception events in the tested system. For service
+failures, we randomly picked some of available services and made them
+unavailable for a random amount of time. For service QoS degradations, test
+code occasionally picked some service instances and changed their QoS values
+(e.g., introduced delays)."
+
+Three injectors cover those modes plus application-level failures:
+
+- :class:`AvailabilityFaultInjector` — alternating up/down windows drawn
+  from per-endpoint MTBF/MTTR distributions, with a downtime log for
+  availability accounting.
+- :class:`QoSDegradationInjector` — transient added delays at endpoints.
+- :class:`ApplicationFaultInjector` — probabilistic application fault
+  replies wrapped around an endpoint's handler.
+"""
+
+from repro.faultinjection.injectors import (
+    ApplicationFaultInjector,
+    AvailabilityFaultInjector,
+    DowntimeLog,
+    EndpointFaultProfile,
+    QoSDegradationInjector,
+)
+
+__all__ = [
+    "ApplicationFaultInjector",
+    "AvailabilityFaultInjector",
+    "DowntimeLog",
+    "EndpointFaultProfile",
+    "QoSDegradationInjector",
+]

@@ -1,0 +1,238 @@
+"""Fault injectors operating on simulated network endpoints."""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass, field
+
+from repro.simulation import Environment, RandomSource
+from repro.soap import FaultCode, SoapEnvelope, SoapFault
+from repro.transport import Network, NetworkEndpoint
+
+__all__ = [
+    "ApplicationFaultInjector",
+    "AvailabilityFaultInjector",
+    "DowntimeLog",
+    "EndpointFaultProfile",
+    "QoSDegradationInjector",
+]
+
+
+@dataclass(frozen=True)
+class EndpointFaultProfile:
+    """Availability behaviour of one endpoint.
+
+    ``mean_time_between_failures`` and ``mean_time_to_recover`` parameterize
+    exponential distributions, matching the availability definition the
+    paper uses (MTBF / (MTBF + MTTR)). The implied steady-state availability
+    is therefore directly controllable per endpoint, which is how the Table 1
+    experiment differentiates Retailers A-D.
+    """
+
+    address: str
+    mean_time_between_failures: float
+    mean_time_to_recover: float
+
+    @property
+    def nominal_availability(self) -> float:
+        total = self.mean_time_between_failures + self.mean_time_to_recover
+        return self.mean_time_between_failures / total if total > 0 else 1.0
+
+
+@dataclass
+class DowntimeLog:
+    """Recorded unavailability windows for one endpoint."""
+
+    address: str
+    windows: list[tuple[float, float]] = field(default_factory=list)
+    _open_since: float | None = None
+
+    def mark_down(self, now: float) -> None:
+        if self._open_since is None:
+            self._open_since = now
+
+    def mark_up(self, now: float) -> None:
+        if self._open_since is not None:
+            self.windows.append((self._open_since, now))
+            self._open_since = None
+
+    def close(self, now: float) -> None:
+        """Close any still-open window at the end of the observation period."""
+        self.mark_up(now)
+
+    def total_downtime(self, horizon: float) -> float:
+        closed = sum(end - start for start, end in self.windows)
+        if self._open_since is not None:
+            closed += max(0.0, horizon - self._open_since)
+        return closed
+
+    def availability(self, horizon: float) -> float:
+        """Observed availability over ``[0, horizon]``."""
+        if horizon <= 0:
+            return 1.0
+        return max(0.0, 1.0 - self.total_downtime(horizon) / horizon)
+
+    @property
+    def failure_count(self) -> int:
+        return len(self.windows) + (1 if self._open_since is not None else 0)
+
+
+class AvailabilityFaultInjector:
+    """Opens and closes random unavailability windows at endpoints."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        random_source: RandomSource | None = None,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self._source = random_source or RandomSource()
+        self.logs: dict[str, DowntimeLog] = {}
+        self._processes = []
+
+    def inject(self, profile: EndpointFaultProfile) -> DowntimeLog:
+        """Start the up/down cycle for one endpoint."""
+        endpoint = self.network.endpoint(profile.address)
+        if endpoint is None:
+            raise ValueError(f"no endpoint registered at {profile.address!r}")
+        log = DowntimeLog(profile.address)
+        self.logs[profile.address] = log
+        rng = self._source.stream(f"availability.{profile.address}")
+        process = self.env.process(
+            self._cycle(endpoint, profile, log, rng), name=f"faults:{profile.address}"
+        )
+        self._processes.append(process)
+        return log
+
+    def inject_all(self, profiles: list[EndpointFaultProfile]) -> dict[str, DowntimeLog]:
+        for profile in profiles:
+            self.inject(profile)
+        return self.logs
+
+    def _cycle(
+        self,
+        endpoint: NetworkEndpoint,
+        profile: EndpointFaultProfile,
+        log: DowntimeLog,
+        rng,
+    ) -> Generator:
+        while True:
+            uptime = rng.expovariate(1.0 / profile.mean_time_between_failures)
+            yield self.env.timeout(uptime)
+            endpoint.available = False
+            log.mark_down(self.env.now)
+            downtime = rng.expovariate(1.0 / profile.mean_time_to_recover)
+            yield self.env.timeout(downtime)
+            endpoint.available = True
+            log.mark_up(self.env.now)
+
+    def finalize(self) -> None:
+        """Close open windows at the current instant (end of experiment)."""
+        for log in self.logs.values():
+            log.close(self.env.now)
+
+
+class QoSDegradationInjector:
+    """Transiently inflates an endpoint's processing delay.
+
+    Models the paper's QoS-degradation events: at exponential intervals an
+    endpoint's delay is raised for a bounded window, then restored.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        random_source: RandomSource | None = None,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self._source = random_source or RandomSource()
+        self.episodes: dict[str, list[tuple[float, float, float]]] = {}
+
+    def inject(
+        self,
+        address: str,
+        mean_time_between_episodes: float,
+        mean_episode_duration: float,
+        added_delay_seconds: float,
+    ) -> None:
+        endpoint = self.network.endpoint(address)
+        if endpoint is None:
+            raise ValueError(f"no endpoint registered at {address!r}")
+        rng = self._source.stream(f"degradation.{address}")
+        self.episodes.setdefault(address, [])
+        self.env.process(
+            self._cycle(
+                endpoint,
+                mean_time_between_episodes,
+                mean_episode_duration,
+                added_delay_seconds,
+                rng,
+            ),
+            name=f"degrade:{address}",
+        )
+
+    def _cycle(
+        self,
+        endpoint: NetworkEndpoint,
+        mean_gap: float,
+        mean_duration: float,
+        delay: float,
+        rng,
+    ) -> Generator:
+        while True:
+            yield self.env.timeout(rng.expovariate(1.0 / mean_gap))
+            started = self.env.now
+            endpoint.added_delay_seconds += delay
+            yield self.env.timeout(rng.expovariate(1.0 / mean_duration))
+            endpoint.added_delay_seconds = max(0.0, endpoint.added_delay_seconds - delay)
+            self.episodes[endpoint.address].append((started, self.env.now, delay))
+
+
+class ApplicationFaultInjector:
+    """Wraps an endpoint handler to return probabilistic application faults.
+
+    Models "remote applications can produce unexpected results": with the
+    configured probability a request is answered by a ``ServiceFailure``
+    fault instead of being dispatched to the real handler.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        random_source: RandomSource | None = None,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self._source = random_source or RandomSource()
+        self.injected_counts: dict[str, int] = {}
+
+    def inject(self, address: str, fault_probability: float) -> None:
+        endpoint = self.network.endpoint(address)
+        if endpoint is None:
+            raise ValueError(f"no endpoint registered at {address!r}")
+        if not 0.0 <= fault_probability <= 1.0:
+            raise ValueError(f"fault probability out of range: {fault_probability}")
+        rng = self._source.stream(f"appfault.{address}")
+        inner = endpoint.handler
+        self.injected_counts.setdefault(address, 0)
+
+        def wrapped(request: SoapEnvelope) -> Generator:
+            if rng.random() < fault_probability:
+                self.injected_counts[address] += 1
+                yield self.env.timeout(0.0)
+                return request.reply_fault(
+                    SoapFault(
+                        FaultCode.SERVICE_FAILURE,
+                        "injected application failure",
+                        actor=address,
+                        source="fault-injector",
+                    )
+                )
+            return (yield self.env.process(inner(request), name=f"inner:{address}"))
+
+        endpoint.handler = wrapped

@@ -1,0 +1,36 @@
+"""Experiment metrics: reliability, availability, RTT, throughput, reports.
+
+Implements the paper's measurement definitions verbatim:
+
+- *Reliability* — "a number of failures seen by the client per 1000
+  requests";
+- *Availability* — "mean time between failures divided with the sum of mean
+  time between failures and mean time to recover";
+- *Round Trip Time* — "the period from the time a service consumer sends a
+  request to the time when it successfully receives full reply";
+- *Throughput* — "the average number of successful requests processed in a
+  sampling period".
+"""
+
+from repro.metrics.reliability import (
+    ReliabilityReport,
+    availability_from_records,
+    failures_per_1000,
+    mtbf_mttr,
+    reliability_report,
+)
+from repro.metrics.stats import describe, mean, percentile, stdev
+from repro.metrics.report import Table
+
+__all__ = [
+    "ReliabilityReport",
+    "Table",
+    "availability_from_records",
+    "describe",
+    "failures_per_1000",
+    "mean",
+    "mtbf_mttr",
+    "percentile",
+    "reliability_report",
+    "stdev",
+]

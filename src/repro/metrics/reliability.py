@@ -1,0 +1,124 @@
+"""Reliability and availability computed from invocation records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.services import InvocationRecord
+
+__all__ = [
+    "ReliabilityReport",
+    "availability_from_records",
+    "failures_per_1000",
+    "mtbf_mttr",
+    "reliability_report",
+]
+
+
+def failures_per_1000(records: Sequence[InvocationRecord]) -> float:
+    """The paper's reliability figure: failures seen per 1000 requests."""
+    if not records:
+        return 0.0
+    failures = sum(1 for record in records if not record.succeeded)
+    return failures * 1000.0 / len(records)
+
+
+def _failure_bursts(records: Sequence[InvocationRecord]) -> list[tuple[float, float]]:
+    """Contiguous failed-request runs as (start, end) windows.
+
+    From the client's standpoint a run of consecutive failures is one
+    outage: it begins with the first failed request and ends when the next
+    request succeeds.
+    """
+    bursts: list[tuple[float, float]] = []
+    ordered = sorted(records, key=lambda r: r.started_at)
+    burst_start: float | None = None
+    burst_end = 0.0
+    for record in ordered:
+        if not record.succeeded:
+            if burst_start is None:
+                burst_start = record.started_at
+            burst_end = max(burst_end, record.finished_at)
+        elif burst_start is not None:
+            bursts.append((burst_start, max(burst_end, burst_start)))
+            burst_start = None
+    if burst_start is not None:
+        bursts.append((burst_start, max(burst_end, burst_start)))
+    return bursts
+
+
+def mtbf_mttr(records: Sequence[InvocationRecord]) -> tuple[float | None, float | None]:
+    """Estimate (MTBF, MTTR) from the request-outcome timeline.
+
+    MTTR is the mean outage-burst duration. MTBF is the mean interval
+    between the *end* of one outage and the *start* of the next (plus the
+    leading uptime), i.e. mean uninterrupted service time.
+    """
+    if not records:
+        return None, None
+    bursts = _failure_bursts(records)
+    ordered = sorted(records, key=lambda r: r.started_at)
+    horizon_start = ordered[0].started_at
+    horizon_end = max(record.finished_at for record in ordered)
+    if not bursts:
+        return horizon_end - horizon_start, None
+    mttr = sum(end - start for start, end in bursts) / len(bursts)
+    uptimes: list[float] = []
+    previous_end = horizon_start
+    for start, end in bursts:
+        uptimes.append(max(0.0, start - previous_end))
+        previous_end = end
+    uptimes.append(max(0.0, horizon_end - previous_end))
+    positive = [u for u in uptimes if u > 0]
+    mtbf = sum(positive) / len(positive) if positive else 0.0
+    return mtbf, mttr
+
+
+def availability_from_records(records: Sequence[InvocationRecord]) -> float:
+    """The paper's availability: MTBF / (MTBF + MTTR)."""
+    mtbf, mttr = mtbf_mttr(records)
+    if mtbf is None:
+        return 0.0
+    if mttr is None:
+        return 1.0
+    if mtbf + mttr <= 0:
+        return 0.0
+    return mtbf / (mtbf + mttr)
+
+
+@dataclass(frozen=True)
+class ReliabilityReport:
+    """The Table 1 row for one configuration."""
+
+    configuration: str
+    requests: int
+    failures: int
+    failures_per_1000: float
+    availability: float
+    mtbf: float | None
+    mttr: float | None
+
+    def row(self) -> list[str]:
+        return [
+            self.configuration,
+            str(self.requests),
+            f"{self.failures_per_1000:.0f} failures per 1000 requests",
+            f"{self.availability:.3f}",
+        ]
+
+
+def reliability_report(
+    configuration: str, records: Sequence[InvocationRecord]
+) -> ReliabilityReport:
+    """Build one Table 1 row from a run's invocation records."""
+    mtbf, mttr = mtbf_mttr(records)
+    return ReliabilityReport(
+        configuration=configuration,
+        requests=len(records),
+        failures=sum(1 for record in records if not record.succeeded),
+        failures_per_1000=failures_per_1000(records),
+        availability=availability_from_records(records),
+        mtbf=mtbf,
+        mttr=mttr,
+    )

@@ -1,0 +1,44 @@
+"""Plain-text tables for benchmark output (the shape of the paper's
+tables and figure series, printed by the harnesses)."""
+
+from __future__ import annotations
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A simple column-aligned text table."""
+
+    def __init__(self, headers: list[str], title: str | None = None) -> None:
+        self.title = title
+        self.headers = list(headers)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: list) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([str(value) for value in values])
+
+    def render(self) -> str:
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(cells: list[str]) -> str:
+            return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+        separator = "-+-".join("-" * width for width in widths)
+        parts = []
+        if self.title:
+            parts.append(self.title)
+            parts.append("=" * len(self.title))
+        parts.append(line(self.headers))
+        parts.append(separator)
+        parts.extend(line(row) for row in self.rows)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,49 @@
+"""Small statistics helpers used by benchmarks and QoS computations."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["describe", "mean", "percentile", "stdev"]
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0.0 for fewer than two values)."""
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile, q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q out of range: {q}")
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[index]
+
+
+def describe(values: Sequence[float]) -> dict[str, float]:
+    """Summary statistics of a sample."""
+    if not values:
+        return {"count": 0}
+    return {
+        "count": float(len(values)),
+        "mean": mean(values),
+        "stdev": stdev(values),
+        "min": min(values),
+        "p50": percentile(values, 50),
+        "p95": percentile(values, 95),
+        "p99": percentile(values, 99),
+        "max": max(values),
+    }

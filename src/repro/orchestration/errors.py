@@ -1,0 +1,47 @@
+"""Orchestration-layer exceptions."""
+
+from __future__ import annotations
+
+from repro.soap import FaultCode, SoapFault
+
+__all__ = [
+    "DefinitionError",
+    "ModificationError",
+    "ProcessFault",
+    "ProcessTerminated",
+]
+
+
+class DefinitionError(Exception):
+    """A process definition is structurally invalid."""
+
+
+class ModificationError(Exception):
+    """A dynamic-modification request cannot be applied safely."""
+
+
+class ProcessFault(Exception):
+    """A business-process-level fault propagating through scopes.
+
+    Wraps a :class:`~repro.soap.SoapFault` so messaging-layer faults that
+    escape an Invoke and process-level Throw activities flow through the
+    same handler machinery.
+    """
+
+    def __init__(self, fault: SoapFault, activity_name: str | None = None) -> None:
+        super().__init__(str(fault))
+        self.fault = fault
+        self.activity_name = activity_name
+
+    @property
+    def code(self) -> FaultCode:
+        return self.fault.code
+
+
+class ProcessTerminated(Exception):
+    """Raised inside an instance when a Terminate activity runs or the
+    instance is terminated from outside."""
+
+    def __init__(self, reason: str = "terminated") -> None:
+        super().__init__(reason)
+        self.reason = reason

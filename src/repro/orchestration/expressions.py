@@ -1,0 +1,199 @@
+"""Safe declarative expressions over process variables.
+
+Policies and process conditions are *declarative documents*, so their
+conditions and assignments are strings, not Python callables. This module
+compiles a restricted expression language (a whitelisted subset of Python's
+own expression grammar) against a variable namespace:
+
+- literals, names (process variables), attribute-free subscripts
+- arithmetic, comparisons (including chained), boolean operators, unary ops
+- membership tests (``in`` / ``not in``)
+- the builtins ``len``, ``min``, ``max``, ``abs``, ``round``, ``str``,
+  ``int``, ``float``, ``bool``, ``sum``
+
+Anything else — attribute access, calls to arbitrary names, lambdas,
+comprehensions — is rejected at compile time, so a policy document can never
+execute arbitrary code.
+"""
+
+from __future__ import annotations
+
+import ast
+import operator
+from typing import Any
+
+__all__ = ["Expression", "ExpressionError"]
+
+
+class ExpressionError(Exception):
+    """The expression is outside the safe subset or failed to evaluate."""
+
+
+_BINARY_OPS = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.Div: operator.truediv,
+    ast.FloorDiv: operator.floordiv,
+    ast.Mod: operator.mod,
+    ast.Pow: operator.pow,
+}
+
+_COMPARE_OPS = {
+    ast.Eq: operator.eq,
+    ast.NotEq: operator.ne,
+    ast.Lt: operator.lt,
+    ast.LtE: operator.le,
+    ast.Gt: operator.gt,
+    ast.GtE: operator.ge,
+    ast.In: lambda a, b: a in b,
+    ast.NotIn: lambda a, b: a not in b,
+}
+
+_UNARY_OPS = {
+    ast.Not: operator.not_,
+    ast.USub: operator.neg,
+    ast.UAdd: operator.pos,
+}
+
+_SAFE_FUNCTIONS: dict[str, Any] = {
+    "len": len,
+    "min": min,
+    "max": max,
+    "abs": abs,
+    "round": round,
+    "str": str,
+    "int": int,
+    "float": float,
+    "bool": bool,
+    "sum": sum,
+}
+
+
+class Expression:
+    """A compiled safe expression, evaluated against a variables dict."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        try:
+            tree = ast.parse(source, mode="eval")
+        except SyntaxError as exc:
+            raise ExpressionError(f"invalid expression {source!r}: {exc}") from exc
+        _validate(tree.body, source)
+        self._body = tree.body
+
+    def evaluate(self, variables: dict[str, Any]) -> Any:
+        """Evaluate with ``variables`` as the namespace."""
+        try:
+            return _evaluate(self._body, variables)
+        except ExpressionError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - surfaced as ExpressionError
+            raise ExpressionError(f"failed to evaluate {self.source!r}: {exc}") from exc
+
+    def holds(self, variables: dict[str, Any]) -> bool:
+        """Evaluate as a condition (truthiness)."""
+        return bool(self.evaluate(variables))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Expression({self.source!r})"
+
+
+def _validate(node: ast.AST, source: str) -> None:
+    if isinstance(node, ast.Constant):
+        return
+    if isinstance(node, ast.Name):
+        return
+    if isinstance(node, ast.BinOp) and type(node.op) in _BINARY_OPS:
+        _validate(node.left, source)
+        _validate(node.right, source)
+        return
+    if isinstance(node, ast.UnaryOp) and type(node.op) in _UNARY_OPS:
+        _validate(node.operand, source)
+        return
+    if isinstance(node, ast.BoolOp):
+        for value in node.values:
+            _validate(value, source)
+        return
+    if isinstance(node, ast.Compare):
+        _validate(node.left, source)
+        for op, comparator in zip(node.ops, node.comparators):
+            if type(op) not in _COMPARE_OPS:
+                raise ExpressionError(f"operator {type(op).__name__} not allowed in {source!r}")
+            _validate(comparator, source)
+        return
+    if isinstance(node, ast.IfExp):
+        _validate(node.test, source)
+        _validate(node.body, source)
+        _validate(node.orelse, source)
+        return
+    if isinstance(node, (ast.List, ast.Tuple)):
+        for element in node.elts:
+            _validate(element, source)
+        return
+    if isinstance(node, ast.Subscript):
+        _validate(node.value, source)
+        _validate(node.slice, source)
+        return
+    if isinstance(node, ast.Call):
+        if not isinstance(node.func, ast.Name) or node.func.id not in _SAFE_FUNCTIONS:
+            raise ExpressionError(f"function call not allowed in {source!r}")
+        if node.keywords:
+            raise ExpressionError(f"keyword arguments not allowed in {source!r}")
+        for argument in node.args:
+            _validate(argument, source)
+        return
+    raise ExpressionError(f"construct {type(node).__name__} not allowed in {source!r}")
+
+
+def _evaluate(node: ast.AST, variables: dict[str, Any]) -> Any:
+    if isinstance(node, ast.Constant):
+        return node.value
+    if isinstance(node, ast.Name):
+        if node.id in variables:
+            return variables[node.id]
+        if node.id in _SAFE_FUNCTIONS:
+            return _SAFE_FUNCTIONS[node.id]
+        raise ExpressionError(f"unknown variable {node.id!r}")
+    if isinstance(node, ast.BinOp):
+        return _BINARY_OPS[type(node.op)](
+            _evaluate(node.left, variables), _evaluate(node.right, variables)
+        )
+    if isinstance(node, ast.UnaryOp):
+        return _UNARY_OPS[type(node.op)](_evaluate(node.operand, variables))
+    if isinstance(node, ast.BoolOp):
+        if isinstance(node.op, ast.And):
+            result: Any = True
+            for value in node.values:
+                result = _evaluate(value, variables)
+                if not result:
+                    return result
+            return result
+        result = False
+        for value in node.values:
+            result = _evaluate(value, variables)
+            if result:
+                return result
+        return result
+    if isinstance(node, ast.Compare):
+        left = _evaluate(node.left, variables)
+        for op, comparator in zip(node.ops, node.comparators):
+            right = _evaluate(comparator, variables)
+            if not _COMPARE_OPS[type(op)](left, right):
+                return False
+            left = right
+        return True
+    if isinstance(node, ast.IfExp):
+        if _evaluate(node.test, variables):
+            return _evaluate(node.body, variables)
+        return _evaluate(node.orelse, variables)
+    if isinstance(node, ast.List):
+        return [_evaluate(element, variables) for element in node.elts]
+    if isinstance(node, ast.Tuple):
+        return tuple(_evaluate(element, variables) for element in node.elts)
+    if isinstance(node, ast.Subscript):
+        return _evaluate(node.value, variables)[_evaluate(node.slice, variables)]
+    if isinstance(node, ast.Call):
+        function = _SAFE_FUNCTIONS[node.func.id]  # type: ignore[union-attr]
+        return function(*(_evaluate(argument, variables) for argument in node.args))
+    raise ExpressionError(f"unexpected node {type(node).__name__}")

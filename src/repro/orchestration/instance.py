@@ -1,0 +1,354 @@
+"""Running process instances.
+
+The instance interprets its own copy of the activity tree on simulated time.
+It exposes exactly the control points MASC needs from the runtime:
+
+- **suspend/resume at activity boundaries** (dynamic adaptation suspends the
+  instance, edits the tree, resumes it);
+- **terminate**;
+- **extensible deadlines** (messaging-layer recovery can push a pending
+  timeout out while it retries);
+- **transient copy + apply-changes** for dynamic modification (see
+  :mod:`repro.orchestration.modification`);
+- the MASC ProcessInstanceID correlation header on all outgoing invokes.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Generator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.orchestration.activities import Activity, Scope
+from repro.orchestration.errors import ProcessFault, ProcessTerminated
+from repro.soap import FaultCode, SoapFault, SoapFaultError
+from repro.xmlutils import Element
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.orchestration.engine import WorkflowEngine
+
+__all__ = ["DeadlineHandle", "InstanceStatus", "ProcessInstance"]
+
+
+class InstanceStatus(enum.Enum):
+    RUNNING = "running"
+    SUSPENDED = "suspended"
+    COMPLETED = "completed"
+    FAULTED = "faulted"
+    TERMINATED = "terminated"
+
+    @property
+    def is_final(self) -> bool:
+        return self in (
+            InstanceStatus.COMPLETED,
+            InstanceStatus.FAULTED,
+            InstanceStatus.TERMINATED,
+        )
+
+
+@dataclass
+class DeadlineHandle:
+    """A pending timeout that cross-layer coordination may extend."""
+
+    activity_name: str
+    deadline: float
+    active: bool = True
+
+    def extend(self, extra_seconds: float) -> None:
+        self.deadline += max(0.0, extra_seconds)
+
+
+class ProcessInstance:
+    """One execution of a process definition."""
+
+    def __init__(
+        self,
+        engine: "WorkflowEngine",
+        instance_id: str,
+        definition_name: str,
+        root: Activity,
+        variables: dict[str, Any],
+        input: Element | None = None,
+    ) -> None:
+        self.engine = engine
+        self.env = engine.env
+        self.id = instance_id
+        self.definition_name = definition_name
+        self.root = root
+        self.variables = variables
+        self.input = input
+        self.result: Any = None
+        self.status = InstanceStatus.RUNNING
+        self.fault: SoapFault | None = None
+        #: Names of activities that have started at least once.
+        self.executed_activities: set[str] = set()
+        #: Names currently executing (between started and completed).
+        self.active_activities: set[str] = set()
+        self._resume_event = None
+        self._terminate_reason: str | None = None
+        self._deadlines: dict[str, DeadlineHandle] = {}
+        self._compensations: list[Scope] = []
+        self.process = None  # the simulation Process, set by the engine
+
+    # -- tree lookup ------------------------------------------------------------
+
+    def find_activity(self, name: str) -> Activity | None:
+        for activity in self.root.iter_tree():
+            if activity.name == name:
+                return activity
+        return None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def run(self) -> Generator:
+        """The instance's top-level simulated process."""
+        try:
+            yield from self.run_activity(self.root)
+        except ProcessTerminated as terminated:
+            self.status = InstanceStatus.TERMINATED
+            self._terminate_reason = terminated.reason
+            self.engine.notify("instance_terminated", self)
+            return self.result
+        except ProcessFault as fault:
+            if self._terminate_reason is not None:
+                # Termination was requested while the fault was in flight
+                # (e.g. a messaging-layer policy ordered it): the explicit
+                # terminate verdict wins over the incidental fault.
+                self.status = InstanceStatus.TERMINATED
+                self.engine.notify("instance_terminated", self)
+                return self.result
+            self.status = InstanceStatus.FAULTED
+            self.fault = fault.fault
+            self.engine.notify("instance_faulted", self)
+            raise
+        self.status = InstanceStatus.COMPLETED
+        self.engine.notify("instance_completed", self)
+        return self.result
+
+    def run_activity(self, activity: Activity) -> Generator:
+        """Execute one activity with gating, tracking and fault tagging.
+
+        When the engine has a fault advisor (MASC's process-level
+        corrective adaptation), a fault originating *at this activity* is
+        offered to it before propagating: the advisor may order a retry
+        (with delay), skip the activity, or substitute a replacement.
+        """
+        yield from self._gate()
+        self.executed_activities.add(activity.name)
+        self.active_activities.add(activity.name)
+        self.engine.notify("activity_started", self, activity)
+        attempts = 0
+        try:
+            while True:
+                try:
+                    yield from activity.execute(self)
+                    break
+                except ProcessFault as fault:
+                    if fault.activity_name is None:
+                        fault.activity_name = activity.name
+                    if fault.activity_name != activity.name:
+                        raise  # not ours: already consulted at the origin
+                    verdict = self.engine.consult_fault_advisor(
+                        self, activity, fault, attempts
+                    )
+                    if verdict is None or verdict.kind == "propagate":
+                        self.engine.notify("activity_faulted", self, activity, fault)
+                        raise
+                    if verdict.kind == "retry":
+                        attempts += 1
+                        self.engine.notify(
+                            "activity_retried", self, activity, fault, attempts
+                        )
+                        if verdict.delay_seconds > 0:
+                            yield self.env.timeout(verdict.delay_seconds)
+                        continue
+                    if verdict.kind == "skip":
+                        self.engine.notify("activity_skipped", self, activity, fault)
+                        break
+                    if verdict.kind == "replace":
+                        assert verdict.replacement is not None
+                        self.engine.notify(
+                            "activity_replaced", self, activity, verdict.replacement
+                        )
+                        yield from self.run_activity(verdict.replacement)
+                        break
+                    raise  # pragma: no cover - unknown verdict kinds propagate
+        finally:
+            self.active_activities.discard(activity.name)
+        self.engine.notify("activity_completed", self, activity)
+
+    def _gate(self) -> Generator:
+        """Block while suspended; honor pending termination requests."""
+        while True:
+            if self._terminate_reason is not None and self.status != InstanceStatus.TERMINATED:
+                raise ProcessTerminated(self._terminate_reason)
+            if self.status != InstanceStatus.SUSPENDED:
+                return
+            assert self._resume_event is not None
+            yield self._resume_event
+
+    # -- external control (used by MASC and wsBus coordination) ---------------------
+
+    def suspend(self) -> None:
+        """Pause at the next activity boundary (idempotent)."""
+        if self.status.is_final or self.status == InstanceStatus.SUSPENDED:
+            return
+        self.status = InstanceStatus.SUSPENDED
+        self._resume_event = self.env.event()
+        self.engine.notify("instance_suspended", self)
+
+    def resume(self) -> None:
+        """Continue a suspended instance (idempotent)."""
+        if self.status != InstanceStatus.SUSPENDED:
+            return
+        self.status = InstanceStatus.RUNNING
+        event, self._resume_event = self._resume_event, None
+        if event is not None:
+            event.succeed()
+        self.engine.notify("instance_resumed", self)
+
+    def terminate(self, reason: str = "terminated externally") -> None:
+        """Request termination at the next activity boundary."""
+        if self.status.is_final:
+            return
+        self._terminate_reason = reason
+        if self.status == InstanceStatus.SUSPENDED:
+            self.resume()
+
+    def extend_timeout(self, activity_name: str, extra_seconds: float) -> bool:
+        """Push out a pending deadline (cross-layer coordination).
+
+        Returns True if a pending deadline existed and was extended.
+        """
+        handle = self._deadlines.get(activity_name)
+        if handle is None or not handle.active:
+            return False
+        handle.extend(extra_seconds)
+        self.engine.notify("timeout_extended", self, activity_name, extra_seconds)
+        return True
+
+    # -- invocation with extensible deadline ----------------------------------------
+
+    def invoke_partner(
+        self,
+        activity: Activity,
+        to: str,
+        operation: str,
+        payload: Element,
+        timeout_seconds: float | None,
+        padding: int = 0,
+    ) -> Generator:
+        """Send a request on behalf of an Invoke activity.
+
+        The timeout is enforced here (not in the transport) so that it can
+        be extended mid-flight via :meth:`extend_timeout`.
+        """
+        invoker = self.engine.invoker
+        call = self.env.process(
+            invoker.invoke(
+                to=to,
+                operation=operation,
+                payload=payload,
+                # The engine enforces its own *extensible* deadline below;
+                # inf disables the invoker's fixed timer.
+                timeout=float("inf"),
+                process_instance_id=self.id,
+                padding=padding,
+            ),
+            name=f"{self.id}:{activity.name}",
+        )
+        try:
+            if timeout_seconds is None:
+                response = yield call
+            else:
+                response = yield from self._await_with_deadline(
+                    call, activity.name, timeout_seconds
+                )
+        except SoapFaultError as error:
+            raise ProcessFault(error.fault, activity.name) from error
+        return response
+
+    def run_with_deadline(
+        self, scope: Scope, body: Activity, timeout_seconds: float
+    ) -> Generator:
+        """Run a scope body racing an extensible deadline."""
+        body_process = self.env.process(
+            self.run_activity(body), name=f"{self.id}:scope:{scope.name}"
+        )
+        try:
+            yield from self._await_with_deadline(
+                body_process, scope.name, timeout_seconds, interrupt_on_expiry=True
+            )
+        except SoapFaultError as error:
+            raise ProcessFault(error.fault, scope.name) from error
+
+    def _await_with_deadline(
+        self,
+        awaited,
+        activity_name: str,
+        timeout_seconds: float,
+        interrupt_on_expiry: bool = False,
+    ) -> Generator:
+        handle = DeadlineHandle(activity_name, self.env.now + timeout_seconds)
+        self._deadlines[activity_name] = handle
+        try:
+            while True:
+                remaining = handle.deadline - self.env.now
+                if remaining <= 0:
+                    self._abandon(awaited, interrupt_on_expiry)
+                    raise ProcessFault(
+                        SoapFault(
+                            FaultCode.TIMEOUT,
+                            f"activity {activity_name!r} exceeded its "
+                            f"{timeout_seconds}s deadline",
+                            source="process-engine",
+                        ),
+                        activity_name,
+                    )
+                timer = self.env.timeout(remaining)
+                outcome = yield self.env.any_of([awaited, timer])
+                if awaited in outcome:
+                    return outcome[awaited]
+                # Timer fired; if the deadline moved, loop and keep waiting.
+                if self.env.now >= handle.deadline:
+                    self._abandon(awaited, interrupt_on_expiry)
+                    raise ProcessFault(
+                        SoapFault(
+                            FaultCode.TIMEOUT,
+                            f"activity {activity_name!r} exceeded its "
+                            f"{timeout_seconds}s deadline",
+                            source="process-engine",
+                        ),
+                        activity_name,
+                    )
+        finally:
+            handle.active = False
+
+    def _abandon(self, awaited, interrupt: bool) -> None:
+        if awaited.is_alive:
+            if interrupt:
+                awaited.interrupt("deadline expired")
+            else:
+                awaited.callbacks.append(_defuse)
+        elif not awaited.processed:
+            awaited.defused = True
+
+    # -- compensation ------------------------------------------------------------------
+
+    def register_compensation(self, scope: Scope) -> None:
+        self._compensations.append(scope)
+
+    def compensate_completed_scopes(self, _requesting_scope: Scope) -> Generator:
+        """Run registered compensations in reverse completion order."""
+        while self._compensations:
+            scope = self._compensations.pop()
+            if scope.compensation is not None:
+                yield from self.run_activity(scope.compensation)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ProcessInstance {self.id} {self.definition_name!r} {self.status.value}>"
+
+
+def _defuse(event) -> None:
+    event.defused = True

@@ -1,0 +1,232 @@
+"""Dynamic modification of running process instances.
+
+Reproduces the WF-based mechanism the paper describes: the adaptation
+service "asks the WF runtime engine for a description of the process to be
+adapted and gets back a **transient copy** of the process' object
+representation. For this copy, MASCAdaptationService performs the changes
+specified in the policies... When MASCAdaptationService passes the modified
+copy back to the WF runtime, the latter **applies the changes** using
+built-in algorithms."
+
+The :class:`ProcessModifier` hands out that transient copy, records each
+edit as an operation, performs it immediately on the copy (so the caller
+can inspect the result), and on :meth:`~ProcessModifier.apply` replays the
+operations onto the live instance tree after validating them against the
+instance's execution state:
+
+- the instance must be suspended, or not yet have executed any activity
+  (static customization happens between creation and the first activity);
+- activities that are *currently executing* cannot be removed or replaced;
+- an insertion anchored *before* an already-executed activity is rejected —
+  it could only execute out of order.
+
+Edits on composites that are mid-execution take effect because sequences
+re-read their child lists on every scheduling step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.orchestration.activities import Activity, Flow, Sequence
+from repro.orchestration.errors import ModificationError
+from repro.orchestration.instance import InstanceStatus, ProcessInstance
+
+__all__ = ["ProcessModifier"]
+
+
+@dataclass(frozen=True)
+class _Operation:
+    kind: str  # insert_before | insert_after | append_to | remove | replace
+    anchor: str
+    activity: Activity | None = None
+
+
+def _find_with_parent(
+    root: Activity, name: str
+) -> tuple[Activity | None, Activity | None]:
+    """The named activity and its parent composite, or (None, None)."""
+    if root.name == name:
+        return root, None
+    for activity in root.iter_tree():
+        for child in activity.children():
+            if child.name == name:
+                return child, activity
+    return None, None
+
+
+def _container_list(parent: Activity, context: str) -> list[Activity]:
+    """The mutable child list of a Sequence/Flow parent."""
+    if isinstance(parent, (Sequence, Flow)):
+        return parent.activities
+    raise ModificationError(
+        f"{context}: parent {parent.name!r} is a {type(parent).__name__}; "
+        "only Sequence and Flow children can be edited positionally"
+    )
+
+
+class ProcessModifier:
+    """Stages and applies edits to one process instance."""
+
+    def __init__(self, instance: ProcessInstance) -> None:
+        self.instance = instance
+        #: The transient copy of the process object representation.
+        self.tree = instance.root.copy()
+        self._operations: list[_Operation] = []
+        self._variable_bindings: dict[str, Any] = {}
+        self.applied = False
+
+    # -- edit operations (performed on the transient copy immediately) ------------
+
+    def insert_before(self, anchor_name: str, activity: Activity) -> None:
+        """Insert ``activity`` immediately before the named anchor."""
+        self._stage(_Operation("insert_before", anchor_name, activity))
+
+    def insert_after(self, anchor_name: str, activity: Activity) -> None:
+        """Insert ``activity`` immediately after the named anchor."""
+        self._stage(_Operation("insert_after", anchor_name, activity))
+
+    def append_to(self, container_name: str, activity: Activity) -> None:
+        """Append ``activity`` at the end of a Sequence/Flow container."""
+        self._stage(_Operation("append_to", container_name, activity))
+
+    def remove(self, activity_name: str) -> None:
+        """Remove the named activity from its parent container."""
+        self._stage(_Operation("remove", activity_name))
+
+    def replace(self, activity_name: str, activity: Activity) -> None:
+        """Replace the named activity with another one."""
+        self._stage(_Operation("replace", activity_name, activity))
+
+    def bind_variables(self, bindings: dict[str, Any]) -> None:
+        """Stage variable assignments (base↔variation parameter passing)."""
+        self._variable_bindings.update(bindings)
+
+    def _stage(self, operation: _Operation) -> None:
+        if self.applied:
+            raise ModificationError("modifier already applied; create a new one")
+        self._perform(self.tree, operation)
+        self._operations.append(operation)
+
+    # -- applying to the live instance ------------------------------------------------
+
+    def apply(self) -> None:
+        """Validate and replay all staged operations onto the live tree."""
+        if self.applied:
+            raise ModificationError("modifier already applied")
+        instance = self.instance
+        if instance.status.is_final:
+            raise ModificationError(f"instance {instance.id} already {instance.status.value}")
+        started = bool(instance.executed_activities)
+        if started and instance.status != InstanceStatus.SUSPENDED:
+            raise ModificationError(
+                "dynamic modification requires the instance to be suspended "
+                "(MASC suspends, edits, then resumes)"
+            )
+        for operation in self._operations:
+            self._validate_against_execution(operation)
+        for operation in self._operations:
+            self._perform(instance.root, operation)
+        instance.variables.update(self._variable_bindings)
+        self.applied = True
+
+    def _validate_against_execution(self, operation: _Operation) -> None:
+        instance = self.instance
+        if operation.kind in ("remove", "replace"):
+            if operation.anchor in instance.active_activities:
+                raise ModificationError(
+                    f"cannot {operation.kind} activity {operation.anchor!r} "
+                    "while it is executing"
+                )
+            target = instance.find_activity(operation.anchor)
+            if target is not None:
+                active_descendants = {
+                    child.name for child in target.iter_tree()
+                } & instance.active_activities
+                if active_descendants:
+                    raise ModificationError(
+                        f"cannot {operation.kind} {operation.anchor!r}: descendants "
+                        f"{sorted(active_descendants)} are executing"
+                    )
+        if operation.kind == "insert_before" and (
+            operation.anchor in instance.executed_activities
+        ):
+            raise ModificationError(
+                f"cannot insert before {operation.anchor!r}: it already executed "
+                "(the insertion could only run out of order)"
+            )
+
+    # -- the actual tree surgery ---------------------------------------------------------
+
+    def _perform(self, root: Activity, operation: _Operation) -> None:
+        if operation.activity is not None:
+            clashes = {a.name for a in operation.activity.iter_tree()} & {
+                a.name for a in root.iter_tree()
+            }
+            if operation.kind != "replace" and clashes:
+                raise ModificationError(
+                    f"inserted activity names already exist in the process: {sorted(clashes)}"
+                )
+        if operation.kind == "append_to":
+            container = None
+            for activity in root.iter_tree():
+                if activity.name == operation.anchor:
+                    container = activity
+                    break
+            if container is None:
+                raise ModificationError(f"no container named {operation.anchor!r}")
+            assert operation.activity is not None
+            _container_list(container, "append_to").append(operation.activity.copy())
+            return
+
+        target, parent = _find_with_parent(root, operation.anchor)
+        if target is None:
+            raise ModificationError(f"no activity named {operation.anchor!r}")
+        if parent is None:
+            raise ModificationError(f"cannot edit the process root {operation.anchor!r}")
+        siblings = _container_list(parent, operation.kind) if operation.kind != "replace" else None
+
+        if operation.kind == "insert_before":
+            assert operation.activity is not None and siblings is not None
+            siblings.insert(siblings.index(target), operation.activity.copy())
+        elif operation.kind == "insert_after":
+            assert operation.activity is not None and siblings is not None
+            siblings.insert(siblings.index(target) + 1, operation.activity.copy())
+        elif operation.kind == "remove":
+            assert siblings is not None
+            siblings.remove(target)
+        elif operation.kind == "replace":
+            assert operation.activity is not None
+            replacement = operation.activity.copy()
+            clashes = ({a.name for a in replacement.iter_tree()} - {target.name}) & (
+                {a.name for a in root.iter_tree()} - {a.name for a in target.iter_tree()}
+            )
+            if clashes:
+                raise ModificationError(
+                    f"replacement activity names already exist: {sorted(clashes)}"
+                )
+            self._replace_child(parent, target, replacement)
+        else:  # pragma: no cover - exhaustive
+            raise ModificationError(f"unknown operation {operation.kind!r}")
+
+    @staticmethod
+    def _replace_child(parent: Activity, target: Activity, replacement: Activity) -> None:
+        if isinstance(parent, (Sequence, Flow)):
+            index = parent.activities.index(target)
+            parent.activities[index] = replacement
+            return
+        # Structured parents: swap the matching slot.
+        for attribute in ("then", "orelse", "body", "compensation"):
+            if getattr(parent, attribute, None) is target:
+                setattr(parent, attribute, replacement)
+                return
+        fault_handlers = getattr(parent, "fault_handlers", None)
+        if isinstance(fault_handlers, dict):
+            for code, handler in fault_handlers.items():
+                if handler is target:
+                    fault_handlers[code] = replacement
+                    return
+        raise ModificationError(
+            f"cannot locate {target.name!r} inside parent {parent.name!r} for replacement"
+        )

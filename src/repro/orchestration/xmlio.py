@@ -1,0 +1,403 @@
+"""XML serialization of process definitions.
+
+The paper keeps process definitions in external documents ("WF processes
+are defined in Microsoft's Extensible Applications Markup Language (XAML)"
+/ "all business processes, including base processes and variation
+processes, are defined in appropriate other documents (e.g., BPEL files),
+so they are only referenced in WS-Policy4MASC policies"). This module
+provides that externalized document format: a BPEL-flavoured XML dialect
+that round-trips every declarative activity type.
+
+Activities constructed from Python callables (`input_builder`, callable
+conditions) are intentionally **not** serializable — a process document
+must be fully declarative — and raise :class:`ProcessSerializationError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.orchestration.activities import (
+    Activity,
+    Assign,
+    Delay,
+    Empty,
+    Flow,
+    IfElse,
+    Invoke,
+    Receive,
+    Reply,
+    Scope,
+    Sequence,
+    Terminate,
+    Throw,
+    While,
+)
+from repro.orchestration.definition import ProcessDefinition
+from repro.orchestration.expressions import Expression
+from repro.soap import FaultCode
+from repro.xmlutils import Element, QName, parse_xml, serialize_xml
+
+__all__ = [
+    "PROCESS_NS",
+    "ProcessSerializationError",
+    "parse_process_definition",
+    "serialize_process_definition",
+]
+
+PROCESS_NS = "http://masc.web.cse.unsw.edu.au/ns/process"
+
+
+class ProcessSerializationError(Exception):
+    """The definition cannot be expressed in (or read from) the XML form."""
+
+
+def _el(local: str) -> QName:
+    return QName(PROCESS_NS, local)
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+
+def serialize_process_definition(definition: ProcessDefinition, indent: bool = False) -> str:
+    """Render a declarative process definition as an XML document."""
+    root = Element(_el("Process"), attributes={"name": definition.name})
+    if definition.initial_variables:
+        variables = root.add(_el("Variables"))
+        for name, value in definition.initial_variables.items():
+            variables.append(
+                Element(
+                    _el("Variable"),
+                    attributes={"name": name, "type": _type_name(value)},
+                    text=_literal_text(value),
+                )
+            )
+    root.append(_activity_to_element(definition.root))
+    return serialize_xml(root, indent=indent)
+
+
+def _type_name(value: Any) -> str:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "string"
+    raise ProcessSerializationError(
+        f"initial variable of type {type(value).__name__} is not serializable"
+    )
+
+
+def _literal_text(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _parse_literal(text: str | None, type_name: str) -> Any:
+    text = text or ""
+    if type_name == "bool":
+        return text == "true"
+    if type_name == "int":
+        return int(text)
+    if type_name == "float":
+        return float(text)
+    return text
+
+
+def _condition_source(activity: Activity, attribute: str = "_condition_source") -> str:
+    source = getattr(activity, attribute, None)
+    if isinstance(source, Expression):
+        return source.source
+    if isinstance(source, str):
+        return source
+    raise ProcessSerializationError(
+        f"activity {activity.name!r} uses a Python-callable condition; "
+        "only string expressions are serializable"
+    )
+
+
+def _activity_to_element(activity: Activity) -> Element:
+    if isinstance(activity, Sequence):
+        element = Element(_el("Sequence"), attributes={"name": activity.name})
+        for child in activity.activities:
+            element.append(_activity_to_element(child))
+        return element
+    if isinstance(activity, Flow):
+        element = Element(_el("Flow"), attributes={"name": activity.name})
+        for child in activity.activities:
+            element.append(_activity_to_element(child))
+        return element
+    if isinstance(activity, Empty):
+        return Element(_el("Empty"), attributes={"name": activity.name})
+    if isinstance(activity, Assign):
+        source = getattr(activity, "_assign_source", None)
+        if source is None:
+            raise ProcessSerializationError(
+                f"Assign {activity.name!r} was built from a callable/literal; "
+                "construct it with a string expression to serialize"
+            )
+        return Element(
+            _el("Assign"),
+            attributes={
+                "name": activity.name,
+                "variable": activity.variable,
+                "expression": source,
+            },
+        )
+    if isinstance(activity, Delay):
+        source = getattr(activity, "_delay_source", None)
+        if source is None:
+            raise ProcessSerializationError(
+                f"Delay {activity.name!r} has no serializable duration"
+            )
+        return Element(
+            _el("Delay"), attributes={"name": activity.name, "seconds": source}
+        )
+    if isinstance(activity, IfElse):
+        element = Element(
+            _el("If"),
+            attributes={"name": activity.name, "condition": _condition_source(activity)},
+        )
+        then_el = element.add(_el("Then"))
+        then_el.append(_activity_to_element(activity.then))
+        if activity.orelse is not None:
+            else_el = element.add(_el("Else"))
+            else_el.append(_activity_to_element(activity.orelse))
+        return element
+    if isinstance(activity, While):
+        source = getattr(activity, "_condition_source_text", None)
+        if source is None:
+            raise ProcessSerializationError(
+                f"While {activity.name!r} uses a non-serializable condition"
+            )
+        element = Element(
+            _el("While"),
+            attributes={
+                "name": activity.name,
+                "condition": source,
+                "maxIterations": str(activity.max_iterations),
+            },
+        )
+        element.append(_activity_to_element(activity.body))
+        return element
+    if isinstance(activity, Invoke):
+        if activity.input_builder is not None:
+            raise ProcessSerializationError(
+                f"Invoke {activity.name!r} uses an input_builder callable"
+            )
+        attributes = {"name": activity.name, "operation": activity.operation}
+        if activity.to is not None:
+            attributes["to"] = activity.to
+        if activity.service_type is not None:
+            attributes["serviceType"] = activity.service_type
+        if activity.timeout_seconds is not None:
+            attributes["timeoutSeconds"] = str(activity.timeout_seconds)
+        if activity.output_variable is not None:
+            attributes["outputVariable"] = activity.output_variable
+        if activity.padding_variable is not None:
+            attributes["paddingVariable"] = activity.padding_variable
+        element = Element(_el("Invoke"), attributes=attributes)
+        for part, spec in activity.inputs.items():
+            if callable(spec) and not isinstance(spec, Expression):
+                raise ProcessSerializationError(
+                    f"Invoke {activity.name!r} input {part!r} is a Python callable"
+                )
+            value = spec.source if isinstance(spec, Expression) else _literal_text(spec)
+            kind = "expression" if isinstance(spec, Expression) else "literal"
+            if isinstance(spec, str) and spec.startswith("$"):
+                kind = "variable"
+            element.add(_el("Input"), part=part, value=str(value), kind=kind)
+        for variable, part in activity.extract.items():
+            element.add(_el("Output"), variable=variable, part=part)
+        return element
+    if isinstance(activity, Receive):
+        return Element(
+            _el("Receive"), attributes={"name": activity.name, "variable": activity.variable}
+        )
+    if isinstance(activity, Reply):
+        source = getattr(activity, "_reply_source", None)
+        if source is None:
+            raise ProcessSerializationError(
+                f"Reply {activity.name!r} has no serializable source"
+            )
+        kind, value = source
+        return Element(_el("Reply"), attributes={"name": activity.name, kind: value})
+    if isinstance(activity, Throw):
+        return Element(
+            _el("Throw"),
+            attributes={
+                "name": activity.name,
+                "fault": activity.code.value,
+                "reason": activity.reason,
+            },
+        )
+    if isinstance(activity, Terminate):
+        return Element(
+            _el("Terminate"), attributes={"name": activity.name, "reason": activity.reason}
+        )
+    if isinstance(activity, Scope):
+        attributes = {"name": activity.name}
+        if activity.timeout_seconds is not None:
+            attributes["timeoutSeconds"] = str(activity.timeout_seconds)
+        if activity.compensate_on_fault:
+            attributes["compensateOnFault"] = "true"
+        element = Element(_el("Scope"), attributes=attributes)
+        body = element.add(_el("Body"))
+        body.append(_activity_to_element(activity.body))
+        for code, handler in activity.fault_handlers.items():
+            handler_el = element.add(_el("FaultHandler"))
+            if code is not None:
+                handler_el.attributes["fault"] = code.value
+            handler_el.append(_activity_to_element(handler))
+        if activity.compensation is not None:
+            compensation = element.add(_el("Compensation"))
+            compensation.append(_activity_to_element(activity.compensation))
+        return element
+    raise ProcessSerializationError(
+        f"activity type {type(activity).__name__} is not serializable"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+def parse_process_definition(source: str | Element) -> ProcessDefinition:
+    """Parse an XML process document back into a ProcessDefinition."""
+    root = parse_xml(source) if isinstance(source, str) else source
+    if root.name != _el("Process"):
+        raise ProcessSerializationError(f"not a process document: {root.name}")
+    name = root.attributes.get("name")
+    if not name:
+        raise ProcessSerializationError("process document is missing its name")
+    initial_variables: dict[str, Any] = {}
+    variables_el = root.find(_el("Variables"))
+    if variables_el is not None:
+        for variable in variables_el.find_all(_el("Variable")):
+            initial_variables[variable.attributes["name"]] = _parse_literal(
+                variable.text, variable.attributes.get("type", "string")
+            )
+    activity_elements = [
+        child for child in root.children if child.name != _el("Variables")
+    ]
+    if len(activity_elements) != 1:
+        raise ProcessSerializationError("process document must have exactly one root activity")
+    return ProcessDefinition(
+        name, _element_to_activity(activity_elements[0]), initial_variables=initial_variables
+    )
+
+
+def _required_attr(element: Element, attribute: str) -> str:
+    value = element.attributes.get(attribute)
+    if value is None:
+        raise ProcessSerializationError(
+            f"{element.name.local} element is missing attribute {attribute!r}"
+        )
+    return value
+
+
+def _element_to_activity(element: Element) -> Activity:
+    local = element.name.local
+    name = _required_attr(element, "name")
+    if local == "Sequence":
+        return Sequence(name, [_element_to_activity(child) for child in element.children])
+    if local == "Flow":
+        return Flow(name, [_element_to_activity(child) for child in element.children])
+    if local == "Empty":
+        return Empty(name)
+    if local == "Assign":
+        return Assign(name, _required_attr(element, "variable"),
+                      expression=_required_attr(element, "expression"))
+    if local == "Delay":
+        return Delay(name, _required_attr(element, "seconds"))
+    if local == "If":
+        then_el = element.find(_el("Then"))
+        if then_el is None or not then_el.children:
+            raise ProcessSerializationError(f"If {name!r} has no Then branch")
+        orelse = None
+        else_el = element.find(_el("Else"))
+        if else_el is not None and else_el.children:
+            orelse = _element_to_activity(else_el.children[0])
+        return IfElse(
+            name,
+            _required_attr(element, "condition"),
+            then=_element_to_activity(then_el.children[0]),
+            orelse=orelse,
+        )
+    if local == "While":
+        if not element.children:
+            raise ProcessSerializationError(f"While {name!r} has no body")
+        return While(
+            name,
+            _required_attr(element, "condition"),
+            body=_element_to_activity(element.children[0]),
+            max_iterations=int(element.attributes.get("maxIterations", "10000")),
+        )
+    if local == "Invoke":
+        inputs: dict[str, Any] = {}
+        for input_el in element.find_all(_el("Input")):
+            part = _required_attr(input_el, "part")
+            value = _required_attr(input_el, "value")
+            kind = input_el.attributes.get("kind", "literal")
+            if kind == "expression":
+                inputs[part] = Expression(value)
+            else:
+                inputs[part] = value  # "$var" references keep their prefix
+        extract = {
+            _required_attr(out, "variable"): _required_attr(out, "part")
+            for out in element.find_all(_el("Output"))
+        }
+        timeout_text = element.attributes.get("timeoutSeconds")
+        return Invoke(
+            name,
+            operation=_required_attr(element, "operation"),
+            to=element.attributes.get("to"),
+            service_type=element.attributes.get("serviceType"),
+            inputs=inputs,
+            extract=extract,
+            output_variable=element.attributes.get("outputVariable"),
+            timeout_seconds=float(timeout_text) if timeout_text is not None else None,
+            padding_variable=element.attributes.get("paddingVariable"),
+        )
+    if local == "Receive":
+        return Receive(name, variable=element.attributes.get("variable", "request"))
+    if local == "Reply":
+        if "variable" in element.attributes:
+            return Reply(name, variable=element.attributes["variable"])
+        return Reply(name, expression=_required_attr(element, "expression"))
+    if local == "Throw":
+        return Throw(name, FaultCode(_required_attr(element, "fault")),
+                     element.attributes.get("reason", ""))
+    if local == "Terminate":
+        return Terminate(name, element.attributes.get("reason", "terminated by process"))
+    if local == "Scope":
+        body_el = element.find(_el("Body"))
+        if body_el is None or not body_el.children:
+            raise ProcessSerializationError(f"Scope {name!r} has no body")
+        fault_handlers: dict[FaultCode | None, Activity] = {}
+        for handler_el in element.find_all(_el("FaultHandler")):
+            if not handler_el.children:
+                raise ProcessSerializationError(f"Scope {name!r} has an empty fault handler")
+            code_text = handler_el.attributes.get("fault")
+            code = FaultCode(code_text) if code_text else None
+            fault_handlers[code] = _element_to_activity(handler_el.children[0])
+        compensation = None
+        compensation_el = element.find(_el("Compensation"))
+        if compensation_el is not None and compensation_el.children:
+            compensation = _element_to_activity(compensation_el.children[0])
+        timeout_text = element.attributes.get("timeoutSeconds")
+        return Scope(
+            name,
+            body=_element_to_activity(body_el.children[0]),
+            fault_handlers=fault_handlers,
+            compensation=compensation,
+            timeout_seconds=float(timeout_text) if timeout_text is not None else None,
+            compensate_on_fault=element.attributes.get("compensateOnFault") == "true",
+        )
+    raise ProcessSerializationError(f"unknown activity element {local!r}")

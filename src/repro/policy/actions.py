@@ -1,0 +1,373 @@
+"""Adaptation actions.
+
+The action vocabulary of WS-Policy4MASC, split across the two enforcement
+layers exactly as in the paper:
+
+- **process orchestration layer** (enacted by MASCAdaptationService):
+  add / remove / replace an activity or activity block, suspend / resume /
+  terminate the process instance, extend a pending timeout;
+- **SOAP messaging layer** (enacted by the wsBus Adaptation Manager):
+  invocation retries, Web services substitution, concurrent invocation of
+  multiple equivalent services, skipping of activities.
+
+Actions are declarative data; each knows which layer enforces it and how to
+render itself to/from the XML policy dialect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.orchestration import Activity, Invoke, Sequence
+
+__all__ = [
+    "ActionError",
+    "AdaptationAction",
+    "AddActivityAction",
+    "ConcurrentInvokeAction",
+    "DelayProcessAction",
+    "ExtendTimeoutAction",
+    "InvokeSpec",
+    "PreferBestAction",
+    "QuarantineAction",
+    "RemoveActivityAction",
+    "ReplaceActivityAction",
+    "ResumeProcessAction",
+    "RetryAction",
+    "SkipAction",
+    "SubstituteAction",
+    "SuspendProcessAction",
+    "TerminateProcessAction",
+]
+
+
+class ActionError(Exception):
+    """An action specification is invalid or cannot be enacted."""
+
+
+@dataclass(frozen=True)
+class InvokeSpec:
+    """Declarative description of a Web service call to insert.
+
+    Either a concrete ``address`` or an abstract ``service_type`` (resolved
+    through the registry / VEP binding at runtime — "the policy can specify
+    a particular Web service or a set of criteria for dynamically selecting
+    the best Web service from a directory").
+
+    ``inputs`` maps message parts to ``$variable`` references or literals;
+    ``outputs`` maps process variables to response parts — the "required
+    parameters binding and value passing between base processes and their
+    variation processes".
+    """
+
+    name: str
+    operation: str
+    service_type: str | None = None
+    address: str | None = None
+    inputs: dict[str, str] = field(default_factory=dict)
+    outputs: dict[str, str] = field(default_factory=dict)
+    timeout_seconds: float | None = 30.0
+
+    def __post_init__(self) -> None:
+        if self.service_type is None and self.address is None:
+            raise ActionError(f"InvokeSpec {self.name!r} needs a serviceType or address")
+
+    def to_activity(self) -> Invoke:
+        return Invoke(
+            name=self.name,
+            operation=self.operation,
+            to=self.address,
+            service_type=self.service_type,
+            inputs=dict(self.inputs),
+            extract=dict(self.outputs),
+            timeout_seconds=self.timeout_seconds,
+        )
+
+
+class AdaptationAction:
+    """Base class: a single step of an adaptation policy."""
+
+    #: Which middleware layer enforces this action.
+    layer = "process"
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+# ---------------------------------------------------------------------------
+# Process orchestration layer actions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AddActivityAction(AdaptationAction):
+    """Insert a variation activity (or block) into the base process."""
+
+    anchor: str
+    position: str = "after"  # before | after | append
+    invokes: tuple[InvokeSpec, ...] = ()
+    block_name: str | None = None
+    #: Variable seed values passed from the policy into the instance.
+    bindings: dict[str, str] = field(default_factory=dict)
+
+    layer = "process"
+
+    def __post_init__(self) -> None:
+        if self.position not in ("before", "after", "append"):
+            raise ActionError(f"invalid position {self.position!r}")
+        if not self.invokes:
+            raise ActionError("AddActivityAction needs at least one InvokeSpec")
+
+    def build_activity(self) -> Activity:
+        activities = [spec.to_activity() for spec in self.invokes]
+        if len(activities) == 1 and self.block_name is None:
+            return activities[0]
+        return Sequence(self.block_name or f"block:{self.anchor}", activities)
+
+    def describe(self) -> str:
+        names = ", ".join(spec.name for spec in self.invokes)
+        return f"add [{names}] {self.position} {self.anchor!r}"
+
+
+@dataclass(frozen=True)
+class RemoveActivityAction(AdaptationAction):
+    """Delete an activity or a contiguous block from the base process.
+
+    A block "is specified using beginning and ending points": when
+    ``block_end`` is given, every sibling from ``target`` through
+    ``block_end`` inclusive is removed.
+    """
+
+    target: str
+    block_end: str | None = None
+
+    layer = "process"
+
+    def describe(self) -> str:
+        if self.block_end:
+            return f"remove block {self.target!r}..{self.block_end!r}"
+        return f"remove {self.target!r}"
+
+
+@dataclass(frozen=True)
+class ReplaceActivityAction(AdaptationAction):
+    """Swap an activity for a variation activity/block."""
+
+    target: str
+    invokes: tuple[InvokeSpec, ...] = ()
+    block_name: str | None = None
+    bindings: dict[str, str] = field(default_factory=dict)
+
+    layer = "process"
+
+    def __post_init__(self) -> None:
+        if not self.invokes:
+            raise ActionError("ReplaceActivityAction needs at least one InvokeSpec")
+
+    def build_activity(self) -> Activity:
+        activities = [spec.to_activity() for spec in self.invokes]
+        if len(activities) == 1 and self.block_name is None:
+            return activities[0]
+        return Sequence(self.block_name or f"replacement:{self.target}", activities)
+
+    def describe(self) -> str:
+        names = ", ".join(spec.name for spec in self.invokes)
+        return f"replace {self.target!r} with [{names}]"
+
+
+@dataclass(frozen=True)
+class SuspendProcessAction(AdaptationAction):
+    """Suspend the affected process instance (cross-layer coordination)."""
+
+    layer = "process"
+
+    def describe(self) -> str:
+        return "suspend process instance"
+
+
+@dataclass(frozen=True)
+class ResumeProcessAction(AdaptationAction):
+    """Resume the affected process instance."""
+
+    layer = "process"
+
+    def describe(self) -> str:
+        return "resume process instance"
+
+
+@dataclass(frozen=True)
+class TerminateProcessAction(AdaptationAction):
+    """Terminate the affected process instance."""
+
+    reason: str = "terminated by adaptation policy"
+
+    layer = "process"
+
+    def describe(self) -> str:
+        return f"terminate process instance ({self.reason})"
+
+
+@dataclass(frozen=True)
+class DelayProcessAction(AdaptationAction):
+    """Pause the affected process instance for a fixed interval.
+
+    One of the paper's "relatively simple dynamic changes of process
+    instances (e.g., ... delay/suspend/resume/terminate process)":
+    suspend now, resume automatically after ``delay_seconds``.
+    """
+
+    delay_seconds: float = 10.0
+
+    layer = "process"
+
+    def __post_init__(self) -> None:
+        if self.delay_seconds <= 0:
+            raise ActionError(f"delay must be positive: {self.delay_seconds}")
+
+    def describe(self) -> str:
+        return f"delay process instance by {self.delay_seconds}s"
+
+
+@dataclass(frozen=True)
+class ExtendTimeoutAction(AdaptationAction):
+    """Push out the calling activity's deadline before messaging-layer
+    recovery retries ("increase its timeout interval to avoid the calling
+    process timing out")."""
+
+    extra_seconds: float = 10.0
+
+    layer = "process"
+
+    def describe(self) -> str:
+        return f"extend pending timeout by {self.extra_seconds}s"
+
+
+# ---------------------------------------------------------------------------
+# SOAP messaging layer actions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryAction(AdaptationAction):
+    """Re-deliver the failed request to the same target.
+
+    ``delay_seconds`` is the pause between retry cycles;
+    ``backoff_multiplier`` stretches it geometrically.
+    """
+
+    max_retries: int = 3
+    delay_seconds: float = 2.0
+    backoff_multiplier: float = 1.0
+
+    layer = "messaging"
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ActionError(f"negative max_retries {self.max_retries}")
+        if self.delay_seconds < 0:
+            raise ActionError(f"negative delay {self.delay_seconds}")
+
+    def delay_for_attempt(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (1-based)."""
+        return self.delay_seconds * (self.backoff_multiplier ** max(0, attempt - 1))
+
+    def describe(self) -> str:
+        return (
+            f"retry up to {self.max_retries}x with {self.delay_seconds}s delay"
+            + (f" (backoff x{self.backoff_multiplier})" if self.backoff_multiplier != 1.0 else "")
+        )
+
+
+@dataclass(frozen=True)
+class SubstituteAction(AdaptationAction):
+    """Fail over to an equivalent service registered with the VEP.
+
+    ``strategy``: ``backup`` (the explicitly configured backup address),
+    ``best_response_time`` (QoS history), ``round_robin``, or ``registry``
+    (any implementation of the contract from the UDDI registry).
+    """
+
+    strategy: str = "best_response_time"
+    backup_address: str | None = None
+
+    layer = "messaging"
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("backup", "best_response_time", "round_robin", "registry"):
+            raise ActionError(f"unknown substitute strategy {self.strategy!r}")
+        if self.strategy == "backup" and not self.backup_address:
+            raise ActionError("substitute strategy 'backup' needs a backup_address")
+
+    def describe(self) -> str:
+        target = f" -> {self.backup_address}" if self.backup_address else ""
+        return f"substitute ({self.strategy}){target}"
+
+
+@dataclass(frozen=True)
+class ConcurrentInvokeAction(AdaptationAction):
+    """Broadcast the request to several equivalent services; first response
+    wins and pending invocations are abandoned."""
+
+    max_targets: int = 0  # 0 = all registered targets
+
+    layer = "messaging"
+
+    def describe(self) -> str:
+        scope = "all targets" if self.max_targets == 0 else f"{self.max_targets} targets"
+        return f"concurrent invocation of {scope}, first response wins"
+
+
+@dataclass(frozen=True)
+class QuarantineAction(AdaptationAction):
+    """Temporarily exclude an endpoint from its VEPs' membership.
+
+    The *preventive* counterpart of substitution: when monitoring predicts
+    degradation (e.g. a worsening response-time trend), the endpoint is
+    taken out of rotation before it starts producing faults, and restored
+    after ``duration_seconds``.
+    """
+
+    duration_seconds: float = 60.0
+
+    layer = "messaging"
+
+    def __post_init__(self) -> None:
+        if self.duration_seconds <= 0:
+            raise ActionError(f"quarantine duration must be positive: {self.duration_seconds}")
+
+    def describe(self) -> str:
+        return f"quarantine endpoint for {self.duration_seconds}s"
+
+
+@dataclass(frozen=True)
+class PreferBestAction(AdaptationAction):
+    """Re-order VEP members so the best-QoS endpoint is preferred.
+
+    An *optimizing* action: no fault has occurred; the VEP's primary
+    ordering is adjusted to the measured response times.
+    """
+
+    metric: str = "response_time"
+    window: int = 50
+
+    layer = "messaging"
+
+    def describe(self) -> str:
+        return f"prefer best endpoint by {self.metric}"
+
+
+@dataclass(frozen=True)
+class SkipAction(AdaptationAction):
+    """Answer the caller with a synthetic success instead of invoking.
+
+    Used for non-business-critical calls ("for the Logging service we have
+    configured a skip policy since the functionality provided by the Logging
+    service is not business critical").
+    """
+
+    reason: str = "activity skipped by policy"
+
+    layer = "messaging"
+
+    def describe(self) -> str:
+        return f"skip invocation ({self.reason})"

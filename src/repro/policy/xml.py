@@ -1,0 +1,502 @@
+"""XML serialization of WS-Policy4MASC documents.
+
+The wire format is a W3C WS-Policy ``Policy`` element whose assertions live
+in the MASC namespace. Parsing is strict (unknown assertion elements are an
+error — policies drive adaptation of live systems, so silent skipping would
+be dangerous) and documents round-trip: ``parse(serialize(doc))`` yields an
+equivalent document.
+"""
+
+from __future__ import annotations
+
+from repro.policy.actions import (
+    AdaptationAction,
+    AddActivityAction,
+    DelayProcessAction,
+    ConcurrentInvokeAction,
+    ExtendTimeoutAction,
+    InvokeSpec,
+    PreferBestAction,
+    QuarantineAction,
+    RemoveActivityAction,
+    ReplaceActivityAction,
+    ResumeProcessAction,
+    RetryAction,
+    SkipAction,
+    SubstituteAction,
+    SuspendProcessAction,
+    TerminateProcessAction,
+)
+from repro.policy.assertions import MessageCondition, QoSThreshold
+from repro.policy.model import (
+    AdaptationPolicy,
+    BusinessValue,
+    GoalPolicy,
+    MonitoringPolicy,
+    PolicyDocument,
+    PolicyError,
+    PolicyScope,
+)
+from repro.soap import FaultCode
+from repro.xmlutils import Element, QName, parse_xml, serialize_xml
+
+__all__ = [
+    "MASC_POLICY_NS",
+    "WSP_NS",
+    "parse_policy_document",
+    "serialize_policy_document",
+]
+
+WSP_NS = "http://schemas.xmlsoap.org/ws/2004/09/policy"
+MASC_POLICY_NS = "http://masc.web.cse.unsw.edu.au/ns/ws-policy4masc"
+
+
+def _masc(local: str) -> QName:
+    return QName(MASC_POLICY_NS, local)
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+
+def serialize_policy_document(document: PolicyDocument, indent: bool = False) -> str:
+    """Render a document to its XML text form."""
+    return serialize_xml(document_to_element(document), indent=indent)
+
+
+def document_to_element(document: PolicyDocument) -> Element:
+    root = Element(QName(WSP_NS, "Policy"), attributes={"Name": document.name})
+    for policy in document.monitoring_policies:
+        root.append(_monitoring_to_element(policy))
+    for policy in document.adaptation_policies:
+        root.append(_adaptation_to_element(policy))
+    for goal in document.goal_policies:
+        root.append(_goal_to_element(goal))
+    return root
+
+
+def _goal_to_element(policy: GoalPolicy) -> Element:
+    element = Element(
+        _masc("GoalPolicy"),
+        attributes={
+            "name": policy.name,
+            "goal": policy.goal,
+            "timeValuePerSecond": str(policy.time_value_per_second),
+            "bandwidthCostPerMessage": str(policy.bandwidth_cost_per_message),
+            "priority": str(policy.priority),
+        },
+    )
+    scope = _scope_to_element(policy.scope)
+    if scope is not None:
+        element.append(scope)
+    return element
+
+
+def _scope_to_element(scope: PolicyScope) -> Element | None:
+    attributes = {
+        key: value
+        for key, value in (
+            ("serviceType", scope.service_type),
+            ("endpoint", scope.endpoint),
+            ("operation", scope.operation),
+            ("process", scope.process),
+            ("activity", scope.activity),
+        )
+        if value is not None
+    }
+    if not attributes:
+        return None
+    return Element(_masc("Scope"), attributes=attributes)
+
+
+def _monitoring_to_element(policy: MonitoringPolicy) -> Element:
+    element = Element(
+        _masc("MonitoringPolicy"),
+        attributes={"name": policy.name, "priority": str(policy.priority)},
+    )
+    for event in policy.events:
+        element.add(_masc("On"), event=event)
+    scope = _scope_to_element(policy.scope)
+    if scope is not None:
+        element.append(scope)
+    if policy.condition is not None:
+        element.add(_masc("Condition"), text=policy.condition)
+    for condition in policy.conditions:
+        attributes = {
+            "xpath": condition.xpath,
+            "operator": condition.operator,
+            "appliesTo": condition.applies_to,
+        }
+        if condition.value is not None:
+            attributes["value"] = condition.value
+        element.append(Element(_masc("MessageCondition"), attributes=attributes))
+    for threshold in policy.qos_thresholds:
+        element.append(
+            Element(
+                _masc("QoSThreshold"),
+                attributes={
+                    "metric": threshold.metric,
+                    "operator": threshold.operator,
+                    "value": str(threshold.value),
+                    "window": str(threshold.window),
+                    "aggregate": threshold.aggregate,
+                },
+            )
+        )
+    for variable, xpath in policy.extract.items():
+        element.add(_masc("Extract"), variable=variable, xpath=xpath)
+    if policy.classify_as is not None:
+        element.add(_masc("ClassifyAs"), fault=policy.classify_as.value)
+    for event in policy.emits:
+        element.add(_masc("Emit"), event=event)
+    return element
+
+
+def _adaptation_to_element(policy: AdaptationPolicy) -> Element:
+    element = Element(
+        _masc("AdaptationPolicy"),
+        attributes={
+            "name": policy.name,
+            "priority": str(policy.priority),
+            "type": policy.adaptation_type,
+        },
+    )
+    for trigger in policy.triggers:
+        element.add(_masc("On"), event=trigger)
+    scope = _scope_to_element(policy.scope)
+    if scope is not None:
+        element.append(scope)
+    if policy.condition is not None:
+        element.add(_masc("Condition"), text=policy.condition)
+    if policy.state_before is not None:
+        element.add(_masc("StateBefore"), text=policy.state_before)
+    if policy.state_after is not None:
+        element.add(_masc("StateAfter"), text=policy.state_after)
+    actions = element.add(_masc("Actions"))
+    for action in policy.actions:
+        actions.append(_action_to_element(action))
+    if policy.business_value is not None:
+        element.add(
+            _masc("BusinessValue"),
+            amount=str(policy.business_value.amount),
+            currency=policy.business_value.currency,
+            reason=policy.business_value.reason,
+        )
+    return element
+
+
+def _invoke_spec_to_element(spec: InvokeSpec) -> Element:
+    attributes = {"name": spec.name, "operation": spec.operation}
+    if spec.service_type is not None:
+        attributes["serviceType"] = spec.service_type
+    if spec.address is not None:
+        attributes["address"] = spec.address
+    if spec.timeout_seconds is not None:
+        attributes["timeoutSeconds"] = str(spec.timeout_seconds)
+    element = Element(_masc("InvokeActivity"), attributes=attributes)
+    for part, value in spec.inputs.items():
+        element.add(_masc("Input"), part=part, value=str(value))
+    for variable, part in spec.outputs.items():
+        element.add(_masc("Output"), variable=variable, part=part)
+    return element
+
+
+def _action_to_element(action: AdaptationAction) -> Element:
+    if isinstance(action, RetryAction):
+        return Element(
+            _masc("Retry"),
+            attributes={
+                "maxRetries": str(action.max_retries),
+                "delaySeconds": str(action.delay_seconds),
+                "backoffMultiplier": str(action.backoff_multiplier),
+            },
+        )
+    if isinstance(action, SubstituteAction):
+        attributes = {"strategy": action.strategy}
+        if action.backup_address is not None:
+            attributes["backupAddress"] = action.backup_address
+        return Element(_masc("Substitute"), attributes=attributes)
+    if isinstance(action, ConcurrentInvokeAction):
+        return Element(
+            _masc("ConcurrentInvoke"), attributes={"maxTargets": str(action.max_targets)}
+        )
+    if isinstance(action, SkipAction):
+        return Element(_masc("Skip"), attributes={"reason": action.reason})
+    if isinstance(action, SuspendProcessAction):
+        return Element(_masc("Suspend"))
+    if isinstance(action, ResumeProcessAction):
+        return Element(_masc("Resume"))
+    if isinstance(action, TerminateProcessAction):
+        return Element(_masc("Terminate"), attributes={"reason": action.reason})
+    if isinstance(action, ExtendTimeoutAction):
+        return Element(
+            _masc("ExtendTimeout"), attributes={"extraSeconds": str(action.extra_seconds)}
+        )
+    if isinstance(action, DelayProcessAction):
+        return Element(
+            _masc("DelayProcess"), attributes={"delaySeconds": str(action.delay_seconds)}
+        )
+    if isinstance(action, QuarantineAction):
+        return Element(
+            _masc("Quarantine"), attributes={"durationSeconds": str(action.duration_seconds)}
+        )
+    if isinstance(action, PreferBestAction):
+        return Element(
+            _masc("PreferBest"),
+            attributes={"metric": action.metric, "window": str(action.window)},
+        )
+    if isinstance(action, AddActivityAction):
+        attributes = {"anchor": action.anchor, "position": action.position}
+        if action.block_name is not None:
+            attributes["blockName"] = action.block_name
+        element = Element(_masc("AddActivity"), attributes=attributes)
+        for variable, value in action.bindings.items():
+            element.add(_masc("Bind"), variable=variable, value=str(value))
+        for spec in action.invokes:
+            element.append(_invoke_spec_to_element(spec))
+        return element
+    if isinstance(action, RemoveActivityAction):
+        attributes = {"target": action.target}
+        if action.block_end is not None:
+            attributes["blockEnd"] = action.block_end
+        return Element(_masc("RemoveActivity"), attributes=attributes)
+    if isinstance(action, ReplaceActivityAction):
+        attributes = {"target": action.target}
+        if action.block_name is not None:
+            attributes["blockName"] = action.block_name
+        element = Element(_masc("ReplaceActivity"), attributes=attributes)
+        for variable, value in action.bindings.items():
+            element.add(_masc("Bind"), variable=variable, value=str(value))
+        for spec in action.invokes:
+            element.append(_invoke_spec_to_element(spec))
+        return element
+    raise PolicyError(f"cannot serialize action {type(action).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+def parse_policy_document(source: str | Element) -> PolicyDocument:
+    """Parse XML text (or a pre-parsed element) into a PolicyDocument."""
+    root = parse_xml(source) if isinstance(source, str) else source
+    if root.name != QName(WSP_NS, "Policy"):
+        raise PolicyError(f"not a WS-Policy document: {root.name}")
+    document = PolicyDocument(name=root.attributes.get("Name", "unnamed"))
+    for child in root.children:
+        if child.name == _masc("MonitoringPolicy"):
+            document.monitoring_policies.append(_parse_monitoring(child))
+        elif child.name == _masc("AdaptationPolicy"):
+            document.adaptation_policies.append(_parse_adaptation(child))
+        elif child.name == _masc("GoalPolicy"):
+            document.goal_policies.append(
+                GoalPolicy(
+                    name=_required(child, "name"),
+                    goal=child.attributes.get("goal", "maximize_business_value"),
+                    scope=_parse_scope(child.find(_masc("Scope"))),
+                    time_value_per_second=float(
+                        child.attributes.get("timeValuePerSecond", "1.0")
+                    ),
+                    bandwidth_cost_per_message=float(
+                        child.attributes.get("bandwidthCostPerMessage", "0.1")
+                    ),
+                    priority=int(child.attributes.get("priority", "100")),
+                )
+            )
+        elif child.name in (QName(WSP_NS, "ExactlyOne"), QName(WSP_NS, "All")):
+            # WS-Policy operators: flatten — MASC treats all alternatives
+            # as available and picks by priority at enforcement time.
+            nested = parse_policy_document(
+                Element(QName(WSP_NS, "Policy"), children=[c.copy() for c in child.children])
+            )
+            document.monitoring_policies.extend(nested.monitoring_policies)
+            document.adaptation_policies.extend(nested.adaptation_policies)
+            document.goal_policies.extend(nested.goal_policies)
+        else:
+            raise PolicyError(f"unknown policy element {child.name}")
+    return document
+
+
+def _parse_scope(element: Element | None) -> PolicyScope:
+    if element is None:
+        return PolicyScope()
+    return PolicyScope(
+        service_type=element.attributes.get("serviceType"),
+        endpoint=element.attributes.get("endpoint"),
+        operation=element.attributes.get("operation"),
+        process=element.attributes.get("process"),
+        activity=element.attributes.get("activity"),
+    )
+
+
+def _required(element: Element, attribute: str) -> str:
+    value = element.attributes.get(attribute)
+    if value is None:
+        raise PolicyError(f"element {element.name.local} is missing attribute {attribute!r}")
+    return value
+
+
+def _parse_monitoring(element: Element) -> MonitoringPolicy:
+    events = tuple(_required(on, "event") for on in element.find_all(_masc("On")))
+    conditions = tuple(
+        MessageCondition(
+            xpath=_required(mc, "xpath"),
+            operator=mc.attributes.get("operator", "exists"),
+            value=mc.attributes.get("value"),
+            applies_to=mc.attributes.get("appliesTo", "body"),
+        )
+        for mc in element.find_all(_masc("MessageCondition"))
+    )
+    thresholds = tuple(
+        QoSThreshold(
+            metric=_required(th, "metric"),
+            operator=_required(th, "operator"),
+            value=float(_required(th, "value")),
+            window=int(th.attributes.get("window", "50")),
+            aggregate=th.attributes.get("aggregate", "mean"),
+        )
+        for th in element.find_all(_masc("QoSThreshold"))
+    )
+    extract = {
+        _required(ex, "variable"): _required(ex, "xpath")
+        for ex in element.find_all(_masc("Extract"))
+    }
+    classify_element = element.find(_masc("ClassifyAs"))
+    classify_as = (
+        FaultCode(_required(classify_element, "fault")) if classify_element is not None else None
+    )
+    emits = tuple(_required(emit, "event") for emit in element.find_all(_masc("Emit")))
+    return MonitoringPolicy(
+        name=_required(element, "name"),
+        events=events,
+        scope=_parse_scope(element.find(_masc("Scope"))),
+        condition=element.child_text(_masc("Condition")),
+        conditions=conditions,
+        qos_thresholds=thresholds,
+        extract=extract,
+        classify_as=classify_as,
+        emits=emits,
+        priority=int(element.attributes.get("priority", "100")),
+    )
+
+
+def _parse_invoke_spec(element: Element) -> InvokeSpec:
+    timeout_text = element.attributes.get("timeoutSeconds")
+    return InvokeSpec(
+        name=_required(element, "name"),
+        operation=_required(element, "operation"),
+        service_type=element.attributes.get("serviceType"),
+        address=element.attributes.get("address"),
+        inputs={
+            _required(part, "part"): _required(part, "value")
+            for part in element.find_all(_masc("Input"))
+        },
+        outputs={
+            _required(part, "variable"): _required(part, "part")
+            for part in element.find_all(_masc("Output"))
+        },
+        timeout_seconds=float(timeout_text) if timeout_text is not None else None,
+    )
+
+
+def _parse_action(element: Element) -> AdaptationAction:
+    local = element.name.local
+    if local == "Retry":
+        return RetryAction(
+            max_retries=int(element.attributes.get("maxRetries", "3")),
+            delay_seconds=float(element.attributes.get("delaySeconds", "2.0")),
+            backoff_multiplier=float(element.attributes.get("backoffMultiplier", "1.0")),
+        )
+    if local == "Substitute":
+        return SubstituteAction(
+            strategy=element.attributes.get("strategy", "best_response_time"),
+            backup_address=element.attributes.get("backupAddress"),
+        )
+    if local == "ConcurrentInvoke":
+        return ConcurrentInvokeAction(max_targets=int(element.attributes.get("maxTargets", "0")))
+    if local == "Skip":
+        return SkipAction(reason=element.attributes.get("reason", "activity skipped by policy"))
+    if local == "Suspend":
+        return SuspendProcessAction()
+    if local == "Resume":
+        return ResumeProcessAction()
+    if local == "Terminate":
+        return TerminateProcessAction(
+            reason=element.attributes.get("reason", "terminated by adaptation policy")
+        )
+    if local == "ExtendTimeout":
+        return ExtendTimeoutAction(extra_seconds=float(element.attributes.get("extraSeconds", "10")))
+    if local == "DelayProcess":
+        return DelayProcessAction(
+            delay_seconds=float(element.attributes.get("delaySeconds", "10"))
+        )
+    if local == "Quarantine":
+        return QuarantineAction(
+            duration_seconds=float(element.attributes.get("durationSeconds", "60"))
+        )
+    if local == "PreferBest":
+        return PreferBestAction(
+            metric=element.attributes.get("metric", "response_time"),
+            window=int(element.attributes.get("window", "50")),
+        )
+    if local == "AddActivity":
+        return AddActivityAction(
+            anchor=_required(element, "anchor"),
+            position=element.attributes.get("position", "after"),
+            block_name=element.attributes.get("blockName"),
+            bindings={
+                _required(b, "variable"): _required(b, "value")
+                for b in element.find_all(_masc("Bind"))
+            },
+            invokes=tuple(
+                _parse_invoke_spec(spec) for spec in element.find_all(_masc("InvokeActivity"))
+            ),
+        )
+    if local == "RemoveActivity":
+        return RemoveActivityAction(
+            target=_required(element, "target"),
+            block_end=element.attributes.get("blockEnd"),
+        )
+    if local == "ReplaceActivity":
+        return ReplaceActivityAction(
+            target=_required(element, "target"),
+            block_name=element.attributes.get("blockName"),
+            bindings={
+                _required(b, "variable"): _required(b, "value")
+                for b in element.find_all(_masc("Bind"))
+            },
+            invokes=tuple(
+                _parse_invoke_spec(spec) for spec in element.find_all(_masc("InvokeActivity"))
+            ),
+        )
+    raise PolicyError(f"unknown adaptation action element {local!r}")
+
+
+def _parse_adaptation(element: Element) -> AdaptationPolicy:
+    actions_element = element.find(_masc("Actions"))
+    if actions_element is None:
+        raise PolicyError(
+            f"adaptation policy {element.attributes.get('name')!r} has no Actions element"
+        )
+    business_element = element.find(_masc("BusinessValue"))
+    business_value = None
+    if business_element is not None:
+        business_value = BusinessValue(
+            amount=float(_required(business_element, "amount")),
+            currency=business_element.attributes.get("currency", "AUD"),
+            reason=business_element.attributes.get("reason", ""),
+        )
+    return AdaptationPolicy(
+        name=_required(element, "name"),
+        triggers=tuple(_required(on, "event") for on in element.find_all(_masc("On"))),
+        scope=_parse_scope(element.find(_masc("Scope"))),
+        condition=element.child_text(_masc("Condition")),
+        state_before=element.child_text(_masc("StateBefore")),
+        state_after=element.child_text(_masc("StateAfter")),
+        actions=tuple(_parse_action(child) for child in actions_element.children),
+        business_value=business_value,
+        priority=int(element.attributes.get("priority", "100")),
+        adaptation_type=element.attributes.get("type", "correction"),
+    )

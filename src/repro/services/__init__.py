@@ -1,0 +1,25 @@
+"""Service hosting: simulated Web services, containers, registry, invoker.
+
+Services implement operations as simulated processes (generators) so they
+can consume processing time, call other services, and raise SOAP faults.
+The :class:`ServiceRegistry` plays the UDDI role; the :class:`Invoker` is the
+client-side component that sends requests, applies timeout timers and maps
+transport failures onto the wsBus fault taxonomy.
+"""
+
+from repro.services.container import ServiceContainer
+from repro.services.invoker import InvocationOutcome, InvocationRecord, Invoker
+from repro.services.registry import ServiceRecord, ServiceRegistry
+from repro.services.service import ProcessingModel, ServiceContext, SimulatedService
+
+__all__ = [
+    "InvocationOutcome",
+    "InvocationRecord",
+    "Invoker",
+    "ProcessingModel",
+    "ServiceContainer",
+    "ServiceContext",
+    "ServiceRecord",
+    "ServiceRegistry",
+    "SimulatedService",
+]

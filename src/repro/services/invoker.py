@@ -1,0 +1,185 @@
+"""Client-side Web services invoker.
+
+The invoker builds request envelopes, races them against a timeout timer,
+and normalizes every failure mode into the fault taxonomy:
+
+- connection refused / unknown endpoint  → ``ServiceUnavailable``
+- no response within the timeout         → ``Timeout``
+- fault envelope returned by the service → the fault's own code
+
+Every attempt produces an :class:`InvocationRecord`; observers (the wsBus
+QoS Measurement Service, experiment harnesses) subscribe to build
+reliability, availability and response-time statistics.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable, Generator
+from dataclasses import dataclass
+
+from repro.simulation import Environment
+from repro.soap import AddressingHeaders, FaultCode, SoapEnvelope, SoapFault
+from repro.transport import ConnectionRefused, Network, TransportTimeout
+from repro.xmlutils import Element
+
+__all__ = ["InvocationOutcome", "InvocationRecord", "Invoker"]
+
+
+class InvocationOutcome(enum.Enum):
+    SUCCESS = "success"
+    FAULT = "fault"
+
+
+@dataclass(frozen=True)
+class InvocationRecord:
+    """One attempted request/response exchange, as seen by the caller."""
+
+    caller: str
+    target: str
+    operation: str
+    started_at: float
+    finished_at: float
+    outcome: InvocationOutcome
+    fault_code: FaultCode | None = None
+    request_bytes: int = 0
+    response_bytes: int = 0
+
+    @property
+    def duration(self) -> float:
+        """Round-trip time in simulated seconds."""
+        return self.finished_at - self.started_at
+
+    @property
+    def succeeded(self) -> bool:
+        return self.outcome is InvocationOutcome.SUCCESS
+
+
+class Invoker:
+    """Sends requests on behalf of one caller (a client, service, or VEP)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        caller: str = "client",
+        default_timeout: float | None = 30.0,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.caller = caller
+        self.default_timeout = default_timeout
+        self._observers: list[Callable[[InvocationRecord], None]] = []
+        self._message_taps: list[Callable[[str, SoapEnvelope, str, str], None]] = []
+
+    def add_observer(self, observer: Callable[[InvocationRecord], None]) -> None:
+        """Subscribe to every invocation record this invoker produces."""
+        self._observers.append(observer)
+
+    def add_message_tap(
+        self, tap: Callable[[str, SoapEnvelope, str, str], None]
+    ) -> None:
+        """Subscribe to message contents: ``tap(direction, envelope,
+        operation, target)`` with direction ``request``/``response``/
+        ``fault``. This is the introspection point MASC monitoring uses."""
+        self._message_taps.append(tap)
+
+    def _tap(self, direction: str, envelope: SoapEnvelope, operation: str, target: str) -> None:
+        for tap in self._message_taps:
+            tap(direction, envelope, operation, target)
+
+    # -- invocation ------------------------------------------------------------
+
+    def invoke(
+        self,
+        to: str,
+        operation: str,
+        payload: Element,
+        timeout: float | None = None,
+        action: str | None = None,
+        process_instance_id: str | None = None,
+        padding: int = 0,
+    ) -> Generator:
+        """Build and send a request; returns the response envelope.
+
+        Raises :class:`~repro.soap.SoapFaultError` on any failure.
+        """
+        envelope = SoapEnvelope(
+            addressing=AddressingHeaders(
+                to=to,
+                action=action or f"urn:op:{operation}",
+                process_instance_id=process_instance_id,
+            ),
+            body=payload,
+            padding=padding,
+        )
+        return self.send(envelope, operation=operation, timeout=timeout)
+
+    def send(
+        self,
+        envelope: SoapEnvelope,
+        operation: str | None = None,
+        timeout: float | None = None,
+    ) -> Generator:
+        """Send a prebuilt envelope (used by wsBus when re-routing copies).
+
+        ``timeout=None`` applies the invoker's default; ``math.inf``
+        disables the timer entirely (callers that manage their own,
+        extensible deadline — the orchestration engine — use this).
+        """
+        effective_timeout = self.default_timeout if timeout is None else timeout
+        if effective_timeout is not None and effective_timeout == float("inf"):
+            effective_timeout = None
+        operation_name = operation or (envelope.addressing.action or "unknown")
+        target = envelope.addressing.to or ""
+        started = self.env.now
+        self._tap("request", envelope, operation_name, target)
+        try:
+            response = yield self.env.process(
+                self.network.send(envelope, timeout=effective_timeout),
+                name=f"invoke:{self.caller}->{target}",
+            )
+        except ConnectionRefused as refused:
+            fault = SoapFault(
+                FaultCode.SERVICE_UNAVAILABLE, str(refused), actor=target, source="transport"
+            )
+            self._record(target, operation_name, started, envelope, None, fault)
+            raise fault.to_exception() from refused
+        except TransportTimeout as timed_out:
+            fault = SoapFault(FaultCode.TIMEOUT, str(timed_out), actor=target, source="invoker")
+            self._record(target, operation_name, started, envelope, None, fault)
+            raise fault.to_exception() from timed_out
+        # Observers (QoS measurement) run before taps (monitoring) so a
+        # monitoring policy evaluating QoS thresholds on this response
+        # already sees the exchange it is judging.
+        if response.is_fault:
+            assert response.fault is not None
+            self._record(target, operation_name, started, envelope, response, response.fault)
+            self._tap("fault", response, operation_name, target)
+            raise response.fault.to_exception()
+        self._record(target, operation_name, started, envelope, response, None)
+        self._tap("response", response, operation_name, target)
+        return response
+
+    def _record(
+        self,
+        target: str,
+        operation: str,
+        started: float,
+        request: SoapEnvelope,
+        response: SoapEnvelope | None,
+        fault: SoapFault | None,
+    ) -> None:
+        record = InvocationRecord(
+            caller=self.caller,
+            target=target,
+            operation=operation,
+            started_at=started,
+            finished_at=self.env.now,
+            outcome=InvocationOutcome.FAULT if fault else InvocationOutcome.SUCCESS,
+            fault_code=fault.code if fault else None,
+            request_bytes=request.size_bytes,
+            response_bytes=response.size_bytes if response is not None else 0,
+        )
+        for observer in self._observers:
+            observer(record)

@@ -1,0 +1,385 @@
+"""Generator-based discrete-event simulation core.
+
+The model follows the classic process-interaction style:
+
+- An :class:`Environment` owns the simulated clock and a priority queue of
+  scheduled events.
+- An :class:`Event` is a one-shot occurrence that callbacks can be attached
+  to. Events either *succeed* with a value or *fail* with an exception.
+- A :class:`Process` wraps a generator. Each ``yield`` hands an event back to
+  the environment; when that event triggers, the generator is resumed with
+  the event's value (or the exception is thrown into it).
+- :class:`AnyOf` / :class:`AllOf` compose events, which is how the middleware
+  expresses "response or timeout, whichever first" and broadcast invocation.
+
+The implementation is intentionally small and dependency-free; it is the
+substrate for the simulated SOAP transport, service containers, fault
+injection and the orchestration engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Generator, Iterable
+from typing import Any
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel itself."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` is whatever the interrupter supplied; middleware uses it to
+    carry e.g. the fault that aborted a pending invocation.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event state markers. PENDING events have not been scheduled; TRIGGERED
+# events sit in the queue awaiting processing; PROCESSED events have run
+# their callbacks.
+_PENDING = 0
+_TRIGGERED = 1
+_PROCESSED = 2
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    Events start pending, are triggered exactly once with either a value
+    (:meth:`succeed`) or an exception (:meth:`fail`), and run their callbacks
+    when the environment processes them.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._state = _PENDING
+        self._ok: bool | None = None
+        self._value: Any = None
+        #: Set when a failure was handed to a waiting process or inspected,
+        #: used to surface unhandled failures at the end of a run.
+        self.defused = False
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to occur."""
+        return self._state != _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded. Only valid once triggered."""
+        if self._state == _PENDING:
+            raise SimulationError("event has not been triggered yet")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception. Only valid once triggered."""
+        if self._state == _PENDING:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to succeed after ``delay`` simulated seconds."""
+        self._trigger(True, value, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to fail with ``exception`` after ``delay``."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() requires an exception, got {exception!r}")
+        self._trigger(False, exception, delay)
+        return self
+
+    def _trigger(self, ok: bool, value: Any, delay: float) -> None:
+        if self._state != _PENDING:
+            raise SimulationError("event already triggered")
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        self._state = _TRIGGERED
+        self._ok = ok
+        self._value = value
+        self.env._enqueue(self, delay)
+
+    def _process(self) -> None:
+        self._state = _PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+        if not self._ok and not self.defused and not callbacks:
+            # Nobody is listening for this failure; surface it rather than
+            # letting it pass silently.
+            raise self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}
+        return f"<{type(self).__name__} {state[self._state]} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that succeeds after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        super().__init__(env)
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        self.delay = delay
+        self._trigger(True, value, delay)
+
+
+class Process(Event):
+    """A running simulated activity, driven by a generator.
+
+    The process is itself an event: it triggers when the generator returns
+    (success, with the generator's return value) or raises (failure). Other
+    processes can therefore ``yield`` a process to wait for it.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator, name: str | None = None) -> None:
+        super().__init__(env)
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"expected a generator, got {generator!r}")
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Event | None = None
+        # Kick the generator off at the current simulated instant.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        Interrupting a finished process is an error; interrupting a process
+        twice before it handles the first interrupt queues both.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        event = Event(self.env)
+        event.callbacks.append(self._resume)
+        event.fail(Interrupt(cause))
+        # Detach from whatever we were waiting on so the original event's
+        # trigger does not resume us a second time.
+        target = self._waiting_on
+        if target is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+            self._waiting_on = None
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        while True:
+            try:
+                if event.ok:
+                    target = self._generator.send(event.value)
+                else:
+                    event.defused = True
+                    target = self._generator.throw(event.value)
+            except StopIteration as stop:
+                self._trigger(True, stop.value, 0.0)
+                return
+            except BaseException as exc:  # noqa: BLE001 - process failure is a value
+                self._trigger(False, exc, 0.0)
+                return
+
+            if not isinstance(target, Event):
+                exc = SimulationError(
+                    f"process {self.name!r} yielded {target!r}, expected an Event"
+                )
+                try:
+                    self._generator.throw(exc)
+                except StopIteration as stop:
+                    self._trigger(True, stop.value, 0.0)
+                except BaseException as err:  # noqa: BLE001
+                    self._trigger(False, err, 0.0)
+                return
+
+            if target.processed:
+                # Already happened: feed its outcome straight back in.
+                if not target.ok:
+                    target.defused = True
+                event = target
+                continue
+
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+            return
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events: list[Event] = list(events)
+        for event in self.events:
+            if event.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        self._pending = 0
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for event in self.events:
+            if event.processed:
+                self._observe(event, immediate=True)
+            else:
+                self._pending += 1
+                event.callbacks.append(self._observe)
+        if self._state == _PENDING and self._satisfied():
+            self.succeed(self._collect())
+
+    def _observe(self, event: Event, immediate: bool = False) -> None:
+        if not immediate:
+            self._pending -= 1
+        if self._state != _PENDING:
+            if not event.ok:
+                event.defused = True
+            return
+        if not event.ok:
+            event.defused = True
+            self.fail(event.value)
+            return
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+    def _collect(self) -> dict[Event, Any]:
+        # "Occurred" means processed: a Timeout is *triggered* (scheduled)
+        # the instant it is created, but only counts once it has fired.
+        return {event: event.value for event in self.events if event.processed and event.ok}
+
+
+class AnyOf(_Condition):
+    """Succeeds when the first constituent event succeeds.
+
+    The value is a dict mapping the already-succeeded events to their values
+    (usually a single entry). Fails if any constituent fails first.
+    """
+
+    def _satisfied(self) -> bool:
+        return any(event.processed and event.ok for event in self.events)
+
+
+class AllOf(_Condition):
+    """Succeeds when every constituent event has succeeded."""
+
+    def _satisfied(self) -> bool:
+        return all(event.processed and event.ok for event in self.events)
+
+
+class Environment:
+    """Simulated clock plus the event queue that drives it."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- factories ----------------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that succeeds ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str | None = None) -> Process:
+        """Start a simulated activity from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event: first success wins."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event: all must succeed."""
+        return AllOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _enqueue(self, event: Event, delay: float) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+
+    def step(self) -> None:
+        """Process the single next event, advancing the clock to it."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        time, _seq, event = heapq.heappop(self._queue)
+        self._now = time
+        event._process()
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        - ``until`` is ``None``: run until no events remain.
+        - ``until`` is a number: run until the clock reaches it.
+        - ``until`` is an :class:`Event` (e.g. a :class:`Process`): run until
+          it triggers, then return its value (raising its failure).
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited event triggered"
+                    )
+                self.step()
+            if stop.ok:
+                return stop.value
+            stop.defused = True
+            raise stop.value
+        if until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise SimulationError(f"cannot run backwards to {horizon}")
+            while self._queue and self._queue[0][0] <= horizon:
+                self.step()
+            self._now = horizon
+            return None
+        while self._queue:
+            self.step()
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")

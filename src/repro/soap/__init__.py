@@ -1,0 +1,34 @@
+"""SOAP 1.1-style messaging model.
+
+The wire unit of the whole middleware: envelopes with headers and a body,
+fault representation (with the fault taxonomy wsBus classifies into), and
+WS-Addressing message-information headers — including the ``RelatesTo``-style
+correlation header MASC uses to carry the calling ProcessInstanceID across
+the messaging layer (Section 3.1 of the paper).
+"""
+
+from repro.soap.addressing import (
+    MASC_NS,
+    WSA_NS,
+    AddressingHeaders,
+    new_message_id,
+)
+from repro.soap.envelope import SOAP_ENV_NS, SoapEnvelope, SoapHeader
+from repro.soap.faults import (
+    FaultCode,
+    SoapFault,
+    SoapFaultError,
+)
+
+__all__ = [
+    "AddressingHeaders",
+    "FaultCode",
+    "MASC_NS",
+    "SOAP_ENV_NS",
+    "SoapEnvelope",
+    "SoapFault",
+    "SoapFaultError",
+    "SoapHeader",
+    "WSA_NS",
+    "new_message_id",
+]

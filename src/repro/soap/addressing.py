@@ -1,0 +1,101 @@
+"""WS-Addressing message-information headers.
+
+Carries endpoint references and message correlation. MASC extends the set
+with a ``ProcessInstanceID`` header: the adaptation service "transparently
+adds the ProcessInstanceID of the calling process to outgoing SOAP messages
+(using the RelatesTo Message Addressing Header)" so the messaging layer can
+identify which process instance to coordinate recovery with.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+
+from repro.xmlutils import Element, QName
+
+__all__ = ["AddressingHeaders", "MASC_NS", "WSA_NS", "new_message_id"]
+
+WSA_NS = "http://www.w3.org/2005/08/addressing"
+MASC_NS = "http://masc.web.cse.unsw.edu.au/ns/masc"
+
+_message_counter = itertools.count(1)
+
+
+def new_message_id() -> str:
+    """A fresh unique message identifier (URN form)."""
+    return f"urn:uuid:msg-{next(_message_counter):08d}"
+
+
+@dataclass(frozen=True)
+class AddressingHeaders:
+    """The addressing properties of one SOAP message.
+
+    ``process_instance_id`` is the MASC extension header used for
+    cross-layer coordination between wsBus and the orchestration engine.
+    """
+
+    to: str | None = None
+    action: str | None = None
+    message_id: str = field(default_factory=new_message_id)
+    relates_to: str | None = None
+    reply_to: str | None = None
+    process_instance_id: str | None = None
+
+    def for_reply(self, to: str | None = None) -> "AddressingHeaders":
+        """Headers for a reply correlated to this message."""
+        return AddressingHeaders(
+            to=to if to is not None else self.reply_to,
+            action=f"{self.action}Response" if self.action else None,
+            relates_to=self.message_id,
+            process_instance_id=self.process_instance_id,
+        )
+
+    def with_process_instance(self, process_instance_id: str) -> "AddressingHeaders":
+        """A copy carrying the calling process instance identifier."""
+        return replace(self, process_instance_id=process_instance_id)
+
+    def retargeted(self, to: str) -> "AddressingHeaders":
+        """A copy addressed to a different endpoint (VEP re-routing).
+
+        A fresh ``message_id`` is minted because re-routed copies are
+        distinct messages on the wire (the paper's concurrent-invocation
+        strategy "makes a copy of the message and modifies its route").
+        """
+        return replace(self, to=to, message_id=new_message_id())
+
+    # -- XML mapping ---------------------------------------------------------
+
+    def to_elements(self) -> list[Element]:
+        """Header blocks in document order."""
+        blocks: list[Element] = []
+
+        def block(local: str, ns: str, text: str | None) -> None:
+            if text is not None:
+                blocks.append(Element(QName(ns, local), text=text))
+
+        block("To", WSA_NS, self.to)
+        block("Action", WSA_NS, self.action)
+        block("MessageID", WSA_NS, self.message_id)
+        block("RelatesTo", WSA_NS, self.relates_to)
+        block("ReplyTo", WSA_NS, self.reply_to)
+        block("ProcessInstanceID", MASC_NS, self.process_instance_id)
+        return blocks
+
+    @classmethod
+    def from_elements(cls, blocks: list[Element]) -> "AddressingHeaders":
+        """Reconstruct addressing properties from header blocks."""
+        values: dict[str, str] = {}
+        for element in blocks:
+            if element.name.namespace == WSA_NS:
+                values[element.name.local] = element.text or ""
+            elif element.name == QName(MASC_NS, "ProcessInstanceID"):
+                values["ProcessInstanceID"] = element.text or ""
+        return cls(
+            to=values.get("To"),
+            action=values.get("Action"),
+            message_id=values.get("MessageID", new_message_id()),
+            relates_to=values.get("RelatesTo"),
+            reply_to=values.get("ReplyTo"),
+            process_instance_id=values.get("ProcessInstanceID"),
+        )

@@ -1,0 +1,174 @@
+"""SOAP envelope model.
+
+An envelope is addressing headers + optional extension headers + a body that
+holds either a payload element or a fault. Serialization produces real XML;
+the serialized size feeds the transport's size-dependent latency model
+(Figure 5 of the paper sweeps request sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.soap.addressing import AddressingHeaders
+from repro.soap.faults import SoapFault
+from repro.xmlutils import Element, QName, XmlError, parse_xml, serialize_xml
+
+__all__ = ["SOAP_ENV_NS", "SoapEnvelope", "SoapHeader"]
+
+SOAP_ENV_NS = "http://schemas.xmlsoap.org/soap/envelope/"
+
+
+@dataclass
+class SoapHeader:
+    """An extension header block (anything beyond addressing)."""
+
+    element: Element
+    must_understand: bool = False
+
+
+@dataclass
+class SoapEnvelope:
+    """One SOAP message: headers plus a body payload or fault."""
+
+    addressing: AddressingHeaders = field(default_factory=AddressingHeaders)
+    headers: list[SoapHeader] = field(default_factory=list)
+    body: Element | None = None
+    fault: SoapFault | None = None
+    #: Extra padding bytes, used by workload generators to sweep request
+    #: sizes without fabricating huge payload trees.
+    padding: int = 0
+
+    def __post_init__(self) -> None:
+        if self.body is not None and self.fault is not None:
+            raise ValueError("an envelope carries either a body payload or a fault, not both")
+
+    # -- classification --------------------------------------------------------
+
+    @property
+    def is_fault(self) -> bool:
+        return self.fault is not None
+
+    @property
+    def action(self) -> str | None:
+        return self.addressing.action
+
+    # -- construction helpers ---------------------------------------------------
+
+    @classmethod
+    def request(
+        cls,
+        to: str,
+        action: str,
+        body: Element,
+        reply_to: str | None = None,
+        padding: int = 0,
+    ) -> "SoapEnvelope":
+        """A request message addressed to ``to`` with the given WSA action."""
+        return cls(
+            addressing=AddressingHeaders(to=to, action=action, reply_to=reply_to),
+            body=body,
+            padding=padding,
+        )
+
+    def reply(self, body: Element, padding: int = 0) -> "SoapEnvelope":
+        """A success reply correlated to this request."""
+        return SoapEnvelope(
+            addressing=self.addressing.for_reply(),
+            body=body,
+            padding=padding,
+        )
+
+    def reply_fault(self, fault: SoapFault) -> "SoapEnvelope":
+        """A fault reply correlated to this request."""
+        return SoapEnvelope(addressing=self.addressing.for_reply(), fault=fault)
+
+    def copy(self) -> "SoapEnvelope":
+        """A deep copy (used when broadcasting to multiple targets)."""
+        return SoapEnvelope(
+            addressing=self.addressing,
+            headers=[SoapHeader(h.element.copy(), h.must_understand) for h in self.headers],
+            body=self.body.copy() if self.body is not None else None,
+            fault=self.fault,
+            padding=self.padding,
+        )
+
+    def header(self, name: QName | str) -> Element | None:
+        """The first extension header with the given qualified name."""
+        wanted = name if isinstance(name, QName) else QName.parse(name)
+        for header in self.headers:
+            if header.element.name == wanted:
+                return header.element
+        return None
+
+    def add_header(self, element: Element, must_understand: bool = False) -> None:
+        self.headers.append(SoapHeader(element, must_understand))
+
+    # -- XML mapping --------------------------------------------------------------
+
+    def to_element(self) -> Element:
+        envelope = Element(QName(SOAP_ENV_NS, "Envelope"))
+        header = envelope.add(QName(SOAP_ENV_NS, "Header"))
+        for block in self.addressing.to_elements():
+            header.append(block)
+        for extension in self.headers:
+            child = extension.element.copy()
+            if extension.must_understand:
+                child.attributes[QName(SOAP_ENV_NS, "mustUnderstand").clark()] = "1"
+            header.append(child)
+        body = envelope.add(QName(SOAP_ENV_NS, "Body"))
+        if self.fault is not None:
+            body.append(self.fault.to_element())
+        elif self.body is not None:
+            body.append(self.body.copy())
+        return envelope
+
+    def to_xml(self) -> str:
+        return serialize_xml(self.to_element())
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized size plus padding; drives transport latency."""
+        return len(self.to_xml().encode()) + self.padding
+
+    @classmethod
+    def from_element(cls, element: Element) -> "SoapEnvelope":
+        if element.name != QName(SOAP_ENV_NS, "Envelope"):
+            raise XmlError(f"not a SOAP envelope: {element.name}")
+        header = element.find(QName(SOAP_ENV_NS, "Header"))
+        body = element.find(QName(SOAP_ENV_NS, "Body"))
+        if body is None:
+            raise XmlError("SOAP envelope without a Body")
+        addressing_blocks: list[Element] = []
+        extensions: list[SoapHeader] = []
+        mu_attr = QName(SOAP_ENV_NS, "mustUnderstand").clark()
+        if header is not None:
+            from repro.soap.addressing import MASC_NS, WSA_NS
+
+            for child in header.children:
+                if child.name.namespace == WSA_NS or (
+                    child.name.namespace == MASC_NS and child.name.local == "ProcessInstanceID"
+                ):
+                    addressing_blocks.append(child)
+                else:
+                    extensions.append(
+                        SoapHeader(child.copy(), child.attributes.get(mu_attr) == "1")
+                    )
+        fault: SoapFault | None = None
+        payload: Element | None = None
+        if body.children:
+            first = body.children[0]
+            if first.name == QName(SOAP_ENV_NS, "Fault"):
+                fault = SoapFault.from_element(first)
+            else:
+                payload = first.copy()
+        return cls(
+            addressing=AddressingHeaders.from_elements(addressing_blocks),
+            headers=extensions,
+            body=payload,
+            fault=fault,
+        )
+
+    @classmethod
+    def from_xml(cls, text: str) -> "SoapEnvelope":
+        return cls.from_element(parse_xml(text))

@@ -1,0 +1,118 @@
+"""SOAP faults and the wsBus fault taxonomy.
+
+The wsBus Monitoring Service classifies detected violations into meaningful
+fault types — "Service Unavailable Fault, SLA Violation Fault, Service
+Failure Fault and Timeout Fault" — which the Adaptation Manager keys its
+recovery policies on. :class:`FaultCode` captures that taxonomy plus the
+standard SOAP client/server codes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.xmlutils import Element, QName
+
+__all__ = ["FaultCode", "SoapFault", "SoapFaultError", "TRANSIENT_FAULT_CODES"]
+
+_FAULT_NS = "http://masc.web.cse.unsw.edu.au/ns/faults"
+
+
+class FaultCode(enum.Enum):
+    """Fault classification used by monitoring and adaptation policies."""
+
+    #: Malformed or contract-violating request (SOAP "Client").
+    CLIENT = "Client"
+    #: Service-side processing error (SOAP "Server").
+    SERVER = "Server"
+    #: The endpoint could not be reached at all.
+    SERVICE_UNAVAILABLE = "ServiceUnavailable"
+    #: The service responded with an application-level failure.
+    SERVICE_FAILURE = "ServiceFailure"
+    #: No response within the invoker's timeout interval.
+    TIMEOUT = "Timeout"
+    #: A QoS guarantee from the SLA was violated (e.g. response time).
+    SLA_VIOLATION = "SLAViolation"
+
+    @property
+    def qname(self) -> QName:
+        return QName(_FAULT_NS, self.value)
+
+
+#: Fault codes considered transient: a retry against the same or an
+#: equivalent service may succeed. Policies may override this default.
+TRANSIENT_FAULT_CODES = frozenset(
+    {FaultCode.SERVICE_UNAVAILABLE, FaultCode.TIMEOUT, FaultCode.SLA_VIOLATION}
+)
+
+
+@dataclass
+class SoapFault:
+    """The content of a SOAP Fault element."""
+
+    code: FaultCode
+    reason: str
+    actor: str | None = None
+    detail: Element | None = None
+    #: Where the fault was detected; used in experiment traces.
+    source: str | None = None
+
+    @property
+    def is_transient(self) -> bool:
+        """Whether retry-style recovery is plausible for this fault."""
+        return self.code in TRANSIENT_FAULT_CODES
+
+    def to_element(self) -> Element:
+        from repro.soap.envelope import SOAP_ENV_NS  # local import: avoid cycle
+
+        fault = Element(QName(SOAP_ENV_NS, "Fault"))
+        fault.add(QName("", "faultcode"), text=self.code.qname.clark())
+        fault.add(QName("", "faultstring"), text=self.reason)
+        if self.actor:
+            fault.add(QName("", "faultactor"), text=self.actor)
+        if self.detail is not None:
+            detail = fault.add(QName("", "detail"))
+            detail.append(self.detail.copy())
+        return fault
+
+    @classmethod
+    def from_element(cls, element: Element) -> "SoapFault":
+        code_text = element.child_text("faultcode", "") or ""
+        local = QName.parse(code_text).local
+        try:
+            code = FaultCode(local)
+        except ValueError:
+            code = FaultCode.SERVER
+        detail_wrapper = element.find("detail")
+        detail = detail_wrapper.children[0].copy() if detail_wrapper and detail_wrapper.children else None
+        return cls(
+            code=code,
+            reason=element.child_text("faultstring", "") or "",
+            actor=element.child_text("faultactor"),
+            detail=detail,
+        )
+
+    def to_exception(self) -> "SoapFaultError":
+        return SoapFaultError(self)
+
+    def __str__(self) -> str:
+        return f"[{self.code.value}] {self.reason}"
+
+
+class SoapFaultError(Exception):
+    """A SOAP fault raised as a Python exception on the caller's side."""
+
+    def __init__(self, fault: SoapFault) -> None:
+        super().__init__(str(fault))
+        self.fault = fault
+
+
+def unavailable(reason: str, source: str | None = None) -> SoapFault:
+    """Convenience constructor for a ServiceUnavailable fault."""
+    return SoapFault(FaultCode.SERVICE_UNAVAILABLE, reason, source=source)
+
+
+def timeout(reason: str, source: str | None = None) -> SoapFault:
+    """Convenience constructor for a Timeout fault."""
+    return SoapFault(FaultCode.TIMEOUT, reason, source=source)

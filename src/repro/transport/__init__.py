@@ -1,0 +1,27 @@
+"""Simulated network transport.
+
+Replaces the paper's SOAP-over-HTTP on a 100 Mb LAN with a discrete-event
+simulated wire: per-message latency is a base cost plus a size-proportional
+term plus seeded jitter, endpoints can refuse connections while a fault
+window is open, and callers can bound waits with timeouts. All middleware
+code above this layer (invokers, wsBus pipelines, orchestration) is agnostic
+to the substitution.
+"""
+
+from repro.transport.network import (
+    ConnectionRefused,
+    LatencyModel,
+    Network,
+    NetworkEndpoint,
+    TransportError,
+    TransportTimeout,
+)
+
+__all__ = [
+    "ConnectionRefused",
+    "LatencyModel",
+    "Network",
+    "NetworkEndpoint",
+    "TransportError",
+    "TransportTimeout",
+]

@@ -1,0 +1,10 @@
+"""Workload generation (the JMeter role in the paper's experiments).
+
+"We simulated multiple concurrent Web service clients, each of which
+invoked deployed services multiple times. We used Apache's JMeter... to
+generate the workload and to measure the observed performance."
+"""
+
+from repro.workload.generator import RequestPlan, WorkloadResult, WorkloadRunner
+
+__all__ = ["RequestPlan", "WorkloadResult", "WorkloadRunner"]

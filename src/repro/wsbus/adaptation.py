@@ -1,0 +1,381 @@
+"""wsBus Adaptation Manager.
+
+"Decides and coordinates the execution of appropriate adaptation action(s)
+to restore the system to an acceptable state using adaptation policies
+configured at the VEP... When multiple adaptation policies are specified
+per fault type, policy priorities are used to determine the order of
+execution of the adaptation actions. For example, a policy could stipulate
+that the VEP should first attempt n retries before failover to a known
+backup service."
+
+Messaging-layer actions (retry / substitute / concurrent invocation /
+skip) are enacted inline in the message path. Process-layer actions in the
+same policy (suspend, extend timeout — the cross-layer coordination) are
+dispatched to the process enforcement point *before* the messaging-layer
+recovery begins, exactly as the paper orders them ("before retrying
+invocation of a faulty service, the adaptation policy might stipulate that
+MASCAdaptationService should first suspend the calling process instance...
+or increase its timeout interval").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass, field
+
+from repro.core.events import MASCEvent
+from repro.policy import AdaptationPolicy, PolicyRepository
+from repro.policy.actions import (
+    ConcurrentInvokeAction,
+    ResumeProcessAction,
+    RetryAction,
+    SkipAction,
+    SubstituteAction,
+)
+from repro.soap import FaultCode, SoapEnvelope, SoapFault, SoapFaultError
+from repro.wsbus.retry import DeadLetterEntry, DeadLetterQueue, RetryQueue
+from repro.wsbus.selection import SelectionService
+
+__all__ = ["AdaptationManager", "RecoveryOutcome"]
+
+
+@dataclass
+class RecoveryOutcome:
+    """Audit record of one recovery attempt."""
+
+    time: float
+    vep_name: str
+    operation: str
+    original_target: str
+    fault_code: str
+    recovered: bool
+    actions_taken: list[str] = field(default_factory=list)
+    final_target: str | None = None
+    policies_consulted: list[str] = field(default_factory=list)
+
+
+class AdaptationManager:
+    """Enacts corrective adaptation policies at the messaging layer."""
+
+    def __init__(
+        self,
+        env,
+        repository: PolicyRepository,
+        selection: SelectionService,
+        retry_queue: RetryQueue,
+        dead_letters: DeadLetterQueue,
+        sender,
+        process_enforcement=None,
+    ) -> None:
+        self.env = env
+        self.repository = repository
+        self.selection = selection
+        self.retry_queue = retry_queue
+        self.dead_letters = dead_letters
+        self.sender = sender
+        #: Optional process-layer enforcement point (cross-layer actions).
+        self.process_enforcement = process_enforcement
+        self.outcomes: list[RecoveryOutcome] = []
+
+    def recover(
+        self,
+        vep,
+        envelope: SoapEnvelope,
+        operation: str,
+        fault: SoapFault,
+        failed_target: str,
+    ) -> Generator:
+        """Attempt policy-driven recovery of a failed invocation.
+
+        Returns the recovered response envelope, or raises the final
+        :class:`~repro.soap.SoapFaultError` after dead-lettering.
+        """
+        outcome = RecoveryOutcome(
+            time=self.env.now,
+            vep_name=vep.name,
+            operation=operation,
+            original_target=failed_target,
+            fault_code=fault.code.value,
+            recovered=False,
+        )
+        self.outcomes.append(outcome)
+        subject = {
+            "service_type": vep.contract.service_type,
+            "endpoint": failed_target,
+            "operation": operation,
+        }
+        policies = self.repository.adaptation_policies_for(
+            f"fault.{fault.code.value}", **subject
+        )
+        context = {
+            "fault_code": fault.code.value,
+            "fault_reason": fault.reason,
+            "operation": operation,
+            "target": failed_target,
+        }
+        last_error: SoapFaultError = fault.to_exception()
+        excluded: set[str] = {failed_target}
+        for policy in policies:
+            outcome.policies_consulted.append(policy.name)
+            if not policy.condition_holds(context):
+                continue
+            subject_key = f"endpoint:{failed_target}"
+            if not self.repository.check_state(policy, subject_key):
+                continue
+            try:
+                response = yield from self._enact_policy(
+                    policy, vep, envelope, operation, fault, failed_target, excluded, outcome
+                )
+            except SoapFaultError as error:
+                last_error = error
+                continue
+            if response is not None:
+                outcome.recovered = True
+                self.repository.transition(policy, subject_key)
+                self.repository.record_business_value(self.env.now, policy, subject_key)
+                return response
+        # All policies exhausted.
+        self.dead_letters.add(
+            DeadLetterEntry(
+                time=self.env.now,
+                envelope=envelope,
+                operation=operation,
+                target=failed_target,
+                attempts_made=0,
+                reason=f"recovery exhausted: {last_error.fault}",
+            )
+        )
+        raise last_error
+
+    # -- policy enactment -------------------------------------------------------------
+
+    def _enact_policy(
+        self,
+        policy: AdaptationPolicy,
+        vep,
+        envelope: SoapEnvelope,
+        operation: str,
+        fault: SoapFault,
+        failed_target: str,
+        excluded: set[str],
+        outcome: RecoveryOutcome,
+    ) -> Generator:
+        response: SoapEnvelope | None = None
+        last_error: SoapFaultError | None = None
+        deferred_process_actions = []
+        for action in policy.actions:
+            if action.layer == "process":
+                if isinstance(action, ResumeProcessAction):
+                    # Resume runs after messaging-layer recovery completes.
+                    deferred_process_actions.append(action)
+                else:
+                    self._enact_process_action(action, policy, envelope, operation, fault, outcome)
+                continue
+            if response is not None:
+                continue  # already recovered; remaining messaging actions moot
+            try:
+                if isinstance(action, RetryAction):
+                    response = yield from self._retry(
+                        envelope, operation, failed_target, action, fault, outcome
+                    )
+                elif isinstance(action, SubstituteAction):
+                    response = yield from self._substitute(
+                        vep, envelope, operation, action, excluded, outcome
+                    )
+                elif isinstance(action, ConcurrentInvokeAction):
+                    response = yield from self._concurrent(
+                        vep, envelope, operation, action, excluded, outcome
+                    )
+                elif isinstance(action, SkipAction):
+                    response = self._skip(vep, envelope, operation, action, outcome)
+            except SoapFaultError as error:
+                last_error = error
+                continue
+        for action in deferred_process_actions:
+            self._enact_process_action(action, policy, envelope, operation, fault, outcome)
+        if response is not None:
+            return response
+        if last_error is not None:
+            raise last_error
+        return None
+
+    def _enact_process_action(
+        self, action, policy, envelope: SoapEnvelope, operation: str, fault: SoapFault, outcome
+    ) -> None:
+        if self.process_enforcement is None:
+            outcome.actions_taken.append(f"skipped(no-process-layer): {action.describe()}")
+            return
+        event = MASCEvent(
+            name=f"fault.{fault.code.value}",
+            time=self.env.now,
+            operation=operation,
+            process_instance_id=envelope.addressing.process_instance_id,
+            envelope=envelope,
+            fault=fault,
+            context={"operation": operation},
+        )
+        ok = self.process_enforcement.enact(action, policy, event)
+        outcome.actions_taken.append(
+            ("cross-layer: " if ok else "cross-layer(no-effect): ") + action.describe()
+        )
+
+    def _retry(
+        self,
+        envelope: SoapEnvelope,
+        operation: str,
+        target: str,
+        action: RetryAction,
+        fault: SoapFault,
+        outcome: RecoveryOutcome,
+    ) -> Generator:
+        outcome.actions_taken.append(action.describe())
+        # The manager dead-letters itself only once *all* recovery actions
+        # are exhausted, so the queue must not park the message early.
+        completion = self.retry_queue.enqueue(
+            envelope, operation, target, action, first_fault=fault, dead_letter_on_exhaust=False
+        )
+        response = yield completion
+        outcome.final_target = target
+        outcome.actions_taken.append(f"retry succeeded against {target}")
+        return response
+
+    def _substitute(
+        self,
+        vep,
+        envelope: SoapEnvelope,
+        operation: str,
+        action: SubstituteAction,
+        excluded: set[str],
+        outcome: RecoveryOutcome,
+    ) -> Generator:
+        outcome.actions_taken.append(action.describe())
+        last_error: SoapFaultError | None = None
+        # The VEP is a recovery block: keep trying equivalent services (in
+        # the strategy's preference order) until one answers or none remain.
+        while True:
+            if action.strategy == "backup":
+                target = (
+                    action.backup_address if action.backup_address not in excluded else None
+                )
+            elif action.strategy == "registry":
+                target = None
+                if vep.registry is not None:
+                    record = vep.registry.find_one(
+                        vep.contract.service_type,
+                        predicate=lambda r: r.address not in excluded,
+                    )
+                    target = record.address if record else None
+            else:
+                strategy = (
+                    "round_robin" if action.strategy == "round_robin" else "best_response_time"
+                )
+                target = self.selection.select(
+                    vep.name, strategy, vep.members, envelope=envelope, exclude=excluded
+                )
+            if target is None:
+                if last_error is not None:
+                    raise last_error
+                raise SoapFaultError(
+                    SoapFault(
+                        FaultCode.SERVICE_UNAVAILABLE,
+                        "no substitute service available",
+                        source="wsbus-adaptation",
+                    )
+                )
+            excluded.add(target)
+            retargeted = envelope.copy()
+            retargeted.addressing = envelope.addressing.retargeted(target)
+            try:
+                response = yield self.env.process(
+                    self.sender(retargeted, operation, target), name=f"substitute:{target}"
+                )
+            except SoapFaultError as error:
+                last_error = error
+                outcome.actions_taken.append(f"substitute {target} also failed")
+                continue
+            outcome.final_target = target
+            outcome.actions_taken.append(f"substituted to {target}")
+            return response
+
+    def _concurrent(
+        self,
+        vep,
+        envelope: SoapEnvelope,
+        operation: str,
+        action: ConcurrentInvokeAction,
+        excluded: set[str],
+        outcome: RecoveryOutcome,
+    ) -> Generator:
+        outcome.actions_taken.append(action.describe())
+        targets = self.selection.broadcast_targets(vep.members, action.max_targets, excluded)
+        if not targets:
+            raise SoapFaultError(
+                SoapFault(
+                    FaultCode.SERVICE_UNAVAILABLE,
+                    "no targets left for concurrent invocation",
+                    source="wsbus-adaptation",
+                )
+            )
+        response, winner = yield from broadcast_first_response(
+            self.env, self.sender, envelope, operation, targets
+        )
+        outcome.final_target = winner
+        outcome.actions_taken.append(f"first response from {winner}")
+        return response
+
+    def _skip(
+        self, vep, envelope: SoapEnvelope, operation: str, action: SkipAction, outcome
+    ) -> SoapEnvelope:
+        outcome.actions_taken.append(action.describe())
+        outcome.final_target = "skipped"
+        return vep.synthetic_reply(envelope, operation, action.reason)
+
+
+def broadcast_first_response(
+    env, sender, envelope: SoapEnvelope, operation: str, targets: list[str]
+) -> Generator:
+    """Invoke all targets concurrently; first success wins.
+
+    "The concurrent invocation of equivalent services is accomplished by
+    making a copy of the message and modifying its route, then invoking
+    multiple target services using concurrent invocation threads"; "all
+    pending invocations are then aborted and their responses are ignored".
+
+    Returns ``(response, winning_target)``; raises the last failure if all
+    targets fail.
+    """
+    attempts = {}
+    for target in targets:
+        copy = envelope.copy()
+        copy.addressing = envelope.addressing.retargeted(target)
+        attempts[env.process(sender(copy, operation, target), name=f"bcast:{target}")] = target
+
+    pending = dict(attempts)
+    last_error: SoapFaultError | None = None
+    while pending:
+        # any_of fails fast if *any* constituent fails, so wait on each
+        # round and discard failures until a success or exhaustion.
+        try:
+            result = yield env.any_of(list(pending))
+        except SoapFaultError as error:
+            last_error = error
+            for process in list(pending):
+                if process.processed:
+                    process.defused = True
+                    del pending[process]
+            continue
+        winner_process = next(iter(result))
+        response = result[winner_process]
+        winner = pending.pop(winner_process)
+        for process in pending:
+            if process.is_alive:
+                process.callbacks.append(_defuse)
+            elif not process.processed:
+                process.defused = True
+        return response, winner
+    assert last_error is not None
+    raise last_error
+
+
+def _defuse(event) -> None:
+    event.defused = True

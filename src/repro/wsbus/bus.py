@@ -1,0 +1,222 @@
+"""The wsBus intermediary.
+
+"wsBus can be deployed either as a gateway to a Process Orchestration
+Engine or it can act as a transparent HTTP Proxy. In the first case the
+Process Orchestration Engine should be configured to explicitly direct
+service calls to the virtual endpoints configured in wsBus and the
+la[t]ter routes request messages to the real services."
+
+- :meth:`WsBus.create_vep` + addressing the returned VEP address is the
+  gateway deployment;
+- :meth:`WsBus.deploy_as_proxy` takes over an existing service address so
+  unmodified clients transparently go through the bus.
+"""
+
+from __future__ import annotations
+
+from repro.policy import PolicyRepository
+from repro.services import Invoker, ServiceRegistry
+from repro.simulation import Environment, RandomSource
+from repro.transport import Network
+from repro.wsbus.adaptation import AdaptationManager
+from repro.wsbus.monitoring import BusMonitoringService
+from repro.wsbus.pipeline import MessagePipeline
+from repro.wsbus.qos import QoSMeasurementService
+from repro.wsbus.retry import DeadLetterQueue, RetryQueue
+from repro.wsbus.selection import SelectionService
+from repro.wsbus.vep import VirtualEndpoint
+from repro.wsdl import ServiceContract
+
+__all__ = ["WsBus"]
+
+
+class WsBus:
+    """The deployable messaging intermediary hosting Virtual End Points."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        repository: PolicyRepository | None = None,
+        registry: ServiceRegistry | None = None,
+        random_source: RandomSource | None = None,
+        process_enforcement=None,
+        base_address: str = "http://wsbus",
+        member_timeout: float | None = 10.0,
+        qos_window: int = 500,
+        colocated_with_clients: bool = False,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.repository = repository if repository is not None else PolicyRepository()
+        self.registry = registry
+        self.base_address = base_address
+        self.member_timeout = member_timeout
+        #: The paper's client-side deployment: "JMeter stress tool (acting
+        #: as the client) and wsBus were deployed at a Windows XP laptop" —
+        #: the client→bus hop is loopback, not LAN. When set, VEP endpoints
+        #: get a near-zero latency override.
+        self.colocated_with_clients = colocated_with_clients
+
+        self.invoker = Invoker(env, network, caller="wsbus", default_timeout=member_timeout)
+        self.qos = QoSMeasurementService(window=qos_window)
+        self.qos.attach_to_invoker(self.invoker)
+        self.selection = SelectionService(self.qos, random_source)
+        self.monitoring = BusMonitoringService(env, self.repository, self.qos)
+        self.dead_letters = DeadLetterQueue()
+        self.retry_queue = RetryQueue(env, self._send, self.dead_letters)
+        self.adaptation = AdaptationManager(
+            env,
+            self.repository,
+            self.selection,
+            self.retry_queue,
+            self.dead_letters,
+            self._send,
+            process_enforcement=process_enforcement,
+        )
+        self.veps: dict[str, VirtualEndpoint] = {}
+        #: Per-message mediation processing cost applied inside each VEP;
+        #: calibrated so mediation adds roughly the paper's ~10% RTT.
+        from repro.transport import LatencyModel as _LatencyModel
+
+        self.mediation_overhead = _LatencyModel(
+            base_seconds=0.0006, per_kb_seconds=0.00004, jitter_fraction=0.1
+        )
+        self._overhead_rng = (random_source or RandomSource()).stream("wsbus.mediation")
+
+    # -- outbound sending (shared by VEPs, retry queue, adaptation manager) --------
+
+    def _send(self, envelope, operation: str, target: str, timeout: float | None = None):
+        """One delivery attempt to a concrete member service."""
+        outbound = envelope
+        if envelope.addressing.to != target:
+            outbound = envelope.copy()
+            outbound.addressing = envelope.addressing.retargeted(target)
+        effective = timeout if timeout is not None else self.member_timeout
+        return self.invoker.send(outbound, operation=operation, timeout=effective)
+
+    # -- VEP management --------------------------------------------------------------
+
+    def create_vep(
+        self,
+        name: str,
+        contract: ServiceContract,
+        members: list[str] | None = None,
+        selection_strategy: str = "round_robin",
+        invocation_timeout: float | None = None,
+        broadcast: bool = False,
+        pipeline: MessagePipeline | None = None,
+        address: str | None = None,
+        from_registry: bool = False,
+    ) -> VirtualEndpoint:
+        """Create and deploy a VEP (gateway deployment)."""
+        if name in self.veps:
+            raise ValueError(f"VEP {name!r} already exists")
+        vep = VirtualEndpoint(
+            name=name,
+            contract=contract,
+            env=self.env,
+            sender=self._send,
+            selection=self.selection,
+            monitoring=self.monitoring,
+            adaptation=self.adaptation,
+            members=members,
+            selection_strategy=selection_strategy,
+            invocation_timeout=(
+                invocation_timeout if invocation_timeout is not None else self.member_timeout
+            ),
+            broadcast=broadcast,
+            registry=self.registry,
+            pipeline=pipeline,
+            mediation_overhead=self.mediation_overhead,
+            overhead_rng=self._overhead_rng,
+        )
+        if from_registry:
+            vep.refresh_members_from_registry()
+        vep.address = address or f"{self.base_address}/{name}"
+        endpoint = self.network.register(vep.address, vep.handle)
+        if self.colocated_with_clients:
+            from repro.transport import LatencyModel
+
+            endpoint.latency = LatencyModel(
+                base_seconds=0.0001, per_kb_seconds=0.00001, jitter_fraction=0.05
+            )
+        self.veps[name] = vep
+        return vep
+
+    def vep(self, name: str) -> VirtualEndpoint | None:
+        return self.veps.get(name)
+
+    def remove_vep(self, name: str) -> None:
+        vep = self.veps.pop(name, None)
+        if vep is not None and vep.address is not None:
+            self.network.unregister(vep.address)
+
+    # -- transparent proxy deployment ---------------------------------------------------
+
+    def deploy_as_proxy(
+        self,
+        name: str,
+        contract: ServiceContract,
+        address: str,
+        extra_members: list[str] | None = None,
+        **vep_kwargs,
+    ) -> VirtualEndpoint:
+        """Interpose a VEP at an existing service address.
+
+        The original handler is re-registered at ``<address>#origin`` and
+        becomes the VEP's first member; clients keep using ``address``
+        unmodified (the transparent HTTP proxy deployment).
+        """
+        endpoint = self.network.endpoint(address)
+        if endpoint is None:
+            raise ValueError(f"no service to proxy at {address!r}")
+        origin_address = f"{address}#origin"
+        origin = self.network.register(origin_address, endpoint.handler)
+        # Mirror availability state: fault injection targets the original
+        # endpoint object, so the relocated origin shares its fate via the
+        # same NetworkEndpoint instance swap.
+        origin.available = endpoint.available
+        members = [origin_address] + list(extra_members or ())
+        vep = self.create_vep(
+            name, contract, members=members, address=address, **vep_kwargs
+        )
+        return vep
+
+    # -- gateway deployment ---------------------------------------------------------------
+
+    def bind_engine(self, engine) -> None:
+        """Gateway deployment: route the engine's abstract invokes via VEPs.
+
+        "wsBus can be deployed either as a gateway to a Process
+        Orchestration Engine... the Process Orchestration Engine should be
+        configured to explicitly direct service calls to the virtual
+        endpoints configured in wsBus." After binding, any Invoke that
+        names a ``service_type`` for which a VEP exists resolves to that
+        VEP's address; other types fall back to the engine's registry.
+        """
+        previous_binder = engine.binder
+
+        def binder(service_type: str, instance):
+            for vep in self.veps.values():
+                if vep.contract.service_type == service_type:
+                    return vep.address
+            if previous_binder is not None:
+                return previous_binder(service_type, instance)
+            return None
+
+        engine.binder = binder
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def stats_summary(self) -> dict[str, dict]:
+        """Per-VEP and queue statistics for experiment reports."""
+        return {
+            "veps": {name: vars(vep.stats) for name, vep in self.veps.items()},
+            "retry_queue": {
+                "attempted": self.retry_queue.redeliveries_attempted,
+                "succeeded": self.retry_queue.redeliveries_succeeded,
+                "depth": self.retry_queue.depth,
+            },
+            "dead_letters": len(self.dead_letters),
+        }

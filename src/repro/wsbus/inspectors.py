@@ -1,0 +1,153 @@
+"""Built-in message inspectors.
+
+"Among the handlers provided by this component is a Message Logger to log
+the messages as they pass through the messaging layer. This is useful for
+debugging problems, meter usage for subsequent billing to users, or trace
+business-level events, such as transaction over a certain amount."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.soap import SoapEnvelope
+from repro.wsbus.pipeline import ApplicabilityRule, MessageProcessingModule, PipelineContext
+from repro.wsdl import ContractViolation, ServiceContract
+from repro.xmlutils import XPath
+
+__all__ = ["BusinessEventTracer", "ContractValidationInspector", "MessageLogger"]
+
+
+@dataclass(frozen=True)
+class LoggedMessage:
+    time: float
+    direction: str
+    operation: str
+    target: str | None
+    size_bytes: int
+    message_id: str
+
+
+class MessageLogger(MessageProcessingModule):
+    """Logs every passing message and meters usage per operation."""
+
+    def __init__(self, name: str = "message-logger", rule: ApplicabilityRule | None = None):
+        super().__init__(name, rule)
+        self.entries: list[LoggedMessage] = []
+        self.bytes_by_operation: dict[str, int] = {}
+
+    def _log(self, envelope: SoapEnvelope, context: PipelineContext) -> SoapEnvelope:
+        size = envelope.size_bytes
+        self.entries.append(
+            LoggedMessage(
+                time=context.env.now,
+                direction=context.direction,
+                operation=context.operation,
+                target=context.target,
+                size_bytes=size,
+                message_id=envelope.addressing.message_id,
+            )
+        )
+        self.bytes_by_operation[context.operation] = (
+            self.bytes_by_operation.get(context.operation, 0) + size
+        )
+        return envelope
+
+    process_request = _log
+    process_response = _log
+
+    def metered_usage(self) -> dict[str, int]:
+        """Total bytes transferred per operation (billing input)."""
+        return dict(self.bytes_by_operation)
+
+
+class ContractValidationInspector(MessageProcessingModule):
+    """Validates messages against the VEP's abstract contract.
+
+    "The monitoring policies could specify that exchanged messages between
+    participant services must be validated to ensure conformance to the
+    service contract expected by the service composition." Violations are
+    recorded and raised as :class:`~repro.wsdl.ContractViolation`.
+    """
+
+    def __init__(
+        self,
+        contract: ServiceContract,
+        name: str = "contract-validation",
+        rule: ApplicabilityRule | None = None,
+        strict: bool = True,
+    ) -> None:
+        super().__init__(name, rule)
+        self.contract = contract
+        self.strict = strict
+        self.violations: list[str] = []
+
+    def process_request(self, envelope: SoapEnvelope, context: PipelineContext) -> SoapEnvelope:
+        if envelope.body is None or not self.contract.has_operation(context.operation):
+            return envelope
+        try:
+            self.contract.validate_request(context.operation, envelope.body)
+        except ContractViolation as violation:
+            self.violations.extend(violation.violations)
+            if self.strict:
+                raise
+        return envelope
+
+    def process_response(self, envelope: SoapEnvelope, context: PipelineContext) -> SoapEnvelope:
+        if (
+            envelope.body is None
+            or envelope.is_fault
+            or not self.contract.has_operation(context.operation)
+        ):
+            return envelope
+        try:
+            self.contract.validate_response(context.operation, envelope.body)
+        except ContractViolation as violation:
+            self.violations.extend(violation.violations)
+            if self.strict:
+                raise
+        return envelope
+
+
+@dataclass(frozen=True)
+class BusinessEvent:
+    time: float
+    name: str
+    operation: str
+    value: str | None
+
+
+class BusinessEventTracer(MessageProcessingModule):
+    """Traces business-level events, e.g. transactions over an amount.
+
+    ``trigger_xpath`` selects the traced value; the event fires when the
+    applicability rule matches (put the threshold in the rule's XPath, e.g.
+    ``orderTotal[. > 10000]`` — or any predicate the XPath-lite supports).
+    """
+
+    def __init__(
+        self,
+        event_name: str,
+        trigger_xpath: str,
+        name: str = "business-event-tracer",
+        rule: ApplicabilityRule | None = None,
+    ) -> None:
+        super().__init__(name, rule)
+        self.event_name = event_name
+        self._xpath = XPath(trigger_xpath)
+        self.events: list[BusinessEvent] = []
+
+    def process_request(self, envelope: SoapEnvelope, context: PipelineContext) -> SoapEnvelope:
+        if envelope.body is None:
+            return envelope
+        value = self._xpath.value(envelope.body)
+        if value is not None:
+            self.events.append(
+                BusinessEvent(
+                    time=context.env.now,
+                    name=self.event_name,
+                    operation=context.operation,
+                    value=value,
+                )
+            )
+        return envelope

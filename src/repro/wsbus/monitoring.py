@@ -1,0 +1,224 @@
+"""wsBus Monitoring Service: assertion-based fault capture.
+
+"The monitoring policies can be attached to Monitoring Points at various
+levels of granularity such as a Service Endpoint or a Service Operation."
+The service:
+
+- evaluates message pre/post-conditions from monitoring policies in scope,
+- checks QoS thresholds against the QoS Measurement Service,
+- classifies violations and transport/application faults into the fault
+  taxonomy ("assign a meaningful fault type to the violation event"),
+- raises MASC events toward the decision maker (for cross-layer policies)
+  and hands faults to the Adaptation Manager "along with all the data
+  required for recovery".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.events import MASCEvent
+from repro.policy import PolicyRepository
+from repro.soap import FaultCode, SoapEnvelope, SoapFault
+from repro.wsbus.qos import QoSMeasurementService
+from repro.xmlutils import XPath
+
+__all__ = ["BusMonitoringService", "MonitoringPoint"]
+
+
+@dataclass(frozen=True)
+class MonitoringPoint:
+    """Where monitoring policies attach: endpoint or operation granularity."""
+
+    service_type: str | None = None
+    endpoint: str | None = None
+    operation: str | None = None
+
+    def subject(self) -> dict[str, str | None]:
+        return {
+            "service_type": self.service_type,
+            "endpoint": self.endpoint,
+            "operation": self.operation,
+        }
+
+
+class BusMonitoringService:
+    """Evaluates monitoring policies at messaging-layer monitoring points."""
+
+    def __init__(
+        self,
+        env,
+        repository: PolicyRepository,
+        qos: QoSMeasurementService,
+    ) -> None:
+        self.env = env
+        self.repository = repository
+        self.qos = qos
+        self._sinks: list[Callable[[MASCEvent], None]] = []
+        self._xpath_cache: dict[str, XPath] = {}
+        self.violations_detected = 0
+
+    def add_sink(self, sink: Callable[[MASCEvent], None]) -> None:
+        self._sinks.append(sink)
+
+    # -- message checks ------------------------------------------------------------
+
+    def check_message(
+        self, direction: str, envelope: SoapEnvelope, point: MonitoringPoint
+    ) -> SoapFault | None:
+        """Evaluate monitoring policies for one message.
+
+        Returns the first classified violation fault (or None), and raises
+        detection events/extractions to the sinks as side effects.
+        """
+        subject = point.subject()
+        policies = self.repository.monitoring_policies_for(f"message.{direction}", **subject)
+        first_fault: SoapFault | None = None
+        for policy in policies:
+            context = self._extract(policy, envelope)
+            if not policy.condition_holds(context):
+                continue
+            conditions_hold = all(c.evaluate(envelope) for c in policy.conditions)
+            if policy.classify_as is not None and policy.conditions and not conditions_hold:
+                self.violations_detected += 1
+                fault = SoapFault(
+                    policy.classify_as,
+                    f"monitoring policy {policy.name!r} violated: "
+                    + "; ".join(c.describe() for c in policy.conditions),
+                    actor=point.endpoint,
+                    source="wsbus-monitoring",
+                )
+                if first_fault is None:
+                    first_fault = fault
+                continue
+            if policy.classify_as is None and conditions_hold:
+                for emitted in policy.emits:
+                    self._emit(emitted, envelope, point, context, policy.name)
+            qos_fault = self._check_thresholds(policy, envelope, point, context)
+            if qos_fault is not None and first_fault is None:
+                first_fault = qos_fault
+        return first_fault
+
+    def _check_thresholds(
+        self, policy, envelope: SoapEnvelope, point: MonitoringPoint, context: dict
+    ) -> SoapFault | None:
+        fault: SoapFault | None = None
+        for threshold in policy.qos_thresholds:
+            observed = self.qos.lookup(
+                threshold.metric, threshold.window, threshold.aggregate, point.endpoint
+            )
+            if threshold.holds(observed):
+                continue
+            self.violations_detected += 1
+            code = policy.classify_as or FaultCode.SLA_VIOLATION
+            if fault is None:
+                fault = SoapFault(
+                    code,
+                    f"QoS guarantee violated: {threshold.describe()} "
+                    f"(observed {observed})",
+                    actor=point.endpoint,
+                    source="wsbus-monitoring",
+                )
+            violation_context = dict(context)
+            violation_context.update(
+                violated_metric=threshold.metric,
+                observed_value=observed,
+                threshold_value=threshold.value,
+            )
+            self._emit(f"fault.{code.value}", envelope, point, violation_context, policy.name)
+        return fault
+
+    # -- fault classification ---------------------------------------------------------
+
+    def classify(self, fault: SoapFault, point: MonitoringPoint) -> SoapFault:
+        """Refine a detected fault's classification and notify sinks.
+
+        Transport/application faults already carry a taxonomy code from the
+        invoker; this hook exists so monitoring policies observing the
+        fault can reclassify (first matching policy with ``classify_as``
+        wins) and so every fault becomes a MASC event.
+        """
+        policies = self.repository.monitoring_policies_for(
+            f"fault.{fault.code.value}", **point.subject()
+        )
+        classified = fault
+        for policy in policies:
+            if policy.classify_as is not None and policy.classify_as != fault.code:
+                classified = SoapFault(
+                    policy.classify_as,
+                    fault.reason,
+                    actor=fault.actor,
+                    detail=fault.detail,
+                    source=fault.source,
+                )
+                break
+        return classified
+
+    def notify_fault(
+        self, fault: SoapFault, envelope: SoapEnvelope, point: MonitoringPoint
+    ) -> None:
+        """Raise the fault as a MASC event (decision-maker visibility)."""
+        self._emit(
+            f"fault.{fault.code.value}",
+            envelope,
+            point,
+            {"fault_reason": fault.reason, "fault_actor": fault.actor},
+            raised_by=None,
+            fault=fault,
+        )
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _extract(self, policy, envelope: SoapEnvelope) -> dict:
+        context: dict = {}
+        if envelope.body is None:
+            return context
+        for variable, xpath in policy.extract.items():
+            compiled = self._xpath_cache.get(xpath)
+            if compiled is None:
+                compiled = XPath(xpath)
+                self._xpath_cache[xpath] = compiled
+            value = compiled.value(envelope.body)
+            context[variable] = _coerce(value)
+        return context
+
+    def _emit(
+        self,
+        name: str,
+        envelope: SoapEnvelope,
+        point: MonitoringPoint,
+        context: dict,
+        raised_by: str | None,
+        fault: SoapFault | None = None,
+    ) -> None:
+        event = MASCEvent(
+            name=name,
+            time=self.env.now,
+            service_type=point.service_type,
+            endpoint=point.endpoint,
+            operation=point.operation,
+            process_instance_id=envelope.addressing.process_instance_id,
+            envelope=envelope,
+            fault=fault,
+            context=context,
+            raised_by=raised_by,
+        )
+        for sink in self._sinks:
+            sink(event)
+
+
+def _coerce(text: str | None):
+    if text is None:
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    if text in ("true", "false"):
+        return text == "true"
+    return text

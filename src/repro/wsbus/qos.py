@@ -1,0 +1,186 @@
+"""QoS Measurement Service.
+
+"Responsible for management data collection and analysis either through
+direct computation of QoS metrics... The key QoS metrics measured by this
+component are: (a) Reliability (calculated as a ratio of successful
+invocations over the number of total invocations in given period of time);
+(b) Response Time (the time interval between when a service is requested
+and when it is delivered); (c) Availability: the percentage of time that a
+service is available during some time interval."
+
+The service consumes :class:`~repro.services.InvocationRecord` streams
+(subscribe it to any invoker) and serves aggregate lookups — including the
+``qos_lookup`` interface the MASC monitoring service and QoS-threshold
+assertions expect, and the best-endpoint query the selection service uses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.services import InvocationRecord
+
+__all__ = ["EndpointQoS", "QoSMeasurementService"]
+
+
+@dataclass
+class EndpointQoS:
+    """Rolling QoS observations for one endpoint."""
+
+    address: str
+    window: int = 500
+    records: deque = field(default_factory=deque)
+    total_invocations: int = 0
+    total_failures: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.records, deque) or self.records.maxlen != self.window:
+            self.records = deque(self.records, maxlen=self.window)
+
+    def add(self, record: InvocationRecord) -> None:
+        self.records.append(record)
+        self.total_invocations += 1
+        if not record.succeeded:
+            self.total_failures += 1
+
+    # -- metric computations ---------------------------------------------------
+
+    def _recent(self, window: int) -> list[InvocationRecord]:
+        records = list(self.records)
+        return records[-window:] if window > 0 else records
+
+    def reliability(self, window: int = 0) -> float | None:
+        """Ratio of successful invocations over total, in the window."""
+        records = self._recent(window)
+        if not records:
+            return None
+        return sum(1 for r in records if r.succeeded) / len(records)
+
+    def response_time(self, window: int = 0, aggregate: str = "mean") -> float | None:
+        """Aggregate RTT over *successful* invocations in the window."""
+        durations = sorted(r.duration for r in self._recent(window) if r.succeeded)
+        if not durations:
+            return None
+        if aggregate == "mean":
+            return sum(durations) / len(durations)
+        if aggregate == "min":
+            return durations[0]
+        if aggregate == "max":
+            return durations[-1]
+        if aggregate == "p95":
+            index = min(len(durations) - 1, int(round(0.95 * (len(durations) - 1))))
+            return durations[index]
+        raise ValueError(f"unknown aggregate {aggregate!r}")
+
+    def availability(self, window: int = 0) -> float | None:
+        """Observed availability: uptime fraction estimated from the
+        request outcome timeline (MTBF / (MTBF + MTTR)).
+
+        Consecutive failed requests form one outage burst; the burst's
+        duration (first failure start to last failure end) approximates
+        time-to-recover as seen by callers.
+        """
+        records = self._recent(window)
+        if not records:
+            return None
+        horizon_start = records[0].started_at
+        horizon_end = records[-1].finished_at
+        horizon = horizon_end - horizon_start
+        if horizon <= 0:
+            return 1.0 if records[-1].succeeded else 0.0
+        downtime = 0.0
+        burst_start: float | None = None
+        burst_end = 0.0
+        for record in records:
+            if not record.succeeded:
+                if burst_start is None:
+                    burst_start = record.started_at
+                burst_end = record.finished_at
+            else:
+                if burst_start is not None:
+                    downtime += burst_end - burst_start
+                    burst_start = None
+        if burst_start is not None:
+            downtime += burst_end - burst_start
+        return max(0.0, min(1.0, 1.0 - downtime / horizon))
+
+    def throughput(self, window: int = 0) -> float | None:
+        """Successful requests per second over the window's time span."""
+        records = self._recent(window)
+        successes = [r for r in records if r.succeeded]
+        if not records:
+            return None
+        span = records[-1].finished_at - records[0].started_at
+        if span <= 0:
+            return None
+        return len(successes) / span
+
+
+class QoSMeasurementService:
+    """Collects invocation records and serves QoS aggregates."""
+
+    def __init__(self, window: int = 500) -> None:
+        self.window = window
+        self.endpoints: dict[str, EndpointQoS] = {}
+
+    # -- collection --------------------------------------------------------------
+
+    def observe(self, record: InvocationRecord) -> None:
+        """Invoker-observer entry point."""
+        endpoint = self.endpoints.get(record.target)
+        if endpoint is None:
+            endpoint = EndpointQoS(record.target, window=self.window)
+            self.endpoints[record.target] = endpoint
+        endpoint.add(record)
+
+    def attach_to_invoker(self, invoker) -> None:
+        invoker.add_observer(self.observe)
+
+    # -- queries ------------------------------------------------------------------
+
+    def endpoint(self, address: str) -> EndpointQoS | None:
+        return self.endpoints.get(address)
+
+    def lookup(
+        self, metric: str, window: int, aggregate: str, endpoint: str | None
+    ) -> float | None:
+        """The ``qos_lookup`` interface used by QoS threshold assertions."""
+        if endpoint is None:
+            return None
+        qos = self.endpoints.get(endpoint)
+        if qos is None:
+            return None
+        if metric == "response_time":
+            return qos.response_time(window, aggregate)
+        if metric == "reliability":
+            return qos.reliability(window)
+        if metric == "availability":
+            return qos.availability(window)
+        if metric == "throughput":
+            return qos.throughput(window)
+        raise ValueError(f"unknown QoS metric {metric!r}")
+
+    def best_endpoint(
+        self, candidates: list[str], metric: str = "response_time", window: int = 50
+    ) -> str | None:
+        """The candidate with the best observed metric.
+
+        Lower is better for response time; higher for everything else.
+        Candidates without history win over candidates with *bad* history
+        only when no measured candidate exists — unknown beats nothing,
+        measurement beats optimism.
+        """
+        measured: list[tuple[float, str]] = []
+        unmeasured: list[str] = []
+        for address in candidates:
+            value = self.lookup(metric, window, "mean", address)
+            if value is None:
+                unmeasured.append(address)
+            else:
+                measured.append((value, address))
+        if not measured:
+            return unmeasured[0] if unmeasured else None
+        if metric == "response_time":
+            return min(measured)[1]
+        return max(measured)[1]

@@ -1,0 +1,157 @@
+"""Invocation Retry Handler: retry queue and dead-letter queue.
+
+"The Invocation Retry Handler places the messages that fail to be delivered
+in a retry queue and the queue reader tries redelivery using the pattern
+specified by the used recovery policy. Messages for which processing
+repeatedly fails are placed in a 'dead letter' queue after exhausting the
+maximum number of allowed retries and no further delivery will be
+attempted."
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Generator
+from dataclasses import dataclass
+from typing import Any
+
+from repro.policy.actions import RetryAction
+from repro.soap import FaultCode, SoapEnvelope, SoapFault, SoapFaultError
+
+__all__ = ["DeadLetterEntry", "DeadLetterQueue", "RetryQueue"]
+
+
+@dataclass
+class _RetryEntry:
+    envelope: SoapEnvelope
+    operation: str
+    target: str
+    policy: RetryAction
+    completion: Any  # simulation Event delivering the outcome to the caller
+    attempts_made: int = 0
+    last_fault: SoapFault | None = None
+    dead_letter_on_exhaust: bool = True
+
+
+@dataclass(frozen=True)
+class DeadLetterEntry:
+    """A message whose redelivery was abandoned."""
+
+    time: float
+    envelope: SoapEnvelope
+    operation: str
+    target: str
+    attempts_made: int
+    reason: str
+
+
+class DeadLetterQueue:
+    """Terminal parking lot for undeliverable messages."""
+
+    def __init__(self) -> None:
+        self.entries: list[DeadLetterEntry] = []
+
+    def add(self, entry: DeadLetterEntry) -> None:
+        self.entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def for_target(self, target: str) -> list[DeadLetterEntry]:
+        return [entry for entry in self.entries if entry.target == target]
+
+
+class RetryQueue:
+    """Queue + reader redelivering failed messages per recovery policy.
+
+    ``sender(envelope, operation, target)`` must be a generator performing
+    one delivery attempt and returning the response envelope (raising
+    :class:`~repro.soap.SoapFaultError` on failure) — the bus wires its own
+    invoker here. Each enqueued message gets an independent redelivery
+    process, so retrying one message never delays another.
+    """
+
+    def __init__(self, env, sender, dead_letter_queue: DeadLetterQueue) -> None:
+        self.env = env
+        self.sender = sender
+        self.dead_letters = dead_letter_queue
+        self._pending: deque[_RetryEntry] = deque()
+        self.redeliveries_attempted = 0
+        self.redeliveries_succeeded = 0
+
+    @property
+    def depth(self) -> int:
+        return len(self._pending)
+
+    def enqueue(
+        self,
+        envelope: SoapEnvelope,
+        operation: str,
+        target: str,
+        policy: RetryAction,
+        first_fault: SoapFault | None = None,
+        dead_letter_on_exhaust: bool = True,
+    ):
+        """Queue a failed message for redelivery.
+
+        Returns a simulation event that succeeds with the response envelope
+        if any retry succeeds, or fails with the last
+        :class:`~repro.soap.SoapFaultError` after the policy is exhausted.
+
+        ``dead_letter_on_exhaust=False`` lets the adaptation manager keep
+        the message alive while later policy actions (substitution,
+        broadcast) still have a chance to deliver it.
+        """
+        entry = _RetryEntry(
+            envelope=envelope,
+            operation=operation,
+            target=target,
+            policy=policy,
+            completion=self.env.event(),
+            last_fault=first_fault,
+            dead_letter_on_exhaust=dead_letter_on_exhaust,
+        )
+        self._pending.append(entry)
+        self.env.process(self._redeliver(entry), name=f"retry:{target}")
+        return entry.completion
+
+    def _redeliver(self, entry: _RetryEntry) -> Generator:
+        try:
+            while entry.attempts_made < entry.policy.max_retries:
+                entry.attempts_made += 1
+                delay = entry.policy.delay_for_attempt(entry.attempts_made)
+                if delay > 0:
+                    yield self.env.timeout(delay)
+                self.redeliveries_attempted += 1
+                try:
+                    response = yield self.env.process(
+                        self.sender(entry.envelope.copy(), entry.operation, entry.target),
+                        name=f"redeliver:{entry.target}",
+                    )
+                except SoapFaultError as error:
+                    entry.last_fault = error.fault
+                    continue
+                self.redeliveries_succeeded += 1
+                entry.completion.succeed(response)
+                return
+        finally:
+            if entry in self._pending:
+                self._pending.remove(entry)
+        # Exhausted: dead-letter and report failure to the caller.
+        fault = entry.last_fault or SoapFault(
+            code=FaultCode.SERVICE_UNAVAILABLE, reason="redelivery exhausted"
+        )
+        if not entry.dead_letter_on_exhaust:
+            entry.completion.fail(SoapFaultError(fault))
+            return
+        self.dead_letters.add(
+            DeadLetterEntry(
+                time=self.env.now,
+                envelope=entry.envelope,
+                operation=entry.operation,
+                target=entry.target,
+                attempts_made=entry.attempts_made,
+                reason=str(fault),
+            )
+        )
+        entry.completion.fail(SoapFaultError(fault))

@@ -1,0 +1,95 @@
+"""Web services Selection Service.
+
+"A VEP can be configured to choose between registered services in
+round-robin fashion, or to select the best performing service (based on the
+QoS metrics gathered from prior interactions or from other management
+entities), or to 'broadcast' the request message to multiple targets
+service providers concurrently and consider the first one that respond[s]".
+
+Selection can also be content/context based: "'on the fly' selection of
+service provider or intermediary based on a selection criteria specified in
+the policy attached to the VEP, such as message content and context".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulation import RandomSource
+from repro.soap import SoapEnvelope
+from repro.wsbus.pipeline import ApplicabilityRule, PipelineContext
+from repro.wsbus.qos import QoSMeasurementService
+
+__all__ = ["ContentRule", "SelectionService"]
+
+STRATEGIES = ("round_robin", "best_response_time", "best_reliability", "random", "primary", "content")
+
+
+@dataclass(frozen=True)
+class ContentRule:
+    """Routes messages matching a rule to a specific member."""
+
+    rule: ApplicabilityRule
+    target: str
+
+
+class SelectionService:
+    """Chooses concrete members of a VEP for each request."""
+
+    def __init__(
+        self, qos: QoSMeasurementService, random_source: RandomSource | None = None
+    ) -> None:
+        self.qos = qos
+        self._rng = (random_source or RandomSource()).stream("wsbus.selection")
+        self._round_robin_counters: dict[str, int] = {}
+        self._content_rules: dict[str, list[ContentRule]] = {}
+
+    def add_content_rule(self, vep_name: str, rule: ContentRule) -> None:
+        self._content_rules.setdefault(vep_name, []).append(rule)
+
+    def select(
+        self,
+        vep_name: str,
+        strategy: str,
+        members: list[str],
+        envelope: SoapEnvelope | None = None,
+        context: PipelineContext | None = None,
+        exclude: set[str] | None = None,
+        qos_window: int = 50,
+    ) -> str | None:
+        """One member per the strategy, or None if no candidate remains."""
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown selection strategy {strategy!r}")
+        candidates = [m for m in members if not exclude or m not in exclude]
+        if not candidates:
+            return None
+        if strategy == "primary":
+            return candidates[0]
+        if strategy == "random":
+            return self._rng.choice(candidates)
+        if strategy == "round_robin":
+            counter = self._round_robin_counters.get(vep_name, 0)
+            self._round_robin_counters[vep_name] = counter + 1
+            return candidates[counter % len(candidates)]
+        if strategy == "best_response_time":
+            return self.qos.best_endpoint(candidates, "response_time", qos_window)
+        if strategy == "best_reliability":
+            return self.qos.best_endpoint(candidates, "reliability", qos_window)
+        # content-based
+        if envelope is not None and context is not None:
+            for content_rule in self._content_rules.get(vep_name, ()):
+                if content_rule.target in candidates and content_rule.rule.matches(
+                    envelope, context
+                ):
+                    return content_rule.target
+        return candidates[0]
+
+    @staticmethod
+    def broadcast_targets(
+        members: list[str], max_targets: int = 0, exclude: set[str] | None = None
+    ) -> list[str]:
+        """The member set for concurrent invocation (first response wins)."""
+        candidates = [m for m in members if not exclude or m not in exclude]
+        if max_targets > 0:
+            candidates = candidates[:max_targets]
+        return candidates

@@ -1,0 +1,299 @@
+"""Virtual End Point (VEP).
+
+"wsBus key architectural abstraction is the concept of a Virtual End Point
+(VEP). A VEP allows virtualization by grouping a set of functionally
+equivalent services and exposes an abstract WSDL for accessing the
+configured services... The VEP acts as a recovery block and various runtime
+policies can be associat[ed] with it. ... The VEP takes care of the dynamic
+Find, Select, Bind and Invoke on behalf of the BPEL engine."
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass
+
+from repro.soap import FaultCode, SoapEnvelope, SoapFault, SoapFaultError
+from repro.wsbus.adaptation import AdaptationManager, broadcast_first_response
+from repro.wsbus.monitoring import BusMonitoringService, MonitoringPoint
+from repro.wsbus.pipeline import MessagePipeline, PipelineContext
+from repro.wsbus.selection import SelectionService
+from repro.wsdl import ContractViolation, ServiceContract
+
+__all__ = ["VepStats", "VirtualEndpoint"]
+
+
+@dataclass
+class VepStats:
+    """Per-VEP counters for experiment reporting."""
+
+    requests: int = 0
+    successes: int = 0
+    recovered: int = 0
+    failures: int = 0
+    violations: int = 0
+
+
+class VirtualEndpoint:
+    """A group of equivalent services behind one abstract endpoint."""
+
+    def __init__(
+        self,
+        name: str,
+        contract: ServiceContract,
+        env,
+        sender,
+        selection: SelectionService,
+        monitoring: BusMonitoringService,
+        adaptation: AdaptationManager,
+        members: list[str] | None = None,
+        selection_strategy: str = "round_robin",
+        invocation_timeout: float | None = 10.0,
+        broadcast: bool = False,
+        registry=None,
+        pipeline: MessagePipeline | None = None,
+        validate_messages: bool = False,
+        mediation_overhead=None,
+        overhead_rng=None,
+    ) -> None:
+        self.name = name
+        self.contract = contract
+        self.env = env
+        self.sender = sender
+        self.selection = selection
+        self.monitoring = monitoring
+        self.adaptation = adaptation
+        from repro.wsbus.selection import STRATEGIES
+
+        if selection_strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown selection strategy {selection_strategy!r}; "
+                f"expected one of {STRATEGIES}"
+            )
+        self.members: list[str] = list(members or ())
+        self.selection_strategy = selection_strategy
+        self.invocation_timeout = invocation_timeout
+        #: When True every request is broadcast to all members, first
+        #: response wins (the paper's concurrent invocation configuration).
+        self.broadcast = broadcast
+        self.registry = registry
+        self.pipeline = pipeline if pipeline is not None else MessagePipeline()
+        self.validate_messages = validate_messages
+        if validate_messages:
+            from repro.wsbus.inspectors import ContractValidationInspector
+
+            self.pipeline.insert(0, ContractValidationInspector(contract))
+        #: Simulated per-message mediation cost (request dispatch, policy
+        #: handling, inspector execution): the source of the ~10% latency
+        #: overhead the paper measures and attributes to "the high number
+        #: of threads created to serve the requests" and "the need to
+        #: import, parse, and process policies".
+        self.mediation_overhead = mediation_overhead
+        self.overhead_rng = overhead_rng
+        self.address: str | None = None  # set by the bus on deployment
+        self.stats = VepStats()
+
+    def _mediation_delay(self, size_bytes: int):
+        """A timeout event for one mediation pass, or None if free."""
+        if self.mediation_overhead is None:
+            return None
+        rng = self.overhead_rng
+        return self.env.timeout(self.mediation_overhead.sample(size_bytes, rng))
+
+    # -- membership ---------------------------------------------------------------
+
+    def add_member(self, address: str) -> None:
+        if address not in self.members:
+            self.members.append(address)
+
+    def remove_member(self, address: str) -> None:
+        if address in self.members:
+            self.members.remove(address)
+
+    def refresh_members_from_registry(self) -> None:
+        """Dynamic Find: refresh membership from the UDDI-style registry."""
+        if self.registry is None:
+            return
+        for record in self.registry.find(self.contract.service_type):
+            self.add_member(record.address)
+
+    # -- the message path -------------------------------------------------------------
+
+    def handle(self, request: SoapEnvelope) -> Generator:
+        """Network handler: the full mediation path for one request."""
+        self.stats.requests += 1
+        operation = self._resolve_operation(request)
+        if operation is None:
+            self.stats.failures += 1
+            return request.reply_fault(
+                SoapFault(
+                    FaultCode.CLIENT,
+                    f"VEP {self.name!r} cannot map the request to an operation",
+                    source=self.name,
+                )
+            )
+        context = PipelineContext(env=self.env, vep=self, operation=operation)
+        point = MonitoringPoint(
+            service_type=self.contract.service_type, endpoint=None, operation=operation
+        )
+        request_cost = self._mediation_delay(request.size_bytes)
+        if request_cost is not None:
+            yield request_cost
+
+        # Request-side pipeline + monitoring.
+        try:
+            request = self.pipeline.run_request(request, context)
+        except ContractViolation as violation:
+            self.stats.violations += 1
+            return request.reply_fault(
+                SoapFault(FaultCode.CLIENT, str(violation), source=self.name)
+            )
+        violation_fault = self.monitoring.check_message("request", request, point)
+        if violation_fault is not None:
+            self.stats.violations += 1
+            return request.reply_fault(violation_fault)
+
+        try:
+            if self.broadcast:
+                response, target = yield from self._invoke_broadcast(request, operation)
+            else:
+                response, target = yield from self._invoke_with_recovery(request, operation)
+        except SoapFaultError as error:
+            self.stats.failures += 1
+            self.monitoring.notify_fault(error.fault, request, point)
+            return request.reply_fault(error.fault)
+
+        # Response-side monitoring + pipeline.
+        context.target = target
+        response_point = MonitoringPoint(
+            service_type=self.contract.service_type, endpoint=target, operation=operation
+        )
+        violation_fault = self.monitoring.check_message("response", response, response_point)
+        if violation_fault is not None:
+            self.stats.violations += 1
+            recovered = yield from self._recover_or_fail(
+                request, operation, violation_fault, target or ""
+            )
+            if isinstance(recovered, SoapFault):
+                self.stats.failures += 1
+                return request.reply_fault(recovered)
+            response, target = recovered
+        response = self.pipeline.run_response(response, context)
+        response_cost = self._mediation_delay(response.size_bytes)
+        if response_cost is not None:
+            yield response_cost
+        self.stats.successes += 1
+        body = response.body if response.body is not None else None
+        reply = request.reply(body) if body is not None else request.reply_fault(
+            SoapFault(FaultCode.SERVER, "member returned an empty response", source=self.name)
+        )
+        return reply
+
+    def _invoke_with_recovery(self, request: SoapEnvelope, operation: str) -> Generator:
+        """Select, bind, invoke; recover through adaptation policies."""
+        target = self.selection.select(
+            self.name,
+            self.selection_strategy,
+            self.members,
+            envelope=request,
+            context=PipelineContext(env=self.env, vep=self, operation=operation),
+        )
+        if target is None:
+            raise SoapFaultError(
+                SoapFault(
+                    FaultCode.SERVICE_UNAVAILABLE,
+                    f"VEP {self.name!r} has no registered members",
+                    source=self.name,
+                )
+            )
+        outbound = request.copy()
+        outbound.addressing = request.addressing.retargeted(target)
+        try:
+            response = yield self.env.process(
+                self.sender(outbound, operation, target, timeout=self.invocation_timeout),
+                name=f"vep:{self.name}:{target}",
+            )
+            return response, target
+        except SoapFaultError as error:
+            point = MonitoringPoint(
+                service_type=self.contract.service_type, endpoint=target, operation=operation
+            )
+            fault = self.monitoring.classify(error.fault, point)
+            self.monitoring.notify_fault(fault, request, point)
+            result = yield from self._recover_or_fail(request, operation, fault, target)
+            if isinstance(result, SoapFault):
+                raise SoapFaultError(result) from error
+            return result
+
+    def _recover_or_fail(
+        self, request: SoapEnvelope, operation: str, fault: SoapFault, failed_target: str
+    ) -> Generator:
+        """Run the adaptation manager; returns (response, target) or a fault."""
+        try:
+            response = yield from self.adaptation.recover(
+                self, request, operation, fault, failed_target
+            )
+        except SoapFaultError as error:
+            return error.fault
+        self.stats.recovered += 1
+        final_target = None
+        if self.adaptation.outcomes:
+            final_target = self.adaptation.outcomes[-1].final_target
+        return response, final_target
+
+    def _invoke_broadcast(self, request: SoapEnvelope, operation: str) -> Generator:
+        """Concurrent invocation of all members; first response wins."""
+        if not self.members:
+            raise SoapFaultError(
+                SoapFault(
+                    FaultCode.SERVICE_UNAVAILABLE,
+                    f"VEP {self.name!r} has no registered members",
+                    source=self.name,
+                )
+            )
+        response, winner = yield from broadcast_first_response(
+            self.env, self.sender, request, operation, list(self.members)
+        )
+        return response, winner
+
+    # -- utilities -----------------------------------------------------------------------
+
+    def _resolve_operation(self, request: SoapEnvelope) -> str | None:
+        action = request.addressing.action or ""
+        operation = self.contract.operation_for_action(action)
+        if operation is not None:
+            return operation.name
+        if action.startswith("urn:op:"):
+            candidate = action.split(":", 2)[2]
+            if self.contract.has_operation(candidate):
+                return candidate
+        if request.body is not None:
+            for candidate_op in self.contract.operations:
+                if candidate_op.input.element_name == request.body.name.local:
+                    return candidate_op.name
+        return None
+
+    def abstract_wsdl(self, indent: bool = True) -> str:
+        """The abstract WSDL this VEP exposes for its contract.
+
+        "A VEP... exposes an abstract WSDL for accessing the configured
+        services" — the document advertises the VEP's own address, hiding
+        the concrete members entirely.
+        """
+        from repro.wsdl.wsdl_xml import contract_to_wsdl
+
+        return contract_to_wsdl(self.contract, endpoint_address=self.address, indent=indent)
+
+    def synthetic_reply(
+        self, request: SoapEnvelope, operation: str, reason: str
+    ) -> SoapEnvelope:
+        """A synthetic success used by skip policies."""
+        from repro.xmlutils import Element
+
+        body = Element(f"{operation}Response")
+        body.add("skipped", text="true")
+        body.add("reason", text=reason)
+        return request.reply(body)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VirtualEndpoint {self.name} members={len(self.members)}>"

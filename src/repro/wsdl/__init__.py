@@ -1,0 +1,29 @@
+"""WSDL-style service contracts.
+
+Services are treated as black boxes behind a contract: named operations with
+input/output message schemas and declared faults. The wsBus monitoring
+service validates "that exchanged messages between participant services...
+conform to the service contract expected by the service composition"; the
+validation entry points live here.
+"""
+
+from repro.wsdl.contract import (
+    ContractViolation,
+    MessageSchema,
+    Operation,
+    PartSchema,
+    ServiceContract,
+)
+from repro.wsdl.wsdl_xml import WSDL_NS, WsdlError, contract_to_wsdl, wsdl_to_contract
+
+__all__ = [
+    "ContractViolation",
+    "MessageSchema",
+    "Operation",
+    "PartSchema",
+    "ServiceContract",
+    "WSDL_NS",
+    "WsdlError",
+    "contract_to_wsdl",
+    "wsdl_to_contract",
+]

@@ -1,0 +1,157 @@
+"""WSDL document generation and parsing.
+
+"A VEP allows virtualization by grouping a set of functionally equivalent
+services and **exposes an abstract WSDL** for accessing the configured
+services." This module renders a :class:`~repro.wsdl.ServiceContract` as a
+WSDL 1.1-shaped document (types simplified to named parts with XSD-ish
+primitive types) and parses such documents back, so contracts themselves
+can be exchanged as artifacts.
+"""
+
+from __future__ import annotations
+
+from repro.soap import FaultCode
+from repro.wsdl.contract import MessageSchema, Operation, PartSchema, ServiceContract
+from repro.xmlutils import Element, QName, parse_xml, serialize_xml
+
+__all__ = ["WSDL_NS", "WsdlError", "contract_to_wsdl", "wsdl_to_contract"]
+
+WSDL_NS = "http://schemas.xmlsoap.org/wsdl/"
+_XSD_TYPES = {"string": "xsd:string", "int": "xsd:int", "float": "xsd:double", "bool": "xsd:boolean"}
+_KIND_BY_XSD = {xsd: kind for kind, xsd in _XSD_TYPES.items()}
+
+
+class WsdlError(Exception):
+    """Malformed WSDL document or unsupported construct."""
+
+
+def _wsdl(local: str) -> QName:
+    return QName(WSDL_NS, local)
+
+
+def contract_to_wsdl(
+    contract: ServiceContract,
+    endpoint_address: str | None = None,
+    indent: bool = False,
+) -> str:
+    """Render the contract as a WSDL document.
+
+    ``endpoint_address`` (e.g. a VEP address) becomes the service port's
+    location; abstract contracts omit it.
+    """
+    definitions = Element(
+        _wsdl("definitions"),
+        attributes={"name": contract.service_type, "targetNamespace": contract.namespace or ""},
+    )
+    for operation in contract.operations:
+        definitions.append(_message_element(f"{operation.name}Input", operation.input))
+        definitions.append(_message_element(f"{operation.name}Output", operation.output))
+    port_type = definitions.append(
+        Element(_wsdl("portType"), attributes={"name": f"{contract.service_type}PortType"})
+    )
+    for operation in contract.operations:
+        operation_el = port_type.append(
+            Element(_wsdl("operation"), attributes={"name": operation.name})
+        )
+        operation_el.add(_wsdl("input"), message=f"{operation.name}Input")
+        operation_el.add(_wsdl("output"), message=f"{operation.name}Output")
+        for fault in operation.declared_faults:
+            operation_el.append(Element(_wsdl("fault"), attributes={"name": fault.value}))
+    service = definitions.append(
+        Element(_wsdl("service"), attributes={"name": contract.service_type})
+    )
+    port = service.append(
+        Element(
+            _wsdl("port"),
+            attributes={
+                "name": f"{contract.service_type}Port",
+                "binding": f"{contract.service_type}Binding",
+            },
+        )
+    )
+    if endpoint_address is not None:
+        port.add(_wsdl("address"), location=endpoint_address)
+    return serialize_xml(definitions, indent=indent)
+
+
+def _message_element(name: str, schema: MessageSchema) -> Element:
+    message = Element(_wsdl("message"), attributes={"name": name, "element": schema.element_name})
+    for part in schema.parts:
+        attributes = {"name": part.name, "type": _XSD_TYPES[part.kind]}
+        if not part.required:
+            attributes["minOccurs"] = "0"
+        message.append(Element(_wsdl("part"), attributes=attributes))
+    return message
+
+
+def wsdl_to_contract(source: str | Element) -> tuple[ServiceContract, str | None]:
+    """Parse a WSDL document back to (contract, endpoint address or None)."""
+    root = parse_xml(source) if isinstance(source, str) else source
+    if root.name != _wsdl("definitions"):
+        raise WsdlError(f"not a WSDL document: {root.name}")
+    service_type = root.attributes.get("name")
+    if not service_type:
+        raise WsdlError("WSDL definitions element is missing its name")
+    namespace = root.attributes.get("targetNamespace", "")
+
+    messages: dict[str, MessageSchema] = {}
+    for message in root.find_all(_wsdl("message")):
+        parts = []
+        for part in message.find_all(_wsdl("part")):
+            xsd_type = part.attributes.get("type", "xsd:string")
+            if xsd_type not in _KIND_BY_XSD:
+                raise WsdlError(f"unsupported part type {xsd_type!r}")
+            parts.append(
+                PartSchema(
+                    name=part.attributes["name"],
+                    kind=_KIND_BY_XSD[xsd_type],
+                    required=part.attributes.get("minOccurs") != "0",
+                )
+            )
+        messages[message.attributes["name"]] = MessageSchema(
+            element_name=message.attributes.get("element", message.attributes["name"]),
+            parts=tuple(parts),
+        )
+
+    port_type = root.find(_wsdl("portType"))
+    if port_type is None:
+        raise WsdlError("WSDL document has no portType")
+    operations = []
+    for operation_el in port_type.find_all(_wsdl("operation")):
+        name = operation_el.attributes["name"]
+        input_ref = operation_el.find(_wsdl("input"))
+        output_ref = operation_el.find(_wsdl("output"))
+        if input_ref is None or output_ref is None:
+            raise WsdlError(f"operation {name!r} is missing input/output")
+        try:
+            input_schema = messages[input_ref.attributes["message"]]
+            output_schema = messages[output_ref.attributes["message"]]
+        except KeyError as missing:
+            raise WsdlError(f"operation {name!r} references unknown message {missing}") from None
+        faults = tuple(
+            FaultCode(fault.attributes["name"])
+            for fault in operation_el.find_all(_wsdl("fault"))
+        )
+        operations.append(
+            Operation(
+                name=name,
+                input=input_schema,
+                output=output_schema,
+                declared_faults=faults or (FaultCode.SERVER, FaultCode.SERVICE_FAILURE),
+            )
+        )
+
+    address = None
+    service = root.find(_wsdl("service"))
+    if service is not None:
+        port = service.find(_wsdl("port"))
+        if port is not None:
+            address_el = port.find(_wsdl("address"))
+            if address_el is not None:
+                address = address_el.attributes.get("location")
+    return (
+        ServiceContract(
+            service_type=service_type, operations=tuple(operations), namespace=namespace
+        ),
+        address,
+    )

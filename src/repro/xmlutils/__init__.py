@@ -1,0 +1,26 @@
+"""Lightweight namespace-aware XML infrastructure.
+
+The policy language (WS-Policy4MASC), the SOAP envelope model and the wsBus
+message-routing rules all operate on XML. This package supplies a small
+element tree with first-class qualified names, parse/serialize round-tripping
+(bridged through the standard library parser) and an XPath-lite evaluator
+covering the subset the paper's monitoring policies use: absolute and
+relative location paths, ``//`` descendant steps, wildcards, attribute
+selection and simple equality/comparison predicates.
+"""
+
+from repro.xmlutils.element import Element, XmlError, parse_xml, serialize_xml
+from repro.xmlutils.qname import QName
+from repro.xmlutils.xpath import XPath, XPathError, xpath_evaluate, xpath_value
+
+__all__ = [
+    "Element",
+    "QName",
+    "XPath",
+    "XPathError",
+    "XmlError",
+    "parse_xml",
+    "serialize_xml",
+    "xpath_evaluate",
+    "xpath_value",
+]

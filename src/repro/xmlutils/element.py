@@ -1,0 +1,171 @@
+"""A small namespace-aware element tree.
+
+The tree is deliberately simpler than ``xml.etree``: qualified names are
+:class:`~repro.xmlutils.qname.QName` objects rather than Clark-notation
+strings, children know their parent (needed by XPath ``..`` steps and by the
+policy engine when splicing variation fragments), and deep structural
+equality is defined (needed by message-transformation tests).
+
+Parsing and serialization bridge through ``xml.etree.ElementTree`` so the
+wire format is real, interoperable XML.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from collections.abc import Iterable, Iterator
+
+from repro.xmlutils.qname import QName
+
+__all__ = ["Element", "XmlError", "parse_xml", "serialize_xml"]
+
+
+class XmlError(Exception):
+    """Raised for malformed XML or misuse of the element tree."""
+
+
+class Element:
+    """An XML element: qualified name, attributes, text, children."""
+
+    def __init__(
+        self,
+        name: QName | str,
+        attributes: dict[str, str] | None = None,
+        text: str | None = None,
+        children: Iterable["Element"] | None = None,
+    ) -> None:
+        self.name = name if isinstance(name, QName) else QName.parse(name)
+        self.attributes: dict[str, str] = dict(attributes or {})
+        self.text = text
+        self.parent: Element | None = None
+        self._children: list[Element] = []
+        for child in children or ():
+            self.append(child)
+
+    # -- tree manipulation ---------------------------------------------------
+
+    @property
+    def children(self) -> tuple["Element", ...]:
+        return tuple(self._children)
+
+    def append(self, child: "Element") -> "Element":
+        """Append ``child``, detaching it from any previous parent."""
+        if child.parent is not None:
+            child.parent.remove(child)
+        child.parent = self
+        self._children.append(child)
+        return child
+
+    def insert(self, index: int, child: "Element") -> "Element":
+        if child.parent is not None:
+            child.parent.remove(child)
+        child.parent = self
+        self._children.insert(index, child)
+        return child
+
+    def remove(self, child: "Element") -> None:
+        self._children.remove(child)
+        child.parent = None
+
+    def add(self, name: QName | str, text: str | None = None, **attributes: str) -> "Element":
+        """Create, append and return a child element (builder convenience)."""
+        return self.append(Element(name, attributes=attributes, text=text))
+
+    # -- queries ---------------------------------------------------------------
+
+    def find(self, name: QName | str) -> "Element | None":
+        """First direct child with the given qualified name."""
+        wanted = name if isinstance(name, QName) else QName.parse(name)
+        for child in self._children:
+            if child.name == wanted:
+                return child
+        return None
+
+    def find_all(self, name: QName | str) -> list["Element"]:
+        """All direct children with the given qualified name."""
+        wanted = name if isinstance(name, QName) else QName.parse(name)
+        return [child for child in self._children if child.name == wanted]
+
+    def iter(self) -> Iterator["Element"]:
+        """Depth-first iteration over this element and all descendants."""
+        yield self
+        for child in self._children:
+            yield from child.iter()
+
+    def child_text(self, name: QName | str, default: str | None = None) -> str | None:
+        """Text of the first matching child, or ``default``."""
+        child = self.find(name)
+        if child is None:
+            return default
+        return child.text if child.text is not None else default
+
+    @property
+    def string_value(self) -> str:
+        """Concatenated text of this element and descendants (XPath semantics)."""
+        parts: list[str] = []
+        for node in self.iter():
+            if node.text:
+                parts.append(node.text)
+        return "".join(parts)
+
+    # -- structure ---------------------------------------------------------------
+
+    def copy(self) -> "Element":
+        """A deep copy, detached from any parent."""
+        return Element(
+            self.name,
+            attributes=dict(self.attributes),
+            text=self.text,
+            children=[child.copy() for child in self._children],
+        )
+
+    def structurally_equal(self, other: "Element") -> bool:
+        """Deep equality on name, attributes, text and ordered children."""
+        if self.name != other.name or self.attributes != other.attributes:
+            return False
+        if (self.text or "") != (other.text or ""):
+            return False
+        if len(self._children) != len(other._children):
+            return False
+        return all(
+            mine.structurally_equal(theirs)
+            for mine, theirs in zip(self._children, other._children)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Element {self.name.clark()} children={len(self._children)}>"
+
+
+def _to_etree(element: Element) -> ET.Element:
+    node = ET.Element(element.name.clark(), dict(element.attributes))
+    node.text = element.text
+    for child in element.children:
+        node.append(_to_etree(child))
+    return node
+
+
+def _from_etree(node: ET.Element) -> Element:
+    tag = node.tag
+    if not isinstance(tag, str):
+        raise XmlError(f"unsupported node type {tag!r}")
+    text = node.text.strip() if node.text and node.text.strip() else None
+    element = Element(QName.parse(tag), attributes=dict(node.attrib), text=text)
+    for child in node:
+        element.append(_from_etree(child))
+    return element
+
+
+def serialize_xml(element: Element, indent: bool = False) -> str:
+    """Serialize to an XML string (optionally pretty-printed)."""
+    tree = _to_etree(element)
+    if indent:
+        ET.indent(tree)
+    return ET.tostring(tree, encoding="unicode")
+
+
+def parse_xml(text: str) -> Element:
+    """Parse an XML string into an :class:`Element` tree."""
+    try:
+        return _from_etree(ET.fromstring(text))
+    except ET.ParseError as exc:
+        raise XmlError(f"malformed XML: {exc}") from exc

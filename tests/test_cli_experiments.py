@@ -1,0 +1,63 @@
+"""Tests for the CLI and the shared experiment harness."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import (
+    regenerate_figure5,
+    regenerate_table1,
+    render_figure5,
+    render_table1,
+    run_direct_configuration,
+    run_vep_configuration,
+)
+
+
+class TestHarness:
+    def test_direct_configuration_reports(self):
+        row = run_direct_configuration("A", seed=11, clients=1, requests=40)
+        assert "Retailer A" in row.configuration
+        assert row.failures_per_1000 >= 0
+        assert 0 <= row.availability <= 1
+
+    def test_vep_configuration_reports(self):
+        row, bus, result = run_vep_configuration(seed=11, clients=1, requests=40)
+        assert "wsBus VEP" in row.configuration
+        assert len(result.records) == 40
+        assert bus.veps["retailers"].stats.requests == 40
+
+    def test_table1_small(self):
+        rows = regenerate_table1(seeds=(11,), clients=1, requests=30)
+        assert set(rows) == {"A", "B", "C", "D", "VEP"}
+        rendered = render_table1(rows)
+        assert "Table 1" in rendered and "wsBus VEP" in rendered
+
+    def test_figure5_small(self):
+        series = regenerate_figure5(sizes_kb=(1, 8), operations=("getCatalog",), requests=20)
+        (direct, mediated) = series["getCatalog"]
+        assert len(direct) == len(mediated) == 2
+        assert all(m > d for d, m in zip(direct, mediated))
+        assert "Figure 5" in render_figure5(series, sizes_kb=(1, 8))
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        for command in ("table1", "figure5", "scenarios", "quickcheck"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scenarios_command_runs(self, capsys):
+        assert main(["scenarios"]) == 0
+        output = capsys.readouterr().out
+        assert "customization scenario matrix" in output
+        assert "Business-value ledger" in output
+
+    def test_table1_command_runs(self, capsys):
+        assert main(["table1", "--seeds", "11", "--clients", "1", "--requests", "30"]) == 0
+        output = capsys.readouterr().out
+        assert "Reliability (ours)" in output

@@ -1,0 +1,102 @@
+"""MonitoringStore correlation driving adaptation.
+
+"Such events can also be raised by the MonitoringStore database in
+situations when adaptation pre-conditions refer to several different SOAP
+messages." — a correlation rule watches the order stream; when one
+investor places three large orders, the rule fires and an adaptation
+policy splices a CreditRating check into the *current* instance.
+"""
+
+import pytest
+
+from repro.casestudies.stocktrading import build_trading_deployment
+from repro.core import CorrelationRule
+from repro.orchestration.instance import InstanceStatus
+from repro.policy import (
+    AdaptationPolicy,
+    AddActivityAction,
+    InvokeSpec,
+    PolicyDocument,
+    serialize_policy_document,
+)
+
+
+def repeated_large_orders_rule(threshold_amount=10_000.0, count=3):
+    def predicate(message, history):
+        if message.direction != "request":
+            return None
+        investor = message.envelope.body.child_text("investorId")
+        if investor is None:
+            return None
+        large = [
+            m
+            for m in history
+            if m.direction == "request"
+            and m.envelope.body.child_text("investorId") == investor
+            and float(m.envelope.body.child_text("amount", "0") or 0) >= threshold_amount
+        ]
+        if len(large) >= count:
+            return {"investor": investor, "large_orders": len(large)}
+        return None
+
+    return CorrelationRule(
+        name="repeated-large-orders",
+        emits="investor.high-velocity",
+        predicate=predicate,
+        operation="placeOrder",
+    )
+
+
+@pytest.fixture
+def world():
+    deployment = build_trading_deployment(seed=29)
+    deployment.masc.store.add_rule(repeated_large_orders_rule())
+    document = PolicyDocument("velocity-check")
+    document.adaptation_policies.append(
+        AdaptationPolicy(
+            name="credit-check-high-velocity",
+            triggers=("investor.high-velocity",),
+            adaptation_type="customization",
+            actions=(
+                AddActivityAction(
+                    anchor="place-trade",
+                    position="before",
+                    invokes=(
+                        InvokeSpec(
+                            name="velocity-credit-check",
+                            operation="check",
+                            service_type="CreditRating",
+                            inputs={"investorId": "$investor_id", "amount": "$amount"},
+                            outputs={"credit_approved": "approved"},
+                        ),
+                    ),
+                ),
+            ),
+        )
+    )
+    deployment.masc.load_policies(serialize_policy_document(document))
+    return deployment
+
+
+class TestCrossMessageCorrelation:
+    def test_third_large_order_gets_credit_checked(self, world):
+        first = world.run_order(investor_id="whale", amount=50_000.0)
+        second = world.run_order(investor_id="whale", amount=60_000.0)
+        third = world.run_order(investor_id="whale", amount=70_000.0)
+        assert "velocity-credit-check" not in first.executed_activities
+        assert "velocity-credit-check" not in second.executed_activities
+        assert "velocity-credit-check" in third.executed_activities
+        assert third.status is InstanceStatus.COMPLETED
+        assert third.variables["credit_approved"] in (True, False)
+
+    def test_small_orders_never_trigger(self, world):
+        for index in range(4):
+            instance = world.run_order(investor_id="minnow", amount=100.0)
+            assert "velocity-credit-check" not in instance.executed_activities
+
+    def test_correlation_is_per_investor(self, world):
+        world.run_order(investor_id="whale", amount=50_000.0)
+        world.run_order(investor_id="whale", amount=50_000.0)
+        # A different investor's third large order must not be flagged.
+        other = world.run_order(investor_id="other", amount=50_000.0)
+        assert "velocity-credit-check" not in other.executed_activities

@@ -1,0 +1,89 @@
+"""Unit tests for the safe expression evaluator."""
+
+import pytest
+
+from repro.orchestration import Expression, ExpressionError
+
+
+class TestEvaluation:
+    def test_arithmetic(self):
+        assert Expression("2 + 3 * 4").evaluate({}) == 14
+
+    def test_variables(self):
+        assert Expression("amount * rate").evaluate({"amount": 100, "rate": 1.5}) == 150
+
+    def test_comparison_chain(self):
+        assert Expression("0 < x <= 10").evaluate({"x": 5}) is True
+        assert Expression("0 < x <= 10").evaluate({"x": 15}) is False
+
+    def test_boolean_operators(self):
+        context = {"amount": 200_000, "profile": "personal"}
+        expr = Expression("amount >= 100000 or profile == 'corporate'")
+        assert expr.holds(context)
+        assert not expr.holds({"amount": 10, "profile": "personal"})
+
+    def test_membership(self):
+        assert Expression("c in ['BR', 'RU']").holds({"c": "RU"})
+        assert Expression("c not in ['BR', 'RU']").holds({"c": "AU"})
+
+    def test_conditional_expression(self):
+        assert Expression("'big' if n > 5 else 'small'").evaluate({"n": 9}) == "big"
+
+    def test_subscript(self):
+        assert Expression("xs[1]").evaluate({"xs": [10, 20]}) == 20
+
+    def test_safe_functions(self):
+        assert Expression("max(1, n, 3)").evaluate({"n": 7}) == 7
+        assert Expression("int(amount / price)").evaluate({"amount": 10, "price": 3}) == 3
+        assert Expression("len(name)").evaluate({"name": "abcd"}) == 4
+
+    def test_unary_operators(self):
+        assert Expression("-x").evaluate({"x": 3}) == -3
+        assert Expression("not flag").evaluate({"flag": False}) is True
+
+    def test_tuple_and_list_literals(self):
+        assert Expression("(1, 2)").evaluate({}) == (1, 2)
+        assert Expression("[x, x + 1]").evaluate({"x": 1}) == [1, 2]
+
+    def test_unknown_variable_raises(self):
+        with pytest.raises(ExpressionError):
+            Expression("ghost + 1").evaluate({})
+
+    def test_short_circuit_and(self):
+        # Division by zero on the right is never evaluated.
+        assert Expression("x > 0 and 1 / x > 0").holds({"x": 0}) is False
+
+    def test_runtime_error_wrapped(self):
+        with pytest.raises(ExpressionError):
+            Expression("1 / x").evaluate({"x": 0})
+
+
+class TestSecurity:
+    """The evaluator must reject anything that could execute code."""
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "__import__('os')",
+            "open('/etc/passwd')",
+            "x.__class__",
+            "(lambda: 1)()",
+            "[x for x in range(3)]",
+            "exec('1')",
+            "getattr(x, 'y')",
+            "x.attribute",
+            "f'{x}'",
+            "max(x, key=abs)",
+        ],
+    )
+    def test_rejected_at_compile_time(self, source):
+        with pytest.raises(ExpressionError):
+            Expression(source)
+
+    def test_statements_rejected(self):
+        with pytest.raises(ExpressionError):
+            Expression("x = 1")
+
+    def test_syntax_error_wrapped(self):
+        with pytest.raises(ExpressionError):
+            Expression("1 +")

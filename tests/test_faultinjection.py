@@ -1,0 +1,160 @@
+"""Unit tests for the fault injection harness."""
+
+import pytest
+
+from conftest import ECHO_CONTRACT, run_process
+from repro.faultinjection import (
+    ApplicationFaultInjector,
+    AvailabilityFaultInjector,
+    DowntimeLog,
+    EndpointFaultProfile,
+    QoSDegradationInjector,
+)
+from repro.services import Invoker
+from repro.simulation import RandomSource
+from repro.soap import FaultCode, SoapFaultError
+
+
+class TestDowntimeLog:
+    def test_availability_with_no_downtime(self):
+        log = DowntimeLog("http://a")
+        assert log.availability(100.0) == 1.0
+
+    def test_single_window(self):
+        log = DowntimeLog("http://a")
+        log.mark_down(10.0)
+        log.mark_up(20.0)
+        assert log.total_downtime(100.0) == pytest.approx(10.0)
+        assert log.availability(100.0) == pytest.approx(0.9)
+        assert log.failure_count == 1
+
+    def test_open_window_counts_to_horizon(self):
+        log = DowntimeLog("http://a")
+        log.mark_down(90.0)
+        assert log.total_downtime(100.0) == pytest.approx(10.0)
+
+    def test_close_seals_open_window(self):
+        log = DowntimeLog("http://a")
+        log.mark_down(50.0)
+        log.close(60.0)
+        assert log.windows == [(50.0, 60.0)]
+
+    def test_double_mark_down_idempotent(self):
+        log = DowntimeLog("http://a")
+        log.mark_down(5.0)
+        log.mark_down(7.0)
+        log.mark_up(10.0)
+        assert log.windows == [(5.0, 10.0)]
+
+    def test_zero_horizon(self):
+        assert DowntimeLog("http://a").availability(0.0) == 1.0
+
+
+class TestEndpointFaultProfile:
+    def test_nominal_availability(self):
+        profile = EndpointFaultProfile("http://a", 95.0, 5.0)
+        assert profile.nominal_availability == pytest.approx(0.95)
+
+
+class TestAvailabilityInjector:
+    def test_cycles_toggle_endpoint(self, env, network):
+        endpoint = network.register("http://a", lambda req: iter(()))
+        injector = AvailabilityFaultInjector(env, network, RandomSource(3))
+        log = injector.inject(EndpointFaultProfile("http://a", 10.0, 5.0))
+        env.run(until=200.0)
+        injector.finalize()
+        assert log.failure_count > 0
+        assert 0.0 < log.availability(200.0) < 1.0
+
+    def test_observed_availability_tracks_nominal(self, env, network):
+        network.register("http://a", lambda req: iter(()))
+        injector = AvailabilityFaultInjector(env, network, RandomSource(5))
+        log = injector.inject(EndpointFaultProfile("http://a", 90.0, 10.0))
+        env.run(until=50_000.0)
+        injector.finalize()
+        assert log.availability(50_000.0) == pytest.approx(0.9, abs=0.05)
+
+    def test_unknown_endpoint_rejected(self, env, network):
+        injector = AvailabilityFaultInjector(env, network)
+        with pytest.raises(ValueError):
+            injector.inject(EndpointFaultProfile("http://ghost", 10, 1))
+
+    def test_inject_all(self, env, network):
+        network.register("http://a", lambda req: iter(()))
+        network.register("http://b", lambda req: iter(()))
+        injector = AvailabilityFaultInjector(env, network)
+        logs = injector.inject_all(
+            [
+                EndpointFaultProfile("http://a", 10, 1),
+                EndpointFaultProfile("http://b", 10, 1),
+            ]
+        )
+        assert set(logs) == {"http://a", "http://b"}
+
+
+class TestQoSDegradationInjector:
+    def test_delay_applied_and_removed(self, env, network):
+        endpoint = network.register("http://a", lambda req: iter(()))
+        injector = QoSDegradationInjector(env, network, RandomSource(7))
+        injector.inject("http://a", mean_time_between_episodes=5.0, mean_episode_duration=2.0, added_delay_seconds=3.0)
+        env.run(until=100.0)
+        episodes = injector.episodes["http://a"]
+        assert episodes, "expected at least one degradation episode"
+        # After the horizon the endpoint should not accumulate permanent delay.
+        assert endpoint.added_delay_seconds in (0.0, 3.0)
+
+    def test_unknown_endpoint_rejected(self, env, network):
+        injector = QoSDegradationInjector(env, network)
+        with pytest.raises(ValueError):
+            injector.inject("http://ghost", 1, 1, 1)
+
+
+class TestApplicationFaultInjector:
+    def test_injects_service_failures(self, env, network, container, echo_service):
+        injector = ApplicationFaultInjector(env, network, RandomSource(1))
+        injector.inject("http://test/echo", fault_probability=1.0)
+        invoker = Invoker(env, network)
+
+        def client():
+            payload = ECHO_CONTRACT.operation("echo").input.build(text="x")
+            with pytest.raises(SoapFaultError) as excinfo:
+                yield from invoker.invoke("http://test/echo", "echo", payload)
+            return excinfo.value.fault.code
+
+        assert run_process(env, client()) is FaultCode.SERVICE_FAILURE
+        assert injector.injected_counts["http://test/echo"] == 1
+
+    def test_zero_probability_never_injects(self, env, network, container, echo_service):
+        injector = ApplicationFaultInjector(env, network, RandomSource(1))
+        injector.inject("http://test/echo", fault_probability=0.0)
+        invoker = Invoker(env, network)
+
+        def client():
+            payload = ECHO_CONTRACT.operation("echo").input.build(text="x")
+            response = yield from invoker.invoke("http://test/echo", "echo", payload)
+            return response.body.child_text("text")
+
+        assert run_process(env, client()) == "x@echo1"
+
+    def test_rate_roughly_honored(self, env, network, container, echo_service):
+        injector = ApplicationFaultInjector(env, network, RandomSource(2))
+        injector.inject("http://test/echo", fault_probability=0.3)
+        invoker = Invoker(env, network)
+        failures = 0
+
+        def client():
+            nonlocal failures
+            for _ in range(300):
+                payload = ECHO_CONTRACT.operation("echo").input.build(text="x")
+                try:
+                    yield from invoker.invoke("http://test/echo", "echo", payload)
+                except SoapFaultError:
+                    failures += 1
+
+        run_process(env, client())
+        assert 60 <= failures <= 120  # ~90 expected
+
+    def test_invalid_probability_rejected(self, env, network, container, echo_service):
+        injector = ApplicationFaultInjector(env, network)
+        with pytest.raises(ValueError):
+            injector.inject("http://test/echo", fault_probability=1.5)

@@ -1,0 +1,155 @@
+"""Full-stack integration: SCM process → wsBus gateway → services, with
+fault injection — the complete deployment of the paper's Figure 3/4."""
+
+import pytest
+
+from repro.casestudies.scm import (
+    LOGGING_CONTRACT,
+    RETAILER_CONTRACT,
+    build_scm_deployment,
+    logging_skip_policy_document,
+    retailer_recovery_policy_document,
+)
+from repro.orchestration import (
+    Invoke,
+    ProcessDefinition,
+    Reply,
+    Sequence,
+    TrackingService,
+    WorkflowEngine,
+)
+from repro.orchestration.instance import InstanceStatus
+from repro.policy import PolicyRepository
+from repro.wsbus import WsBus
+
+
+@pytest.fixture
+def stack():
+    deployment = build_scm_deployment(seed=41, log_events=False)
+    repository = PolicyRepository()
+    repository.load(retailer_recovery_policy_document())
+    repository.load(logging_skip_policy_document())
+    bus = WsBus(
+        deployment.env,
+        deployment.network,
+        repository=repository,
+        registry=deployment.registry,
+        member_timeout=5.0,
+    )
+    bus.create_vep(
+        "retailers",
+        RETAILER_CONTRACT,
+        members=deployment.retailer_addresses,
+        selection_strategy="round_robin",
+    )
+    bus.create_vep(
+        "logging", LOGGING_CONTRACT, members=[deployment.logging.address]
+    )
+    engine = WorkflowEngine(
+        deployment.env, network=deployment.network, registry=deployment.registry
+    )
+    engine.add_service(TrackingService())
+    bus.bind_engine(engine)
+    return deployment, bus, engine
+
+
+def purchase_process():
+    """An SCM purchase composition using *abstract* service types only."""
+    return ProcessDefinition(
+        "scm-via-bus",
+        Sequence(
+            "main",
+            [
+                Invoke(
+                    "get-catalog",
+                    operation="getCatalog",
+                    service_type="Retailer",
+                    extract={"catalog": "catalog"},
+                    timeout_seconds=60.0,
+                ),
+                Invoke(
+                    "submit-order",
+                    operation="submitOrder",
+                    service_type="Retailer",
+                    inputs={"orderId": "$order_id", "items": "TVx1", "customerId": "c-1"},
+                    extract={"order_status": "status"},
+                    timeout_seconds=60.0,
+                ),
+                Invoke(
+                    "log-purchase",
+                    operation="logEvent",
+                    service_type="LoggingFacility",
+                    inputs={"source": "process", "event": "purchase-complete"},
+                    extract={"logged": "logged"},
+                    timeout_seconds=60.0,
+                ),
+                Reply("result", variable="order_status"),
+            ],
+        ),
+        initial_variables={"order_id": "order-77"},
+    )
+
+
+class TestGatewayDeployment:
+    def test_engine_binds_abstract_types_to_veps(self, stack):
+        deployment, bus, engine = stack
+        definition = purchase_process()
+        instance = engine.start(definition)
+        assert engine.run_to_completion(instance) == "fulfilled"
+        # Requests actually went through the bus, not point-to-point.
+        assert bus.veps["retailers"].stats.requests == 2
+        assert bus.veps["logging"].stats.requests == 1
+
+    def test_binder_falls_back_to_registry(self, stack):
+        deployment, bus, engine = stack
+        definition = ProcessDefinition(
+            "config-query",
+            Sequence(
+                "main",
+                [
+                    Invoke(
+                        "list-retailers",
+                        operation="getImplementations",
+                        service_type="Configuration",  # no VEP for this type
+                        inputs={"serviceType": "Retailer"},
+                        extract={"count": "count"},
+                    ),
+                    Reply("r", variable="count"),
+                ],
+            ),
+        )
+        instance = engine.start(definition)
+        assert engine.run_to_completion(instance) == 4
+
+    def test_process_survives_retailer_outages(self, stack):
+        deployment, bus, engine = stack
+        # Kill three of the four retailers; recovery policies route around.
+        for name in ("A", "B", "D"):
+            deployment.network.endpoint(deployment.retailers[name].address).available = False
+        instance = engine.start(purchase_process())
+        assert engine.run_to_completion(instance) == "fulfilled"
+        assert instance.status is InstanceStatus.COMPLETED
+
+    def test_process_survives_logging_outage_via_skip(self, stack):
+        deployment, bus, engine = stack
+        deployment.network.endpoint(deployment.logging.address).available = False
+        instance = engine.start(purchase_process())
+        assert engine.run_to_completion(instance) == "fulfilled"
+        # The skip policy answered the logging call synthetically.
+        outcomes = [o for o in bus.adaptation.outcomes if o.operation == "logEvent"]
+        assert outcomes and outcomes[0].final_target == "skipped"
+
+    def test_many_concurrent_instances(self, stack):
+        deployment, bus, engine = stack
+        deployment.inject_table1_mix()
+        definition = purchase_process()
+        engine.register_definition(definition)
+        instances = [
+            engine.start("scm-via-bus", variables={"order_id": f"order-{index}"})
+            for index in range(20)
+        ]
+        gate = deployment.env.all_of([instance.process for instance in instances])
+        deployment.env.run(gate)
+        statuses = {instance.status for instance in instances}
+        assert statuses == {InstanceStatus.COMPLETED}
+        assert all(instance.result == "fulfilled" for instance in instances)

@@ -1,0 +1,126 @@
+"""Unit tests for metrics: reliability, availability, stats, tables."""
+
+import pytest
+
+from repro.metrics import (
+    Table,
+    availability_from_records,
+    describe,
+    failures_per_1000,
+    mean,
+    mtbf_mttr,
+    percentile,
+    reliability_report,
+    stdev,
+)
+from repro.services import InvocationOutcome, InvocationRecord
+
+
+def record(start, duration=0.5, ok=True):
+    return InvocationRecord(
+        caller="c",
+        target="http://a",
+        operation="op",
+        started_at=float(start),
+        finished_at=float(start) + duration,
+        outcome=InvocationOutcome.SUCCESS if ok else InvocationOutcome.FAULT,
+    )
+
+
+def timeline(pattern, step=1.0):
+    """Build records from a string of '.' (ok) and 'x' (failure)."""
+    return [
+        record(index * step, duration=step * 0.5, ok=char == ".")
+        for index, char in enumerate(pattern)
+    ]
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_stdev_small_samples(self):
+        assert stdev([5]) == 0.0
+        assert stdev([2, 4]) == pytest.approx(1.4142, abs=1e-3)
+
+    def test_percentile_bounds(self):
+        values = list(range(1, 101))
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 100
+        assert percentile(values, 50) == 50 or percentile(values, 50) == 51
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_describe_keys(self):
+        summary = describe([1.0, 2.0, 3.0])
+        assert set(summary) == {"count", "mean", "stdev", "min", "p50", "p95", "p99", "max"}
+        assert describe([]) == {"count": 0}
+
+
+class TestReliability:
+    def test_failures_per_1000(self):
+        records = timeline("." * 90 + "x" * 10)
+        assert failures_per_1000(records) == pytest.approx(100.0)
+
+    def test_no_records(self):
+        assert failures_per_1000([]) == 0.0
+
+    def test_all_success_availability(self):
+        assert availability_from_records(timeline("....")) == 1.0
+
+    def test_burst_structure_drives_availability(self):
+        # Same failure count; one burst vs scattered failures.
+        one_burst = timeline("." * 40 + "xxxx" + "." * 40)
+        scattered = timeline(("." * 10 + "x") * 4 + "." * 40)
+        assert availability_from_records(one_burst) < 1.0
+        assert availability_from_records(scattered) < 1.0
+        mtbf_burst, mttr_burst = mtbf_mttr(one_burst)
+        mtbf_scattered, mttr_scattered = mtbf_mttr(scattered)
+        assert mttr_burst > mttr_scattered  # 4s outage vs 1s outages
+
+    def test_mtbf_mttr_simple(self):
+        records = timeline("." * 10 + "xx" + "." * 10)
+        mtbf, mttr = mtbf_mttr(records)
+        assert mttr == pytest.approx(1.5, abs=0.5)  # 2 failed slots
+        assert mtbf > mttr
+
+    def test_mtbf_none_when_no_failures(self):
+        mtbf, mttr = mtbf_mttr(timeline("....."))
+        assert mttr is None
+        assert mtbf is not None
+
+    def test_empty_records(self):
+        assert mtbf_mttr([]) == (None, None)
+        assert availability_from_records([]) == 0.0
+
+    def test_report_row_shape(self):
+        report = reliability_report("direct A", timeline("." * 99 + "x"))
+        assert report.requests == 100
+        assert report.failures == 1
+        assert report.failures_per_1000 == 10.0
+        assert "failures per 1000" in report.row()[2]
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(["config", "value"], title="Table 1")
+        table.add_row(["direct A", 105])
+        table.add_row(["wsBus", 6])
+        rendered = table.render()
+        assert "Table 1" in rendered
+        assert "direct A" in rendered
+        lines = rendered.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_row_arity_checked(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])

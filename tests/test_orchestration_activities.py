@@ -1,0 +1,518 @@
+"""Unit tests for the activity model and basic process execution."""
+
+import pytest
+
+from conftest import ECHO_CONTRACT, EchoService
+from repro.orchestration import (
+    Assign,
+    CompensationPair,
+    DefinitionError,
+    Delay,
+    Empty,
+    Flow,
+    IfElse,
+    Invoke,
+    ProcessDefinition,
+    ProcessFault,
+    Receive,
+    Reply,
+    Scope,
+    Sequence,
+    Terminate,
+    Throw,
+    TrackingService,
+    While,
+    WorkflowEngine,
+)
+from repro.orchestration.instance import InstanceStatus
+from repro.soap import FaultCode
+from repro.xmlutils import Element
+
+
+@pytest.fixture
+def engine(env, network, container):
+    service = EchoService(env, "echo1", "http://test/echo")
+    container.deploy(service)
+    engine = WorkflowEngine(env, network=network)
+    engine.add_service(TrackingService())
+    return engine
+
+
+def run(engine, definition, **kwargs):
+    instance = engine.start(definition, **kwargs)
+    engine.run_to_completion(instance)
+    return instance
+
+
+class TestBasicActivities:
+    def test_assign_literal(self, engine):
+        definition = ProcessDefinition(
+            "p", Sequence("main", [Assign("a", "x", value=5), Reply("r", variable="x")])
+        )
+        assert run(engine, definition).result == 5
+
+    def test_assign_expression(self, engine):
+        definition = ProcessDefinition(
+            "p",
+            Sequence(
+                "main",
+                [Assign("a", "y", expression="x * 2"), Reply("r", variable="y")],
+            ),
+            initial_variables={"x": 21},
+        )
+        assert run(engine, definition).result == 42
+
+    def test_assign_callable(self, engine):
+        definition = ProcessDefinition(
+            "p",
+            Sequence(
+                "main",
+                [Assign("a", "y", expression=lambda v: v["x"] + 1), Reply("r", variable="y")],
+            ),
+            initial_variables={"x": 1},
+        )
+        assert run(engine, definition).result == 2
+
+    def test_delay_advances_time(self, engine):
+        definition = ProcessDefinition("p", Sequence("main", [Delay("d", 5.0)]))
+        instance = run(engine, definition)
+        assert instance.status is InstanceStatus.COMPLETED
+        assert engine.env.now >= 5.0
+
+    def test_delay_from_expression(self, engine):
+        definition = ProcessDefinition(
+            "p",
+            Sequence("main", [Delay("d", "wait * 2")]),
+            initial_variables={"wait": 1.5},
+        )
+        run(engine, definition)
+        assert engine.env.now >= 3.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(DefinitionError):
+            Delay("d", -1.0)
+
+    def test_empty_is_noop(self, engine):
+        definition = ProcessDefinition("p", Sequence("main", [Empty("e")]))
+        assert run(engine, definition).status is InstanceStatus.COMPLETED
+
+    def test_receive_binds_input(self, engine):
+        definition = ProcessDefinition(
+            "p",
+            Sequence(
+                "main",
+                [
+                    Receive("rcv", variable="msg"),
+                    Reply("r", expression=lambda v: v["msg"].text),
+                ],
+            ),
+        )
+        assert run(engine, definition, input=Element("in", text="hello")).result == "hello"
+
+    def test_reply_requires_exactly_one_source(self):
+        with pytest.raises(DefinitionError):
+            Reply("r")
+        with pytest.raises(DefinitionError):
+            Reply("r", expression="x", variable="x")
+
+
+class TestControlFlow:
+    def test_if_then(self, engine):
+        definition = ProcessDefinition(
+            "p",
+            Sequence(
+                "main",
+                [
+                    IfElse("if", "x > 5", then=Assign("t", "r", value="big"),
+                           orelse=Assign("f", "r", value="small")),
+                    Reply("reply", variable="r"),
+                ],
+            ),
+            initial_variables={"x": 10},
+        )
+        assert run(engine, definition).result == "big"
+
+    def test_if_else(self, engine):
+        definition = ProcessDefinition(
+            "p",
+            Sequence(
+                "main",
+                [
+                    IfElse("if", "x > 5", then=Assign("t", "r", value="big"),
+                           orelse=Assign("f", "r", value="small")),
+                    Reply("reply", variable="r"),
+                ],
+            ),
+            initial_variables={"x": 1},
+        )
+        assert run(engine, definition).result == "small"
+
+    def test_if_without_else_skips(self, engine):
+        definition = ProcessDefinition(
+            "p",
+            Sequence("main", [IfElse("if", "False", then=Assign("t", "r", value=1))]),
+        )
+        instance = run(engine, definition)
+        assert "r" not in instance.variables
+
+    def test_while_loop_counts(self, engine):
+        definition = ProcessDefinition(
+            "p",
+            Sequence(
+                "main",
+                [
+                    While(
+                        "loop",
+                        "i < 5",
+                        body=Assign("inc", "i", expression="i + 1"),
+                    ),
+                    Reply("r", variable="i"),
+                ],
+            ),
+            initial_variables={"i": 0},
+        )
+        assert run(engine, definition).result == 5
+
+    def test_while_runaway_guard(self, engine):
+        definition = ProcessDefinition(
+            "p",
+            Sequence(
+                "main",
+                [While("loop", "True", body=Empty("noop"), max_iterations=10)],
+            ),
+        )
+        instance = engine.start(definition)
+        with pytest.raises(ProcessFault):
+            engine.run_to_completion(instance)
+        assert instance.status is InstanceStatus.FAULTED
+
+    def test_flow_runs_branches_concurrently(self, engine):
+        definition = ProcessDefinition(
+            "p",
+            Sequence(
+                "main",
+                [Flow("flow", [Delay("d1", 5.0), Delay("d2", 5.0), Delay("d3", 5.0)])],
+            ),
+        )
+        run(engine, definition)
+        # Concurrent: total time ~5s, not 15s.
+        assert engine.env.now == pytest.approx(5.0, abs=0.5)
+
+    def test_flow_fault_aborts_siblings(self, engine):
+        definition = ProcessDefinition(
+            "p",
+            Sequence(
+                "main",
+                [
+                    Flow(
+                        "flow",
+                        [
+                            Throw("bad", FaultCode.SERVER, "branch failed"),
+                            Delay("slow", 100.0),
+                        ],
+                    )
+                ],
+            ),
+        )
+        instance = engine.start(definition)
+        with pytest.raises(ProcessFault):
+            engine.run_to_completion(instance)
+        assert engine.env.now < 100.0
+
+    def test_empty_flow_completes(self, engine):
+        definition = ProcessDefinition("p", Sequence("main", [Flow("flow", [])]))
+        assert run(engine, definition).status is InstanceStatus.COMPLETED
+
+
+class TestInvoke:
+    def test_invoke_with_extraction(self, engine):
+        definition = ProcessDefinition(
+            "p",
+            Sequence(
+                "main",
+                [
+                    Invoke(
+                        "call",
+                        operation="add",
+                        to="http://test/echo",
+                        inputs={"a": "$x", "b": 4},
+                        extract={"total": "sum"},
+                    ),
+                    Reply("r", variable="total"),
+                ],
+            ),
+            initial_variables={"x": 3},
+        )
+        assert run(engine, definition).result == 7
+
+    def test_invoke_output_variable_holds_payload(self, engine):
+        definition = ProcessDefinition(
+            "p",
+            Sequence(
+                "main",
+                [
+                    Invoke(
+                        "call",
+                        operation="echo",
+                        to="http://test/echo",
+                        inputs={"text": "hi"},
+                        output_variable="resp",
+                    ),
+                    Reply("r", expression=lambda v: v["resp"].child_text("text")),
+                ],
+            ),
+        )
+        assert run(engine, definition).result == "hi@echo1"
+
+    def test_invoke_unbound_variable_faults(self, engine):
+        definition = ProcessDefinition(
+            "p",
+            Sequence(
+                "main",
+                [Invoke("call", operation="echo", to="http://test/echo", inputs={"text": "$ghost"})],
+            ),
+        )
+        instance = engine.start(definition)
+        with pytest.raises(ProcessFault) as excinfo:
+            engine.run_to_completion(instance)
+        assert excinfo.value.code is FaultCode.CLIENT
+
+    def test_invoke_unavailable_target_faults(self, engine):
+        definition = ProcessDefinition(
+            "p",
+            Sequence("main", [Invoke("call", operation="echo", to="http://ghost", inputs={"text": "x"})]),
+        )
+        instance = engine.start(definition)
+        with pytest.raises(ProcessFault) as excinfo:
+            engine.run_to_completion(instance)
+        assert excinfo.value.code is FaultCode.SERVICE_UNAVAILABLE
+
+    def test_invoke_requires_target(self):
+        with pytest.raises(DefinitionError):
+            Invoke("call", operation="echo")
+
+    def test_invoke_input_builder(self, engine):
+        definition = ProcessDefinition(
+            "p",
+            Sequence(
+                "main",
+                [
+                    Invoke(
+                        "call",
+                        operation="echo",
+                        to="http://test/echo",
+                        input_builder=lambda v: ECHO_CONTRACT.operation("echo").input.build(
+                            text=v["greeting"]
+                        ),
+                        extract={"echoed": "text"},
+                    ),
+                    Reply("r", variable="echoed"),
+                ],
+            ),
+            initial_variables={"greeting": "yo"},
+        )
+        assert run(engine, definition).result == "yo@echo1"
+
+
+class TestScopesAndFaults:
+    def test_throw_caught_by_matching_handler(self, engine):
+        definition = ProcessDefinition(
+            "p",
+            Sequence(
+                "main",
+                [
+                    Scope(
+                        "scope",
+                        body=Throw("bad", FaultCode.TIMEOUT, "too slow"),
+                        fault_handlers={
+                            FaultCode.TIMEOUT: Assign("handle", "handled", value="timeout"),
+                        },
+                    ),
+                    Reply("r", variable="handled"),
+                ],
+            ),
+        )
+        assert run(engine, definition).result == "timeout"
+
+    def test_catch_all_handler(self, engine):
+        definition = ProcessDefinition(
+            "p",
+            Sequence(
+                "main",
+                [
+                    Scope(
+                        "scope",
+                        body=Throw("bad", FaultCode.SERVER, "x"),
+                        fault_handlers={None: Assign("handle", "handled", value="any")},
+                    ),
+                    Reply("r", variable="handled"),
+                ],
+            ),
+        )
+        assert run(engine, definition).result == "any"
+
+    def test_unhandled_fault_escapes(self, engine):
+        definition = ProcessDefinition(
+            "p",
+            Sequence(
+                "main",
+                [
+                    Scope(
+                        "scope",
+                        body=Throw("bad", FaultCode.SERVER, "x"),
+                        fault_handlers={FaultCode.TIMEOUT: Empty("nope")},
+                    )
+                ],
+            ),
+        )
+        instance = engine.start(definition)
+        with pytest.raises(ProcessFault):
+            engine.run_to_completion(instance)
+
+    def test_handler_sees_fault_variable(self, engine):
+        definition = ProcessDefinition(
+            "p",
+            Sequence(
+                "main",
+                [
+                    Scope(
+                        "scope",
+                        body=Throw("bad", FaultCode.SERVER, "the reason"),
+                        fault_handlers={
+                            None: Reply("r", expression=lambda v: v["_fault"].reason)
+                        },
+                    )
+                ],
+            ),
+        )
+        assert run(engine, definition).result == "the reason"
+
+    def test_scope_timeout_raises_timeout_fault(self, engine):
+        definition = ProcessDefinition(
+            "p",
+            Sequence(
+                "main",
+                [
+                    Scope(
+                        "scope",
+                        body=Delay("slow", 100.0),
+                        timeout_seconds=2.0,
+                        fault_handlers={
+                            FaultCode.TIMEOUT: Assign("handle", "handled", value=True)
+                        },
+                    ),
+                    Reply("r", variable="handled"),
+                ],
+            ),
+        )
+        instance = run(engine, definition)
+        assert instance.result is True
+        assert engine.env.now == pytest.approx(2.0, abs=0.1)
+
+    def test_terminate_stops_instance(self, engine):
+        definition = ProcessDefinition(
+            "p",
+            Sequence("main", [Terminate("stop", reason="done early"), Assign("a", "x", value=1)]),
+        )
+        instance = run(engine, definition)
+        assert instance.status is InstanceStatus.TERMINATED
+        assert "x" not in instance.variables
+
+    def test_compensation_runs_in_reverse_on_fault(self, engine):
+        definition = ProcessDefinition(
+            "p",
+            Sequence(
+                "main",
+                [
+                    Scope(
+                        "outer",
+                        compensate_on_fault=True,
+                        fault_handlers={None: Empty("absorb")},
+                        body=Sequence(
+                            "steps",
+                            [
+                                CompensationPair(
+                                    "step1",
+                                    Assign("do1", "log", expression=lambda v: v["log"] + ["do1"]),
+                                    Assign("undo1", "log", expression=lambda v: v["log"] + ["undo1"]),
+                                ),
+                                CompensationPair(
+                                    "step2",
+                                    Assign("do2", "log", expression=lambda v: v["log"] + ["do2"]),
+                                    Assign("undo2", "log", expression=lambda v: v["log"] + ["undo2"]),
+                                ),
+                                Throw("bad", FaultCode.SERVER, "fail after both"),
+                            ],
+                        ),
+                    )
+                ],
+            ),
+            initial_variables={"log": []},
+        )
+        instance = run(engine, definition)
+        assert instance.variables["log"] == ["do1", "do2", "undo2", "undo1"]
+
+
+class TestDefinitionValidation:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(DefinitionError):
+            ProcessDefinition("p", Sequence("main", [Empty("x"), Empty("x")]))
+
+    def test_find_activity(self):
+        definition = ProcessDefinition("p", Sequence("main", [Empty("x")]))
+        assert definition.find("x").name == "x"
+        assert definition.find("ghost") is None
+
+    def test_copy_tree_is_independent(self):
+        definition = ProcessDefinition("p", Sequence("main", [Empty("x")]))
+        tree = definition.copy_tree()
+        assert tree is not definition.root
+        assert [a.name for a in tree.iter_tree()] == ["main", "x"]
+
+    def test_empty_activity_name_rejected(self):
+        with pytest.raises(DefinitionError):
+            Empty("")
+
+
+class TestInvokeExpressionInputs:
+    def test_expression_input_evaluated_against_variables(self, engine):
+        from repro.orchestration import Expression
+
+        definition = ProcessDefinition(
+            "p",
+            Sequence(
+                "main",
+                [
+                    Invoke(
+                        "call",
+                        operation="add",
+                        to="http://test/echo",
+                        inputs={"a": Expression("base * 2"), "b": 1},
+                        extract={"total": "sum"},
+                    ),
+                    Reply("r", variable="total"),
+                ],
+            ),
+            initial_variables={"base": 10},
+        )
+        assert run(engine, definition).result == 21
+
+    def test_callable_input(self, engine):
+        definition = ProcessDefinition(
+            "p",
+            Sequence(
+                "main",
+                [
+                    Invoke(
+                        "call",
+                        operation="add",
+                        to="http://test/echo",
+                        inputs={"a": lambda v: v["base"] + 5, "b": 0},
+                        extract={"total": "sum"},
+                    ),
+                    Reply("r", variable="total"),
+                ],
+            ),
+            initial_variables={"base": 1},
+        )
+        assert run(engine, definition).result == 6

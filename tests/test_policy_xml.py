@@ -1,0 +1,226 @@
+"""Unit tests for WS-Policy4MASC XML serialization and parsing."""
+
+import pytest
+
+from repro.policy import (
+    AdaptationPolicy,
+    AddActivityAction,
+    BusinessValue,
+    ConcurrentInvokeAction,
+    ExtendTimeoutAction,
+    InvokeSpec,
+    MessageCondition,
+    MonitoringPolicy,
+    PolicyDocument,
+    PolicyError,
+    PolicyScope,
+    QoSThreshold,
+    RemoveActivityAction,
+    ReplaceActivityAction,
+    RetryAction,
+    SkipAction,
+    SubstituteAction,
+    TerminateProcessAction,
+    parse_policy_document,
+    serialize_policy_document,
+)
+from repro.policy.actions import ResumeProcessAction, SuspendProcessAction
+from repro.soap import FaultCode
+
+
+def full_document() -> PolicyDocument:
+    document = PolicyDocument("everything")
+    document.monitoring_policies.append(
+        MonitoringPolicy(
+            name="watch",
+            events=("message.request", "message.response"),
+            scope=PolicyScope(service_type="Retailer", operation="getCatalog"),
+            condition="amount > 100",
+            conditions=(
+                MessageCondition("CustomerID", "exists"),
+                MessageCondition("amount", "lte", "10000"),
+            ),
+            qos_thresholds=(QoSThreshold("response_time", "lte", 1.5, window=30, aggregate="p95"),),
+            extract={"amount": "amount", "customer": "CustomerID"},
+            classify_as=FaultCode.SLA_VIOLATION,
+            emits=("order.large",),
+            priority=7,
+        )
+    )
+    document.adaptation_policies.append(
+        AdaptationPolicy(
+            name="recover",
+            triggers=("fault.Timeout", "fault.*"),
+            scope=PolicyScope(endpoint="http://scm/*"),
+            condition="fault_code == 'Timeout'",
+            state_before="normal",
+            state_after="degraded",
+            actions=(
+                SuspendProcessAction(),
+                ExtendTimeoutAction(extra_seconds=12.0),
+                RetryAction(max_retries=5, delay_seconds=1.5, backoff_multiplier=2.0),
+                SubstituteAction(strategy="backup", backup_address="http://backup"),
+                ConcurrentInvokeAction(max_targets=3),
+                SkipAction(reason="optional step"),
+                ResumeProcessAction(),
+                TerminateProcessAction(reason="last resort"),
+            ),
+            business_value=BusinessValue(-4.5, "USD", "recovery cost"),
+            priority=3,
+            adaptation_type="correction",
+        )
+    )
+    document.adaptation_policies.append(
+        AdaptationPolicy(
+            name="customize",
+            triggers=("trade.international",),
+            adaptation_type="customization",
+            actions=(
+                AddActivityAction(
+                    anchor="place-trade",
+                    position="before",
+                    block_name="variation-block",
+                    bindings={"seed": "$amount", "mode": "fast"},
+                    invokes=(
+                        InvokeSpec(
+                            name="convert",
+                            operation="convert",
+                            service_type="CurrencyConversion",
+                            inputs={"amount": "$amount"},
+                            outputs={"local": "converted"},
+                            timeout_seconds=9.0,
+                        ),
+                        InvokeSpec(
+                            name="audit",
+                            operation="logEvent",
+                            address="http://log",
+                        ),
+                    ),
+                ),
+                RemoveActivityAction(target="a-block", block_end="b-block"),
+                ReplaceActivityAction(
+                    target="old",
+                    invokes=(InvokeSpec(name="new", operation="op", address="http://new"),),
+                ),
+            ),
+        )
+    )
+    return document
+
+
+class TestRoundTrip:
+    def test_full_round_trip_is_stable(self):
+        document = full_document()
+        xml_once = serialize_policy_document(document, indent=True)
+        reparsed = parse_policy_document(xml_once)
+        xml_twice = serialize_policy_document(reparsed, indent=True)
+        assert xml_once == xml_twice
+
+    def test_monitoring_fields_survive(self):
+        reparsed = parse_policy_document(serialize_policy_document(full_document()))
+        policy = reparsed.monitoring_policies[0]
+        assert policy.name == "watch"
+        assert policy.events == ("message.request", "message.response")
+        assert policy.scope.service_type == "Retailer"
+        assert policy.condition == "amount > 100"
+        assert len(policy.conditions) == 2
+        assert policy.conditions[1].operator == "lte"
+        assert policy.qos_thresholds[0].aggregate == "p95"
+        assert policy.extract == {"amount": "amount", "customer": "CustomerID"}
+        assert policy.classify_as is FaultCode.SLA_VIOLATION
+        assert policy.emits == ("order.large",)
+        assert policy.priority == 7
+
+    def test_adaptation_fields_survive(self):
+        reparsed = parse_policy_document(serialize_policy_document(full_document()))
+        policy = reparsed.adaptation_policies[0]
+        assert policy.state_before == "normal" and policy.state_after == "degraded"
+        assert policy.business_value.amount == -4.5
+        assert policy.business_value.currency == "USD"
+        assert policy.priority == 3
+        retry = policy.actions[2]
+        assert isinstance(retry, RetryAction)
+        assert (retry.max_retries, retry.delay_seconds, retry.backoff_multiplier) == (5, 1.5, 2.0)
+        substitute = policy.actions[3]
+        assert substitute.strategy == "backup" and substitute.backup_address == "http://backup"
+
+    def test_customization_actions_survive(self):
+        reparsed = parse_policy_document(serialize_policy_document(full_document()))
+        policy = reparsed.adaptation_policies[1]
+        add, remove, replace = policy.actions
+        assert isinstance(add, AddActivityAction)
+        assert add.block_name == "variation-block"
+        assert add.bindings == {"seed": "$amount", "mode": "fast"}
+        assert add.invokes[0].timeout_seconds == 9.0
+        assert add.invokes[0].outputs == {"local": "converted"}
+        assert add.invokes[1].address == "http://log"
+        assert isinstance(remove, RemoveActivityAction) and remove.block_end == "b-block"
+        assert isinstance(replace, ReplaceActivityAction)
+        assert replace.invokes[0].name == "new"
+
+    def test_adaptation_type_survives(self):
+        reparsed = parse_policy_document(serialize_policy_document(full_document()))
+        assert reparsed.adaptation_policies[1].adaptation_type == "customization"
+
+
+class TestParsingErrors:
+    def test_not_a_policy_document(self):
+        with pytest.raises(PolicyError):
+            parse_policy_document("<NotPolicy/>")
+
+    def test_unknown_assertion_rejected(self):
+        xml = (
+            '<Policy xmlns="http://schemas.xmlsoap.org/ws/2004/09/policy" Name="d">'
+            '<Mystery xmlns="http://masc.web.cse.unsw.edu.au/ns/ws-policy4masc"/>'
+            "</Policy>"
+        )
+        with pytest.raises(PolicyError):
+            parse_policy_document(xml)
+
+    def test_unknown_action_rejected(self):
+        xml = (
+            '<wsp:Policy xmlns:wsp="http://schemas.xmlsoap.org/ws/2004/09/policy" '
+            'xmlns:masc="http://masc.web.cse.unsw.edu.au/ns/ws-policy4masc" Name="d">'
+            '<masc:AdaptationPolicy name="a"><masc:On event="e"/>'
+            "<masc:Actions><masc:FlyToTheMoon/></masc:Actions>"
+            "</masc:AdaptationPolicy></wsp:Policy>"
+        )
+        with pytest.raises(PolicyError):
+            parse_policy_document(xml)
+
+    def test_missing_required_attribute(self):
+        xml = (
+            '<wsp:Policy xmlns:wsp="http://schemas.xmlsoap.org/ws/2004/09/policy" '
+            'xmlns:masc="http://masc.web.cse.unsw.edu.au/ns/ws-policy4masc" Name="d">'
+            '<masc:MonitoringPolicy name="m"><masc:On/></masc:MonitoringPolicy>'
+            "</wsp:Policy>"
+        )
+        with pytest.raises(PolicyError):
+            parse_policy_document(xml)
+
+    def test_adaptation_without_actions_element(self):
+        xml = (
+            '<wsp:Policy xmlns:wsp="http://schemas.xmlsoap.org/ws/2004/09/policy" '
+            'xmlns:masc="http://masc.web.cse.unsw.edu.au/ns/ws-policy4masc" Name="d">'
+            '<masc:AdaptationPolicy name="a"><masc:On event="e"/></masc:AdaptationPolicy>'
+            "</wsp:Policy>"
+        )
+        with pytest.raises(PolicyError):
+            parse_policy_document(xml)
+
+    def test_ws_policy_operators_flattened(self):
+        xml = (
+            '<wsp:Policy xmlns:wsp="http://schemas.xmlsoap.org/ws/2004/09/policy" '
+            'xmlns:masc="http://masc.web.cse.unsw.edu.au/ns/ws-policy4masc" Name="d">'
+            "<wsp:ExactlyOne><wsp:All>"
+            '<masc:AdaptationPolicy name="a" priority="1"><masc:On event="e"/>'
+            '<masc:Actions><masc:Retry maxRetries="1"/></masc:Actions>'
+            "</masc:AdaptationPolicy>"
+            "</wsp:All></wsp:ExactlyOne></wsp:Policy>"
+        )
+        document = parse_policy_document(xml)
+        assert document.adaptation_policies[0].name == "a"
+
+    def test_document_name_defaults(self):
+        xml = '<Policy xmlns="http://schemas.xmlsoap.org/ws/2004/09/policy"/>'
+        assert parse_policy_document(xml).name == "unnamed"

@@ -1,0 +1,273 @@
+"""Process-level corrective adaptation (the paper's ongoing work, built).
+
+Policies triggered by ``process-fault.<Code>`` events let MASC correct a
+fault *at the orchestration layer*: retry the failed activity, skip it, or
+replace it with a variation activity — all without any Scope/fault-handler
+constructs in the process definition.
+"""
+
+import pytest
+
+from conftest import ECHO_CONTRACT, EchoService
+from repro.core import MASC
+from repro.orchestration import (
+    Invoke,
+    ProcessDefinition,
+    ProcessFault,
+    Reply,
+    Sequence,
+)
+from repro.orchestration.instance import InstanceStatus
+from repro.policy import (
+    AdaptationPolicy,
+    BusinessValue,
+    InvokeSpec,
+    PolicyDocument,
+    PolicyScope,
+    ReplaceActivityAction,
+    RetryAction,
+    SkipAction,
+    serialize_policy_document,
+)
+from repro.services import SimulatedService
+from repro.soap import FaultCode, SoapFault, SoapFaultError
+
+
+class FlakyService(SimulatedService):
+    """Fails the first N calls, then succeeds."""
+
+    contract = ECHO_CONTRACT
+
+    def __init__(self, *args, fail_times: int = 2, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.fail_times = fail_times
+        self.calls = 0
+
+    def op_echo(self, payload, ctx):
+        self.calls += 1
+        yield ctx.work()
+        if self.calls <= self.fail_times:
+            raise SoapFaultError(
+                SoapFault(FaultCode.SERVICE_FAILURE, f"flaky failure {self.calls}")
+            )
+        return ECHO_CONTRACT.operation("echo").output.build(text="recovered")
+
+
+@pytest.fixture
+def masc():
+    stack = MASC(seed=13)
+    stack.deploy(EchoService(stack.env, "backup", "http://svc/backup"))
+    return stack
+
+
+def definition(to="http://svc/flaky"):
+    return ProcessDefinition(
+        "correctable",
+        Sequence(
+            "main",
+            [
+                Invoke(
+                    "fragile-call",
+                    operation="echo",
+                    to=to,
+                    inputs={"text": "hello"},
+                    extract={"echoed": "text"},
+                    timeout_seconds=30.0,
+                ),
+                Reply("r", variable="echoed"),
+            ],
+        ),
+    )
+
+
+def load(masc, *policies, name="correction"):
+    document = PolicyDocument(name)
+    document.adaptation_policies.extend(policies)
+    masc.load_policies(serialize_policy_document(document))
+
+
+class TestProcessLevelRetry:
+    def test_retry_heals_transient_fault(self, masc):
+        flaky = FlakyService(masc.env, "flaky", "http://svc/flaky", fail_times=2)
+        masc.deploy(flaky)
+        load(
+            masc,
+            AdaptationPolicy(
+                name="retry-activity",
+                triggers=("process-fault.ServiceFailure",),
+                scope=PolicyScope(process="correctable"),
+                actions=(RetryAction(max_retries=3, delay_seconds=1.0),),
+            ),
+        )
+        instance = masc.engine.start(definition())
+        assert masc.engine.run_to_completion(instance) == "recovered"
+        assert flaky.calls == 3
+        retried = masc.tracking.events_for(instance.id, "activity_retried")
+        assert len(retried) == 2
+        assert masc.tracking.events_for(instance.id, "activity_faulted") == []
+
+    def test_retry_budget_exhaustion_propagates(self, masc):
+        flaky = FlakyService(masc.env, "flaky", "http://svc/flaky", fail_times=99)
+        masc.deploy(flaky)
+        load(
+            masc,
+            AdaptationPolicy(
+                name="retry-activity",
+                triggers=("process-fault.ServiceFailure",),
+                actions=(RetryAction(max_retries=2, delay_seconds=0.5),),
+            ),
+        )
+        instance = masc.engine.start(definition())
+        with pytest.raises(ProcessFault):
+            masc.engine.run_to_completion(instance)
+        assert instance.status is InstanceStatus.FAULTED
+        assert flaky.calls == 3  # 1 original + 2 retries
+
+    def test_retry_delay_pattern_applied(self, masc):
+        flaky = FlakyService(masc.env, "flaky", "http://svc/flaky", fail_times=2)
+        masc.deploy(flaky)
+        load(
+            masc,
+            AdaptationPolicy(
+                name="retry-activity",
+                triggers=("process-fault.*",),
+                actions=(RetryAction(max_retries=3, delay_seconds=5.0),),
+            ),
+        )
+        instance = masc.engine.start(definition())
+        masc.engine.run_to_completion(instance)
+        assert masc.env.now >= 10.0  # two retry delays of 5 s
+
+
+class TestProcessLevelSkip:
+    def test_skip_treats_activity_as_completed(self, masc):
+        masc.deploy(FlakyService(masc.env, "flaky", "http://svc/flaky", fail_times=99))
+        load(
+            masc,
+            AdaptationPolicy(
+                name="skip-activity",
+                triggers=("process-fault.ServiceFailure",),
+                scope=PolicyScope(activity="fragile-call"),
+                actions=(SkipAction(reason="not critical"),),
+            ),
+        )
+        instance = masc.engine.start(definition())
+        masc.engine.run_to_completion(instance)
+        assert instance.status is InstanceStatus.COMPLETED
+        assert instance.result is None  # extraction never happened
+        assert masc.tracking.events_for(instance.id, "activity_skipped")
+
+
+class TestProcessLevelReplace:
+    def test_failed_activity_replaced_with_backup(self, masc):
+        masc.deploy(FlakyService(masc.env, "flaky", "http://svc/flaky", fail_times=99))
+        load(
+            masc,
+            AdaptationPolicy(
+                name="replace-with-backup",
+                triggers=("process-fault.ServiceFailure",),
+                actions=(
+                    ReplaceActivityAction(
+                        target="fragile-call",
+                        invokes=(
+                            InvokeSpec(
+                                name="backup-call",
+                                operation="echo",
+                                address="http://svc/backup",
+                                inputs={"text": "from-backup"},
+                                outputs={"echoed": "text"},
+                            ),
+                        ),
+                    ),
+                ),
+                business_value=BusinessValue(-2.0, "AUD", "backup provider fee"),
+            ),
+        )
+        instance = masc.engine.start(definition())
+        assert masc.engine.run_to_completion(instance) == "from-backup@backup"
+        assert instance.status is InstanceStatus.COMPLETED
+        assert masc.tracking.events_for(instance.id, "activity_replaced")
+        assert masc.repository.business_totals() == {"AUD": -2.0}
+
+    def test_replace_only_targets_named_activity(self, masc):
+        masc.deploy(FlakyService(masc.env, "flaky", "http://svc/flaky", fail_times=99))
+        load(
+            masc,
+            AdaptationPolicy(
+                name="replace-other",
+                triggers=("process-fault.*",),
+                actions=(
+                    ReplaceActivityAction(
+                        target="some-other-activity",
+                        invokes=(
+                            InvokeSpec(
+                                name="never", operation="echo", address="http://svc/backup"
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        )
+        instance = masc.engine.start(definition())
+        with pytest.raises(ProcessFault):
+            masc.engine.run_to_completion(instance)
+
+
+class TestOrderingAndGuards:
+    def test_retry_then_replace_composition(self, masc):
+        """One policy: bounded retry, then fail over to the backup."""
+        flaky = FlakyService(masc.env, "flaky", "http://svc/flaky", fail_times=99)
+        masc.deploy(flaky)
+        load(
+            masc,
+            AdaptationPolicy(
+                name="retry-then-replace",
+                triggers=("process-fault.ServiceFailure",),
+                actions=(
+                    RetryAction(max_retries=2, delay_seconds=0.5),
+                    ReplaceActivityAction(
+                        target="fragile-call",
+                        invokes=(
+                            InvokeSpec(
+                                name="backup-call",
+                                operation="echo",
+                                address="http://svc/backup",
+                                inputs={"text": "fallback"},
+                                outputs={"echoed": "text"},
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        )
+        instance = masc.engine.start(definition())
+        assert masc.engine.run_to_completion(instance) == "fallback@backup"
+        assert flaky.calls == 3  # original + 2 retries, then replaced
+
+    def test_no_policy_means_normal_propagation(self, masc):
+        masc.deploy(FlakyService(masc.env, "flaky", "http://svc/flaky", fail_times=99))
+        instance = masc.engine.start(definition())
+        with pytest.raises(ProcessFault):
+            masc.engine.run_to_completion(instance)
+
+    def test_condition_can_inspect_variables_and_attempts(self, masc):
+        masc.deploy(FlakyService(masc.env, "flaky", "http://svc/flaky", fail_times=99))
+        load(
+            masc,
+            AdaptationPolicy(
+                name="skip-only-for-vips",
+                triggers=("process-fault.*",),
+                condition="customer_tier == 'gold'",
+                actions=(SkipAction(),),
+            ),
+        )
+        gold = masc.engine.start(
+            definition(), variables={"customer_tier": "gold"}
+        )
+        masc.engine.run_to_completion(gold)
+        assert gold.status is InstanceStatus.COMPLETED
+        plain = masc.engine.start(
+            definition(), variables={"customer_tier": "basic"}
+        )
+        with pytest.raises(ProcessFault):
+            masc.engine.run_to_completion(plain)

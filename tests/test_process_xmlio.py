@@ -1,0 +1,200 @@
+"""Unit tests for XML process definition serialization."""
+
+import pytest
+
+from conftest import EchoService
+from repro.casestudies.scm import build_scm_process
+from repro.orchestration import (
+    Assign,
+    Delay,
+    Empty,
+    Flow,
+    IfElse,
+    Invoke,
+    ProcessDefinition,
+    ProcessSerializationError,
+    Receive,
+    Reply,
+    Scope,
+    Sequence,
+    Terminate,
+    Throw,
+    While,
+    WorkflowEngine,
+    parse_process_definition,
+    serialize_process_definition,
+)
+from repro.soap import FaultCode
+
+
+def full_definition() -> ProcessDefinition:
+    return ProcessDefinition(
+        "everything",
+        Sequence(
+            "main",
+            [
+                Receive("rcv", variable="incoming"),
+                Assign("init", "counter", expression="0"),
+                Delay("pause", 1.5),
+                While(
+                    "loop",
+                    "counter < 3",
+                    body=Assign("inc", "counter", expression="counter + 1"),
+                    max_iterations=50,
+                ),
+                IfElse(
+                    "branch",
+                    "counter >= 3",
+                    then=Empty("yes"),
+                    orelse=Throw("no", FaultCode.SERVER, "impossible"),
+                ),
+                Flow("parallel", [Delay("p1", 0.1), Delay("p2", 0.2)]),
+                Scope(
+                    "guarded",
+                    body=Invoke(
+                        "call",
+                        operation="echo",
+                        to="http://test/echo",
+                        inputs={"text": "$greeting"},
+                        extract={"echoed": "text"},
+                        output_variable="raw",
+                        timeout_seconds=12.0,
+                    ),
+                    fault_handlers={
+                        FaultCode.TIMEOUT: Empty("on-timeout"),
+                        None: Empty("on-anything"),
+                    },
+                    compensation=Empty("undo"),
+                    timeout_seconds=30.0,
+                    compensate_on_fault=True,
+                ),
+                Terminate("halt", reason="end of demo"),
+                Reply("answer", variable="echoed"),
+            ],
+        ),
+        initial_variables={"greeting": "hi", "limit": 3, "rate": 1.5, "flag": True},
+    )
+
+
+class TestRoundTrip:
+    def test_fixed_point(self):
+        definition = full_definition()
+        once = serialize_process_definition(definition)
+        twice = serialize_process_definition(parse_process_definition(once))
+        assert once == twice
+
+    def test_structure_preserved(self):
+        reparsed = parse_process_definition(serialize_process_definition(full_definition()))
+        assert reparsed.activity_names() == full_definition().activity_names()
+
+    def test_variables_typed(self):
+        reparsed = parse_process_definition(serialize_process_definition(full_definition()))
+        assert reparsed.initial_variables == {
+            "greeting": "hi",
+            "limit": 3,
+            "rate": 1.5,
+            "flag": True,
+        }
+
+    def test_scope_details_preserved(self):
+        reparsed = parse_process_definition(serialize_process_definition(full_definition()))
+        scope = reparsed.find("guarded")
+        assert scope.timeout_seconds == 30.0
+        assert scope.compensate_on_fault is True
+        assert FaultCode.TIMEOUT in scope.fault_handlers
+        assert None in scope.fault_handlers
+        assert scope.compensation.name == "undo"
+
+    def test_invoke_details_preserved(self):
+        reparsed = parse_process_definition(serialize_process_definition(full_definition()))
+        invoke = reparsed.find("call")
+        assert invoke.inputs == {"text": "$greeting"}
+        assert invoke.extract == {"echoed": "text"}
+        assert invoke.output_variable == "raw"
+        assert invoke.timeout_seconds == 12.0
+
+    def test_scm_process_round_trips(self):
+        definition = build_scm_process("http://retailer", "http://logging")
+        reparsed = parse_process_definition(serialize_process_definition(definition))
+        assert reparsed.activity_names() == definition.activity_names()
+
+    def test_reparsed_definition_executes(self, env, network, container):
+        container.deploy(EchoService(env, "echo1", "http://test/echo"))
+        xml = serialize_process_definition(
+            ProcessDefinition(
+                "runnable",
+                Sequence(
+                    "main",
+                    [
+                        Invoke(
+                            "call",
+                            operation="echo",
+                            to="http://test/echo",
+                            inputs={"text": "$greeting"},
+                            extract={"echoed": "text"},
+                        ),
+                        Reply("r", variable="echoed"),
+                    ],
+                ),
+                initial_variables={"greeting": "parsed"},
+            )
+        )
+        engine = WorkflowEngine(env, network=network)
+        definition = parse_process_definition(xml)
+        instance = engine.start(definition)
+        assert engine.run_to_completion(instance) == "parsed@echo1"
+
+
+class TestErrors:
+    def test_callable_condition_rejected(self):
+        definition = ProcessDefinition(
+            "p",
+            Sequence("main", [IfElse("if", lambda v: True, then=Empty("t"))]),
+        )
+        with pytest.raises(ProcessSerializationError):
+            serialize_process_definition(definition)
+
+    def test_input_builder_rejected(self):
+        definition = ProcessDefinition(
+            "p",
+            Sequence(
+                "main",
+                [
+                    Invoke(
+                        "call",
+                        operation="op",
+                        to="http://x",
+                        input_builder=lambda v: None,
+                    )
+                ],
+            ),
+        )
+        with pytest.raises(ProcessSerializationError):
+            serialize_process_definition(definition)
+
+    def test_callable_assign_rejected(self):
+        definition = ProcessDefinition(
+            "p", Sequence("main", [Assign("a", "x", expression=lambda v: 1)])
+        )
+        with pytest.raises(ProcessSerializationError):
+            serialize_process_definition(definition)
+
+    def test_not_a_process_document(self):
+        with pytest.raises(ProcessSerializationError):
+            parse_process_definition("<SomethingElse/>")
+
+    def test_missing_required_attribute(self):
+        xml = (
+            '<Process xmlns="http://masc.web.cse.unsw.edu.au/ns/process" name="p">'
+            "<Sequence/></Process>"
+        )
+        with pytest.raises(ProcessSerializationError):
+            parse_process_definition(xml)
+
+    def test_unknown_activity_element(self):
+        xml = (
+            '<Process xmlns="http://masc.web.cse.unsw.edu.au/ns/process" name="p">'
+            '<Teleport name="t"/></Process>'
+        )
+        with pytest.raises(ProcessSerializationError):
+            parse_process_definition(xml)

@@ -1,0 +1,259 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import availability_from_records, failures_per_1000
+from repro.orchestration import Expression
+from repro.policy import (
+    AdaptationPolicy,
+    BusinessValue,
+    InvokeSpec,
+    MessageCondition,
+    MonitoringPolicy,
+    PolicyDocument,
+    PolicyScope,
+    RetryAction,
+    AddActivityAction,
+    SubstituteAction,
+    parse_policy_document,
+    serialize_policy_document,
+)
+from repro.services import InvocationOutcome, InvocationRecord
+from repro.soap import SoapEnvelope
+from repro.simulation import Environment
+from repro.xmlutils import Element, QName, parse_xml, serialize_xml
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+names = st.text(alphabet=string.ascii_letters, min_size=1, max_size=12)
+texts = st.text(
+    alphabet=string.ascii_letters + string.digits + " -_.", min_size=0, max_size=30
+).map(str.strip)
+
+
+@st.composite
+def elements(draw, depth=0):
+    element = Element(draw(names))
+    for key in draw(st.lists(names, max_size=3, unique=True)):
+        element.attributes[key] = draw(texts)
+    text = draw(texts)
+    if text:
+        element.text = text
+    if depth < 3:
+        for child in draw(st.lists(elements(depth=depth + 1), max_size=3)):
+            element.append(child)
+    return element
+
+
+@st.composite
+def invocation_records(draw):
+    start = draw(st.floats(min_value=0, max_value=1000, allow_nan=False))
+    duration = draw(st.floats(min_value=0.001, max_value=10, allow_nan=False))
+    ok = draw(st.booleans())
+    return InvocationRecord(
+        caller="c",
+        target="http://a",
+        operation="op",
+        started_at=start,
+        finished_at=start + duration,
+        outcome=InvocationOutcome.SUCCESS if ok else InvocationOutcome.FAULT,
+    )
+
+
+@st.composite
+def policy_documents(draw):
+    document = PolicyDocument(draw(names))
+    for index in range(draw(st.integers(0, 3))):
+        document.monitoring_policies.append(
+            MonitoringPolicy(
+                name=f"m{index}-{draw(names)}",
+                events=tuple(draw(st.lists(names, min_size=1, max_size=3))),
+                scope=PolicyScope(service_type=draw(st.none() | names)),
+                conditions=tuple(
+                    MessageCondition(draw(names), "eq", draw(texts))
+                    for _ in range(draw(st.integers(0, 2)))
+                ),
+                extract={draw(names): draw(names) for _ in range(draw(st.integers(0, 2)))},
+                emits=tuple(draw(st.lists(names, max_size=2))),
+                priority=draw(st.integers(0, 999)),
+            )
+        )
+    for index in range(draw(st.integers(1, 3))):
+        actions = [
+            draw(
+                st.sampled_from(
+                    [
+                        RetryAction(
+                            max_retries=draw(st.integers(0, 9)),
+                            delay_seconds=draw(
+                                st.floats(min_value=0, max_value=60, allow_nan=False)
+                            ),
+                        ),
+                        SubstituteAction("round_robin"),
+                        AddActivityAction(
+                            anchor=draw(names),
+                            invokes=(
+                                InvokeSpec(
+                                    name=draw(names),
+                                    operation=draw(names),
+                                    address=f"http://{draw(names)}",
+                                ),
+                            ),
+                        ),
+                    ]
+                )
+            )
+        ]
+        document.adaptation_policies.append(
+            AdaptationPolicy(
+                name=f"a{index}-{draw(names)}",
+                triggers=tuple(draw(st.lists(names, min_size=1, max_size=2))),
+                actions=tuple(actions),
+                priority=draw(st.integers(0, 999)),
+                business_value=draw(
+                    st.none()
+                    | st.builds(
+                        BusinessValue,
+                        amount=st.floats(
+                            min_value=-1e6, max_value=1e6, allow_nan=False
+                        ),
+                        currency=st.sampled_from(["AUD", "USD"]),
+                        reason=texts,
+                    )
+                ),
+            )
+        )
+    return document
+
+
+# ---------------------------------------------------------------------------
+# XML round-trip properties
+# ---------------------------------------------------------------------------
+
+
+@given(elements())
+@settings(max_examples=50)
+def test_element_xml_round_trip(element):
+    parsed = parse_xml(serialize_xml(element))
+    assert parsed.structurally_equal(element)
+
+
+@given(elements())
+@settings(max_examples=30)
+def test_element_copy_is_structurally_equal_but_distinct(element):
+    duplicate = element.copy()
+    assert duplicate.structurally_equal(element)
+    assert all(a is not b for a, b in zip(duplicate.iter(), element.iter()))
+
+
+@given(policy_documents())
+@settings(max_examples=30)
+def test_policy_document_round_trip_fixed_point(document):
+    """serialize(parse(serialize(d))) == serialize(d): one round trip is a
+    fixed point of the XML mapping."""
+    once = serialize_policy_document(document)
+    twice = serialize_policy_document(parse_policy_document(once))
+    assert once == twice
+
+
+@given(policy_documents())
+@settings(max_examples=30)
+def test_policy_document_parse_preserves_counts_and_priorities(document):
+    reparsed = parse_policy_document(serialize_policy_document(document))
+    assert len(reparsed) == len(document)
+    assert [p.priority for p in reparsed.adaptation_policies] == [
+        p.priority for p in document.adaptation_policies
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Envelope properties
+# ---------------------------------------------------------------------------
+
+
+@given(elements(), st.integers(0, 10_000))
+@settings(max_examples=30)
+def test_envelope_round_trip_preserves_body(body, padding):
+    envelope = SoapEnvelope.request("http://svc", "urn:op:x", body, padding=padding)
+    parsed = SoapEnvelope.from_xml(envelope.to_xml())
+    assert parsed.body.structurally_equal(body)
+    assert envelope.size_bytes >= padding
+
+
+@given(elements())
+@settings(max_examples=30)
+def test_reply_always_correlates(body):
+    request = SoapEnvelope.request("http://svc", "urn:op:x", body)
+    reply = request.reply(Element("ok"))
+    assert reply.addressing.relates_to == request.addressing.message_id
+
+
+# ---------------------------------------------------------------------------
+# Expression safety property
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.integers(-1000, 1000),
+    st.integers(-1000, 1000),
+    st.sampled_from(["+", "-", "*", "<", "<=", ">", ">=", "==", "!="]),
+)
+def test_expression_agrees_with_python(a, b, op):
+    expected = eval(f"a {op} b", {"a": a, "b": b})  # noqa: S307 - test oracle
+    assert Expression(f"a {op} b").evaluate({"a": a, "b": b}) == expected
+
+
+# ---------------------------------------------------------------------------
+# Metrics invariants
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(invocation_records(), max_size=60))
+@settings(max_examples=50)
+def test_metrics_bounds(records):
+    assert 0.0 <= failures_per_1000(records) <= 1000.0
+    assert 0.0 <= availability_from_records(records) <= 1.0
+
+
+@given(st.lists(invocation_records(), min_size=1, max_size=60))
+@settings(max_examples=50)
+def test_all_success_means_perfect_metrics(records):
+    successes = [
+        InvocationRecord(
+            caller=r.caller,
+            target=r.target,
+            operation=r.operation,
+            started_at=r.started_at,
+            finished_at=r.finished_at,
+            outcome=InvocationOutcome.SUCCESS,
+        )
+        for r in records
+    ]
+    assert failures_per_1000(successes) == 0.0
+    assert availability_from_records(successes) == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Simulation kernel invariant
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), min_size=1, max_size=20))
+@settings(max_examples=50)
+def test_simulation_time_is_monotone(delays):
+    env = Environment()
+    observed = []
+
+    def waiter(delay):
+        yield env.timeout(delay)
+        observed.append(env.now)
+
+    for delay in delays:
+        env.process(waiter(delay))
+    env.run()
+    assert observed == sorted(observed)
+    assert env.now == max(delays)

@@ -1,0 +1,153 @@
+"""Property-based tests for the XML process form and WSDL mapping."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.orchestration import (
+    Assign,
+    Delay,
+    Empty,
+    Flow,
+    IfElse,
+    Invoke,
+    ProcessDefinition,
+    Reply,
+    Scope,
+    Sequence,
+    Throw,
+    parse_process_definition,
+    serialize_process_definition,
+)
+from repro.soap import FaultCode
+from repro.wsdl import (
+    MessageSchema,
+    Operation,
+    PartSchema,
+    ServiceContract,
+    contract_to_wsdl,
+    wsdl_to_contract,
+)
+
+names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+
+
+class _Namer:
+    """Produces unique activity names within one generated tree."""
+
+    def __init__(self):
+        self.counter = 0
+
+    def fresh(self, base: str) -> str:
+        self.counter += 1
+        return f"{base}{self.counter}"
+
+
+@st.composite
+def leaf_activity(draw, namer):
+    choice = draw(st.integers(0, 4))
+    if choice == 0:
+        return Empty(namer.fresh("empty"))
+    if choice == 1:
+        return Assign(namer.fresh("assign"), draw(names), expression="1 + 2")
+    if choice == 2:
+        return Delay(namer.fresh("delay"), draw(st.floats(0, 10, allow_nan=False)))
+    if choice == 3:
+        return Throw(
+            namer.fresh("throw"), draw(st.sampled_from(list(FaultCode))), draw(names)
+        )
+    return Invoke(
+        namer.fresh("invoke"),
+        operation=draw(names),
+        to=f"http://{draw(names)}",
+        inputs={draw(names): f"${draw(names)}"},
+        extract={draw(names): draw(names)},
+        timeout_seconds=draw(st.floats(1, 60, allow_nan=False)),
+    )
+
+
+@st.composite
+def activity_tree(draw, namer, depth=0):
+    if depth >= 2:
+        return draw(leaf_activity(namer))
+    choice = draw(st.integers(0, 3))
+    if choice == 0:
+        children = draw(st.lists(activity_tree(namer, depth + 1), min_size=1, max_size=3))
+        return Sequence(namer.fresh("seq"), children)
+    if choice == 1:
+        children = draw(st.lists(activity_tree(namer, depth + 1), min_size=1, max_size=3))
+        return Flow(namer.fresh("flow"), children)
+    if choice == 2:
+        return IfElse(
+            namer.fresh("if"),
+            "x > 0",
+            then=draw(activity_tree(namer, depth + 1)),
+            orelse=draw(st.none() | activity_tree(namer, depth + 1)),
+        )
+    return Scope(
+        namer.fresh("scope"),
+        body=draw(activity_tree(namer, depth + 1)),
+        fault_handlers={None: draw(leaf_activity(namer))},
+        timeout_seconds=draw(st.none() | st.floats(1, 100, allow_nan=False)),
+    )
+
+
+@st.composite
+def process_definitions(draw):
+    namer = _Namer()
+    root = Sequence(
+        "root", draw(st.lists(activity_tree(namer), min_size=1, max_size=3))
+    )
+    root.activities.append(Reply(namer.fresh("reply"), variable=draw(names)))
+    return ProcessDefinition(draw(names), root)
+
+
+@given(process_definitions())
+@settings(max_examples=40, deadline=None)
+def test_process_xml_round_trip_fixed_point(definition):
+    once = serialize_process_definition(definition)
+    reparsed = parse_process_definition(once)
+    assert serialize_process_definition(reparsed) == once
+    assert reparsed.activity_names() == definition.activity_names()
+
+
+@st.composite
+def service_contracts(draw):
+    counter = iter(range(10_000))
+
+    def unique_name(base: str) -> str:
+        return f"{base}{next(counter)}"
+
+    operations = []
+    for _ in range(draw(st.integers(1, 3))):
+        parts = tuple(
+            PartSchema(
+                unique_name("part"),
+                draw(st.sampled_from(["string", "int", "float", "bool"])),
+                draw(st.booleans()),
+            )
+            for _ in range(draw(st.integers(0, 3)))
+        )
+        operations.append(
+            Operation(
+                unique_name("op"),
+                MessageSchema(unique_name("in"), parts),
+                MessageSchema(unique_name("out"), (PartSchema(unique_name("part")),)),
+            )
+        )
+    return ServiceContract(
+        service_type=unique_name("Service"), operations=tuple(operations)
+    )
+
+
+@given(service_contracts())
+@settings(max_examples=40, deadline=None)
+def test_wsdl_round_trip_preserves_contract(contract):
+    reparsed, address = wsdl_to_contract(contract_to_wsdl(contract))
+    assert address is None
+    assert reparsed.service_type == contract.service_type
+    assert len(reparsed.operations) == len(contract.operations)
+    for original in contract.operations:
+        parsed = reparsed.operation(original.name)
+        assert parsed.input == original.input
+        assert parsed.output == original.output

@@ -1,0 +1,51 @@
+"""Unit tests for deterministic named random streams."""
+
+from repro.simulation import RandomSource
+
+
+class TestRandomSource:
+    def test_same_seed_same_stream(self):
+        a = RandomSource(1).stream("x")
+        b = RandomSource(1).stream("x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_differ(self):
+        source = RandomSource(1)
+        a = source.stream("a").random()
+        b = source.stream("b").random()
+        assert a != b
+
+    def test_different_seeds_differ(self):
+        assert RandomSource(1).stream("x").random() != RandomSource(2).stream("x").random()
+
+    def test_stream_is_cached(self):
+        source = RandomSource(3)
+        assert source.stream("s") is source.stream("s")
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        """The key property: new consumers never shift existing draws."""
+        source_a = RandomSource(9)
+        first = source_a.stream("main")
+        draws_before = [first.random() for _ in range(3)]
+
+        source_b = RandomSource(9)
+        source_b.stream("newcomer")  # extra stream created first
+        second = source_b.stream("main")
+        draws_after = [second.random() for _ in range(3)]
+        assert draws_before == draws_after
+
+    def test_fork_is_deterministic(self):
+        a = RandomSource(5).fork("child").stream("s").random()
+        b = RandomSource(5).fork("child").stream("s").random()
+        assert a == b
+
+    def test_fork_differs_from_parent(self):
+        parent = RandomSource(5)
+        child = parent.fork("child")
+        assert parent.stream("s").random() != child.stream("s").random()
+
+    def test_fork_names_independent(self):
+        parent = RandomSource(5)
+        assert (
+            parent.fork("a").stream("s").random() != parent.fork("b").stream("s").random()
+        )

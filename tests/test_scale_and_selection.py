@@ -1,0 +1,140 @@
+"""Scale/soak checks and direct selection-service unit tests."""
+
+import pytest
+
+from conftest import ECHO_CONTRACT, EchoService
+from repro.casestudies.scm import (
+    RETAILER_CONTRACT,
+    build_scm_deployment,
+    retailer_recovery_policy_document,
+)
+from repro.policy import PolicyRepository
+from repro.simulation import RandomSource
+from repro.workload import RequestPlan, WorkloadRunner
+from repro.wsbus import QoSMeasurementService, SelectionService, WsBus
+
+
+class TestSelectionServiceUnit:
+    @pytest.fixture
+    def selection(self):
+        return SelectionService(QoSMeasurementService(), RandomSource(4))
+
+    MEMBERS = ["http://a", "http://b", "http://c"]
+
+    def test_round_robin_cycles(self, selection):
+        picks = [
+            selection.select("vep", "round_robin", self.MEMBERS) for _ in range(6)
+        ]
+        assert picks == self.MEMBERS + self.MEMBERS
+
+    def test_round_robin_counters_are_per_vep(self, selection):
+        first = selection.select("vep1", "round_robin", self.MEMBERS)
+        other = selection.select("vep2", "round_robin", self.MEMBERS)
+        assert first == other == "http://a"
+
+    def test_exclusions_respected(self, selection):
+        pick = selection.select(
+            "vep", "primary", self.MEMBERS, exclude={"http://a", "http://b"}
+        )
+        assert pick == "http://c"
+
+    def test_all_excluded_returns_none(self, selection):
+        assert (
+            selection.select("vep", "primary", self.MEMBERS, exclude=set(self.MEMBERS))
+            is None
+        )
+
+    def test_empty_members_returns_none(self, selection):
+        assert selection.select("vep", "round_robin", []) is None
+
+    def test_unknown_strategy_raises(self, selection):
+        with pytest.raises(ValueError):
+            selection.select("vep", "tarot", self.MEMBERS)
+
+    def test_broadcast_targets_cap(self, selection):
+        assert selection.broadcast_targets(self.MEMBERS, max_targets=2) == [
+            "http://a",
+            "http://b",
+        ]
+        assert selection.broadcast_targets(self.MEMBERS, exclude={"http://a"}) == [
+            "http://b",
+            "http://c",
+        ]
+
+    def test_random_is_seed_deterministic(self):
+        a = SelectionService(QoSMeasurementService(), RandomSource(4))
+        b = SelectionService(QoSMeasurementService(), RandomSource(4))
+        picks_a = [a.select("v", "random", self.MEMBERS) for _ in range(10)]
+        picks_b = [b.select("v", "random", self.MEMBERS) for _ in range(10)]
+        assert picks_a == picks_b
+
+
+class TestSoak:
+    def test_sustained_load_through_bus_with_faults(self):
+        """A soak run: 8 clients x 300 requests through a VEP under the
+        full Table 1 fault mix — no leaked exceptions, no stuck events,
+        virtually everything recovered."""
+        deployment = build_scm_deployment(seed=101, log_events=False)
+        deployment.inject_table1_mix()
+        repository = PolicyRepository()
+        repository.load(retailer_recovery_policy_document())
+        bus = WsBus(
+            deployment.env,
+            deployment.network,
+            repository=repository,
+            registry=deployment.registry,
+            member_timeout=5.0,
+        )
+        vep = bus.create_vep(
+            "retailers",
+            RETAILER_CONTRACT,
+            members=deployment.retailer_addresses,
+            selection_strategy="round_robin",
+        )
+        plan = RequestPlan(
+            target=vep.address,
+            operation="getCatalog",
+            payload_factory=lambda c, i: RETAILER_CONTRACT.operation(
+                "getCatalog"
+            ).input.build(),
+            timeout=60.0,
+            think_time_seconds=0.5,
+        )
+        result = WorkloadRunner(deployment.env, deployment.network).run(
+            plan, clients=8, requests_per_client=300
+        )
+        assert len(result.records) == 2400
+        failure_rate = len(result.failures) / len(result.records)
+        assert failure_rate < 0.01
+        # The simulation drains cleanly (no stuck processes beyond the
+        # injectors' infinite cycles, which are timer-driven).
+        assert deployment.env.peek() > deployment.env.now
+
+    def test_hundred_concurrent_trading_instances(self):
+        from repro.casestudies.stocktrading import (
+            build_trading_deployment,
+            currency_conversion_policy_document,
+        )
+        from repro.orchestration.instance import InstanceStatus
+        from repro.policy import serialize_policy_document
+
+        deployment = build_trading_deployment(seed=103)
+        deployment.masc.load_policies(
+            serialize_policy_document(currency_conversion_policy_document())
+        )
+        instances = [
+            deployment.place_order(
+                investor_id=f"inv-{index}",
+                amount=1000.0 + index,
+                country="US" if index % 2 else "AU",
+                currency="USD" if index % 2 else "AUD",
+            )
+            for index in range(100)
+        ]
+        gate = deployment.env.all_of([instance.process for instance in instances])
+        deployment.env.run(gate)
+        assert all(i.status is InstanceStatus.COMPLETED for i in instances)
+        international = [i for i in instances if i.variables["country"] == "US"]
+        assert all("convert-currency" in i.executed_activities for i in international)
+        national = [i for i in instances if i.variables["country"] == "AU"]
+        assert all("convert-currency" not in i.executed_activities for i in national)

@@ -1,0 +1,365 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.simulation import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+
+
+class TestEnvironmentClock:
+    def test_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_custom_initial_time(self):
+        assert Environment(10.0).now == 10.0
+
+    def test_run_until_number_advances_clock(self, env):
+        env.run(until=5.0)
+        assert env.now == 5.0
+
+    def test_run_backwards_rejected(self, env):
+        env.run(until=5.0)
+        with pytest.raises(SimulationError):
+            env.run(until=1.0)
+
+    def test_peek_empty_is_infinite(self, env):
+        assert env.peek() == float("inf")
+
+    def test_peek_returns_next_event_time(self, env):
+        env.timeout(3.0)
+        assert env.peek() == 3.0
+
+    def test_step_without_events_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.step()
+
+
+class TestEvents:
+    def test_event_starts_untriggered(self, env):
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_succeed_carries_value(self, env):
+        event = env.event()
+        event.succeed("payload")
+        env.run()
+        assert event.ok and event.value == "payload"
+
+    def test_double_trigger_rejected(self, env):
+        event = env.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, env):
+        event = env.event()
+        with pytest.raises(SimulationError):
+            event.fail("not an exception")
+
+    def test_value_before_trigger_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.event().value
+
+    def test_negative_delay_rejected(self, env):
+        event = env.event()
+        with pytest.raises(SimulationError):
+            event.succeed(delay=-1)
+
+    def test_unhandled_failure_surfaces(self, env):
+        event = env.event()
+        event.fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError):
+            env.run()
+
+    def test_defused_failure_is_silent(self, env):
+        event = env.event()
+        event.fail(RuntimeError("boom"))
+        event.defused = True
+        env.run()  # no exception
+
+    def test_delayed_succeed_fires_at_offset(self, env):
+        event = env.event()
+        event.succeed("v", delay=7.5)
+        env.run()
+        assert env.now == 7.5
+
+    def test_callbacks_receive_event(self, env):
+        event = env.event()
+        seen = []
+        event.callbacks.append(seen.append)
+        event.succeed()
+        env.run()
+        assert seen == [event]
+
+
+class TestTimeout:
+    def test_timeout_advances_clock(self, env):
+        env.timeout(2.0)
+        env.run()
+        assert env.now == 2.0
+
+    def test_timeout_value(self, env):
+        timeout = env.timeout(1.0, value="tick")
+        env.run()
+        assert timeout.value == "tick"
+
+    def test_negative_timeout_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.timeout(-0.5)
+
+    def test_zero_timeout_fires_immediately(self, env):
+        timeout = env.timeout(0.0)
+        env.run()
+        assert timeout.processed and env.now == 0.0
+
+    def test_timeouts_fire_in_order(self, env):
+        order = []
+
+        def proc(delay, tag):
+            yield env.timeout(delay)
+            order.append(tag)
+
+        env.process(proc(3, "c"))
+        env.process(proc(1, "a"))
+        env.process(proc(2, "b"))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self, env):
+        order = []
+
+        def proc(tag):
+            yield env.timeout(1.0)
+            order.append(tag)
+
+        env.process(proc("first"))
+        env.process(proc("second"))
+        env.run()
+        assert order == ["first", "second"]
+
+
+class TestProcesses:
+    def test_process_return_value(self, env):
+        def proc():
+            yield env.timeout(1)
+            return 42
+
+        assert env.run(env.process(proc())) == 42
+
+    def test_nested_processes(self, env):
+        def inner():
+            yield env.timeout(1)
+            return "in"
+
+        def outer():
+            value = yield env.process(inner())
+            return f"out-{value}"
+
+        assert env.run(env.process(outer())) == "out-in"
+
+    def test_process_exception_propagates_to_run(self, env):
+        def proc():
+            yield env.timeout(1)
+            raise ValueError("inside")
+
+        with pytest.raises(ValueError, match="inside"):
+            env.run(env.process(proc()))
+
+    def test_waiting_process_catches_child_failure(self, env):
+        def failing():
+            yield env.timeout(1)
+            raise ValueError("child")
+
+        def parent():
+            try:
+                yield env.process(failing())
+            except ValueError:
+                return "caught"
+
+        assert env.run(env.process(parent())) == "caught"
+
+    def test_is_alive_lifecycle(self, env):
+        def proc():
+            yield env.timeout(1)
+
+        process = env.process(proc())
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive
+
+    def test_yielding_non_event_fails_process(self, env):
+        def proc():
+            yield "not an event"
+
+        with pytest.raises(SimulationError):
+            env.run(env.process(proc()))
+
+    def test_requires_generator(self, env):
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)
+
+    def test_immediate_return(self, env):
+        def proc():
+            return 7
+            yield  # pragma: no cover
+
+        assert env.run(env.process(proc())) == 7
+
+    def test_process_waits_on_already_processed_event(self, env):
+        timeout = env.timeout(1.0, value="done")
+        env.run()
+
+        def proc():
+            value = yield timeout
+            return value
+
+        assert env.run(env.process(proc())) == "done"
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, env):
+        def victim():
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                return interrupt.cause
+
+        process = env.process(victim())
+
+        def interrupter():
+            yield env.timeout(1)
+            process.interrupt("why")
+
+        env.process(interrupter())
+        assert env.run(process) == "why"
+        assert env.now == 1.0
+
+    def test_interrupting_finished_process_rejected(self, env):
+        def quick():
+            yield env.timeout(1)
+
+        process = env.process(quick())
+        env.run()
+        with pytest.raises(SimulationError):
+            process.interrupt()
+
+    def test_interrupted_process_does_not_resume_from_original_event(self, env):
+        resumed = []
+
+        def victim():
+            try:
+                yield env.timeout(5)
+                resumed.append("timer")
+            except Interrupt:
+                yield env.timeout(10)
+                resumed.append("post-interrupt")
+
+        process = env.process(victim())
+
+        def interrupter():
+            yield env.timeout(1)
+            process.interrupt()
+
+        env.process(interrupter())
+        env.run()
+        assert resumed == ["post-interrupt"]
+        assert env.now == 11.0
+
+
+class TestConditions:
+    def test_any_of_first_wins(self, env):
+        def slow():
+            yield env.timeout(10)
+            return "slow"
+
+        def fast():
+            yield env.timeout(1)
+            return "fast"
+
+        def racer():
+            a, b = env.process(slow()), env.process(fast())
+            result = yield env.any_of([a, b])
+            return list(result.values())
+
+        assert env.run(env.process(racer())) == ["fast"]
+
+    def test_any_of_pending_timeout_does_not_count_as_fired(self, env):
+        """Regression: a Timeout is scheduled at creation but must not
+        satisfy a condition until it actually fires."""
+
+        def proc():
+            work = env.process(iter_work())
+            timer = env.timeout(50)
+            result = yield env.any_of([work, timer])
+            return work in result
+
+        def iter_work():
+            yield env.timeout(1)
+            return "done"
+
+        assert env.run(env.process(proc())) is True
+
+    def test_all_of_waits_for_everything(self, env):
+        def worker(delay):
+            yield env.timeout(delay)
+            return delay
+
+        def gather():
+            processes = [env.process(worker(d)) for d in (3, 1, 2)]
+            result = yield env.all_of(processes)
+            return sorted(result.values())
+
+        assert env.run(env.process(gather())) == [1, 2, 3]
+        assert env.now == 3.0
+
+    def test_any_of_failure_propagates(self, env):
+        def bad():
+            yield env.timeout(1)
+            raise RuntimeError("bad")
+
+        def racer():
+            yield env.any_of([env.process(bad()), env.timeout(10)])
+
+        with pytest.raises(RuntimeError):
+            env.run(env.process(racer()))
+
+    def test_empty_any_of_succeeds_immediately(self, env):
+        condition = env.any_of([])
+        env.run()
+        assert condition.processed and condition.value == {}
+
+    def test_all_of_with_already_processed_events(self, env):
+        t1 = env.timeout(1)
+        env.run()
+
+        def proc():
+            result = yield env.all_of([t1, env.timeout(1)])
+            return len(result)
+
+        assert env.run(env.process(proc())) == 2
+
+    def test_condition_rejects_foreign_environment(self, env):
+        other = Environment()
+        with pytest.raises(SimulationError):
+            env.any_of([other.timeout(1)])
+
+    def test_run_until_event(self, env):
+        timer = env.timeout(4.0, value="fired")
+        later = env.timeout(9.0)
+        assert env.run(until=timer) == "fired"
+        assert env.now == 4.0
+        assert not later.processed
+
+    def test_run_until_unreachable_event_raises(self, env):
+        event = env.event()  # never triggered
+        env.timeout(1.0)
+        with pytest.raises(SimulationError):
+            env.run(until=event)

@@ -1,0 +1,148 @@
+"""Unit tests for the SOAP envelope model."""
+
+import pytest
+
+from repro.soap import (
+    AddressingHeaders,
+    FaultCode,
+    SoapEnvelope,
+    SoapFault,
+    SoapFaultError,
+    new_message_id,
+)
+from repro.soap.faults import TRANSIENT_FAULT_CODES, timeout, unavailable
+from repro.xmlutils import Element
+
+
+class TestAddressing:
+    def test_message_ids_unique(self):
+        assert new_message_id() != new_message_id()
+
+    def test_for_reply_correlates(self):
+        request = AddressingHeaders(to="http://svc", action="urn:op:go", reply_to="http://me")
+        reply = request.for_reply()
+        assert reply.relates_to == request.message_id
+        assert reply.to == "http://me"
+        assert reply.action == "urn:op:goResponse"
+
+    def test_with_process_instance(self):
+        headers = AddressingHeaders().with_process_instance("proc-1")
+        assert headers.process_instance_id == "proc-1"
+
+    def test_process_instance_survives_reply(self):
+        request = AddressingHeaders().with_process_instance("proc-9")
+        assert request.for_reply().process_instance_id == "proc-9"
+
+    def test_retargeted_mints_new_message_id(self):
+        original = AddressingHeaders(to="http://a")
+        copy = original.retargeted("http://b")
+        assert copy.to == "http://b"
+        assert copy.message_id != original.message_id
+
+    def test_element_round_trip(self):
+        headers = AddressingHeaders(
+            to="http://svc", action="urn:x", reply_to="http://me"
+        ).with_process_instance("proc-3")
+        rebuilt = AddressingHeaders.from_elements(headers.to_elements())
+        assert rebuilt == headers
+
+
+class TestEnvelope:
+    def test_request_reply_cycle(self):
+        body = Element("ping", children=[Element("x", text="1")])
+        request = SoapEnvelope.request("http://svc", "urn:op:ping", body)
+        reply = request.reply(Element("pong"))
+        assert reply.addressing.relates_to == request.addressing.message_id
+        assert reply.body.name.local == "pong"
+
+    def test_body_and_fault_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            SoapEnvelope(
+                body=Element("x"),
+                fault=SoapFault(FaultCode.SERVER, "boom"),
+            )
+
+    def test_fault_reply(self):
+        request = SoapEnvelope.request("http://svc", "urn:a", Element("q"))
+        fault_reply = request.reply_fault(SoapFault(FaultCode.TIMEOUT, "too slow"))
+        assert fault_reply.is_fault
+        assert fault_reply.fault.code is FaultCode.TIMEOUT
+
+    def test_copy_is_deep(self):
+        envelope = SoapEnvelope.request("http://svc", "urn:a", Element("q", text="v"))
+        duplicate = envelope.copy()
+        duplicate.body.text = "changed"
+        assert envelope.body.text == "v"
+
+    def test_xml_round_trip(self):
+        body = Element("order", children=[Element("amount", text="99")])
+        envelope = SoapEnvelope.request("http://svc", "urn:op:order", body, padding=0)
+        envelope.addressing = envelope.addressing.with_process_instance("proc-5")
+        parsed = SoapEnvelope.from_xml(envelope.to_xml())
+        assert parsed.addressing.to == "http://svc"
+        assert parsed.addressing.process_instance_id == "proc-5"
+        assert parsed.body.structurally_equal(envelope.body)
+
+    def test_fault_xml_round_trip(self):
+        envelope = SoapEnvelope(fault=SoapFault(FaultCode.SERVICE_UNAVAILABLE, "down", actor="http://x"))
+        parsed = SoapEnvelope.from_xml(envelope.to_xml())
+        assert parsed.is_fault
+        assert parsed.fault.code is FaultCode.SERVICE_UNAVAILABLE
+        assert parsed.fault.reason == "down"
+        assert parsed.fault.actor == "http://x"
+
+    def test_extension_header_round_trip(self):
+        envelope = SoapEnvelope(body=Element("b"))
+        envelope.add_header(Element("{urn:ext}Token", text="secret"), must_understand=True)
+        parsed = SoapEnvelope.from_xml(envelope.to_xml())
+        header = parsed.header("{urn:ext}Token")
+        assert header is not None and header.text == "secret"
+        assert parsed.headers[0].must_understand
+
+    def test_padding_inflates_size(self):
+        envelope = SoapEnvelope(body=Element("b"))
+        bare = envelope.size_bytes
+        envelope.padding = 1024
+        assert envelope.size_bytes == bare + 1024
+
+    def test_size_reflects_body_content(self):
+        small = SoapEnvelope(body=Element("b"))
+        big_body = Element("b")
+        for index in range(50):
+            big_body.add(f"part{index}", text="x" * 50)
+        big = SoapEnvelope(body=big_body)
+        assert big.size_bytes > small.size_bytes
+
+
+class TestFaults:
+    def test_transient_classification(self):
+        assert FaultCode.TIMEOUT in TRANSIENT_FAULT_CODES
+        assert SoapFault(FaultCode.SERVICE_UNAVAILABLE, "x").is_transient
+        assert not SoapFault(FaultCode.CLIENT, "x").is_transient
+
+    def test_exception_carries_fault(self):
+        fault = SoapFault(FaultCode.SERVER, "oops")
+        error = fault.to_exception()
+        assert isinstance(error, SoapFaultError)
+        assert error.fault is fault
+        assert "oops" in str(error)
+
+    def test_unknown_fault_code_parses_as_server(self):
+        element = SoapFault(FaultCode.SERVER, "r").to_element()
+        element.find("faultcode").text = "{urn:custom}Weird"
+        parsed = SoapFault.from_element(element)
+        assert parsed.code is FaultCode.SERVER
+
+    def test_fault_detail_round_trip(self):
+        detail = Element("info", children=[Element("k", text="v")])
+        fault = SoapFault(FaultCode.SERVICE_FAILURE, "bad", detail=detail)
+        parsed = SoapFault.from_element(fault.to_element())
+        assert parsed.detail.structurally_equal(detail)
+
+    def test_convenience_constructors(self):
+        assert unavailable("down").code is FaultCode.SERVICE_UNAVAILABLE
+        assert timeout("slow").code is FaultCode.TIMEOUT
+
+    def test_qname_namespaced(self):
+        assert FaultCode.SLA_VIOLATION.qname.local == "SLAViolation"
+        assert FaultCode.SLA_VIOLATION.qname.namespace

@@ -1,0 +1,181 @@
+"""Unit tests for the simulated network transport."""
+
+import pytest
+
+from conftest import ECHO_CONTRACT, run_process
+from repro.soap import SoapEnvelope
+from repro.transport import (
+    ConnectionRefused,
+    LatencyModel,
+    Network,
+    TransportTimeout,
+)
+from repro.simulation import RandomSource
+from repro.xmlutils import Element
+
+
+def echo_handler_factory(env, delay=0.0):
+    def handler(request):
+        if delay:
+            yield env.timeout(delay)
+        else:
+            yield env.timeout(0)
+        return request.reply(Element("ok"))
+
+    return handler
+
+
+def make_request(to="http://svc/a"):
+    return SoapEnvelope.request(to, "urn:op:echo", Element("q"))
+
+
+class TestLatencyModel:
+    def test_zero_jitter_is_deterministic(self):
+        model = LatencyModel(base_seconds=0.01, per_kb_seconds=0.001, jitter_fraction=0.0)
+        rng = RandomSource(1).stream("t")
+        assert model.sample(2048, rng) == pytest.approx(0.012)
+
+    def test_size_increases_latency(self):
+        model = LatencyModel(jitter_fraction=0.0)
+        rng = RandomSource(1).stream("t")
+        assert model.sample(64 * 1024, rng) > model.sample(1024, rng)
+
+    def test_jitter_bounded(self):
+        model = LatencyModel(base_seconds=0.01, per_kb_seconds=0.0, jitter_fraction=0.5)
+        rng = RandomSource(1).stream("t")
+        for _ in range(200):
+            sample = model.sample(0, rng)
+            assert 0.005 <= sample <= 0.015
+
+    def test_never_negative(self):
+        model = LatencyModel(base_seconds=0.0, per_kb_seconds=0.0, jitter_fraction=0.9)
+        rng = RandomSource(1).stream("t")
+        assert all(model.sample(0, rng) >= 0 for _ in range(50))
+
+
+class TestNetwork:
+    def test_round_trip(self, env, network):
+        network.register("http://svc/a", echo_handler_factory(env))
+
+        def client():
+            response = yield from network.send(make_request())
+            return response.body.name.local
+
+        assert run_process(env, client()) == "ok"
+        assert env.now > 0
+
+    def test_unknown_endpoint_refused(self, env, network):
+        def client():
+            with pytest.raises(ConnectionRefused):
+                yield from network.send(make_request("http://nowhere"))
+
+        run_process(env, client())
+
+    def test_unavailable_endpoint_refused_and_counted(self, env, network):
+        endpoint = network.register("http://svc/a", echo_handler_factory(env))
+        endpoint.available = False
+
+        def client():
+            with pytest.raises(ConnectionRefused):
+                yield from network.send(make_request())
+
+        run_process(env, client())
+        assert endpoint.requests_refused == 1
+        assert endpoint.requests_handled == 0
+
+    def test_timeout_fires(self, env, network):
+        network.register("http://svc/a", echo_handler_factory(env, delay=60.0))
+
+        def client():
+            with pytest.raises(TransportTimeout) as excinfo:
+                yield from network.send(make_request(), timeout=1.0)
+            return excinfo.value.timeout
+
+        assert run_process(env, client()) == 1.0
+        assert env.now >= 1.0
+
+    def test_fast_response_beats_timeout(self, env, network):
+        network.register("http://svc/a", echo_handler_factory(env))
+
+        def client():
+            response = yield from network.send(make_request(), timeout=10.0)
+            return response.body.name.local
+
+        assert run_process(env, client()) == "ok"
+
+    def test_added_delay_slows_response(self, env, network):
+        network.register("http://svc/a", echo_handler_factory(env))
+        baseline_env_time = []
+
+        def client():
+            yield from network.send(make_request())
+            baseline_env_time.append(env.now)
+
+        run_process(env, client())
+        endpoint = network.endpoint("http://svc/a")
+        endpoint.added_delay_seconds = 5.0
+        start = env.now
+
+        def slow_client():
+            yield from network.send(make_request())
+
+        run_process(env, slow_client())
+        assert env.now - start >= 5.0
+
+    def test_unregister(self, env, network):
+        network.register("http://svc/a", echo_handler_factory(env))
+        network.unregister("http://svc/a")
+        assert network.endpoint("http://svc/a") is None
+
+    def test_reregister_replaces_handler(self, env, network):
+        network.register("http://svc/a", echo_handler_factory(env))
+
+        def other_handler(request):
+            yield env.timeout(0)
+            return request.reply(Element("other"))
+
+        network.register("http://svc/a", other_handler)
+
+        def client():
+            response = yield from network.send(make_request())
+            return response.body.name.local
+
+        assert run_process(env, client()) == "other"
+
+    def test_addresses_sorted(self, env, network):
+        network.register("http://svc/b", echo_handler_factory(env))
+        network.register("http://svc/a", echo_handler_factory(env))
+        assert network.addresses == ["http://svc/a", "http://svc/b"]
+
+    def test_handler_exception_propagates(self, env, network):
+        def bad_handler(request):
+            yield env.timeout(0)
+            raise RuntimeError("handler broke")
+
+        network.register("http://svc/a", bad_handler)
+
+        def client():
+            with pytest.raises(RuntimeError):
+                yield from network.send(make_request())
+
+        run_process(env, client())
+
+    def test_larger_message_takes_longer(self, env, random_source):
+        network = Network(
+            env,
+            random_source,
+            latency=LatencyModel(base_seconds=0.001, per_kb_seconds=0.01, jitter_fraction=0.0),
+        )
+        network.register("http://svc/a", echo_handler_factory(env))
+        durations = []
+
+        def client(padding):
+            start = env.now
+            envelope = make_request()
+            envelope.padding = padding
+            yield from network.send(envelope)
+            durations.append(env.now - start)
+
+        run_process(env, client(0))
+        run_process(env, client(100 * 1024))
+        assert durations[1] > durations[0]

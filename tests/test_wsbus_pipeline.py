@@ -1,0 +1,230 @@
+"""Unit tests for the message pipeline, inspectors and transformations."""
+
+import pytest
+
+from repro.simulation import Environment
+from repro.soap import SoapEnvelope
+from repro.wsbus import (
+    AggregatorModule,
+    ApplicabilityRule,
+    BusinessEventTracer,
+    ContractValidationInspector,
+    EnrichmentModule,
+    MessageLogger,
+    MessagePipeline,
+    MessageProcessingModule,
+    PayloadTransformModule,
+    PipelineContext,
+    SplitterModule,
+)
+from repro.wsdl import ContractViolation, MessageSchema, Operation, PartSchema, ServiceContract
+from repro.xmlutils import Element
+
+
+def envelope(root="orderRequest", **parts):
+    body = Element(root)
+    for key, value in parts.items():
+        body.add(key, text=str(value))
+    return SoapEnvelope(body=body, addressing=SoapEnvelope.request("http://x", "urn:op:o", Element("t")).addressing)
+
+
+def context(operation="submitOrder"):
+    return PipelineContext(env=Environment(), vep=None, operation=operation)
+
+
+class StampModule(MessageProcessingModule):
+    def __init__(self, name, rule=None):
+        super().__init__(name, rule)
+        self.seen = []
+
+    def process_request(self, env_, ctx):
+        self.seen.append("request")
+        env_.body.add("stamp", text=self.name)
+        return env_
+
+    def process_response(self, env_, ctx):
+        self.seen.append("response")
+        return env_
+
+
+class TestApplicabilityRule:
+    def test_operation_glob(self):
+        rule = ApplicabilityRule(operation="get*")
+        assert rule.matches(envelope(), context("getCatalog"))
+        assert not rule.matches(envelope(), context("submitOrder"))
+
+    def test_xpath_against_body(self):
+        rule = ApplicabilityRule(xpath="amount[. > 1000]")
+        assert rule.matches(envelope(amount=5000), context())
+        assert not rule.matches(envelope(amount=10), context())
+
+    def test_regex_against_serialized_message(self):
+        rule = ApplicabilityRule(regex="customer-4[0-9]")
+        assert rule.matches(envelope(customer="customer-42"), context())
+        assert not rule.matches(envelope(customer="customer-99"), context())
+
+    def test_combined_criteria_all_must_hold(self):
+        rule = ApplicabilityRule(operation="submit*", xpath="amount")
+        assert rule.matches(envelope(amount=1), context("submitOrder"))
+        assert not rule.matches(envelope(amount=1), context("getCatalog"))
+        assert not rule.matches(envelope(), context("submitOrder"))
+
+
+class TestPipeline:
+    def test_request_order_and_response_reversed(self):
+        first, second = StampModule("first"), StampModule("second")
+        pipeline = MessagePipeline([first, second])
+        ctx = context()
+        out = pipeline.run_request(envelope(), ctx)
+        assert [e.text for e in out.body.find_all("stamp")] == ["first", "second"]
+        pipeline.run_response(envelope(), ctx)
+        assert first.seen == ["request", "response"]
+
+    def test_module_scoping_by_rule(self):
+        scoped = StampModule("scoped", rule=ApplicabilityRule(operation="getCatalog"))
+        pipeline = MessagePipeline([scoped])
+        out = pipeline.run_request(envelope(), context("submitOrder"))
+        assert out.body.find("stamp") is None
+
+    def test_add_insert_remove(self):
+        pipeline = MessagePipeline()
+        a = pipeline.add(StampModule("a"))
+        pipeline.insert(0, StampModule("b"))
+        assert [m.name for m in pipeline.modules] == ["b", "a"]
+        assert pipeline.remove("b") is True
+        assert pipeline.remove("missing") is False
+
+
+class TestMessageLogger:
+    def test_logs_and_meters(self):
+        logger = MessageLogger()
+        pipeline = MessagePipeline([logger])
+        ctx = context("getCatalog")
+        pipeline.run_request(envelope(amount=1), ctx)
+        pipeline.run_response(envelope(amount=2), ctx)
+        assert len(logger.entries) == 2
+        assert logger.entries[0].direction == "request"
+        assert logger.metered_usage()["getCatalog"] > 0
+
+
+class TestContractValidation:
+    CONTRACT = ServiceContract(
+        service_type="Orders",
+        operations=(
+            Operation(
+                "submitOrder",
+                MessageSchema("orderRequest", (PartSchema("amount", "int"),)),
+                MessageSchema("orderResponse", (PartSchema("status"),)),
+            ),
+        ),
+    )
+
+    def test_valid_request_passes(self):
+        inspector = ContractValidationInspector(self.CONTRACT)
+        MessagePipeline([inspector]).run_request(envelope(amount=5), context())
+        assert inspector.violations == []
+
+    def test_invalid_request_raises(self):
+        inspector = ContractValidationInspector(self.CONTRACT)
+        with pytest.raises(ContractViolation):
+            MessagePipeline([inspector]).run_request(envelope(), context())
+        assert inspector.violations
+
+    def test_lenient_mode_records_only(self):
+        inspector = ContractValidationInspector(self.CONTRACT, strict=False)
+        MessagePipeline([inspector]).run_request(envelope(), context())
+        assert inspector.violations
+
+    def test_unknown_operation_ignored(self):
+        inspector = ContractValidationInspector(self.CONTRACT)
+        MessagePipeline([inspector]).run_request(envelope(), context("mystery"))
+        assert inspector.violations == []
+
+
+class TestBusinessEventTracer:
+    def test_traces_large_transactions(self):
+        tracer = BusinessEventTracer("large-order", "amount[. >= 10000]")
+        pipeline = MessagePipeline([tracer])
+        pipeline.run_request(envelope(amount=50000), context())
+        pipeline.run_request(envelope(amount=10), context())
+        assert len(tracer.events) == 1
+        assert tracer.events[0].value == "50000"
+
+
+class TestPayloadTransform:
+    def test_rename_and_convert(self):
+        module = PayloadTransformModule(
+            rename_root="newOrder",
+            rename_parts={"amount": "total"},
+            convert_values={"amount": lambda v: str(float(v) * 2)},
+            drop_parts=("secret",),
+        )
+        out = module.process_request(envelope(amount=10, keep="x", secret="s"), context())
+        assert out.body.name.local == "newOrder"
+        assert out.body.child_text("total") == "20.0"
+        assert out.body.child_text("keep") == "x"
+        assert out.body.find("secret") is None
+
+    def test_direction_response_only(self):
+        module = PayloadTransformModule(rename_root="changed", direction="response")
+        unchanged = module.process_request(envelope(), context())
+        assert unchanged.body.name.local == "orderRequest"
+        changed = module.process_response(envelope(), context())
+        assert changed.body.name.local == "changed"
+
+    def test_original_envelope_untouched(self):
+        module = PayloadTransformModule(rename_root="changed")
+        original = envelope(amount=1)
+        module.process_request(original, context())
+        assert original.body.name.local == "orderRequest"
+
+
+class TestEnrichment:
+    def test_appends_external_data(self):
+        module = EnrichmentModule(lambda env_, ctx: {"region": "APAC", "tier": "gold"})
+        out = module.process_request(envelope(amount=1), context())
+        assert out.body.child_text("region") == "APAC"
+        assert out.body.child_text("tier") == "gold"
+
+    def test_empty_source_is_noop(self):
+        module = EnrichmentModule(lambda env_, ctx: {})
+        original = envelope(amount=1)
+        assert module.process_request(original, context()) is original
+
+
+class TestSplitterAggregator:
+    def test_split_per_item(self):
+        body = Element("orderRequest")
+        body.add("customer", text="c1")
+        body.add("Item", text="TV")
+        body.add("Item", text="DVD")
+        message = SoapEnvelope(body=body)
+        parts = SplitterModule("Item").split(message)
+        assert len(parts) == 2
+        assert [p.body.find("Item").text for p in parts] == ["TV", "DVD"]
+        assert all(p.body.child_text("customer") == "c1" for p in parts)
+
+    def test_split_without_items_passthrough(self):
+        message = envelope(amount=1)
+        assert SplitterModule("Item").split(message) == [message]
+
+    def test_aggregate_batches(self):
+        aggregator = AggregatorModule(batch_size=2, root_element="Batch")
+        assert aggregator.offer(envelope(amount=1)) is None
+        merged = aggregator.offer(envelope(amount=2))
+        assert merged is not None
+        assert len(merged.body.children) == 2
+        assert aggregator.pending == 0
+
+    def test_flush_partial_batch(self):
+        aggregator = AggregatorModule(batch_size=10)
+        aggregator.offer(envelope(amount=1))
+        merged = aggregator.flush()
+        assert merged is not None and len(merged.body.children) == 1
+
+    def test_flush_empty_returns_none(self):
+        assert AggregatorModule(batch_size=2).flush() is None
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            AggregatorModule(batch_size=0)

@@ -1,0 +1,124 @@
+"""Unit tests for the QoS Measurement Service."""
+
+import pytest
+
+from repro.services import InvocationOutcome, InvocationRecord
+from repro.soap import FaultCode
+from repro.wsbus import QoSMeasurementService
+
+
+def record(target="http://a", start=0.0, duration=0.1, ok=True):
+    return InvocationRecord(
+        caller="c",
+        target=target,
+        operation="op",
+        started_at=start,
+        finished_at=start + duration,
+        outcome=InvocationOutcome.SUCCESS if ok else InvocationOutcome.FAULT,
+        fault_code=None if ok else FaultCode.TIMEOUT,
+    )
+
+
+class TestEndpointQoS:
+    def test_reliability_ratio(self):
+        qos = QoSMeasurementService()
+        for ok in (True, True, False, True):
+            qos.observe(record(ok=ok))
+        assert qos.lookup("reliability", 0, "mean", "http://a") == pytest.approx(0.75)
+
+    def test_reliability_window(self):
+        qos = QoSMeasurementService()
+        qos.observe(record(ok=False, start=0))
+        for index in range(3):
+            qos.observe(record(ok=True, start=index + 1))
+        assert qos.lookup("reliability", 2, "mean", "http://a") == 1.0
+
+    def test_response_time_aggregates(self):
+        qos = QoSMeasurementService()
+        for duration in (0.1, 0.2, 0.3, 0.4):
+            qos.observe(record(duration=duration))
+        assert qos.lookup("response_time", 0, "mean", "http://a") == pytest.approx(0.25)
+        assert qos.lookup("response_time", 0, "min", "http://a") == pytest.approx(0.1)
+        assert qos.lookup("response_time", 0, "max", "http://a") == pytest.approx(0.4)
+        assert qos.lookup("response_time", 0, "p95", "http://a") == pytest.approx(0.4)
+
+    def test_response_time_ignores_failures(self):
+        qos = QoSMeasurementService()
+        qos.observe(record(duration=0.1, ok=True))
+        qos.observe(record(duration=30.0, ok=False))
+        assert qos.lookup("response_time", 0, "mean", "http://a") == pytest.approx(0.1)
+
+    def test_unknown_endpoint_returns_none(self):
+        assert QoSMeasurementService().lookup("reliability", 0, "mean", "http://x") is None
+
+    def test_none_endpoint_returns_none(self):
+        assert QoSMeasurementService().lookup("reliability", 0, "mean", None) is None
+
+    def test_unknown_metric_rejected(self):
+        qos = QoSMeasurementService()
+        qos.observe(record())
+        with pytest.raises(ValueError):
+            qos.lookup("karma", 0, "mean", "http://a")
+
+    def test_availability_full_uptime(self):
+        qos = QoSMeasurementService()
+        for index in range(5):
+            qos.observe(record(start=float(index)))
+        assert qos.lookup("availability", 0, "mean", "http://a") == pytest.approx(1.0)
+
+    def test_availability_with_outage_burst(self):
+        qos = QoSMeasurementService()
+        # 0-10 ok, 10-15 failing burst, 15-100 ok.
+        for start in range(0, 10):
+            qos.observe(record(start=float(start), duration=0.5))
+        for start in range(10, 15):
+            qos.observe(record(start=float(start), duration=1.0, ok=False))
+        for start in range(15, 100):
+            qos.observe(record(start=float(start), duration=0.5))
+        availability = qos.lookup("availability", 0, "mean", "http://a")
+        assert 0.90 <= availability < 1.0
+
+    def test_throughput(self):
+        qos = QoSMeasurementService()
+        for start in range(10):
+            qos.observe(record(start=float(start), duration=0.5))
+        throughput = qos.lookup("throughput", 0, "mean", "http://a")
+        assert throughput == pytest.approx(10 / 9.5, rel=0.01)
+
+    def test_window_eviction(self):
+        qos = QoSMeasurementService(window=3)
+        for index in range(10):
+            qos.observe(record(start=float(index)))
+        assert len(qos.endpoint("http://a").records) == 3
+        assert qos.endpoint("http://a").total_invocations == 10
+
+
+class TestBestEndpoint:
+    def test_prefers_fastest(self):
+        qos = QoSMeasurementService()
+        qos.observe(record(target="http://slow", duration=1.0))
+        qos.observe(record(target="http://fast", duration=0.1))
+        assert qos.best_endpoint(["http://slow", "http://fast"]) == "http://fast"
+
+    def test_prefers_most_reliable(self):
+        qos = QoSMeasurementService()
+        qos.observe(record(target="http://flaky", ok=False))
+        qos.observe(record(target="http://flaky", ok=True))
+        qos.observe(record(target="http://solid", ok=True))
+        assert (
+            qos.best_endpoint(["http://flaky", "http://solid"], metric="reliability")
+            == "http://solid"
+        )
+
+    def test_measured_beats_unmeasured(self):
+        qos = QoSMeasurementService()
+        qos.observe(record(target="http://known", duration=5.0))
+        assert (
+            qos.best_endpoint(["http://unknown", "http://known"]) == "http://known"
+        )
+
+    def test_all_unmeasured_picks_first(self):
+        assert QoSMeasurementService().best_endpoint(["http://a", "http://b"]) == "http://a"
+
+    def test_empty_candidates(self):
+        assert QoSMeasurementService().best_endpoint([]) is None

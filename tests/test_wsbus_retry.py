@@ -1,0 +1,158 @@
+"""Unit tests for the retry queue and dead-letter queue."""
+
+import pytest
+
+from repro.policy import RetryAction
+from repro.soap import FaultCode, SoapEnvelope, SoapFault, SoapFaultError
+from repro.wsbus import DeadLetterQueue, RetryQueue
+from repro.xmlutils import Element
+
+
+class FlakySender:
+    """Succeeds after a configurable number of failures."""
+
+    def __init__(self, env, fail_times):
+        self.env = env
+        self.fail_times = fail_times
+        self.attempts = 0
+
+    def __call__(self, envelope, operation, target):
+        self.attempts += 1
+        attempt = self.attempts
+        yield self.env.timeout(0.01)
+        if attempt <= self.fail_times:
+            raise SoapFaultError(SoapFault(FaultCode.SERVICE_UNAVAILABLE, f"attempt {attempt}"))
+        return envelope.reply(Element("ok"))
+
+
+def request_envelope():
+    return SoapEnvelope.request("http://svc", "urn:op:x", Element("q"))
+
+
+class TestRetryQueue:
+    def test_succeeds_on_second_attempt(self, env):
+        dlq = DeadLetterQueue()
+        sender = FlakySender(env, fail_times=1)
+        queue = RetryQueue(env, sender, dlq)
+        completion = queue.enqueue(
+            request_envelope(), "x", "http://svc", RetryAction(max_retries=3, delay_seconds=1.0)
+        )
+
+        def waiter():
+            response = yield completion
+            return response.body.name.local
+
+        assert env.run(env.process(waiter())) == "ok"
+        assert sender.attempts == 2
+        assert queue.redeliveries_succeeded == 1
+        assert len(dlq) == 0
+
+    def test_exhaustion_dead_letters(self, env):
+        dlq = DeadLetterQueue()
+        queue = RetryQueue(env, FlakySender(env, fail_times=99), dlq)
+        completion = queue.enqueue(
+            request_envelope(), "x", "http://svc", RetryAction(max_retries=3, delay_seconds=0.5)
+        )
+
+        def waiter():
+            with pytest.raises(SoapFaultError):
+                yield completion
+
+        env.run(env.process(waiter()))
+        assert len(dlq) == 1
+        assert dlq.entries[0].attempts_made == 3
+        assert dlq.for_target("http://svc")
+
+    def test_exhaustion_without_dead_letter_flag(self, env):
+        dlq = DeadLetterQueue()
+        queue = RetryQueue(env, FlakySender(env, fail_times=99), dlq)
+        completion = queue.enqueue(
+            request_envelope(), "x", "http://svc",
+            RetryAction(max_retries=2, delay_seconds=0.1),
+            dead_letter_on_exhaust=False,
+        )
+
+        def waiter():
+            with pytest.raises(SoapFaultError):
+                yield completion
+
+        env.run(env.process(waiter()))
+        assert len(dlq) == 0
+
+    def test_delay_pattern_honored(self, env):
+        queue = RetryQueue(env, FlakySender(env, fail_times=1), DeadLetterQueue())
+        completion = queue.enqueue(
+            request_envelope(), "x", "http://svc", RetryAction(max_retries=3, delay_seconds=2.0)
+        )
+
+        def waiter():
+            yield completion
+
+        env.run(env.process(waiter()))
+        # attempt 1 at t=2 (fails at 2.01), attempt 2 at ~4.01 succeeds.
+        assert env.now == pytest.approx(4.02, abs=0.1)
+
+    def test_backoff_delays_grow(self, env):
+        queue = RetryQueue(env, FlakySender(env, fail_times=2), DeadLetterQueue())
+        completion = queue.enqueue(
+            request_envelope(), "x", "http://svc",
+            RetryAction(max_retries=3, delay_seconds=1.0, backoff_multiplier=3.0),
+        )
+
+        def waiter():
+            yield completion
+
+        env.run(env.process(waiter()))
+        # delays: 1, 3, 9 -> success on third attempt at ~1+3+9=13s + 3*0.01
+        assert env.now == pytest.approx(13.03, abs=0.2)
+
+    def test_concurrent_entries_do_not_serialize(self, env):
+        dlq = DeadLetterQueue()
+        sender_calls = []
+
+        def sender(envelope, operation, target):
+            sender_calls.append(env.now)
+            yield env.timeout(5.0)
+            return envelope.reply(Element("ok"))
+
+        queue = RetryQueue(env, sender, dlq)
+        action = RetryAction(max_retries=1, delay_seconds=1.0)
+        first = queue.enqueue(request_envelope(), "x", "http://a", action)
+        second = queue.enqueue(request_envelope(), "x", "http://b", action)
+
+        def waiter():
+            yield env.all_of([first, second])
+
+        env.run(env.process(waiter()))
+        # Both redeliveries started at t=1, not serialized at 1 and 6.
+        assert sender_calls == [1.0, 1.0]
+
+    def test_depth_tracks_pending(self, env):
+        queue = RetryQueue(env, FlakySender(env, fail_times=0), DeadLetterQueue())
+        completion = queue.enqueue(
+            request_envelope(), "x", "http://svc", RetryAction(max_retries=1, delay_seconds=1.0)
+        )
+        assert queue.depth == 1
+
+        def waiter():
+            yield completion
+
+        env.run(env.process(waiter()))
+        assert queue.depth == 0
+
+    def test_zero_retries_fails_immediately(self, env):
+        dlq = DeadLetterQueue()
+        queue = RetryQueue(env, FlakySender(env, fail_times=9), dlq)
+        first_fault = SoapFault(FaultCode.TIMEOUT, "original")
+        completion = queue.enqueue(
+            request_envelope(), "x", "http://svc",
+            RetryAction(max_retries=0, delay_seconds=1.0),
+            first_fault=first_fault,
+        )
+
+        def waiter():
+            with pytest.raises(SoapFaultError) as excinfo:
+                yield completion
+            return excinfo.value.fault.reason
+
+        assert env.run(env.process(waiter())) == "original"

@@ -1,0 +1,412 @@
+"""Integration-style tests for wsBus: VEPs, recovery, selection, queues."""
+
+import pytest
+
+from conftest import ECHO_CONTRACT, EchoService, SlowEchoService, run_process
+from repro.policy import (
+    AdaptationPolicy,
+    ConcurrentInvokeAction,
+    MonitoringPolicy,
+    PolicyDocument,
+    PolicyRepository,
+    PolicyScope,
+    QoSThreshold,
+    RetryAction,
+    SkipAction,
+    SubstituteAction,
+)
+from repro.services import Invoker
+from repro.soap import FaultCode, SoapFaultError
+from repro.wsbus import WsBus
+from repro.wsbus.selection import ContentRule
+from repro.wsbus.pipeline import ApplicabilityRule
+
+
+@pytest.fixture
+def world(env, network, container):
+    """Three echo services + a policy repository + a bus."""
+    for name in ("a", "b", "c"):
+        container.deploy(EchoService(env, f"echo-{name}", f"http://svc/{name}"))
+    repository = PolicyRepository()
+    bus = WsBus(env, network, repository=repository, member_timeout=5.0)
+    return bus, repository
+
+
+def call(env, network, address, text="hi", timeout=60.0):
+    invoker = Invoker(env, network, caller="client")
+
+    def client():
+        payload = ECHO_CONTRACT.operation("echo").input.build(text=text)
+        response = yield from invoker.invoke(address, "echo", payload, timeout=timeout)
+        return response.body.child_text("text")
+
+    return run_process(env, client())
+
+
+def load_recovery(repository, actions, triggers=("fault.*",), name="recovery"):
+    document = PolicyDocument(name)
+    document.adaptation_policies.append(
+        AdaptationPolicy(name=name, triggers=triggers, actions=actions, priority=10)
+    )
+    repository.load(document)
+
+
+class TestVepBasics:
+    def test_round_robin_rotation(self, env, network, world):
+        bus, _ = world
+        vep = bus.create_vep(
+            "echo", ECHO_CONTRACT, members=[f"http://svc/{n}" for n in "abc"],
+            selection_strategy="round_robin",
+        )
+        answers = [call(env, network, vep.address) for _ in range(3)]
+        assert answers == ["hi@echo-a", "hi@echo-b", "hi@echo-c"]
+
+    def test_primary_strategy_sticks(self, env, network, world):
+        bus, _ = world
+        vep = bus.create_vep(
+            "echo", ECHO_CONTRACT, members=["http://svc/b", "http://svc/a"],
+            selection_strategy="primary",
+        )
+        assert {call(env, network, vep.address) for _ in range(2)} == {"hi@echo-b"}
+
+    def test_no_members_faults(self, env, network, world):
+        bus, _ = world
+        vep = bus.create_vep("empty", ECHO_CONTRACT, members=[])
+        with pytest.raises(SoapFaultError) as excinfo:
+            call(env, network, vep.address)
+        assert excinfo.value.fault.code is FaultCode.SERVICE_UNAVAILABLE
+
+    def test_unmappable_operation_faults(self, env, network, world):
+        bus, _ = world
+        vep = bus.create_vep("echo", ECHO_CONTRACT, members=["http://svc/a"])
+        invoker = Invoker(env, network)
+
+        def client():
+            from repro.xmlutils import Element
+
+            with pytest.raises(SoapFaultError) as excinfo:
+                yield from invoker.invoke(vep.address, "mystery", Element("mystery"))
+            return excinfo.value.fault.code
+
+        assert run_process(env, client()) is FaultCode.CLIENT
+
+    def test_duplicate_vep_name_rejected(self, env, network, world):
+        bus, _ = world
+        bus.create_vep("echo", ECHO_CONTRACT, members=["http://svc/a"])
+        with pytest.raises(ValueError):
+            bus.create_vep("echo", ECHO_CONTRACT, members=["http://svc/b"])
+
+    def test_remove_vep_unregisters(self, env, network, world):
+        bus, _ = world
+        vep = bus.create_vep("echo", ECHO_CONTRACT, members=["http://svc/a"])
+        bus.remove_vep("echo")
+        assert network.endpoint(vep.address) is None
+
+    def test_refresh_members_from_registry(self, env, network, world):
+        from repro.services import ServiceRegistry
+
+        bus, _ = world
+        registry = ServiceRegistry()
+        registry.register("Echo", "a", "http://svc/a")
+        registry.register("Echo", "b", "http://svc/b")
+        bus.registry = registry
+        vep = bus.create_vep("echo", ECHO_CONTRACT, members=[], from_registry=False)
+        vep.registry = registry
+        vep.refresh_members_from_registry()
+        assert set(vep.members) == {"http://svc/a", "http://svc/b"}
+
+
+class TestRecovery:
+    def test_retry_recovers_after_endpoint_returns(self, env, network, world):
+        bus, repository = world
+        load_recovery(repository, (RetryAction(max_retries=5, delay_seconds=1.0),))
+        vep = bus.create_vep("echo", ECHO_CONTRACT, members=["http://svc/a"])
+        endpoint = network.endpoint("http://svc/a")
+        endpoint.available = False
+
+        def repairer():
+            yield env.timeout(2.5)
+            endpoint.available = True
+
+        env.process(repairer())
+        assert call(env, network, vep.address) == "hi@echo-a"
+        assert bus.retry_queue.redeliveries_succeeded >= 1
+        assert vep.stats.recovered == 1
+
+    def test_substitute_fails_over(self, env, network, world):
+        bus, repository = world
+        load_recovery(
+            repository,
+            (RetryAction(max_retries=1, delay_seconds=0.5), SubstituteAction("round_robin")),
+        )
+        vep = bus.create_vep(
+            "echo", ECHO_CONTRACT, members=["http://svc/a", "http://svc/b"],
+            selection_strategy="primary",
+        )
+        network.endpoint("http://svc/a").available = False
+        assert call(env, network, vep.address) == "hi@echo-b"
+
+    def test_backup_substitute(self, env, network, world):
+        bus, repository = world
+        load_recovery(
+            repository,
+            (SubstituteAction(strategy="backup", backup_address="http://svc/c"),),
+        )
+        vep = bus.create_vep("echo", ECHO_CONTRACT, members=["http://svc/a"])
+        network.endpoint("http://svc/a").available = False
+        assert call(env, network, vep.address) == "hi@echo-c"
+
+    def test_skip_returns_synthetic_reply(self, env, network, world):
+        bus, repository = world
+        load_recovery(repository, (SkipAction(reason="not critical"),))
+        vep = bus.create_vep("echo", ECHO_CONTRACT, members=["http://svc/a"])
+        network.endpoint("http://svc/a").available = False
+        invoker = Invoker(env, network)
+
+        def client():
+            payload = ECHO_CONTRACT.operation("echo").input.build(text="x")
+            response = yield from invoker.invoke(vep.address, "echo", payload)
+            return response.body.child_text("skipped")
+
+        assert run_process(env, client()) == "true"
+
+    def test_concurrent_invoke_action_recovers(self, env, network, world):
+        bus, repository = world
+        load_recovery(repository, (ConcurrentInvokeAction(),))
+        vep = bus.create_vep(
+            "echo", ECHO_CONTRACT,
+            members=["http://svc/a", "http://svc/b", "http://svc/c"],
+            selection_strategy="primary",
+        )
+        network.endpoint("http://svc/a").available = False
+        answer = call(env, network, vep.address)
+        assert answer in ("hi@echo-b", "hi@echo-c")
+
+    def test_no_policy_dead_letters(self, env, network, world):
+        bus, repository = world  # no policies loaded
+        vep = bus.create_vep("echo", ECHO_CONTRACT, members=["http://svc/a"])
+        network.endpoint("http://svc/a").available = False
+        with pytest.raises(SoapFaultError):
+            call(env, network, vep.address)
+        assert len(bus.dead_letters) == 1
+        assert vep.stats.failures == 1
+
+    def test_exhausted_recovery_dead_letters_once(self, env, network, world):
+        bus, repository = world
+        load_recovery(repository, (RetryAction(max_retries=2, delay_seconds=0.1),))
+        vep = bus.create_vep("echo", ECHO_CONTRACT, members=["http://svc/a"])
+        network.endpoint("http://svc/a").available = False
+        with pytest.raises(SoapFaultError):
+            call(env, network, vep.address)
+        assert len(bus.dead_letters) == 1
+        assert bus.retry_queue.redeliveries_attempted == 2
+
+    def test_policy_condition_gates_recovery(self, env, network, world):
+        bus, repository = world
+        document = PolicyDocument("gated")
+        document.adaptation_policies.append(
+            AdaptationPolicy(
+                name="only-timeouts",
+                triggers=("fault.*",),
+                condition="fault_code == 'Timeout'",
+                actions=(SubstituteAction("round_robin"),),
+            )
+        )
+        repository.load(document)
+        vep = bus.create_vep(
+            "echo", ECHO_CONTRACT, members=["http://svc/a", "http://svc/b"],
+            selection_strategy="primary",
+        )
+        network.endpoint("http://svc/a").available = False
+        # ServiceUnavailable does not satisfy the condition: no recovery.
+        with pytest.raises(SoapFaultError):
+            call(env, network, vep.address)
+
+    def test_recovery_outcomes_recorded(self, env, network, world):
+        bus, repository = world
+        load_recovery(repository, (SubstituteAction("round_robin"),))
+        vep = bus.create_vep(
+            "echo", ECHO_CONTRACT, members=["http://svc/a", "http://svc/b"],
+            selection_strategy="primary",
+        )
+        network.endpoint("http://svc/a").available = False
+        call(env, network, vep.address)
+        (outcome,) = bus.adaptation.outcomes
+        assert outcome.recovered
+        assert outcome.fault_code == "ServiceUnavailable"
+        assert outcome.final_target == "http://svc/b"
+
+
+class TestBroadcastVep:
+    def test_first_response_wins(self, env, network, container, world):
+        bus, _ = world
+        container.deploy(SlowEchoService(env, "slowpoke", "http://svc/slow", delay=30))
+        vep = bus.create_vep(
+            "echo", ECHO_CONTRACT,
+            members=["http://svc/slow", "http://svc/a"],
+            broadcast=True,
+        )
+        assert call(env, network, vep.address) == "hi@echo-a"
+        assert env.now < 10
+
+    def test_broadcast_survives_partial_failure(self, env, network, world):
+        bus, _ = world
+        vep = bus.create_vep(
+            "echo", ECHO_CONTRACT,
+            members=["http://svc/a", "http://svc/b"],
+            broadcast=True,
+        )
+        network.endpoint("http://svc/a").available = False
+        assert call(env, network, vep.address) == "hi@echo-b"
+
+    def test_broadcast_total_failure(self, env, network, world):
+        bus, _ = world
+        vep = bus.create_vep(
+            "echo", ECHO_CONTRACT, members=["http://svc/a", "http://svc/b"], broadcast=True
+        )
+        network.endpoint("http://svc/a").available = False
+        network.endpoint("http://svc/b").available = False
+        with pytest.raises(SoapFaultError):
+            call(env, network, vep.address)
+
+
+class TestSelectionStrategies:
+    def test_best_response_time_uses_history(self, env, network, container, world):
+        bus, _ = world
+        container.deploy(SlowEchoService(env, "tortoise", "http://svc/slow", delay=2.0))
+        vep = bus.create_vep(
+            "echo", ECHO_CONTRACT,
+            members=["http://svc/slow", "http://svc/a"],
+            selection_strategy="round_robin",
+        )
+        # Build QoS history across both members.
+        for _ in range(4):
+            call(env, network, vep.address)
+        vep.selection_strategy = "best_response_time"
+        assert call(env, network, vep.address) == "hi@echo-a"
+
+    def test_content_based_routing(self, env, network, world):
+        bus, _ = world
+        bus.selection.add_content_rule(
+            "echo",
+            ContentRule(ApplicabilityRule(xpath="text[. = 'route-me']"), "http://svc/c"),
+        )
+        vep = bus.create_vep(
+            "echo", ECHO_CONTRACT,
+            members=["http://svc/a", "http://svc/b", "http://svc/c"],
+            selection_strategy="content",
+        )
+        assert call(env, network, vep.address, text="route-me") == "route-me@echo-c"
+        assert call(env, network, vep.address, text="other") == "other@echo-a"
+
+    def test_random_strategy_is_seeded(self, env, network, world):
+        bus, _ = world
+        vep = bus.create_vep(
+            "echo", ECHO_CONTRACT,
+            members=["http://svc/a", "http://svc/b", "http://svc/c"],
+            selection_strategy="random",
+        )
+        answers = {call(env, network, vep.address) for _ in range(12)}
+        assert len(answers) > 1  # actually randomizes
+
+    def test_unknown_strategy_rejected(self, env, network, world):
+        bus, _ = world
+        with pytest.raises(ValueError):
+            bus.create_vep("echo", ECHO_CONTRACT, members=["http://svc/a"],
+                           selection_strategy="astrology")
+
+
+class TestProxyDeployment:
+    def test_transparent_proxy_preserves_address(self, env, network, world):
+        bus, repository = world
+        load_recovery(repository, (SubstituteAction("round_robin"),))
+        bus.deploy_as_proxy(
+            "proxy-a", ECHO_CONTRACT, "http://svc/a", extra_members=["http://svc/b"]
+        )
+        # Clients keep calling the original address...
+        assert call(env, network, "http://svc/a") == "hi@echo-a"
+        # ...and transparently fail over when the origin dies.
+        network.endpoint("http://svc/a#origin").available = False
+        assert call(env, network, "http://svc/a") == "hi@echo-b"
+
+    def test_proxy_requires_existing_service(self, env, network, world):
+        bus, _ = world
+        with pytest.raises(ValueError):
+            bus.deploy_as_proxy("ghost", ECHO_CONTRACT, "http://nothing")
+
+
+class TestBusMonitoringIntegration:
+    def test_qos_threshold_violation_blocks_response(self, env, network, container, world):
+        bus, repository = world
+        document = PolicyDocument("sla")
+        document.monitoring_policies.append(
+            MonitoringPolicy(
+                name="rtt-sla",
+                events=("message.response",),
+                scope=PolicyScope(service_type="Echo"),
+                qos_thresholds=(QoSThreshold("response_time", "lte", 0.001, window=10),),
+            )
+        )
+        repository.load(document)
+        vep = bus.create_vep("echo", ECHO_CONTRACT, members=["http://svc/a"])
+        # The (absurdly tight) SLA is violated as soon as the first QoS
+        # sample lands, and the violation surfaces to the client.
+        with pytest.raises(SoapFaultError) as excinfo:
+            call(env, network, vep.address)
+        assert excinfo.value.fault.code is FaultCode.SLA_VIOLATION
+        assert bus.monitoring.violations_detected >= 1
+
+    def test_stats_summary_shape(self, env, network, world):
+        bus, _ = world
+        vep = bus.create_vep("echo", ECHO_CONTRACT, members=["http://svc/a"])
+        call(env, network, vep.address)
+        summary = bus.stats_summary()
+        assert summary["veps"]["echo"]["successes"] == 1
+        assert summary["dead_letters"] == 0
+
+
+class TestMessageValidation:
+    def test_validate_messages_rejects_bad_requests(self, env, network, world):
+        from repro.xmlutils import Element
+
+        bus, _ = world
+        vep = VirtualEndpointFactoryHelper = bus.create_vep(
+            "echo", ECHO_CONTRACT, members=["http://svc/a"]
+        )
+        # Recreate with validation enabled (separate VEP name).
+        validated = bus.create_vep(
+            "echo-validated", ECHO_CONTRACT, members=["http://svc/a"]
+        )
+        validated.validate_messages = True
+        from repro.wsbus.inspectors import ContractValidationInspector
+
+        validated.pipeline.insert(0, ContractValidationInspector(ECHO_CONTRACT))
+        invoker = Invoker(env, network)
+
+        def client():
+            bad = Element("echoRequest")  # missing required 'text'
+            with pytest.raises(SoapFaultError) as excinfo:
+                yield from invoker.invoke(validated.address, "echo", bad)
+            return excinfo.value.fault.code
+
+        assert run_process(env, client()) is FaultCode.CLIENT
+        assert validated.stats.violations == 1
+
+    def test_validation_flag_wires_inspector(self, env, network, world):
+        bus, _ = world
+        # Use the constructor path rather than create_vep (which does not
+        # expose the flag) to verify the automatic wiring.
+        from repro.wsbus import VirtualEndpoint
+
+        vep = VirtualEndpoint(
+            name="inline",
+            contract=ECHO_CONTRACT,
+            env=env,
+            sender=bus._send,
+            selection=bus.selection,
+            monitoring=bus.monitoring,
+            adaptation=bus.adaptation,
+            members=["http://svc/a"],
+            validate_messages=True,
+        )
+        assert any(m.name == "contract-validation" for m in vep.pipeline.modules)

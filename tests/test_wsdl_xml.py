@@ -1,0 +1,86 @@
+"""Unit tests for WSDL document generation and parsing."""
+
+import pytest
+
+from conftest import ECHO_CONTRACT, EchoService
+from repro.casestudies.scm import RETAILER_CONTRACT
+from repro.policy import PolicyRepository
+from repro.soap import FaultCode
+from repro.wsbus import WsBus
+from repro.wsdl import WsdlError, contract_to_wsdl, wsdl_to_contract
+
+
+class TestContractWsdlRoundTrip:
+    def test_round_trip_preserves_operations(self):
+        contract, address = wsdl_to_contract(contract_to_wsdl(RETAILER_CONTRACT))
+        assert contract.service_type == "Retailer"
+        assert address is None
+        assert {op.name for op in contract.operations} == {"getCatalog", "submitOrder"}
+
+    def test_round_trip_preserves_part_types(self):
+        contract, _ = wsdl_to_contract(contract_to_wsdl(RETAILER_CONTRACT))
+        submit = contract.operation("submitOrder")
+        original = RETAILER_CONTRACT.operation("submitOrder")
+        assert submit.input == original.input
+        assert submit.output == original.output
+
+    def test_optional_parts_preserved(self):
+        from repro.casestudies.scm import LOGGING_CONTRACT
+
+        contract, _ = wsdl_to_contract(contract_to_wsdl(LOGGING_CONTRACT))
+        get_events = contract.operation("getEvents")
+        (source_part,) = get_events.input.parts
+        assert source_part.required is False
+
+    def test_declared_faults_preserved(self):
+        contract, _ = wsdl_to_contract(contract_to_wsdl(ECHO_CONTRACT))
+        assert FaultCode.SERVER in contract.operation("echo").declared_faults
+
+    def test_endpoint_address_carried(self):
+        wsdl = contract_to_wsdl(RETAILER_CONTRACT, endpoint_address="http://wsbus/retailers")
+        _, address = wsdl_to_contract(wsdl)
+        assert address == "http://wsbus/retailers"
+
+    def test_reparsed_contract_validates_messages(self):
+        contract, _ = wsdl_to_contract(contract_to_wsdl(RETAILER_CONTRACT))
+        payload = contract.operation("submitOrder").input.build(
+            orderId="o", items="TVx1", customerId="c"
+        )
+        contract.validate_request("submitOrder", payload)  # no raise
+
+
+class TestWsdlErrors:
+    def test_not_wsdl(self):
+        with pytest.raises(WsdlError):
+            wsdl_to_contract("<other/>")
+
+    def test_missing_port_type(self):
+        xml = (
+            '<definitions xmlns="http://schemas.xmlsoap.org/wsdl/" name="X" '
+            'targetNamespace=""/>'
+        )
+        with pytest.raises(WsdlError):
+            wsdl_to_contract(xml)
+
+    def test_unknown_message_reference(self):
+        xml = (
+            '<definitions xmlns="http://schemas.xmlsoap.org/wsdl/" name="X" targetNamespace="">'
+            '<portType name="XPortType"><operation name="op">'
+            '<input message="ghost"/><output message="ghost"/>'
+            "</operation></portType></definitions>"
+        )
+        with pytest.raises(WsdlError):
+            wsdl_to_contract(xml)
+
+
+class TestVepWsdlExposure:
+    def test_vep_publishes_abstract_wsdl(self, env, network, container):
+        container.deploy(EchoService(env, "echo1", "http://svc/echo"))
+        bus = WsBus(env, network, repository=PolicyRepository())
+        vep = bus.create_vep("echo", ECHO_CONTRACT, members=["http://svc/echo"])
+        wsdl = vep.abstract_wsdl()
+        contract, address = wsdl_to_contract(wsdl)
+        # The WSDL advertises the VEP, not the member.
+        assert address == vep.address
+        assert "http://svc/echo" not in wsdl
+        assert contract.has_operation("echo")
