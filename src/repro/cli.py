@@ -2,11 +2,13 @@
 
 Usage::
 
-    python -m repro table1 [--seeds 11 23 47] [--requests 250]
-    python -m repro figure5 [--requests 150]
+    python -m repro table1 [--seeds 11 23 47] [--requests 250] [--trace spans.jsonl]
+    python -m repro figure5 [--requests 150] [--trace spans.jsonl]
     python -m repro scenarios
     python -m repro quickcheck
 
+``--trace PATH`` records every middleware span of the bus-mediated runs
+to a JSONL file (one span per line; see ``docs/observability.md``).
 ``quickcheck`` runs a fast, low-volume version of everything — a smoke
 test that the full stack works on this machine in a few seconds.
 """
@@ -26,17 +28,39 @@ from repro.experiments import (
 __all__ = ["main"]
 
 
+def _make_tracer(args: argparse.Namespace):
+    """(tracer, exporter) for ``--trace PATH``, or (None, None)."""
+    if not getattr(args, "trace", None):
+        return None, None
+    from repro.observability import JsonlExporter, Tracer
+
+    tracer = Tracer()
+    exporter = tracer.add_exporter(JsonlExporter(args.trace))
+    return tracer, exporter
+
+
+def _close_tracer(tracer, exporter, path) -> None:
+    if tracer is None:
+        return
+    tracer.close()
+    print(f"\nwrote {exporter.exported} spans to {path}")
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
+    tracer, exporter = _make_tracer(args)
     rows = regenerate_table1(
-        seeds=tuple(args.seeds), clients=args.clients, requests=args.requests
+        seeds=tuple(args.seeds), clients=args.clients, requests=args.requests, tracer=tracer
     )
     print(render_table1(rows))
+    _close_tracer(tracer, exporter, args.trace)
     return 0
 
 
 def _cmd_figure5(args: argparse.Namespace) -> int:
-    series = regenerate_figure5(requests=args.requests)
+    tracer, exporter = _make_tracer(args)
+    series = regenerate_figure5(requests=args.requests, tracer=tracer)
     print(render_figure5(series))
+    _close_tracer(tracer, exporter, args.trace)
     return 0
 
 
@@ -120,10 +144,16 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--seeds", nargs="+", type=int, default=[11, 23, 47])
     table1.add_argument("--clients", type=int, default=4)
     table1.add_argument("--requests", type=int, default=250, help="requests per client")
+    table1.add_argument(
+        "--trace", metavar="PATH", help="dump spans of the VEP runs to a JSONL file"
+    )
     table1.set_defaults(handler=_cmd_table1)
 
     figure5 = subparsers.add_parser("figure5", help="Figure 5: RTT vs request size")
     figure5.add_argument("--requests", type=int, default=150, help="requests per point")
+    figure5.add_argument(
+        "--trace", metavar="PATH", help="dump spans of the wsBus runs to a JSONL file"
+    )
     figure5.set_defaults(handler=_cmd_figure5)
 
     scenarios = subparsers.add_parser(

@@ -22,6 +22,7 @@ from typing import Any
 
 from repro.core.decision_maker import EnforcementPoint, MASCPolicyDecisionMaker
 from repro.core.events import MASCEvent
+from repro.observability import NULL_TRACER, correlation_id_for
 from repro.orchestration import (
     InstanceStatus,
     ProcessInstance,
@@ -94,6 +95,37 @@ class MASCAdaptationService(RuntimeService, EnforcementPoint):
     def enact(
         self, action: AdaptationAction, policy: AdaptationPolicy, event: MASCEvent
     ) -> bool:
+        tracer = self.engine.tracer if self.engine is not None else NULL_TRACER
+        if not tracer.enabled:
+            return self._enact(action, policy, event)
+        # The process-layer enactment span. When the event came from the
+        # wsBus Adaptation Manager it carries the bus-side policy span as
+        # ``trace_parent``, so messaging-layer correction and process-layer
+        # customization join into one trace.
+        span = tracer.start_span(
+            "masc.enact",
+            correlation_id=event.process_instance_id or correlation_id_for(event.envelope),
+            parent=event.trace_parent,
+            attributes={
+                "policy": policy.name,
+                "action": action.describe(),
+                "layer": "process",
+                "event": event.name,
+            },
+        )
+        if self.engine is not None:
+            self.engine.metrics.counter("masc.enactments").inc()
+        try:
+            ok = self._enact(action, policy, event)
+        except BaseException as exc:
+            span.end(status=f"error:{type(exc).__name__}")
+            raise
+        span.end(status="enacted" if ok else "no-effect")
+        return ok
+
+    def _enact(
+        self, action: AdaptationAction, policy: AdaptationPolicy, event: MASCEvent
+    ) -> bool:
         instance = self._instance_for(event)
         if instance is None:
             return False
@@ -126,9 +158,8 @@ class MASCAdaptationService(RuntimeService, EnforcementPoint):
                 extended = instance.extend_timeout(str(activity_name), action.extra_seconds)
             else:
                 # No specific activity: extend every pending deadline.
-                for handle in list(instance._deadlines.values()):
-                    if handle.active:
-                        handle.extend(action.extra_seconds)
+                for name in list(instance._deadlines):
+                    if instance.extend_timeout(name, action.extra_seconds):
                         extended = True
             self._report(
                 instance,
@@ -208,6 +239,7 @@ class MASCAdaptationService(RuntimeService, EnforcementPoint):
                     continue
                 repository.transition(policy, subject_key)
                 repository.record_business_value(self.engine.env.now, policy, subject_key)
+                self.engine.metrics.counter(f"masc.advisor.{verdict.kind}").inc()
                 self._report(
                     instance,
                     policy,

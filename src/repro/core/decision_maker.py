@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.events import MASCEvent
+from repro.observability import NULL_METRICS, NULL_TRACER, correlation_id_for
 from repro.policy import AdaptationPolicy, PolicyRepository
 from repro.policy.actions import AdaptationAction
 
@@ -55,9 +56,14 @@ class PolicyDecision:
 class MASCPolicyDecisionMaker:
     """Selects and dispatches adaptation policies for MASC events."""
 
-    def __init__(self, env, repository: PolicyRepository) -> None:
+    def __init__(
+        self, env, repository: PolicyRepository, tracer=None, metrics=None
+    ) -> None:
         self.env = env
         self.repository = repository
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.tracer.bind_clock(env)
         self._points: dict[str, EnforcementPoint] = {}
         #: Full decision audit trail (experiments read this).
         self.decisions: list[PolicyDecision] = []
@@ -77,12 +83,33 @@ class MASCPolicyDecisionMaker:
         Returns the decisions made for this event (also appended to the
         audit trail).
         """
+        self.metrics.counter("masc.events.handled").inc()
         policies = self.repository.adaptation_policies_for(event.name, **event.subject())
+        span = None
+        if self.tracer.enabled and policies:
+            # One decision span per event with matching policies; it becomes
+            # the parent of the enactment spans when the event did not
+            # already arrive inside a bus-side trace.
+            span = self.tracer.start_span(
+                "masc.decision",
+                correlation_id=event.process_instance_id
+                or correlation_id_for(event.envelope),
+                parent=event.trace_parent,
+                attributes={"event": event.name, "policies": len(policies)},
+            )
+            if event.trace_parent is None:
+                event.trace_parent = span
         made: list[PolicyDecision] = []
         for policy in policies:
             decision = self._apply(policy, event)
             made.append(decision)
             self.decisions.append(decision)
+        if span is not None:
+            applied = sum(1 for decision in made if decision.applied)
+            span.set_attribute("applied", applied)
+            span.end(status="applied" if applied else "no-effect")
+        if any(decision.applied for decision in made):
+            self.metrics.counter("masc.decisions.applied").inc()
         return made
 
     def _apply(self, policy: AdaptationPolicy, event: MASCEvent) -> PolicyDecision:

@@ -37,6 +37,9 @@ class MASCEvent:
     context: dict[str, Any] = field(default_factory=dict)
     #: The monitoring policy that raised this event, if any.
     raised_by: str | None = None
+    #: The trace span under which this event was emitted (or None), so
+    #: process-layer enactment spans parent under the originating bus span.
+    trace_parent: Any = None
 
     def subject(self) -> dict[str, str | None]:
         """The scope-matching view of this event."""

@@ -14,6 +14,7 @@ from repro.core.decision_maker import MASCPolicyDecisionMaker
 from repro.core.monitoring_service import MASCMonitoringService
 from repro.core.monitoring_store import MonitoringStore
 from repro.core.parser import MASCPolicyParser
+from repro.observability import NULL_METRICS, NULL_TRACER
 from repro.orchestration import (
     PersistenceService,
     TrackingService,
@@ -36,14 +37,28 @@ class MASC:
         latency: LatencyModel | None = None,
         validate_policies: bool = True,
         qos_lookup=None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.env = Environment()
         self.random_source = RandomSource(seed)
+        #: One tracer/metrics registry for the whole stack (defaults are
+        #: no-ops); pass the same instances to a WsBus sharing this env so
+        #: cross-layer spans land in one trace.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.tracer.bind_clock(self.env)
         self.network = Network(self.env, self.random_source, latency=latency)
         self.registry = ServiceRegistry()
         self.container = ServiceContainer(self.env, self.network, self.random_source)
 
-        self.engine = WorkflowEngine(self.env, network=self.network, registry=self.registry)
+        self.engine = WorkflowEngine(
+            self.env,
+            network=self.network,
+            registry=self.registry,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
         self.tracking = self.engine.add_service(TrackingService())
         self.persistence = self.engine.add_service(PersistenceService())
 
@@ -57,7 +72,9 @@ class MASC:
             registry=self.registry,
             qos_lookup=qos_lookup,
         )
-        self.decision_maker = MASCPolicyDecisionMaker(self.env, self.repository)
+        self.decision_maker = MASCPolicyDecisionMaker(
+            self.env, self.repository, tracer=self.tracer, metrics=self.metrics
+        )
         self.adaptation = MASCAdaptationService(self.decision_maker)
         self.engine.add_service(self.adaptation)
 

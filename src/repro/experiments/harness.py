@@ -82,13 +82,17 @@ def run_vep_configuration(
     max_retries: int = 3,
     retry_delay: float = 2.0,
     skip_logging_policy: bool = False,
+    tracer=None,
 ):
     """All four Retailers behind one wsBus VEP, same fault mix.
 
-    Returns (Table1Row, bus, workload_result).
+    Returns (Table1Row, bus, workload_result). ``tracer`` (an
+    :class:`~repro.observability.Tracer`) records the run's spans.
     """
     deployment = build_scm_deployment(seed=seed, log_events=False)
     deployment.inject_table1_mix()
+    if tracer is not None:
+        tracer.rebind_clock(deployment.env)
     repository = PolicyRepository()
     repository.load(
         retailer_recovery_policy_document(
@@ -103,6 +107,7 @@ def run_vep_configuration(
         repository=repository,
         registry=deployment.registry,
         member_timeout=5.0,
+        tracer=tracer,
     )
     vep = bus.create_vep(
         "retailers",
@@ -133,6 +138,7 @@ def run_rtt_point(
     seed: int = 21,
     clients: int = 2,
     requests: int = 150,
+    tracer=None,
 ):
     """One Figure 5 data point: mean RTT at one request size.
 
@@ -141,6 +147,8 @@ def run_rtt_point(
     deployment = build_scm_deployment(seed=seed, log_events=False)
     target = deployment.retailers["C"].address
     if through_bus:
+        if tracer is not None:
+            tracer.rebind_clock(deployment.env)
         # Client-side deployment, as in the paper's Figure 5 setup: the
         # client reaches wsBus over loopback and wsBus crosses the LAN.
         bus = WsBus(
@@ -150,6 +158,7 @@ def run_rtt_point(
             registry=deployment.registry,
             member_timeout=30.0,
             colocated_with_clients=True,
+            tracer=tracer,
         )
         vep = bus.create_vep(
             "retailers", RETAILER_CONTRACT, members=[target], selection_strategy="primary"

@@ -35,8 +35,12 @@ TABLE1_LABELS = {
 }
 
 
-def regenerate_table1(seeds=(11, 23, 47), clients: int = 4, requests: int = 250):
-    """Run all five Table 1 configurations; returns {key: (f/1000, avail)}."""
+def regenerate_table1(seeds=(11, 23, 47), clients: int = 4, requests: int = 250, tracer=None):
+    """Run all five Table 1 configurations; returns {key: (f/1000, avail)}.
+
+    ``tracer`` records spans of the VEP runs (the direct configurations
+    bypass the bus and produce none).
+    """
     rows: dict[str, tuple[float, float]] = {}
     for retailer in ("A", "B", "C", "D"):
         per_seed = [
@@ -48,7 +52,8 @@ def regenerate_table1(seeds=(11, 23, 47), clients: int = 4, requests: int = 250)
             mean([r.availability for r in per_seed]),
         )
     vep_runs = [
-        run_vep_configuration(seed, clients=clients, requests=requests)[0] for seed in seeds
+        run_vep_configuration(seed, clients=clients, requests=requests, tracer=tracer)[0]
+        for seed in seeds
     ]
     rows["VEP"] = (
         mean([r.failures_per_1000 for r in vep_runs]),
@@ -81,7 +86,10 @@ DEFAULT_SIZES_KB = (1, 2, 4, 8, 16, 32, 64)
 
 
 def regenerate_figure5(
-    sizes_kb=DEFAULT_SIZES_KB, operations=("getCatalog", "submitOrder"), requests: int = 150
+    sizes_kb=DEFAULT_SIZES_KB,
+    operations=("getCatalog", "submitOrder"),
+    requests: int = 150,
+    tracer=None,
 ):
     """Figure 5 series: {operation: (direct RTTs, wsBus RTTs)} in seconds."""
     series = {}
@@ -90,7 +98,9 @@ def regenerate_figure5(
         for size_kb in sizes_kb:
             padding = size_kb * 1024
             direct_rtt, _ = run_rtt_point(operation, padding, through_bus=False, requests=requests)
-            bus_rtt, _ = run_rtt_point(operation, padding, through_bus=True, requests=requests)
+            bus_rtt, _ = run_rtt_point(
+                operation, padding, through_bus=True, requests=requests, tracer=tracer
+            )
             direct.append(direct_rtt)
             mediated.append(bus_rtt)
         series[operation] = (direct, mediated)

@@ -1,0 +1,67 @@
+"""Cross-cutting observability: structured tracing and metrics.
+
+The paper's wsBus *measures* QoS (the QoS Measurement Service and the
+Monitoring Service of Section 3) but gives operators no way to see *why*
+an adaptation fired — which VEP member was selected, which retry attempt
+succeeded, which WS-Policy4MASC rule rewrote a running instance. This
+package adds that missing layer:
+
+- :mod:`repro.observability.tracing` — :class:`Tracer` / :class:`Span`
+  with parent links and message-ID / process-instance-ID correlation, so
+  one SCM request yields a single correlated trace spanning the messaging
+  layer (VEP dispatch, retries, substitution) and the process layer
+  (policy decisions, dynamic modification);
+- :mod:`repro.observability.metrics` — :class:`MetricsRegistry` with
+  counters and latency histograms;
+- :mod:`repro.observability.exporters` — pluggable span sinks: in-memory
+  (tests), JSONL files (offline analysis), and a human-readable console
+  trace tree.
+
+Everything defaults to the **no-op** :data:`NULL_TRACER` /
+:data:`NULL_METRICS` singletons: instrumented hot paths guard on
+``tracer.enabled`` and allocate nothing when tracing is off, so the
+Figure 5 / Table 1 benchmarks are unaffected (see
+``tests/test_observability.py::test_null_tracer_adds_zero_allocations``).
+"""
+
+from repro.observability.exporters import (
+    ConsoleSummaryExporter,
+    InMemoryExporter,
+    JsonlExporter,
+    SpanExporter,
+    read_spans_jsonl,
+    render_trace_tree,
+)
+from repro.observability.metrics import (
+    NULL_METRICS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+from repro.observability.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    correlation_id_for,
+)
+
+__all__ = [
+    "ConsoleSummaryExporter",
+    "Counter",
+    "Histogram",
+    "InMemoryExporter",
+    "JsonlExporter",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "Span",
+    "SpanExporter",
+    "Tracer",
+    "correlation_id_for",
+    "read_spans_jsonl",
+    "render_trace_tree",
+]

@@ -1,0 +1,178 @@
+"""Span exporters: where finished spans go.
+
+Three built-ins, all registered via ``tracer.add_exporter(...)``:
+
+- :class:`InMemoryExporter` — collects spans in a list with query
+  helpers; the exporter tests and integration tests use.
+- :class:`JsonlExporter` — appends one JSON object per span to a file
+  (the ``--trace`` CLI flag's format; see :func:`read_spans_jsonl` for
+  the round trip).
+- :class:`ConsoleSummaryExporter` — buffers spans and renders a
+  human-readable per-trace tree (:func:`render_trace_tree`).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+from pathlib import Path
+
+from repro.observability.tracing import Span
+
+__all__ = [
+    "ConsoleSummaryExporter",
+    "InMemoryExporter",
+    "JsonlExporter",
+    "SpanExporter",
+    "read_spans_jsonl",
+    "render_trace_tree",
+]
+
+
+class SpanExporter:
+    """Base class: receives each span exactly once, when it ends."""
+
+    def export(self, span: Span) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/release resources; further exports are undefined."""
+
+
+class InMemoryExporter(SpanExporter):
+    """Collects finished spans in memory (the test exporter)."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+
+    def export(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def clear(self) -> None:
+        self.spans.clear()
+
+    # -- queries -------------------------------------------------------------
+
+    def find(
+        self, name: str | None = None, correlation_id: str | None = None
+    ) -> list[Span]:
+        return [
+            span
+            for span in self.spans
+            if (name is None or span.name == name)
+            and (correlation_id is None or span.correlation_id == correlation_id)
+        ]
+
+    def by_correlation(self) -> dict[str | None, list[Span]]:
+        grouped: dict[str | None, list[Span]] = {}
+        for span in self.spans:
+            grouped.setdefault(span.correlation_id, []).append(span)
+        return grouped
+
+
+class JsonlExporter(SpanExporter):
+    """Writes one JSON object per finished span to ``path`` (or a stream)."""
+
+    def __init__(self, path, mode: str = "w") -> None:
+        if hasattr(path, "write"):
+            self._file = path
+            self._owns_file = False
+            self.path = None
+        else:
+            self.path = Path(path)
+            self._file = self.path.open(mode, encoding="utf-8")
+            self._owns_file = True
+        self.exported = 0
+
+    def export(self, span: Span) -> None:
+        json.dump(span.to_dict(), self._file, separators=(",", ":"))
+        self._file.write("\n")
+        self.exported += 1
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+
+
+def read_spans_jsonl(path) -> list[Span]:
+    """Load spans back from a :class:`JsonlExporter` file."""
+    if hasattr(path, "read"):
+        lines = path.read().splitlines()
+    else:
+        lines = Path(path).read_text(encoding="utf-8").splitlines()
+    return [Span.from_dict(json.loads(line)) for line in lines if line.strip()]
+
+
+def render_trace_tree(spans: list[Span]) -> str:
+    """Indented per-trace view of a span collection.
+
+    Spans are grouped by ``trace_id``; within a trace, children indent
+    under their parent. Each line shows simulated start time, duration,
+    status (when not ok), correlation ID (on roots) and key attributes.
+    """
+    by_id = {span.span_id: span for span in spans}
+    children: dict[str | None, list[Span]] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in by_id else None
+        children.setdefault(parent, []).append(span)
+    for bucket in children.values():
+        bucket.sort(key=lambda s: (s.start_time, s.span_id))
+
+    lines: list[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        indent = "  " * depth
+        status = "" if span.status == "ok" else f" [{span.status}]"
+        corr = f" corr={span.correlation_id}" if depth == 0 and span.correlation_id else ""
+        attrs = ""
+        if span.attributes:
+            rendered = " ".join(f"{k}={v}" for k, v in sorted(span.attributes.items()))
+            attrs = f" {{{rendered}}}"
+        lines.append(
+            f"{indent}{span.start_time:10.4f}s +{span.duration * 1000:8.2f}ms "
+            f"{span.name}{status}{corr}{attrs}"
+        )
+        for time, name, event_attrs in span.events:
+            extra = (
+                " " + " ".join(f"{k}={v}" for k, v in sorted(event_attrs.items()))
+                if event_attrs
+                else ""
+            )
+            lines.append(f"{indent}    · {time:.4f}s {name}{extra}")
+        for child in children.get(span.span_id, ()):
+            walk(child, depth + 1)
+
+    for root in children.get(None, ()):
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+class ConsoleSummaryExporter(SpanExporter):
+    """Buffers spans; prints the rendered trace tree on :meth:`close`."""
+
+    def __init__(self, stream=None, limit: int = 10_000) -> None:
+        self._stream = stream
+        self._limit = limit
+        self.spans: list[Span] = []
+        self.dropped = 0
+
+    def export(self, span: Span) -> None:
+        if len(self.spans) >= self._limit:
+            self.dropped += 1
+            return
+        self.spans.append(span)
+
+    def render(self) -> str:
+        out = io.StringIO()
+        out.write(f"=== trace summary: {len(self.spans)} spans")
+        if self.dropped:
+            out.write(f" ({self.dropped} dropped beyond the {self._limit} limit)")
+        out.write(" ===\n")
+        out.write(render_trace_tree(self.spans))
+        return out.getvalue()
+
+    def close(self) -> None:
+        stream = self._stream if self._stream is not None else sys.stdout
+        print(self.render(), file=stream)

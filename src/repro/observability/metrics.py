@@ -1,0 +1,179 @@
+"""Counters and latency histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments:
+
+- :class:`Counter` — a monotonically increasing count (requests served,
+  violations detected, retries attempted);
+- :class:`Histogram` — a distribution of observations (VEP mediation
+  latency, instance durations), keeping exact running aggregates plus a
+  bounded window of recent samples for percentiles.
+
+Like the tracer, the default everywhere is the no-op
+:data:`NULL_METRICS`; instrumented code guards on ``metrics.enabled``
+before building metric names so the disabled path allocates nothing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry", "NULL_METRICS", "NullMetrics"]
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """A named distribution with exact aggregates + windowed percentiles.
+
+    ``count``/``total``/``min``/``max`` cover *every* observation ever
+    made; percentiles are computed over the most recent ``window``
+    samples so memory stays bounded under production-scale traffic.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_recent")
+
+    def __init__(self, name: str, window: int = 8192) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._recent: deque[float] = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self._recent.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0–100) of the recent window."""
+        if not self._recent:
+            return 0.0
+        ordered = sorted(self._recent)
+        index = min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[index]
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+
+
+class MetricsRegistry:
+    """A namespace of counters and histograms, created on first use."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str, window: int = 8192) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name, window=window)
+        return histogram
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """All instrument values as plain data (experiment reports)."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "histograms": {
+                name: h.summary() for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def render(self) -> str:
+        """A human-readable dump of every instrument."""
+        lines = []
+        for name, counter in sorted(self._counters.items()):
+            lines.append(f"{name}: {counter.value}")
+        for name, histogram in sorted(self._histograms.items()):
+            s = histogram.summary()
+            lines.append(
+                f"{name}: n={s['count']} mean={s['mean']:.6f} "
+                f"p95={s['p95']:.6f} max={s['max']:.6f}"
+            )
+        return "\n".join(lines)
+
+
+class _NullInstrument:
+    """Shared no-op counter/histogram."""
+
+    __slots__ = ()
+
+    name = "null"
+    value = 0
+    count = 0
+    total = 0.0
+    mean = 0.0
+    min = None
+    max = None
+
+    def inc(self, amount: int = 1) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+    def summary(self) -> dict:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """The default, disabled registry: hands out a shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, window: int = 8192) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "histograms": {}}
+
+    def render(self) -> str:
+        return ""
+
+
+NULL_METRICS = NullMetrics()

@@ -14,6 +14,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.observability import NULL_METRICS, NULL_TRACER
 from repro.orchestration.definition import ProcessDefinition
 from repro.orchestration.errors import ProcessFault
 from repro.orchestration.instance import ProcessInstance
@@ -221,6 +222,8 @@ class WorkflowEngine:
         network: Network | None = None,
         invoker: Invoker | None = None,
         registry: ServiceRegistry | None = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         if invoker is None:
             if network is None:
@@ -229,6 +232,9 @@ class WorkflowEngine:
         self.env = env
         self.invoker = invoker
         self.registry = registry
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.tracer.bind_clock(env)
         self.definitions: dict[str, ProcessDefinition] = {}
         self.instances: dict[str, ProcessInstance] = {}
         self._services: list[RuntimeService] = []
@@ -299,6 +305,18 @@ class WorkflowEngine:
             input=input,
         )
         self.instances[instance_id] = instance
+        self.metrics.counter("engine.instances.started").inc()
+        if self.tracer.enabled:
+            # The root of the process-layer trace: every activity span and
+            # cross-layer masc.enact span hangs off this one. Correlates on
+            # the instance id — the same value carried in the MASC
+            # ProcessInstanceID SOAP header, so bus-side spans for this
+            # instance's invokes share the correlation id.
+            instance.span = self.tracer.start_span(
+                "process.instance",
+                correlation_id=instance_id,
+                attributes={"process": definition.name},
+            )
         self.notify("instance_created", instance)
         instance.process = self.env.process(instance.run(), name=f"instance:{instance_id}")
         self.notify("instance_started", instance)

@@ -90,6 +90,8 @@ class ProcessInstance:
         self._deadlines: dict[str, DeadlineHandle] = {}
         self._compensations: list[Scope] = []
         self.process = None  # the simulation Process, set by the engine
+        #: The instance's trace span (None when tracing is disabled).
+        self.span = None
 
     # -- tree lookup ------------------------------------------------------------
 
@@ -108,6 +110,7 @@ class ProcessInstance:
         except ProcessTerminated as terminated:
             self.status = InstanceStatus.TERMINATED
             self._terminate_reason = terminated.reason
+            self._end_span("terminated")
             self.engine.notify("instance_terminated", self)
             return self.result
         except ProcessFault as fault:
@@ -116,15 +119,23 @@ class ProcessInstance:
                 # (e.g. a messaging-layer policy ordered it): the explicit
                 # terminate verdict wins over the incidental fault.
                 self.status = InstanceStatus.TERMINATED
+                self._end_span("terminated")
                 self.engine.notify("instance_terminated", self)
                 return self.result
             self.status = InstanceStatus.FAULTED
             self.fault = fault.fault
+            self._end_span(f"fault:{fault.fault.code.value}")
             self.engine.notify("instance_faulted", self)
             raise
         self.status = InstanceStatus.COMPLETED
+        self._end_span(None)
         self.engine.notify("instance_completed", self)
         return self.result
+
+    def _end_span(self, status: str | None) -> None:
+        self.engine.metrics.counter(f"engine.instances.{self.status.value}").inc()
+        if self.span is not None:
+            self.span.end(status=status)
 
     def run_activity(self, activity: Activity) -> Generator:
         """Execute one activity with gating, tracking and fault tagging.
@@ -138,6 +149,14 @@ class ProcessInstance:
         self.executed_activities.add(activity.name)
         self.active_activities.add(activity.name)
         self.engine.notify("activity_started", self, activity)
+        span = None
+        if self.engine.tracer.enabled:
+            span = self.engine.tracer.start_span(
+                f"activity.{type(activity).__name__.lower()}",
+                correlation_id=self.id,
+                parent=self.span,
+                attributes={"activity": activity.name},
+            )
         attempts = 0
         try:
             while True:
@@ -154,28 +173,51 @@ class ProcessInstance:
                     )
                     if verdict is None or verdict.kind == "propagate":
                         self.engine.notify("activity_faulted", self, activity, fault)
+                        if span is not None:
+                            span.end(status=f"fault:{fault.fault.code.value}")
                         raise
                     if verdict.kind == "retry":
                         attempts += 1
                         self.engine.notify(
                             "activity_retried", self, activity, fault, attempts
                         )
+                        if span is not None:
+                            span.add_event(
+                                "retried",
+                                attempt=attempts,
+                                fault=fault.fault.code.value,
+                                policy=verdict.policy_name,
+                            )
                         if verdict.delay_seconds > 0:
                             yield self.env.timeout(verdict.delay_seconds)
                         continue
                     if verdict.kind == "skip":
                         self.engine.notify("activity_skipped", self, activity, fault)
+                        if span is not None:
+                            span.set_attribute("skipped_by", verdict.policy_name)
                         break
                     if verdict.kind == "replace":
                         assert verdict.replacement is not None
                         self.engine.notify(
                             "activity_replaced", self, activity, verdict.replacement
                         )
+                        if span is not None:
+                            span.add_event(
+                                "replaced",
+                                replacement=verdict.replacement.name,
+                                policy=verdict.policy_name,
+                            )
                         yield from self.run_activity(verdict.replacement)
                         break
                     raise  # pragma: no cover - unknown verdict kinds propagate
+        except BaseException:
+            if span is not None and not span.ended:
+                span.end(status="error")
+            raise
         finally:
             self.active_activities.discard(activity.name)
+        if span is not None:
+            span.end()
         self.engine.notify("activity_completed", self, activity)
 
     def _gate(self) -> Generator:
@@ -196,6 +238,8 @@ class ProcessInstance:
             return
         self.status = InstanceStatus.SUSPENDED
         self._resume_event = self.env.event()
+        if self.span is not None:
+            self.span.add_event("suspended")
         self.engine.notify("instance_suspended", self)
 
     def resume(self) -> None:
@@ -206,6 +250,8 @@ class ProcessInstance:
         event, self._resume_event = self._resume_event, None
         if event is not None:
             event.succeed()
+        if self.span is not None:
+            self.span.add_event("resumed")
         self.engine.notify("instance_resumed", self)
 
     def terminate(self, reason: str = "terminated externally") -> None:
@@ -225,6 +271,10 @@ class ProcessInstance:
         if handle is None or not handle.active:
             return False
         handle.extend(extra_seconds)
+        if self.span is not None:
+            self.span.add_event(
+                "timeout_extended", activity=activity_name, extra_seconds=extra_seconds
+            )
         self.engine.notify("timeout_extended", self, activity_name, extra_seconds)
         return True
 

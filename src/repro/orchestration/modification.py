@@ -116,20 +116,44 @@ class ProcessModifier:
         if self.applied:
             raise ModificationError("modifier already applied")
         instance = self.instance
-        if instance.status.is_final:
-            raise ModificationError(f"instance {instance.id} already {instance.status.value}")
-        started = bool(instance.executed_activities)
-        if started and instance.status != InstanceStatus.SUSPENDED:
-            raise ModificationError(
-                "dynamic modification requires the instance to be suspended "
-                "(MASC suspends, edits, then resumes)"
+        tracer = instance.engine.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.start_span(
+                "process.modification",
+                correlation_id=instance.id,
+                parent=instance.span,
+                attributes={
+                    "operations": len(self._operations),
+                    "dynamic": bool(instance.executed_activities),
+                },
             )
-        for operation in self._operations:
-            self._validate_against_execution(operation)
-        for operation in self._operations:
-            self._perform(instance.root, operation)
+            for operation in self._operations:
+                span.add_event("operation", kind=operation.kind, anchor=operation.anchor)
+        try:
+            if instance.status.is_final:
+                raise ModificationError(
+                    f"instance {instance.id} already {instance.status.value}"
+                )
+            started = bool(instance.executed_activities)
+            if started and instance.status != InstanceStatus.SUSPENDED:
+                raise ModificationError(
+                    "dynamic modification requires the instance to be suspended "
+                    "(MASC suspends, edits, then resumes)"
+                )
+            for operation in self._operations:
+                self._validate_against_execution(operation)
+            for operation in self._operations:
+                self._perform(instance.root, operation)
+        except BaseException as exc:
+            if span is not None:
+                span.end(status=f"error:{type(exc).__name__}")
+            raise
         instance.variables.update(self._variable_bindings)
         self.applied = True
+        instance.engine.metrics.counter("engine.modifications.applied").inc()
+        if span is not None:
+            span.end(status="applied")
 
     def _validate_against_execution(self, operation: _Operation) -> None:
         instance = self.instance

@@ -24,6 +24,7 @@ from collections.abc import Generator
 from dataclasses import dataclass, field
 
 from repro.core.events import MASCEvent
+from repro.observability import NULL_METRICS, NULL_TRACER, correlation_id_for
 from repro.policy import AdaptationPolicy, PolicyRepository
 from repro.policy.actions import (
     ConcurrentInvokeAction,
@@ -66,6 +67,8 @@ class AdaptationManager:
         dead_letters: DeadLetterQueue,
         sender,
         process_enforcement=None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.env = env
         self.repository = repository
@@ -75,6 +78,8 @@ class AdaptationManager:
         self.sender = sender
         #: Optional process-layer enforcement point (cross-layer actions).
         self.process_enforcement = process_enforcement
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.outcomes: list[RecoveryOutcome] = []
 
     def recover(
@@ -84,12 +89,27 @@ class AdaptationManager:
         operation: str,
         fault: SoapFault,
         failed_target: str,
+        parent_span=None,
     ) -> Generator:
         """Attempt policy-driven recovery of a failed invocation.
 
         Returns the recovered response envelope, or raises the final
         :class:`~repro.soap.SoapFaultError` after dead-lettering.
         """
+        span = None
+        if self.tracer.enabled:
+            span = self.tracer.start_span(
+                "wsbus.adaptation.recover",
+                correlation_id=correlation_id_for(envelope),
+                parent=parent_span,
+                attributes={
+                    "vep": vep.name,
+                    "operation": operation,
+                    "fault": fault.code.value,
+                    "failed_target": failed_target,
+                },
+            )
+        self.metrics.counter("wsbus.adaptation.recoveries").inc()
         outcome = RecoveryOutcome(
             time=self.env.now,
             vep_name=vep.name,
@@ -124,7 +144,15 @@ class AdaptationManager:
                 continue
             try:
                 response = yield from self._enact_policy(
-                    policy, vep, envelope, operation, fault, failed_target, excluded, outcome
+                    policy,
+                    vep,
+                    envelope,
+                    operation,
+                    fault,
+                    failed_target,
+                    excluded,
+                    outcome,
+                    parent_span=span,
                 )
             except SoapFaultError as error:
                 last_error = error
@@ -133,8 +161,15 @@ class AdaptationManager:
                 outcome.recovered = True
                 self.repository.transition(policy, subject_key)
                 self.repository.record_business_value(self.env.now, policy, subject_key)
+                self.metrics.counter("wsbus.adaptation.recovered").inc()
+                if span is not None:
+                    span.set_attribute("recovered_by", policy.name)
+                    span.end(status="recovered")
                 return response
         # All policies exhausted.
+        self.metrics.counter("wsbus.adaptation.exhausted").inc()
+        if span is not None:
+            span.end(status="exhausted")
         self.dead_letters.add(
             DeadLetterEntry(
                 time=self.env.now,
@@ -159,24 +194,41 @@ class AdaptationManager:
         failed_target: str,
         excluded: set[str],
         outcome: RecoveryOutcome,
+        parent_span=None,
     ) -> Generator:
+        policy_span = None
+        if self.tracer.enabled:
+            # The policy-adaptation span: one per WS-Policy4MASC rule that
+            # gets a chance to repair this message.
+            policy_span = self.tracer.start_span(
+                "wsbus.policy.enact",
+                correlation_id=correlation_id_for(envelope),
+                parent=parent_span,
+                attributes={"policy": policy.name, "layer": "messaging"},
+            )
         response: SoapEnvelope | None = None
         last_error: SoapFaultError | None = None
         deferred_process_actions = []
         for action in policy.actions:
+            if policy_span is not None:
+                policy_span.add_event("action", layer=action.layer, action=action.describe())
             if action.layer == "process":
                 if isinstance(action, ResumeProcessAction):
                     # Resume runs after messaging-layer recovery completes.
                     deferred_process_actions.append(action)
                 else:
-                    self._enact_process_action(action, policy, envelope, operation, fault, outcome)
+                    self._enact_process_action(
+                        action, policy, envelope, operation, fault, outcome,
+                        parent_span=policy_span,
+                    )
                 continue
             if response is not None:
                 continue  # already recovered; remaining messaging actions moot
             try:
                 if isinstance(action, RetryAction):
                     response = yield from self._retry(
-                        envelope, operation, failed_target, action, fault, outcome
+                        envelope, operation, failed_target, action, fault, outcome,
+                        parent_span=policy_span,
                     )
                 elif isinstance(action, SubstituteAction):
                     response = yield from self._substitute(
@@ -192,15 +244,30 @@ class AdaptationManager:
                 last_error = error
                 continue
         for action in deferred_process_actions:
-            self._enact_process_action(action, policy, envelope, operation, fault, outcome)
+            self._enact_process_action(
+                action, policy, envelope, operation, fault, outcome, parent_span=policy_span
+            )
         if response is not None:
+            if policy_span is not None:
+                policy_span.end(status="recovered")
             return response
         if last_error is not None:
+            if policy_span is not None:
+                policy_span.end(status="failed")
             raise last_error
+        if policy_span is not None:
+            policy_span.end(status="no-effect")
         return None
 
     def _enact_process_action(
-        self, action, policy, envelope: SoapEnvelope, operation: str, fault: SoapFault, outcome
+        self,
+        action,
+        policy,
+        envelope: SoapEnvelope,
+        operation: str,
+        fault: SoapFault,
+        outcome,
+        parent_span=None,
     ) -> None:
         if self.process_enforcement is None:
             outcome.actions_taken.append(f"skipped(no-process-layer): {action.describe()}")
@@ -213,6 +280,7 @@ class AdaptationManager:
             envelope=envelope,
             fault=fault,
             context={"operation": operation},
+            trace_parent=parent_span,
         )
         ok = self.process_enforcement.enact(action, policy, event)
         outcome.actions_taken.append(
@@ -227,12 +295,19 @@ class AdaptationManager:
         action: RetryAction,
         fault: SoapFault,
         outcome: RecoveryOutcome,
+        parent_span=None,
     ) -> Generator:
         outcome.actions_taken.append(action.describe())
         # The manager dead-letters itself only once *all* recovery actions
         # are exhausted, so the queue must not park the message early.
         completion = self.retry_queue.enqueue(
-            envelope, operation, target, action, first_fault=fault, dead_letter_on_exhaust=False
+            envelope,
+            operation,
+            target,
+            action,
+            first_fault=fault,
+            dead_letter_on_exhaust=False,
+            parent_span=parent_span,
         )
         response = yield completion
         outcome.final_target = target

@@ -14,9 +14,11 @@ la[t]ter routes request messages to the real services."
 
 from __future__ import annotations
 
+from repro.observability import NULL_METRICS, NULL_TRACER, correlation_id_for
 from repro.policy import PolicyRepository
 from repro.services import Invoker, ServiceRegistry
 from repro.simulation import Environment, RandomSource
+from repro.soap import SoapFaultError
 from repro.transport import Network
 from repro.wsbus.adaptation import AdaptationManager
 from repro.wsbus.monitoring import BusMonitoringService
@@ -45,6 +47,8 @@ class WsBus:
         member_timeout: float | None = 10.0,
         qos_window: int = 500,
         colocated_with_clients: bool = False,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.env = env
         self.network = network
@@ -52,6 +56,10 @@ class WsBus:
         self.registry = registry
         self.base_address = base_address
         self.member_timeout = member_timeout
+        #: Observability hooks; the no-op defaults cost one branch per site.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.tracer.bind_clock(env)
         #: The paper's client-side deployment: "JMeter stress tool (acting
         #: as the client) and wsBus were deployed at a Windows XP laptop" —
         #: the client→bus hop is loopback, not LAN. When set, VEP endpoints
@@ -61,10 +69,14 @@ class WsBus:
         self.invoker = Invoker(env, network, caller="wsbus", default_timeout=member_timeout)
         self.qos = QoSMeasurementService(window=qos_window)
         self.qos.attach_to_invoker(self.invoker)
-        self.selection = SelectionService(self.qos, random_source)
-        self.monitoring = BusMonitoringService(env, self.repository, self.qos)
+        self.selection = SelectionService(self.qos, random_source, metrics=self.metrics)
+        self.monitoring = BusMonitoringService(
+            env, self.repository, self.qos, tracer=self.tracer, metrics=self.metrics
+        )
         self.dead_letters = DeadLetterQueue()
-        self.retry_queue = RetryQueue(env, self._send, self.dead_letters)
+        self.retry_queue = RetryQueue(
+            env, self._send, self.dead_letters, tracer=self.tracer, metrics=self.metrics
+        )
         self.adaptation = AdaptationManager(
             env,
             self.repository,
@@ -73,6 +85,8 @@ class WsBus:
             self.dead_letters,
             self._send,
             process_enforcement=process_enforcement,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         self.veps: dict[str, VirtualEndpoint] = {}
         #: Per-message mediation processing cost applied inside each VEP;
@@ -93,7 +107,39 @@ class WsBus:
             outbound = envelope.copy()
             outbound.addressing = envelope.addressing.retargeted(target)
         effective = timeout if timeout is not None else self.member_timeout
+        if self.tracer.enabled or self.metrics.enabled:
+            return self._traced_send(envelope, outbound, operation, target, effective)
         return self.invoker.send(outbound, operation=operation, timeout=effective)
+
+    def _traced_send(self, original, outbound, operation: str, target: str, timeout):
+        """The tracing/metrics wrapper of one delivery attempt.
+
+        The span correlates on the *original* envelope (the re-routed copy
+        carries a fresh message ID) so every attempt for one request joins
+        the same correlated trace.
+        """
+        span = None
+        if self.tracer.enabled:
+            span = self.tracer.start_span(
+                "wsbus.send",
+                correlation_id=correlation_id_for(original),
+                attributes={"target": target, "operation": operation},
+            )
+        started = self.env.now
+        self.metrics.counter("wsbus.send.attempts").inc()
+        try:
+            response = yield from self.invoker.send(
+                outbound, operation=operation, timeout=timeout
+            )
+        except SoapFaultError as error:
+            self.metrics.counter("wsbus.send.failures").inc()
+            if span is not None:
+                span.end(status=f"fault:{error.fault.code.value}")
+            raise
+        self.metrics.histogram("wsbus.send.seconds").observe(self.env.now - started)
+        if span is not None:
+            span.end()
+        return response
 
     # -- VEP management --------------------------------------------------------------
 
@@ -130,6 +176,8 @@ class WsBus:
             pipeline=pipeline,
             mediation_overhead=self.mediation_overhead,
             overhead_rng=self._overhead_rng,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         if from_registry:
             vep.refresh_members_from_registry()
@@ -211,7 +259,7 @@ class WsBus:
 
     def stats_summary(self) -> dict[str, dict]:
         """Per-VEP and queue statistics for experiment reports."""
-        return {
+        summary = {
             "veps": {name: vars(vep.stats) for name, vep in self.veps.items()},
             "retry_queue": {
                 "attempted": self.retry_queue.redeliveries_attempted,
@@ -220,3 +268,6 @@ class WsBus:
             },
             "dead_letters": len(self.dead_letters),
         }
+        if self.metrics.enabled:
+            summary["metrics"] = self.metrics.snapshot()
+        return summary

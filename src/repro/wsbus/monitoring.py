@@ -19,6 +19,7 @@ from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.core.events import MASCEvent
+from repro.observability import NULL_METRICS, NULL_TRACER, correlation_id_for
 from repro.policy import PolicyRepository
 from repro.soap import FaultCode, SoapEnvelope, SoapFault
 from repro.wsbus.qos import QoSMeasurementService
@@ -51,10 +52,14 @@ class BusMonitoringService:
         env,
         repository: PolicyRepository,
         qos: QoSMeasurementService,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.env = env
         self.repository = repository
         self.qos = qos
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self._sinks: list[Callable[[MASCEvent], None]] = []
         self._xpath_cache: dict[str, XPath] = {}
         self.violations_detected = 0
@@ -72,6 +77,7 @@ class BusMonitoringService:
         Returns the first classified violation fault (or None), and raises
         detection events/extractions to the sinks as side effects.
         """
+        self.metrics.counter("wsbus.monitoring.checks").inc()
         subject = point.subject()
         policies = self.repository.monitoring_policies_for(f"message.{direction}", **subject)
         first_fault: SoapFault | None = None
@@ -98,6 +104,20 @@ class BusMonitoringService:
             qos_fault = self._check_thresholds(policy, envelope, point, context)
             if qos_fault is not None and first_fault is None:
                 first_fault = qos_fault
+        if first_fault is not None:
+            self.metrics.counter("wsbus.monitoring.violations").inc()
+            if self.tracer.enabled:
+                # A zero-length marker span: where and why monitoring flagged
+                # the message (the rare path — the clean path emits nothing).
+                self.tracer.start_span(
+                    "wsbus.monitoring.violation",
+                    correlation_id=correlation_id_for(envelope),
+                    attributes={
+                        "direction": direction,
+                        "endpoint": point.endpoint,
+                        "operation": point.operation,
+                    },
+                ).end(status=f"fault:{first_fault.code.value}")
         return first_fault
 
     def _check_thresholds(
@@ -159,6 +179,7 @@ class BusMonitoringService:
         self, fault: SoapFault, envelope: SoapEnvelope, point: MonitoringPoint
     ) -> None:
         """Raise the fault as a MASC event (decision-maker visibility)."""
+        self.metrics.counter("wsbus.monitoring.faults").inc()
         self._emit(
             f"fault.{fault.code.value}",
             envelope,

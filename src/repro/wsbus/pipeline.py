@@ -42,6 +42,8 @@ class PipelineContext:
     direction: str = "request"
     #: Scratch space modules use to communicate (e.g. metering tags).
     attributes: dict[str, Any] = field(default_factory=dict)
+    #: The enclosing trace span (None when tracing is disabled).
+    span: Any = None
 
 
 @dataclass(frozen=True)
@@ -141,17 +143,23 @@ class MessagePipeline:
         self, envelope: SoapEnvelope, context: PipelineContext
     ) -> SoapEnvelope:
         context.direction = "request"
+        span = context.span
         for module in self.modules:
             if module.applies(envelope, context):
                 envelope = module.process_request(envelope, context)
+                if span is not None:
+                    span.add_event("pipeline.request", module=module.name)
         return envelope
 
     def run_response(
         self, envelope: SoapEnvelope, context: PipelineContext
     ) -> SoapEnvelope:
         context.direction = "response"
+        span = context.span
         # Response stages run in reverse module order, onion-style.
         for module in reversed(self.modules):
             if module.applies(envelope, context):
                 envelope = module.process_response(envelope, context)
+                if span is not None:
+                    span.add_event("pipeline.response", module=module.name)
         return envelope

@@ -15,6 +15,7 @@ from collections.abc import Generator
 from dataclasses import dataclass
 from typing import Any
 
+from repro.observability import NULL_METRICS, NULL_TRACER, correlation_id_for
 from repro.policy.actions import RetryAction
 from repro.soap import FaultCode, SoapEnvelope, SoapFault, SoapFaultError
 
@@ -31,6 +32,7 @@ class _RetryEntry:
     attempts_made: int = 0
     last_fault: SoapFault | None = None
     dead_letter_on_exhaust: bool = True
+    parent_span: Any = None
 
 
 @dataclass(frozen=True)
@@ -71,10 +73,14 @@ class RetryQueue:
     process, so retrying one message never delays another.
     """
 
-    def __init__(self, env, sender, dead_letter_queue: DeadLetterQueue) -> None:
+    def __init__(
+        self, env, sender, dead_letter_queue: DeadLetterQueue, tracer=None, metrics=None
+    ) -> None:
         self.env = env
         self.sender = sender
         self.dead_letters = dead_letter_queue
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self._pending: deque[_RetryEntry] = deque()
         self.redeliveries_attempted = 0
         self.redeliveries_succeeded = 0
@@ -91,6 +97,7 @@ class RetryQueue:
         policy: RetryAction,
         first_fault: SoapFault | None = None,
         dead_letter_on_exhaust: bool = True,
+        parent_span=None,
     ):
         """Queue a failed message for redelivery.
 
@@ -110,12 +117,25 @@ class RetryQueue:
             completion=self.env.event(),
             last_fault=first_fault,
             dead_letter_on_exhaust=dead_letter_on_exhaust,
+            parent_span=parent_span,
         )
         self._pending.append(entry)
         self.env.process(self._redeliver(entry), name=f"retry:{target}")
         return entry.completion
 
     def _redeliver(self, entry: _RetryEntry) -> Generator:
+        span = None
+        if self.tracer.enabled:
+            span = self.tracer.start_span(
+                "wsbus.retry",
+                correlation_id=correlation_id_for(entry.envelope),
+                parent=entry.parent_span,
+                attributes={
+                    "target": entry.target,
+                    "operation": entry.operation,
+                    "max_retries": entry.policy.max_retries,
+                },
+            )
         try:
             while entry.attempts_made < entry.policy.max_retries:
                 entry.attempts_made += 1
@@ -123,6 +143,7 @@ class RetryQueue:
                 if delay > 0:
                     yield self.env.timeout(delay)
                 self.redeliveries_attempted += 1
+                self.metrics.counter("wsbus.retry.attempts").inc()
                 try:
                     response = yield self.env.process(
                         self.sender(entry.envelope.copy(), entry.operation, entry.target),
@@ -130,8 +151,18 @@ class RetryQueue:
                     )
                 except SoapFaultError as error:
                     entry.last_fault = error.fault
+                    if span is not None:
+                        span.add_event(
+                            "attempt_failed",
+                            attempt=entry.attempts_made,
+                            fault=error.fault.code.value,
+                        )
                     continue
                 self.redeliveries_succeeded += 1
+                self.metrics.counter("wsbus.retry.successes").inc()
+                if span is not None:
+                    span.set_attribute("attempts_made", entry.attempts_made)
+                    span.end(status="recovered")
                 entry.completion.succeed(response)
                 return
         finally:
@@ -141,9 +172,13 @@ class RetryQueue:
         fault = entry.last_fault or SoapFault(
             code=FaultCode.SERVICE_UNAVAILABLE, reason="redelivery exhausted"
         )
+        if span is not None:
+            span.set_attribute("attempts_made", entry.attempts_made)
+            span.end(status="exhausted")
         if not entry.dead_letter_on_exhaust:
             entry.completion.fail(SoapFaultError(fault))
             return
+        self.metrics.counter("wsbus.retry.dead_letters").inc()
         self.dead_letters.add(
             DeadLetterEntry(
                 time=self.env.now,

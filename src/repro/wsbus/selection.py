@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.observability import NULL_METRICS
 from repro.simulation import RandomSource
 from repro.soap import SoapEnvelope
 from repro.wsbus.pipeline import ApplicabilityRule, PipelineContext
@@ -37,9 +38,13 @@ class SelectionService:
     """Chooses concrete members of a VEP for each request."""
 
     def __init__(
-        self, qos: QoSMeasurementService, random_source: RandomSource | None = None
+        self,
+        qos: QoSMeasurementService,
+        random_source: RandomSource | None = None,
+        metrics=None,
     ) -> None:
         self.qos = qos
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self._rng = (random_source or RandomSource()).stream("wsbus.selection")
         self._round_robin_counters: dict[str, int] = {}
         self._content_rules: dict[str, list[ContentRule]] = {}
@@ -60,6 +65,8 @@ class SelectionService:
         """One member per the strategy, or None if no candidate remains."""
         if strategy not in STRATEGIES:
             raise ValueError(f"unknown selection strategy {strategy!r}")
+        if self.metrics.enabled:
+            self.metrics.counter(f"wsbus.selection.{strategy}").inc()
         candidates = [m for m in members if not exclude or m not in exclude]
         if not candidates:
             return None

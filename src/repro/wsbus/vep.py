@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections.abc import Generator
 from dataclasses import dataclass
 
+from repro.observability import NULL_METRICS, NULL_TRACER, correlation_id_for
 from repro.soap import FaultCode, SoapEnvelope, SoapFault, SoapFaultError
 from repro.wsbus.adaptation import AdaptationManager, broadcast_first_response
 from repro.wsbus.monitoring import BusMonitoringService, MonitoringPoint
@@ -55,6 +56,8 @@ class VirtualEndpoint:
         validate_messages: bool = False,
         mediation_overhead=None,
         overhead_rng=None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.name = name
         self.contract = contract
@@ -90,6 +93,8 @@ class VirtualEndpoint:
         #: import, parse, and process policies".
         self.mediation_overhead = mediation_overhead
         self.overhead_rng = overhead_rng
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.address: str | None = None  # set by the bus on deployment
         self.stats = VepStats()
 
@@ -120,7 +125,42 @@ class VirtualEndpoint:
     # -- the message path -------------------------------------------------------------
 
     def handle(self, request: SoapEnvelope) -> Generator:
-        """Network handler: the full mediation path for one request."""
+        """Network handler: the full mediation path for one request.
+
+        When tracing is enabled the whole pass runs under a ``vep.handle``
+        span correlated on the request (ProcessInstanceID if the engine is
+        calling, message ID otherwise); child spans cover selection,
+        pipeline stages, recovery and retries. Disabled: one branch.
+        """
+        if not self.tracer.enabled and not self.metrics.enabled:
+            return (yield from self._handle(request, None))
+        span = None
+        if self.tracer.enabled:
+            span = self.tracer.start_span(
+                "vep.handle",
+                correlation_id=correlation_id_for(request),
+                attributes={"vep": self.name, "strategy": self.selection_strategy},
+            )
+        started = self.env.now
+        try:
+            reply = yield from self._handle(request, span)
+        except BaseException as error:
+            if span is not None:
+                span.end(status=f"error:{type(error).__name__}")
+            raise
+        if self.metrics.enabled:
+            self.metrics.histogram("wsbus.vep.handle.seconds").observe(
+                self.env.now - started
+            )
+            self.metrics.counter("wsbus.vep.requests").inc()
+            if reply.is_fault:
+                self.metrics.counter("wsbus.vep.faults").inc()
+        if span is not None:
+            span.end(status=f"fault:{reply.fault.code.value}" if reply.is_fault else None)
+        return reply
+
+    def _handle(self, request: SoapEnvelope, span) -> Generator:
+        """The mediation path proper (``span`` is None when tracing is off)."""
         self.stats.requests += 1
         operation = self._resolve_operation(request)
         if operation is None:
@@ -132,7 +172,9 @@ class VirtualEndpoint:
                     source=self.name,
                 )
             )
-        context = PipelineContext(env=self.env, vep=self, operation=operation)
+        if span is not None:
+            span.set_attribute("operation", operation)
+        context = PipelineContext(env=self.env, vep=self, operation=operation, span=span)
         point = MonitoringPoint(
             service_type=self.contract.service_type, endpoint=None, operation=operation
         )
@@ -157,7 +199,9 @@ class VirtualEndpoint:
             if self.broadcast:
                 response, target = yield from self._invoke_broadcast(request, operation)
             else:
-                response, target = yield from self._invoke_with_recovery(request, operation)
+                response, target = yield from self._invoke_with_recovery(
+                    request, operation, span
+                )
         except SoapFaultError as error:
             self.stats.failures += 1
             self.monitoring.notify_fault(error.fault, request, point)
@@ -172,7 +216,7 @@ class VirtualEndpoint:
         if violation_fault is not None:
             self.stats.violations += 1
             recovered = yield from self._recover_or_fail(
-                request, operation, violation_fault, target or ""
+                request, operation, violation_fault, target or "", span
             )
             if isinstance(recovered, SoapFault):
                 self.stats.failures += 1
@@ -189,7 +233,9 @@ class VirtualEndpoint:
         )
         return reply
 
-    def _invoke_with_recovery(self, request: SoapEnvelope, operation: str) -> Generator:
+    def _invoke_with_recovery(
+        self, request: SoapEnvelope, operation: str, span=None
+    ) -> Generator:
         """Select, bind, invoke; recover through adaptation policies."""
         target = self.selection.select(
             self.name,
@@ -198,6 +244,8 @@ class VirtualEndpoint:
             envelope=request,
             context=PipelineContext(env=self.env, vep=self, operation=operation),
         )
+        if span is not None:
+            span.add_event("member_selected", target=target)
         if target is None:
             raise SoapFaultError(
                 SoapFault(
@@ -220,22 +268,30 @@ class VirtualEndpoint:
             )
             fault = self.monitoring.classify(error.fault, point)
             self.monitoring.notify_fault(fault, request, point)
-            result = yield from self._recover_or_fail(request, operation, fault, target)
+            result = yield from self._recover_or_fail(
+                request, operation, fault, target, span
+            )
             if isinstance(result, SoapFault):
                 raise SoapFaultError(result) from error
             return result
 
     def _recover_or_fail(
-        self, request: SoapEnvelope, operation: str, fault: SoapFault, failed_target: str
+        self,
+        request: SoapEnvelope,
+        operation: str,
+        fault: SoapFault,
+        failed_target: str,
+        span=None,
     ) -> Generator:
         """Run the adaptation manager; returns (response, target) or a fault."""
         try:
             response = yield from self.adaptation.recover(
-                self, request, operation, fault, failed_target
+                self, request, operation, fault, failed_target, parent_span=span
             )
         except SoapFaultError as error:
             return error.fault
         self.stats.recovered += 1
+        self.metrics.counter("wsbus.vep.recovered").inc()
         final_target = None
         if self.adaptation.outcomes:
             final_target = self.adaptation.outcomes[-1].final_target

@@ -1,0 +1,392 @@
+"""The observability layer: spans, metrics, exporters, correlation.
+
+Covers the contract documented in ``docs/observability.md``: span
+nesting and ID inheritance, cross-layer correlation of one self-adapting
+request, JSONL round-trips, and — critically — that the disabled default
+tracer adds zero allocations to the dispatch path.
+"""
+
+import tracemalloc
+
+import pytest
+
+from conftest import ECHO_CONTRACT, EchoService
+from repro.core import MASC
+from repro.observability import (
+    NULL_METRICS,
+    NULL_TRACER,
+    ConsoleSummaryExporter,
+    InMemoryExporter,
+    JsonlExporter,
+    MetricsRegistry,
+    Span,
+    Tracer,
+    correlation_id_for,
+    read_spans_jsonl,
+    render_trace_tree,
+)
+from repro.observability.tracing import NULL_SPAN
+from repro.orchestration import Invoke, ProcessDefinition, Reply, Sequence
+from repro.policy import (
+    AdaptationPolicy,
+    ExtendTimeoutAction,
+    PolicyDocument,
+    PolicyScope,
+    RetryAction,
+    serialize_policy_document,
+)
+from repro.soap import SoapEnvelope
+from repro.wsbus import WsBus
+from repro.xmlutils import Element
+
+
+class TestSpanModel:
+    def test_nesting_inherits_trace_and_correlation(self):
+        tracer = Tracer(clock=lambda: 1.0)
+        parent = tracer.start_span("vep.handle", correlation_id="msg-1")
+        child = tracer.start_span("wsbus.retry", parent=parent)
+        grandchild = tracer.start_span("wsbus.send", parent=child)
+        assert child.parent_id == parent.span_id
+        assert grandchild.trace_id == child.trace_id == parent.trace_id
+        assert grandchild.correlation_id == "msg-1"
+
+    def test_sibling_roots_get_distinct_traces(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        first, second = tracer.start_span("a"), tracer.start_span("b")
+        assert first.trace_id != second.trace_id
+        assert first.span_id != second.span_id
+
+    def test_ids_are_deterministic_counters(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        span = tracer.start_span("x")
+        assert span.span_id == "sp-000001" and span.trace_id == "tr-000001"
+
+    def test_end_is_idempotent_and_exports_once(self):
+        tracer = Tracer(clock=lambda: 2.0)
+        memory = tracer.add_exporter(InMemoryExporter())
+        span = tracer.start_span("x")
+        span.end(status="recovered")
+        span.end(status="overwritten")
+        assert span.status == "recovered"
+        assert len(memory.spans) == 1 and tracer.finished_count == 1
+
+    def test_context_manager_records_exception_status(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        with pytest.raises(ValueError):
+            with tracer.span("x"):
+                raise ValueError("boom")
+        # A fresh span via the tracer still works and the failed one ended.
+        memory = tracer.add_exporter(InMemoryExporter())
+        with tracer.span("y") as span:
+            pass
+        assert span.ended
+        assert memory.spans[0].status == "ok"
+
+    def test_events_are_timestamped_on_the_tracer_clock(self):
+        now = {"t": 1.0}
+        tracer = Tracer(clock=lambda: now["t"])
+        span = tracer.start_span("x")
+        now["t"] = 3.5
+        span.add_event("happened", detail=1)
+        assert span.events == [(3.5, "happened", {"detail": 1})]
+
+
+class TestCorrelationIdFor:
+    def test_prefers_process_instance_id(self):
+        envelope = SoapEnvelope.request("http://svc/a", "urn:op:echo", Element("echoRequest"))
+        envelope.addressing = envelope.addressing.with_process_instance("proc-000007")
+        assert correlation_id_for(envelope) == "proc-000007"
+
+    def test_falls_back_to_message_id(self):
+        envelope = SoapEnvelope.request("http://svc/a", "urn:op:echo", Element("echoRequest"))
+        assert correlation_id_for(envelope) == envelope.addressing.message_id
+
+    def test_none_envelope(self):
+        assert correlation_id_for(None) is None
+
+
+class TestExporters:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(clock=lambda: 1.25)
+        tracer.add_exporter(JsonlExporter(path))
+        span = tracer.start_span(
+            "vep.handle", correlation_id="msg-5", attributes={"vep": "echo"}
+        )
+        span.add_event("member_selected", target="http://svc/a")
+        span.end(status="fault:Timeout")
+        tracer.close()
+        [restored] = read_spans_jsonl(path)
+        assert isinstance(restored, Span)
+        assert restored.to_dict() == span.to_dict()
+
+    def test_in_memory_find_and_grouping(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        memory = tracer.add_exporter(InMemoryExporter())
+        tracer.start_span("a", correlation_id="m1").end()
+        tracer.start_span("b", correlation_id="m2").end()
+        tracer.start_span("a", correlation_id="m2").end()
+        assert len(memory.find(name="a")) == 2
+        assert len(memory.find(correlation_id="m2")) == 2
+        assert sorted(memory.by_correlation()) == ["m1", "m2"]
+
+    def test_console_summary_renders_tree(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        console = tracer.add_exporter(ConsoleSummaryExporter())
+        parent = tracer.start_span("vep.handle")
+        tracer.start_span("wsbus.retry", parent=parent).end()
+        parent.end()
+        rendered = console.render()
+        assert "2 spans" in rendered
+        assert rendered.index("vep.handle") < rendered.index("wsbus.retry")
+
+    def test_render_trace_tree_indents_children(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        memory = tracer.add_exporter(InMemoryExporter())
+        parent = tracer.start_span("outer")
+        tracer.start_span("inner", parent=parent).end()
+        parent.end()
+        lines = render_trace_tree(memory.spans).splitlines()
+        outer = next(line for line in lines if "outer" in line)
+        inner = next(line for line in lines if "inner" in line)
+        assert len(inner) - len(inner.lstrip()) > len(outer) - len(outer.lstrip())
+
+
+class TestMetrics:
+    def test_counters_and_histograms(self):
+        metrics = MetricsRegistry()
+        metrics.counter("hits").inc()
+        metrics.counter("hits").inc(2)
+        for value in (0.1, 0.2, 0.3):
+            metrics.histogram("latency").observe(value)
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["hits"] == 3
+        assert snapshot["histograms"]["latency"]["count"] == 3
+        assert snapshot["histograms"]["latency"]["max"] == 0.3
+
+    def test_histogram_percentiles_use_recent_window(self):
+        metrics = MetricsRegistry()
+        histogram = metrics.histogram("h", window=10)
+        for value in range(100):
+            histogram.observe(float(value))
+        # Exact aggregates see everything; percentiles only the window.
+        assert histogram.count == 100 and histogram.min == 0.0
+        assert histogram.percentile(0) == 90.0
+
+    def test_null_metrics_swallow_everything(self):
+        NULL_METRICS.counter("x").inc()
+        NULL_METRICS.histogram("y").observe(1.0)
+        assert NULL_METRICS.snapshot() == {"counters": {}, "histograms": {}}
+
+
+class TestZeroOverheadDefault:
+    def test_components_default_to_null_tracer(self, env, network):
+        from repro.policy import PolicyRepository
+
+        bus = WsBus(env, network, repository=PolicyRepository())
+        assert bus.tracer is NULL_TRACER and bus.metrics is NULL_METRICS
+        masc = MASC(seed=1)
+        assert masc.engine.tracer is NULL_TRACER
+
+    def test_null_tracer_adds_zero_allocations(self):
+        """The disabled tracer's dispatch-path cost is a shared singleton:
+        no net allocations per traced-site visit."""
+        assert NULL_TRACER.start_span("wsbus.dispatch") is NULL_SPAN
+
+        def dispatch_sites(n):
+            for _ in range(n):
+                span = NULL_TRACER.start_span("wsbus.dispatch")
+                span.set_attribute("target", "http://svc/a")
+                span.add_event("attempt", n=1)
+                span.end(status="ok")
+
+        tracemalloc.start()
+        try:
+            dispatch_sites(10)  # warm caches inside the traced region
+            before = tracemalloc.get_traced_memory()[0]
+            dispatch_sites(10_000)
+            after = tracemalloc.get_traced_memory()[0]
+        finally:
+            tracemalloc.stop()
+        assert after - before == 0
+
+
+def _cross_layer_world(tracer):
+    masc = MASC(seed=9, tracer=tracer)
+    masc.deploy(EchoService(masc.env, "echo1", "http://svc/echo"))
+    bus = WsBus(
+        masc.env,
+        masc.network,
+        repository=masc.repository,
+        registry=masc.registry,
+        process_enforcement=masc.adaptation,
+        member_timeout=3.0,
+        tracer=tracer,
+    )
+    vep = bus.create_vep("echo", ECHO_CONTRACT, members=["http://svc/echo"])
+    document = PolicyDocument("traced")
+    document.adaptation_policies.append(
+        AdaptationPolicy(
+            name="extend-then-retry",
+            triggers=("fault.ServiceUnavailable", "fault.Timeout"),
+            scope=PolicyScope(service_type="Echo"),
+            actions=(
+                ExtendTimeoutAction(extra_seconds=30.0),
+                RetryAction(max_retries=5, delay_seconds=2.0),
+            ),
+            priority=10,
+        )
+    )
+    masc.load_policies(serialize_policy_document(document))
+    definition = ProcessDefinition(
+        "caller",
+        Sequence(
+            "main",
+            [
+                Invoke(
+                    "call",
+                    operation="echo",
+                    to=vep.address,
+                    inputs={"text": "ping"},
+                    extract={"echoed": "text"},
+                    timeout_seconds=5.0,
+                ),
+                Reply("r", variable="echoed"),
+            ],
+        ),
+    )
+    return masc, bus, definition
+
+
+class TestCrossLayerTrace:
+    """The acceptance scenario: one traced self-adapting request."""
+
+    @pytest.fixture
+    def trace(self, tmp_path):
+        tracer = Tracer()
+        memory = tracer.add_exporter(InMemoryExporter())
+        path = tmp_path / "trace.jsonl"
+        tracer.add_exporter(JsonlExporter(path))
+        masc, bus, definition = _cross_layer_world(tracer)
+        endpoint = masc.network.endpoint("http://svc/echo")
+        endpoint.available = False
+
+        def repairer():
+            yield masc.env.timeout(6.0)
+            endpoint.available = True
+
+        masc.env.process(repairer())
+        instance = masc.engine.start(definition)
+        assert masc.engine.run_to_completion(instance) == "ping@echo1"
+        tracer.close()
+        return instance, memory, read_spans_jsonl(path)
+
+    def test_retry_and_policy_adaptation_share_correlation_id(self, trace):
+        instance, _memory, spans = trace
+        by_name = {span.name: span for span in spans}
+        retry = by_name["wsbus.retry"]
+        policy_enact = by_name["wsbus.policy.enact"]
+        assert retry.correlation_id == policy_enact.correlation_id == instance.id
+
+    def test_one_correlated_trace_spans_both_layers(self, trace):
+        instance, memory, _spans = trace
+        correlated = memory.find(correlation_id=instance.id)
+        names = {span.name for span in correlated}
+        # Messaging-layer correction...
+        assert {"vep.handle", "wsbus.adaptation.recover", "wsbus.retry"} <= names
+        # ...and process-layer customization, in the same correlation group.
+        assert {"process.instance", "activity.invoke", "masc.enact"} <= names
+
+    def test_cross_layer_parenting_links_enact_under_bus_policy_span(self, trace):
+        _instance, memory, _spans = trace
+        [policy_enact] = memory.find(name="wsbus.policy.enact")
+        [masc_enact] = memory.find(name="masc.enact")
+        assert masc_enact.parent_id == policy_enact.span_id
+        assert masc_enact.trace_id == policy_enact.trace_id
+
+    def test_timeout_extension_is_visible_on_the_instance_span(self, trace):
+        _instance, memory, _spans = trace
+        [instance_span] = memory.find(name="process.instance")
+        assert any(name == "timeout_extended" for _, name, _ in instance_span.events)
+        assert instance_span.status == "ok"
+
+    def test_retry_span_records_failed_attempts(self, trace):
+        _instance, memory, _spans = trace
+        [retry] = memory.find(name="wsbus.retry")
+        assert retry.status == "recovered"
+        failed = [event for _, name, event in retry.events if name == "attempt_failed"]
+        assert failed and all(e["fault"] == "ServiceUnavailable" for e in failed)
+
+    def test_jsonl_file_holds_the_full_span_set(self, trace):
+        _instance, memory, spans = trace
+        assert len(spans) == len(memory.spans)
+        assert {s.span_id for s in spans} == {s.span_id for s in memory.spans}
+
+
+class TestBusOnlyCorrelation:
+    def test_workload_request_correlates_on_message_id(self, env, network, container):
+        """Without an orchestrating process the original message ID is the
+        correlation key — substitution's fresh message IDs never leak in."""
+        from repro.policy import PolicyRepository
+
+        service = EchoService(env, "echo1", "http://svc/echo")
+        container.deploy(service)
+        repository = PolicyRepository()
+        document = PolicyDocument("retry-doc")
+        document.adaptation_policies.append(
+            AdaptationPolicy(
+                name="retry",
+                triggers=("fault.*",),
+                scope=PolicyScope(service_type="Echo"),
+                actions=(RetryAction(max_retries=5, delay_seconds=1.0),),
+            )
+        )
+        repository.load(document)
+        tracer = Tracer()
+        memory = tracer.add_exporter(InMemoryExporter())
+        bus = WsBus(env, network, repository=repository, tracer=tracer)
+        vep = bus.create_vep("echo", ECHO_CONTRACT, members=["http://svc/echo"])
+        endpoint = network.endpoint("http://svc/echo")
+        endpoint.available = False
+
+        def repairer():
+            yield env.timeout(2.5)
+            endpoint.available = True
+
+        env.process(repairer())
+        request = SoapEnvelope.request(
+            vep.address,
+            "urn:op:echo",
+            ECHO_CONTRACT.operation("echo").input.build(text="hi"),
+        )
+        message_id = request.addressing.message_id
+
+        def client():
+            response = yield from network.send(request, timeout=60.0)
+            return response
+
+        process = env.process(client())
+        env.run(process)
+        correlated = {span.name for span in memory.find(correlation_id=message_id)}
+        assert {"vep.handle", "wsbus.policy.enact", "wsbus.retry"} <= correlated
+
+    def test_metrics_surface_in_bus_stats_summary(self, env, network, container):
+        from repro.policy import PolicyRepository
+
+        container.deploy(EchoService(env, "echo1", "http://svc/echo"))
+        metrics = MetricsRegistry()
+        bus = WsBus(env, network, repository=PolicyRepository(), metrics=metrics)
+        vep = bus.create_vep("echo", ECHO_CONTRACT, members=["http://svc/echo"])
+        request = SoapEnvelope.request(
+            vep.address,
+            "urn:op:echo",
+            ECHO_CONTRACT.operation("echo").input.build(text="hi"),
+        )
+
+        def client():
+            yield from network.send(request, timeout=10.0)
+
+        env.run(env.process(client()))
+        summary = bus.stats_summary()
+        assert summary["metrics"]["counters"]["wsbus.vep.requests"] == 1
+        assert summary["metrics"]["histograms"]["wsbus.vep.handle.seconds"]["count"] == 1
