@@ -23,6 +23,7 @@ from repro.casestudies.scm.deployment import (
 from repro.casestudies.scm.policies import (
     broadcast_policy_document,
     logging_skip_policy_document,
+    resilience_policy_document,
     retailer_recovery_policy_document,
 )
 from repro.casestudies.scm.process import build_scm_process
@@ -51,5 +52,6 @@ __all__ = [
     "build_scm_deployment",
     "build_scm_process",
     "logging_skip_policy_document",
+    "resilience_policy_document",
     "retailer_recovery_policy_document",
 ]

@@ -22,6 +22,8 @@ from repro.faultinjection import (
     ApplicationFaultInjector,
     AvailabilityFaultInjector,
     EndpointFaultProfile,
+    FlappingEndpointInjector,
+    LatencySpikeInjector,
     QoSDegradationInjector,
 )
 from repro.services import ProcessingModel, ServiceContainer, ServiceRegistry
@@ -30,6 +32,8 @@ from repro.transport import LatencyModel, Network
 
 __all__ = [
     "SCMDeployment",
+    "STORM_APPLICATION_FAULT_RATES",
+    "STORM_DEGRADATION_PROFILES",
     "TABLE1_DEGRADATION_PROFILES",
     "TABLE1_FAULT_PROFILES",
     "build_scm_deployment",
@@ -75,6 +79,21 @@ TABLE1_APPLICATION_FAULT_RATES: dict[str, float] = {
     "D": 0.075,
 }
 
+#: Fault-storm degradation profiles (mean gap, mean duration): much more
+#: frequent and longer episodes than Table 1's, concentrated on Retailer A.
+#: Retailer C is deliberately left healthy so failover has somewhere to go.
+STORM_DEGRADATION_PROFILES: dict[str, tuple[float, float]] = {
+    "A": (40.0, 15.0),
+}
+
+#: Fault-storm application-fault probabilities. Retailer B misbehaves at
+#: the application layer on top of its latency spikes.
+STORM_APPLICATION_FAULT_RATES: dict[str, float] = {
+    "A": 0.10,
+    "B": 0.12,
+    "D": 0.08,
+}
+
 
 @dataclass
 class SCMDeployment:
@@ -93,6 +112,8 @@ class SCMDeployment:
     availability_injector: AvailabilityFaultInjector | None = None
     degradation_injector: QoSDegradationInjector | None = None
     application_fault_injector: ApplicationFaultInjector | None = None
+    latency_spike_injector: LatencySpikeInjector | None = None
+    flapping_injector: FlappingEndpointInjector | None = None
 
     @property
     def retailer_addresses(self) -> list[str]:
@@ -155,6 +176,48 @@ class SCMDeployment:
         """The full Table 1 fault mix: downtime windows + application faults."""
         self.inject_table1_faults()
         self.inject_application_faults()
+
+    def inject_fault_storm(
+        self,
+        degradation_delay: float = 8.0,
+        spike_period: float = 30.0,
+        spike_duration: float = 10.0,
+        spike_delay: float = 8.0,
+        flap_up_seconds: float = 12.0,
+        flap_down_seconds: float = 8.0,
+    ) -> None:
+        """A harsh, mostly deterministic fault mix for resilience ablations.
+
+        Three of the four retailers misbehave simultaneously: Retailer A
+        suffers long QoS-degradation episodes, Retailer B gets periodic
+        latency spikes plus application faults, Retailer D flaps up and
+        down on a fixed cycle. Retailer C stays healthy so adaptive
+        failover always has a good target. The spike and flap schedules
+        are fixed; the degradation/application streams come from named
+        :class:`~repro.simulation.RandomSource` forks, so the whole storm
+        is reproducible for a given seed.
+        """
+        self.inject_degradations(
+            profiles=STORM_DEGRADATION_PROFILES, added_delay=degradation_delay
+        )
+        self.inject_application_faults(rates=STORM_APPLICATION_FAULT_RATES)
+        self.latency_spike_injector = LatencySpikeInjector(self.env, self.network)
+        if "B" in self.retailers:
+            self.latency_spike_injector.inject(
+                self.retailers["B"].address,
+                period_seconds=spike_period,
+                spike_duration_seconds=spike_duration,
+                added_delay_seconds=spike_delay,
+                start_after=5.0,
+            )
+        self.flapping_injector = FlappingEndpointInjector(self.env, self.network)
+        if "D" in self.retailers:
+            self.flapping_injector.inject(
+                self.retailers["D"].address,
+                up_seconds=flap_up_seconds,
+                down_seconds=flap_down_seconds,
+                start_after=3.0,
+            )
 
 
 def build_scm_deployment(

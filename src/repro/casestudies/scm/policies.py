@@ -18,7 +18,11 @@ from __future__ import annotations
 
 from repro.policy import (
     AdaptationPolicy,
+    AdaptiveTimeoutAction,
+    BulkheadAction,
+    CircuitBreakerAction,
     ConcurrentInvokeAction,
+    LoadSheddingAction,
     PolicyDocument,
     PolicyScope,
     RetryAction,
@@ -31,6 +35,7 @@ from repro.policy import (
 __all__ = [
     "broadcast_policy_document",
     "logging_skip_policy_document",
+    "resilience_policy_document",
     "retailer_recovery_policy_document",
 ]
 
@@ -44,8 +49,16 @@ def retailer_recovery_policy_document(
     max_retries: int = 3,
     retry_delay_seconds: float = 2.0,
     substitute_strategy: str = "best_response_time",
+    backoff_multiplier: float = 1.0,
+    max_delay_seconds: float | None = None,
+    jitter_fraction: float = 0.0,
 ) -> PolicyDocument:
-    """Retry n times with a fixed delay, then fail over by response time."""
+    """Retry n times with a fixed delay, then fail over by response time.
+
+    The backoff/jitter knobs default to the paper's fixed-delay behaviour;
+    passing ``jitter_fraction``/``max_delay_seconds`` spreads retry storms
+    out while keeping the delay bounded.
+    """
     document = PolicyDocument("scm-retailer-recovery")
     document.adaptation_policies.append(
         AdaptationPolicy(
@@ -53,7 +66,13 @@ def retailer_recovery_policy_document(
             triggers=("fault.Timeout", "fault.ServiceUnavailable", "fault.ServiceFailure"),
             scope=PolicyScope(service_type="Retailer"),
             actions=(
-                RetryAction(max_retries=max_retries, delay_seconds=retry_delay_seconds),
+                RetryAction(
+                    max_retries=max_retries,
+                    delay_seconds=retry_delay_seconds,
+                    backoff_multiplier=backoff_multiplier,
+                    max_delay_seconds=max_delay_seconds,
+                    jitter_fraction=jitter_fraction,
+                ),
                 SubstituteAction(strategy=substitute_strategy),
             ),
             priority=10,
@@ -74,6 +93,91 @@ def logging_skip_policy_document() -> PolicyDocument:
             actions=(SkipAction(reason="logging is not business critical"),),
             priority=10,
             adaptation_type="correction",
+        )
+    )
+    return _round_trip(document)
+
+
+def resilience_policy_document(
+    endpoint_pattern: str = "http://scm/retailer*",
+    failure_rate_threshold: float = 0.5,
+    consecutive_failures: int = 3,
+    open_seconds: float = 6.0,
+    half_open_probes: int = 1,
+    endpoint_max_concurrent: int = 8,
+    endpoint_max_queue: int = 16,
+    vep_max_concurrent: int = 32,
+    vep_max_queue: int = 64,
+    timeout_multiplier: float = 3.0,
+    timeout_min_seconds: float = 0.3,
+    timeout_max_seconds: float = 4.0,
+    max_inflight: int = 256,
+) -> PolicyDocument:
+    """Resilience configuration for the Retailer tier.
+
+    Uses the ``resilience.configure`` trigger convention: the bus's
+    :class:`~repro.resilience.ResilienceService` scans adaptation policies
+    carrying that trigger at load time rather than waiting for a fault
+    event.  Four protections are configured:
+
+    - circuit breakers on each Retailer endpoint;
+    - a per-endpoint bulkhead plus a wider per-VEP bulkhead;
+    - adaptive timeouts derived from observed p95 latency;
+    - unscoped load shedding at bus admission.
+    """
+    document = PolicyDocument("scm-resilience")
+    document.adaptation_policies.append(
+        AdaptationPolicy(
+            name="retailer-endpoint-resilience",
+            triggers=("resilience.configure",),
+            scope=PolicyScope(endpoint=endpoint_pattern),
+            actions=(
+                CircuitBreakerAction(
+                    failure_rate_threshold=failure_rate_threshold,
+                    consecutive_failures=consecutive_failures,
+                    open_seconds=open_seconds,
+                    half_open_probes=half_open_probes,
+                ),
+                BulkheadAction(
+                    max_concurrent=endpoint_max_concurrent,
+                    max_queue=endpoint_max_queue,
+                    applies_to="endpoint",
+                ),
+                AdaptiveTimeoutAction(
+                    aggregate="p95",
+                    multiplier=timeout_multiplier,
+                    min_seconds=timeout_min_seconds,
+                    max_seconds=timeout_max_seconds,
+                ),
+            ),
+            priority=10,
+            adaptation_type="prevention",
+        )
+    )
+    document.adaptation_policies.append(
+        AdaptationPolicy(
+            name="retailer-vep-bulkhead",
+            triggers=("resilience.configure",),
+            scope=PolicyScope(service_type="Retailer"),
+            actions=(
+                BulkheadAction(
+                    max_concurrent=vep_max_concurrent,
+                    max_queue=vep_max_queue,
+                    applies_to="vep",
+                ),
+            ),
+            priority=20,
+            adaptation_type="prevention",
+        )
+    )
+    document.adaptation_policies.append(
+        AdaptationPolicy(
+            name="bus-load-shedding",
+            triggers=("resilience.configure",),
+            scope=PolicyScope(),
+            actions=(LoadSheddingAction(max_inflight=max_inflight),),
+            priority=30,
+            adaptation_type="prevention",
         )
     )
     return _round_trip(document)

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro table1 [--seeds 11 23 47] [--requests 250] [--trace spans.jsonl]
     python -m repro figure5 [--requests 150] [--trace spans.jsonl]
+    python -m repro storm [--seed 7] [--requests 60] [--trace spans.jsonl]
     python -m repro scenarios
     python -m repro quickcheck
 
@@ -60,6 +61,55 @@ def _cmd_figure5(args: argparse.Namespace) -> int:
     tracer, exporter = _make_tracer(args)
     series = regenerate_figure5(requests=args.requests, tracer=tracer)
     print(render_figure5(series))
+    _close_tracer(tracer, exporter, args.trace)
+    return 0
+
+
+def _cmd_storm(args: argparse.Namespace) -> int:
+    from repro.experiments import run_fault_storm
+    from repro.metrics import Table
+
+    tracer, exporter = _make_tracer(args)
+    results = [
+        run_fault_storm(
+            seed=args.seed,
+            resilience=enabled,
+            clients=args.clients,
+            requests=args.requests,
+            tracer=tracer if enabled else None,
+        )
+        for enabled in (False, True)
+    ]
+    table = Table(
+        ["Resilience", "Delivered", "Reliability", "p50 RTT", "p99 RTT", "Breaker transitions"],
+        title="Fault storm — resilience ablation",
+    )
+    for result in results:
+        table.add_row(
+            [
+                "on" if result.resilience else "off",
+                f"{result.delivered}/{result.total_requests}",
+                f"{result.reliability:.4f}",
+                f"{result.rtt_stats.get('p50', 0.0):.3f}s",
+                f"{result.p99_rtt:.3f}s",
+                len(result.breaker_transitions),
+            ]
+        )
+    print(table.render())
+    on = results[1]
+    if on.breaker_transitions:
+        print("\nBreaker transition log (resilience on):")
+        for time, endpoint, from_state, to_state in on.breaker_transitions:
+            print(f"  t={time:9.3f}s  {endpoint}  {from_state} -> {to_state}")
+    shed = {
+        name: value
+        for name, value in on.metrics["counters"].items()
+        if "resilience" in name or name.endswith(".shed")
+    }
+    if shed:
+        print("\nResilience counters (on):")
+        for name, value in sorted(shed.items()):
+            print(f"  {name}: {value}")
     _close_tracer(tracer, exporter, args.trace)
     return 0
 
@@ -155,6 +205,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="PATH", help="dump spans of the wsBus runs to a JSONL file"
     )
     figure5.set_defaults(handler=_cmd_figure5)
+
+    storm = subparsers.add_parser(
+        "storm", help="Resilience ablation under a fault storm"
+    )
+    storm.add_argument("--seed", type=int, default=7)
+    storm.add_argument("--clients", type=int, default=6)
+    storm.add_argument("--requests", type=int, default=60, help="requests per client")
+    storm.add_argument(
+        "--trace", metavar="PATH", help="dump spans of the resilience-on run to a JSONL file"
+    )
+    storm.set_defaults(handler=_cmd_storm)
 
     scenarios = subparsers.add_parser(
         "scenarios", help="Section 2.2 customization scenario matrix"

@@ -7,10 +7,12 @@ callers render or assert on.
 """
 
 from repro.experiments.harness import (
+    StormResult,
     Table1Row,
     catalog_plan,
     order_plan,
     run_direct_configuration,
+    run_fault_storm,
     run_rtt_point,
     run_vep_configuration,
 )
@@ -22,6 +24,7 @@ from repro.experiments.reports import (
 )
 
 __all__ = [
+    "StormResult",
     "Table1Row",
     "catalog_plan",
     "order_plan",
@@ -30,6 +33,7 @@ __all__ = [
     "render_figure5",
     "render_table1",
     "run_direct_configuration",
+    "run_fault_storm",
     "run_rtt_point",
     "run_vep_configuration",
 ]

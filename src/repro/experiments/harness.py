@@ -8,9 +8,11 @@ from repro.casestudies.scm import (
     RETAILER_CONTRACT,
     build_scm_deployment,
     logging_skip_policy_document,
+    resilience_policy_document,
     retailer_recovery_policy_document,
 )
-from repro.metrics import reliability_report
+from repro.metrics import describe, reliability_report
+from repro.observability import MetricsRegistry
 from repro.policy import PolicyRepository
 from repro.workload import RequestPlan, WorkloadRunner
 from repro.wsbus import WsBus
@@ -129,6 +131,99 @@ def run_vep_configuration(
         availability=report.availability,
     )
     return row, bus, result
+
+
+@dataclass
+class StormResult:
+    """Outcome of one fault-storm run (resilience on or off)."""
+
+    resilience: bool
+    total_requests: int
+    delivered: int
+    reliability: float
+    failures_per_1000: float
+    #: RTT statistics over *all* requests, failures included — a request
+    #: that burns the full client timeout before failing still cost that
+    #: time, so excluding it would flatter the arm with more failures.
+    rtt_stats: dict[str, float]
+    breaker_transitions: list[tuple[float, str, str, str]]
+    metrics: dict
+    bus: WsBus
+
+    @property
+    def p99_rtt(self) -> float:
+        return self.rtt_stats.get("p99", float("inf"))
+
+
+def run_fault_storm(
+    seed: int,
+    resilience: bool,
+    clients: int = 6,
+    requests: int = 60,
+    client_timeout: float = 8.0,
+    tracer=None,
+) -> StormResult:
+    """All four Retailers behind one VEP under the fault storm.
+
+    The only difference between the two arms is whether the resilience
+    policy document is loaded: with ``resilience=False`` the bus's
+    :class:`~repro.resilience.ResilienceService` stays inactive and every
+    send follows the pre-resilience code path. Both arms share the same
+    recovery policies (retry with jitter, then substitute) so the ablation
+    isolates the breaker/bulkhead/adaptive-timeout/shedding contribution.
+    """
+    deployment = build_scm_deployment(seed=seed, log_events=False)
+    deployment.inject_fault_storm()
+    if tracer is not None:
+        tracer.rebind_clock(deployment.env)
+    repository = PolicyRepository()
+    repository.load(
+        retailer_recovery_policy_document(
+            max_retries=1,
+            retry_delay_seconds=0.5,
+            jitter_fraction=0.5,
+            max_delay_seconds=2.0,
+        )
+    )
+    if resilience:
+        repository.load(resilience_policy_document())
+    metrics = MetricsRegistry()
+    bus = WsBus(
+        deployment.env,
+        deployment.network,
+        repository=repository,
+        registry=deployment.registry,
+        random_source=deployment.random_source,
+        member_timeout=5.0,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    vep = bus.create_vep(
+        "retailers",
+        RETAILER_CONTRACT,
+        members=deployment.retailer_addresses,
+        selection_strategy="round_robin",
+    )
+    runner = WorkloadRunner(deployment.env, deployment.network)
+    result = runner.run(
+        catalog_plan(vep.address, timeout=client_timeout, think=0.5),
+        clients=clients,
+        requests_per_client=requests,
+    )
+    report = reliability_report("fault storm", result.records)
+    total = len(result.records)
+    delivered = len(result.successes)
+    return StormResult(
+        resilience=resilience,
+        total_requests=total,
+        delivered=delivered,
+        reliability=delivered / total if total else 0.0,
+        failures_per_1000=report.failures_per_1000,
+        rtt_stats=describe([record.duration for record in result.records]),
+        breaker_transitions=bus.resilience.transition_log(),
+        metrics=metrics.snapshot(),
+        bus=bus,
+    )
 
 
 def run_rtt_point(

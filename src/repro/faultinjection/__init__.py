@@ -15,6 +15,13 @@ Three injectors cover those modes plus application-level failures:
 - :class:`QoSDegradationInjector` — transient added delays at endpoints.
 - :class:`ApplicationFaultInjector` — probabilistic application fault
   replies wrapped around an endpoint's handler.
+
+Three more drive the resilience fault-storm scenarios, all on fixed
+(deterministic) schedules:
+
+- :class:`LatencySpikeInjector` — periodic latency spikes;
+- :class:`FlappingEndpointInjector` — rapid up/down cycling;
+- :class:`OverloadBurstInjector` — bursts of synthetic background traffic.
 """
 
 from repro.faultinjection.injectors import (
@@ -22,6 +29,9 @@ from repro.faultinjection.injectors import (
     AvailabilityFaultInjector,
     DowntimeLog,
     EndpointFaultProfile,
+    FlappingEndpointInjector,
+    LatencySpikeInjector,
+    OverloadBurstInjector,
     QoSDegradationInjector,
 )
 
@@ -30,5 +40,8 @@ __all__ = [
     "AvailabilityFaultInjector",
     "DowntimeLog",
     "EndpointFaultProfile",
+    "FlappingEndpointInjector",
+    "LatencySpikeInjector",
+    "OverloadBurstInjector",
     "QoSDegradationInjector",
 ]

@@ -14,6 +14,9 @@ __all__ = [
     "AvailabilityFaultInjector",
     "DowntimeLog",
     "EndpointFaultProfile",
+    "FlappingEndpointInjector",
+    "LatencySpikeInjector",
+    "OverloadBurstInjector",
     "QoSDegradationInjector",
 ]
 
@@ -236,3 +239,198 @@ class ApplicationFaultInjector:
             return (yield self.env.process(inner(request), name=f"inner:{address}"))
 
         endpoint.handler = wrapped
+
+
+class LatencySpikeInjector:
+    """Deterministic periodic latency spikes at an endpoint.
+
+    Every ``period_seconds`` the endpoint's processing delay is raised by
+    ``added_delay_seconds`` for ``spike_duration_seconds``, then restored.
+    Unlike :class:`QoSDegradationInjector` the schedule is fixed, not
+    sampled — fault-storm scenarios stay bit-identical across runs and the
+    spike train is dense enough to exercise adaptive timeouts and breakers.
+    """
+
+    def __init__(self, env: Environment, network: Network) -> None:
+        self.env = env
+        self.network = network
+        self.episodes: dict[str, list[tuple[float, float, float]]] = {}
+
+    def inject(
+        self,
+        address: str,
+        period_seconds: float,
+        spike_duration_seconds: float,
+        added_delay_seconds: float,
+        start_after: float = 0.0,
+    ) -> None:
+        endpoint = self.network.endpoint(address)
+        if endpoint is None:
+            raise ValueError(f"no endpoint registered at {address!r}")
+        if period_seconds <= 0 or spike_duration_seconds <= 0:
+            raise ValueError("spike period and duration must be positive")
+        self.episodes.setdefault(address, [])
+        self.env.process(
+            self._cycle(
+                endpoint, period_seconds, spike_duration_seconds, added_delay_seconds, start_after
+            ),
+            name=f"spike:{address}",
+        )
+
+    def _cycle(
+        self,
+        endpoint: NetworkEndpoint,
+        period: float,
+        duration: float,
+        delay: float,
+        start_after: float,
+    ) -> Generator:
+        if start_after > 0:
+            yield self.env.timeout(start_after)
+        while True:
+            yield self.env.timeout(period)
+            started = self.env.now
+            endpoint.added_delay_seconds += delay
+            yield self.env.timeout(duration)
+            endpoint.added_delay_seconds = max(0.0, endpoint.added_delay_seconds - delay)
+            self.episodes[endpoint.address].append((started, self.env.now, delay))
+
+
+class FlappingEndpointInjector:
+    """Rapid deterministic up/down cycling of one endpoint.
+
+    The nastiest availability pattern for naive retry loops: the endpoint
+    is up just long enough to attract traffic, then gone again. Fixed
+    ``up_seconds``/``down_seconds`` (no sampling) keep the storm
+    reproducible; the cycle repeats ``cycles`` times (None = forever).
+    """
+
+    def __init__(self, env: Environment, network: Network) -> None:
+        self.env = env
+        self.network = network
+        self.logs: dict[str, DowntimeLog] = {}
+
+    def inject(
+        self,
+        address: str,
+        up_seconds: float,
+        down_seconds: float,
+        start_after: float = 0.0,
+        cycles: int | None = None,
+    ) -> DowntimeLog:
+        endpoint = self.network.endpoint(address)
+        if endpoint is None:
+            raise ValueError(f"no endpoint registered at {address!r}")
+        if up_seconds <= 0 or down_seconds <= 0:
+            raise ValueError("up/down durations must be positive")
+        log = DowntimeLog(address)
+        self.logs[address] = log
+        self.env.process(
+            self._cycle(endpoint, up_seconds, down_seconds, start_after, cycles, log),
+            name=f"flap:{address}",
+        )
+        return log
+
+    def _cycle(
+        self,
+        endpoint: NetworkEndpoint,
+        up_seconds: float,
+        down_seconds: float,
+        start_after: float,
+        cycles: int | None,
+        log: DowntimeLog,
+    ) -> Generator:
+        if start_after > 0:
+            yield self.env.timeout(start_after)
+        completed = 0
+        while cycles is None or completed < cycles:
+            yield self.env.timeout(up_seconds)
+            endpoint.available = False
+            log.mark_down(self.env.now)
+            yield self.env.timeout(down_seconds)
+            endpoint.available = True
+            log.mark_up(self.env.now)
+            completed += 1
+
+    def finalize(self) -> None:
+        for log in self.logs.values():
+            log.close(self.env.now)
+
+
+class OverloadBurstInjector:
+    """Fires bursts of synthetic background requests at an address.
+
+    Models a stampeding secondary tenant: every ``interval_seconds`` a
+    burst of ``burst_size`` concurrent requests hits the target, competing
+    with the measured foreground workload for mediation capacity — the
+    load-shedding and bulkhead scenarios' pressure source. Outcomes of the
+    synthetic traffic are tallied but never raised.
+    """
+
+    def __init__(self, env: Environment, network: Network) -> None:
+        self.env = env
+        self.network = network
+        self.sent = 0
+        self.failed = 0
+
+    def inject(
+        self,
+        address: str,
+        operation: str,
+        payload_factory,
+        interval_seconds: float,
+        burst_size: int,
+        timeout: float = 10.0,
+        start_after: float = 0.0,
+        bursts: int | None = None,
+    ) -> None:
+        """Start the burst train; ``payload_factory(burst, index)`` builds
+        each request body (an :class:`~repro.xmlutils.Element`)."""
+        if interval_seconds <= 0 or burst_size < 1:
+            raise ValueError("need a positive interval and burst size")
+        from repro.services import Invoker
+
+        invoker = Invoker(
+            self.env, self.network, caller="overload-burst", default_timeout=timeout
+        )
+        self.env.process(
+            self._cycle(
+                invoker, address, operation, payload_factory,
+                interval_seconds, burst_size, timeout, start_after, bursts,
+            ),
+            name=f"burst:{address}",
+        )
+
+    def _cycle(
+        self,
+        invoker,
+        address: str,
+        operation: str,
+        payload_factory,
+        interval: float,
+        burst_size: int,
+        timeout: float,
+        start_after: float,
+        bursts: int | None,
+    ) -> Generator:
+        from repro.soap import SoapFaultError
+
+        def one_request(burst: int, index: int) -> Generator:
+            self.sent += 1
+            try:
+                yield from invoker.invoke(
+                    address, operation, payload_factory(burst, index), timeout=timeout
+                )
+            except SoapFaultError:
+                self.failed += 1
+
+        fired = 0
+        if start_after > 0:
+            yield self.env.timeout(start_after)
+        while bursts is None or fired < bursts:
+            yield self.env.timeout(interval)
+            for index in range(burst_size):
+                self.env.process(
+                    one_request(fired, index), name=f"burst:{address}:{fired}:{index}"
+                )
+            fired += 1

@@ -23,7 +23,11 @@ lookup and hot reload, and are checked by :mod:`repro.policy.validation`.
 
 from repro.policy.actions import (
     ActionError,
+    AdaptiveTimeoutAction,
+    BulkheadAction,
+    CircuitBreakerAction,
     DelayProcessAction,
+    LoadSheddingAction,
     PreferBestAction,
     QuarantineAction,
     AdaptationAction,
@@ -33,6 +37,7 @@ from repro.policy.actions import (
     InvokeSpec,
     RemoveActivityAction,
     ReplaceActivityAction,
+    ResilienceAction,
     RetryAction,
     SkipAction,
     SubstituteAction,
@@ -60,13 +65,17 @@ __all__ = [
     "ActionError",
     "AdaptationAction",
     "AdaptationPolicy",
+    "AdaptiveTimeoutAction",
     "AddActivityAction",
+    "BulkheadAction",
     "BusinessValue",
+    "CircuitBreakerAction",
     "ConcurrentInvokeAction",
     "DelayProcessAction",
     "ExtendTimeoutAction",
     "GoalPolicy",
     "InvokeSpec",
+    "LoadSheddingAction",
     "MASC_POLICY_NS",
     "MessageCondition",
     "MonitoringPolicy",
@@ -80,6 +89,7 @@ __all__ = [
     "QoSThreshold",
     "RemoveActivityAction",
     "ReplaceActivityAction",
+    "ResilienceAction",
     "RetryAction",
     "SkipAction",
     "SubstituteAction",

@@ -23,15 +23,20 @@ from repro.orchestration import Activity, Invoke, Sequence
 __all__ = [
     "ActionError",
     "AdaptationAction",
+    "AdaptiveTimeoutAction",
     "AddActivityAction",
+    "BulkheadAction",
+    "CircuitBreakerAction",
     "ConcurrentInvokeAction",
     "DelayProcessAction",
     "ExtendTimeoutAction",
     "InvokeSpec",
+    "LoadSheddingAction",
     "PreferBestAction",
     "QuarantineAction",
     "RemoveActivityAction",
     "ReplaceActivityAction",
+    "ResilienceAction",
     "ResumeProcessAction",
     "RetryAction",
     "SkipAction",
@@ -258,6 +263,11 @@ class RetryAction(AdaptationAction):
     max_retries: int = 3
     delay_seconds: float = 2.0
     backoff_multiplier: float = 1.0
+    #: Hard ceiling on the backed-off delay; None leaves it unbounded.
+    max_delay_seconds: float | None = None
+    #: Fraction of the delay randomized symmetrically around it (0.2 means
+    #: ±20%) so independent retriers don't synchronize into bursts.
+    jitter_fraction: float = 0.0
 
     layer = "messaging"
 
@@ -266,16 +276,35 @@ class RetryAction(AdaptationAction):
             raise ActionError(f"negative max_retries {self.max_retries}")
         if self.delay_seconds < 0:
             raise ActionError(f"negative delay {self.delay_seconds}")
+        if self.max_delay_seconds is not None and self.max_delay_seconds < 0:
+            raise ActionError(f"negative max_delay_seconds {self.max_delay_seconds}")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ActionError(f"jitter_fraction must be in [0, 1): {self.jitter_fraction}")
 
-    def delay_for_attempt(self, attempt: int) -> float:
-        """Delay before retry ``attempt`` (1-based)."""
-        return self.delay_seconds * (self.backoff_multiplier ** max(0, attempt - 1))
+    def delay_for_attempt(self, attempt: int, rng=None) -> float:
+        """Delay before retry ``attempt`` (1-based).
+
+        ``rng`` (a ``random.Random``, normally a named
+        :class:`~repro.simulation.RandomSource` stream) supplies the
+        jitter; without one the delay is the deterministic midpoint.
+        """
+        delay = self.delay_seconds * (self.backoff_multiplier ** max(0, attempt - 1))
+        if self.max_delay_seconds is not None:
+            delay = min(delay, self.max_delay_seconds)
+        if rng is not None and self.jitter_fraction > 0.0 and delay > 0.0:
+            delay *= 1.0 + self.jitter_fraction * (2.0 * rng.random() - 1.0)
+        return max(0.0, delay)
 
     def describe(self) -> str:
-        return (
+        description = (
             f"retry up to {self.max_retries}x with {self.delay_seconds}s delay"
             + (f" (backoff x{self.backoff_multiplier})" if self.backoff_multiplier != 1.0 else "")
         )
+        if self.max_delay_seconds is not None:
+            description += f", capped at {self.max_delay_seconds}s"
+        if self.jitter_fraction > 0.0:
+            description += f", ±{self.jitter_fraction:.0%} jitter"
+        return description
 
 
 @dataclass(frozen=True)
@@ -371,3 +400,167 @@ class SkipAction(AdaptationAction):
 
     def describe(self) -> str:
         return f"skip invocation ({self.reason})"
+
+
+# ---------------------------------------------------------------------------
+# Resilience configuration assertions (messaging layer)
+# ---------------------------------------------------------------------------
+
+
+class ResilienceAction(AdaptationAction):
+    """Base class of the resilience configuration vocabulary.
+
+    These assertions don't repair one failed message; they configure the
+    standing protection machinery of the bus (``repro.resilience``). They
+    are declared in adaptation policies triggered by the conventional
+    ``resilience.configure`` event and scope-matched against endpoints and
+    VEPs, so thresholds stay policy-driven like every other MASC behavior.
+    They can also appear in fault-triggered policies, in which case the
+    Adaptation Manager (re)applies the configuration as a corrective side
+    effect.
+    """
+
+    layer = "messaging"
+
+
+@dataclass(frozen=True)
+class CircuitBreakerAction(ResilienceAction):
+    """Per-endpoint circuit breaker thresholds.
+
+    The breaker opens when either ``consecutive_failures`` invocations fail
+    in a row, or the failure rate over the last ``window`` calls (with at
+    least ``min_calls`` observed) reaches ``failure_rate_threshold``. After
+    ``open_seconds`` it admits up to ``half_open_probes`` probe requests;
+    all probes succeeding closes it, any probe failing re-opens it.
+    """
+
+    failure_rate_threshold: float = 0.5
+    window: int = 20
+    min_calls: int = 5
+    consecutive_failures: int = 5
+    open_seconds: float = 30.0
+    half_open_probes: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.failure_rate_threshold <= 1.0:
+            raise ActionError(
+                f"failure_rate_threshold must be in (0, 1]: {self.failure_rate_threshold}"
+            )
+        if self.window < 1:
+            raise ActionError(f"window must be positive: {self.window}")
+        if self.min_calls < 1:
+            raise ActionError(f"min_calls must be positive: {self.min_calls}")
+        if self.consecutive_failures < 1:
+            raise ActionError(
+                f"consecutive_failures must be positive: {self.consecutive_failures}"
+            )
+        if self.open_seconds <= 0:
+            raise ActionError(f"open_seconds must be positive: {self.open_seconds}")
+        if self.half_open_probes < 1:
+            raise ActionError(f"half_open_probes must be positive: {self.half_open_probes}")
+
+    def describe(self) -> str:
+        return (
+            f"circuit breaker (rate>={self.failure_rate_threshold:g} over {self.window}, "
+            f"{self.consecutive_failures} consecutive, open {self.open_seconds:g}s, "
+            f"{self.half_open_probes} probes)"
+        )
+
+
+@dataclass(frozen=True)
+class BulkheadAction(ResilienceAction):
+    """Concurrency cap (with a bounded wait queue) for an endpoint or VEP.
+
+    ``applies_to`` selects the partition: ``endpoint`` caps in-flight
+    invocations of one member service, ``vep`` caps concurrent mediations
+    of one virtual endpoint. Requests beyond ``max_concurrent`` wait in a
+    queue of at most ``max_queue``; beyond that they are rejected with a
+    retryable ``ServiceUnavailable`` fault.
+    """
+
+    max_concurrent: int = 16
+    max_queue: int = 32
+    applies_to: str = "endpoint"
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent < 1:
+            raise ActionError(f"max_concurrent must be positive: {self.max_concurrent}")
+        if self.max_queue < 0:
+            raise ActionError(f"negative max_queue {self.max_queue}")
+        if self.applies_to not in ("endpoint", "vep"):
+            raise ActionError(f"applies_to must be 'endpoint' or 'vep': {self.applies_to!r}")
+
+    def describe(self) -> str:
+        return (
+            f"bulkhead per {self.applies_to} "
+            f"(max {self.max_concurrent} in flight, queue {self.max_queue})"
+        )
+
+
+@dataclass(frozen=True)
+class AdaptiveTimeoutAction(ResilienceAction):
+    """Derive invocation timeouts from observed latency percentiles.
+
+    The timeout for an endpoint becomes ``multiplier`` × the ``aggregate``
+    response time over the QoS Measurement Service's last ``window``
+    successful samples, clamped to ``[min_seconds, max_seconds]``. Until
+    ``min_samples`` observations exist the configured fixed timeout is
+    used unchanged.
+    """
+
+    aggregate: str = "p95"
+    multiplier: float = 3.0
+    min_seconds: float = 0.25
+    max_seconds: float = 30.0
+    window: int = 50
+    min_samples: int = 5
+
+    def __post_init__(self) -> None:
+        if self.aggregate not in ("mean", "max", "p95", "p99"):
+            raise ActionError(f"unknown aggregate {self.aggregate!r}")
+        if self.multiplier <= 0:
+            raise ActionError(f"multiplier must be positive: {self.multiplier}")
+        if self.min_seconds <= 0 or self.max_seconds < self.min_seconds:
+            raise ActionError(
+                f"need 0 < min_seconds <= max_seconds: {self.min_seconds}, {self.max_seconds}"
+            )
+        if self.window < 1:
+            raise ActionError(f"window must be positive: {self.window}")
+        if self.min_samples < 1:
+            raise ActionError(f"min_samples must be positive: {self.min_samples}")
+
+    def describe(self) -> str:
+        return (
+            f"adaptive timeout = {self.multiplier:g} x {self.aggregate} "
+            f"over {self.window} samples, clamped [{self.min_seconds:g}, {self.max_seconds:g}]s"
+        )
+
+
+@dataclass(frozen=True)
+class LoadSheddingAction(ResilienceAction):
+    """Bus-wide admission control for graceful degradation under overload.
+
+    New mediations are rejected with a retryable ``ServiceUnavailable``
+    fault while more than ``max_inflight`` requests are being mediated, or
+    while the retry queue is deeper than ``max_retry_queue_depth`` (a
+    deep retry backlog means the fleet is already struggling; taking on
+    more work would only grow the collapse). Only *unscoped* policies
+    configure shedding — it protects the whole bus, not one endpoint.
+    """
+
+    max_inflight: int = 64
+    max_retry_queue_depth: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ActionError(f"max_inflight must be positive: {self.max_inflight}")
+        if self.max_retry_queue_depth is not None and self.max_retry_queue_depth < 0:
+            raise ActionError(
+                f"negative max_retry_queue_depth {self.max_retry_queue_depth}"
+            )
+
+    def describe(self) -> str:
+        description = f"shed load beyond {self.max_inflight} in-flight mediations"
+        if self.max_retry_queue_depth is not None:
+            description += f" or retry depth {self.max_retry_queue_depth}"
+        return description

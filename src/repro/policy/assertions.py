@@ -88,12 +88,12 @@ class QoSThreshold:
     operator: str
     value: float
     window: int = 50
-    aggregate: str = "mean"  # mean | max | min | p95
+    aggregate: str = "mean"  # mean | max | min | p95 | p99
 
     def __post_init__(self) -> None:
         if self.operator not in ("lt", "lte", "gt", "gte"):
             raise ValueError(f"QoS threshold operator must be an ordering, got {self.operator!r}")
-        if self.aggregate not in ("mean", "max", "min", "p95"):
+        if self.aggregate not in ("mean", "max", "min", "p95", "p99"):
             raise ValueError(f"unknown aggregate {self.aggregate!r}")
 
     def holds(self, observed: float | None) -> bool:

@@ -11,11 +11,15 @@ from __future__ import annotations
 
 from repro.policy.actions import (
     AdaptationAction,
+    AdaptiveTimeoutAction,
     AddActivityAction,
+    BulkheadAction,
+    CircuitBreakerAction,
     DelayProcessAction,
     ConcurrentInvokeAction,
     ExtendTimeoutAction,
     InvokeSpec,
+    LoadSheddingAction,
     PreferBestAction,
     QuarantineAction,
     RemoveActivityAction,
@@ -204,14 +208,16 @@ def _invoke_spec_to_element(spec: InvokeSpec) -> Element:
 
 def _action_to_element(action: AdaptationAction) -> Element:
     if isinstance(action, RetryAction):
-        return Element(
-            _masc("Retry"),
-            attributes={
-                "maxRetries": str(action.max_retries),
-                "delaySeconds": str(action.delay_seconds),
-                "backoffMultiplier": str(action.backoff_multiplier),
-            },
-        )
+        attributes = {
+            "maxRetries": str(action.max_retries),
+            "delaySeconds": str(action.delay_seconds),
+            "backoffMultiplier": str(action.backoff_multiplier),
+        }
+        if action.max_delay_seconds is not None:
+            attributes["maxDelaySeconds"] = str(action.max_delay_seconds)
+        if action.jitter_fraction != 0.0:
+            attributes["jitterFraction"] = str(action.jitter_fraction)
+        return Element(_masc("Retry"), attributes=attributes)
     if isinstance(action, SubstituteAction):
         attributes = {"strategy": action.strategy}
         if action.backup_address is not None:
@@ -246,6 +252,44 @@ def _action_to_element(action: AdaptationAction) -> Element:
             _masc("PreferBest"),
             attributes={"metric": action.metric, "window": str(action.window)},
         )
+    if isinstance(action, CircuitBreakerAction):
+        return Element(
+            _masc("CircuitBreaker"),
+            attributes={
+                "failureRateThreshold": str(action.failure_rate_threshold),
+                "window": str(action.window),
+                "minCalls": str(action.min_calls),
+                "consecutiveFailures": str(action.consecutive_failures),
+                "openSeconds": str(action.open_seconds),
+                "halfOpenProbes": str(action.half_open_probes),
+            },
+        )
+    if isinstance(action, BulkheadAction):
+        return Element(
+            _masc("Bulkhead"),
+            attributes={
+                "maxConcurrent": str(action.max_concurrent),
+                "maxQueue": str(action.max_queue),
+                "appliesTo": action.applies_to,
+            },
+        )
+    if isinstance(action, AdaptiveTimeoutAction):
+        return Element(
+            _masc("AdaptiveTimeout"),
+            attributes={
+                "aggregate": action.aggregate,
+                "multiplier": str(action.multiplier),
+                "minSeconds": str(action.min_seconds),
+                "maxSeconds": str(action.max_seconds),
+                "window": str(action.window),
+                "minSamples": str(action.min_samples),
+            },
+        )
+    if isinstance(action, LoadSheddingAction):
+        attributes = {"maxInflight": str(action.max_inflight)}
+        if action.max_retry_queue_depth is not None:
+            attributes["maxRetryQueueDepth"] = str(action.max_retry_queue_depth)
+        return Element(_masc("LoadShedding"), attributes=attributes)
     if isinstance(action, AddActivityAction):
         attributes = {"anchor": action.anchor, "position": action.position}
         if action.block_name is not None:
@@ -404,10 +448,13 @@ def _parse_invoke_spec(element: Element) -> InvokeSpec:
 def _parse_action(element: Element) -> AdaptationAction:
     local = element.name.local
     if local == "Retry":
+        max_delay_text = element.attributes.get("maxDelaySeconds")
         return RetryAction(
             max_retries=int(element.attributes.get("maxRetries", "3")),
             delay_seconds=float(element.attributes.get("delaySeconds", "2.0")),
             backoff_multiplier=float(element.attributes.get("backoffMultiplier", "1.0")),
+            max_delay_seconds=float(max_delay_text) if max_delay_text is not None else None,
+            jitter_fraction=float(element.attributes.get("jitterFraction", "0.0")),
         )
     if local == "Substitute":
         return SubstituteAction(
@@ -440,6 +487,36 @@ def _parse_action(element: Element) -> AdaptationAction:
         return PreferBestAction(
             metric=element.attributes.get("metric", "response_time"),
             window=int(element.attributes.get("window", "50")),
+        )
+    if local == "CircuitBreaker":
+        return CircuitBreakerAction(
+            failure_rate_threshold=float(element.attributes.get("failureRateThreshold", "0.5")),
+            window=int(element.attributes.get("window", "20")),
+            min_calls=int(element.attributes.get("minCalls", "5")),
+            consecutive_failures=int(element.attributes.get("consecutiveFailures", "5")),
+            open_seconds=float(element.attributes.get("openSeconds", "30")),
+            half_open_probes=int(element.attributes.get("halfOpenProbes", "1")),
+        )
+    if local == "Bulkhead":
+        return BulkheadAction(
+            max_concurrent=int(element.attributes.get("maxConcurrent", "16")),
+            max_queue=int(element.attributes.get("maxQueue", "32")),
+            applies_to=element.attributes.get("appliesTo", "endpoint"),
+        )
+    if local == "AdaptiveTimeout":
+        return AdaptiveTimeoutAction(
+            aggregate=element.attributes.get("aggregate", "p95"),
+            multiplier=float(element.attributes.get("multiplier", "3.0")),
+            min_seconds=float(element.attributes.get("minSeconds", "0.25")),
+            max_seconds=float(element.attributes.get("maxSeconds", "30")),
+            window=int(element.attributes.get("window", "50")),
+            min_samples=int(element.attributes.get("minSamples", "5")),
+        )
+    if local == "LoadShedding":
+        depth_text = element.attributes.get("maxRetryQueueDepth")
+        return LoadSheddingAction(
+            max_inflight=int(element.attributes.get("maxInflight", "64")),
+            max_retry_queue_depth=int(depth_text) if depth_text is not None else None,
         )
     if local == "AddActivity":
         return AddActivityAction(

@@ -1,0 +1,61 @@
+"""Load shedding at bus admission.
+
+Graceful degradation under overload: once the bus is mediating more than
+``max_inflight`` requests at once (or its retry queue has grown past
+``max_retry_queue_depth`` — a deep retry backlog means the fleet is
+already drowning), new requests are rejected *immediately* with a
+retryable ``ServiceUnavailable`` fault instead of being queued into a
+collapse. Shedding a request early costs the client one cheap round
+trip; accepting it would cost everyone a slot in a system past its knee.
+"""
+
+from __future__ import annotations
+
+from repro.policy.actions import LoadSheddingAction
+from repro.soap import FaultCode, SoapFault
+
+__all__ = ["LoadShedder"]
+
+
+class LoadShedder:
+    """Bus-wide admission control driven by a :class:`LoadSheddingAction`."""
+
+    def __init__(self, config: LoadSheddingAction, retry_queue=None) -> None:
+        self.config = config
+        #: The bus retry queue, consulted for its depth (optional).
+        self.retry_queue = retry_queue
+        self.in_flight = 0
+        self.admitted_total = 0
+        self.shed_total = 0
+
+    def try_admit(self) -> SoapFault | None:
+        """Admit one mediation (returns None) or the rejection fault."""
+        reason = None
+        if self.in_flight >= self.config.max_inflight:
+            reason = f"{self.in_flight} mediations in flight"
+        elif (
+            self.config.max_retry_queue_depth is not None
+            and self.retry_queue is not None
+            and self.retry_queue.depth > self.config.max_retry_queue_depth
+        ):
+            reason = f"retry queue depth {self.retry_queue.depth}"
+        if reason is not None:
+            self.shed_total += 1
+            return SoapFault(
+                FaultCode.SERVICE_UNAVAILABLE,
+                f"wsbus shedding load ({reason}); retry later",
+                source="wsbus-resilience",
+            )
+        self.in_flight += 1
+        self.admitted_total += 1
+        return None
+
+    def release(self) -> None:
+        self.in_flight -= 1
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "in_flight": self.in_flight,
+            "admitted": self.admitted_total,
+            "shed": self.shed_total,
+        }

@@ -28,6 +28,7 @@ from repro.observability import NULL_METRICS, NULL_TRACER, correlation_id_for
 from repro.policy import AdaptationPolicy, PolicyRepository
 from repro.policy.actions import (
     ConcurrentInvokeAction,
+    ResilienceAction,
     ResumeProcessAction,
     RetryAction,
     SkipAction,
@@ -69,6 +70,7 @@ class AdaptationManager:
         process_enforcement=None,
         tracer=None,
         metrics=None,
+        resilience=None,
     ) -> None:
         self.env = env
         self.repository = repository
@@ -78,6 +80,9 @@ class AdaptationManager:
         self.sender = sender
         #: Optional process-layer enforcement point (cross-layer actions).
         self.process_enforcement = process_enforcement
+        #: Optional resilience service: fault-triggered policies may carry
+        #: resilience configuration actions as corrective side effects.
+        self.resilience = resilience
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.outcomes: list[RecoveryOutcome] = []
@@ -212,6 +217,18 @@ class AdaptationManager:
         for action in policy.actions:
             if policy_span is not None:
                 policy_span.add_event("action", layer=action.layer, action=action.describe())
+            if isinstance(action, ResilienceAction):
+                # Reconfigure the standing protection machinery; not a
+                # repair of this message, so recovery continues below.
+                if self.resilience is not None and self.resilience.apply_action(
+                    action, scope=policy.scope
+                ):
+                    outcome.actions_taken.append(f"configured: {action.describe()}")
+                else:
+                    outcome.actions_taken.append(
+                        f"skipped(no-resilience): {action.describe()}"
+                    )
+                continue
             if action.layer == "process":
                 if isinstance(action, ResumeProcessAction):
                     # Resume runs after messaging-layer recovery completes.

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.observability import NULL_METRICS, NULL_TRACER, correlation_id_for
 from repro.policy import PolicyRepository
+from repro.resilience import ResilienceService
 from repro.services import Invoker, ServiceRegistry
 from repro.simulation import Environment, RandomSource
 from repro.soap import SoapFaultError
@@ -69,14 +70,29 @@ class WsBus:
         self.invoker = Invoker(env, network, caller="wsbus", default_timeout=member_timeout)
         self.qos = QoSMeasurementService(window=qos_window)
         self.qos.attach_to_invoker(self.invoker)
-        self.selection = SelectionService(self.qos, random_source, metrics=self.metrics)
+        #: Policy-driven protection machinery (circuit breakers, bulkheads,
+        #: adaptive timeouts, load shedding); inert until resilience
+        #: policies are loaded into the repository.
+        self.resilience = ResilienceService(
+            env, self.qos, self.repository, tracer=self.tracer, metrics=self.metrics
+        )
+        self.resilience.attach_to_invoker(self.invoker)
+        self.selection = SelectionService(
+            self.qos, random_source, metrics=self.metrics, resilience=self.resilience
+        )
         self.monitoring = BusMonitoringService(
             env, self.repository, self.qos, tracer=self.tracer, metrics=self.metrics
         )
         self.dead_letters = DeadLetterQueue()
         self.retry_queue = RetryQueue(
-            env, self._send, self.dead_letters, tracer=self.tracer, metrics=self.metrics
+            env,
+            self._send,
+            self.dead_letters,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            random_source=random_source,
         )
+        self.resilience.retry_queue = self.retry_queue
         self.adaptation = AdaptationManager(
             env,
             self.repository,
@@ -87,6 +103,7 @@ class WsBus:
             process_enforcement=process_enforcement,
             tracer=self.tracer,
             metrics=self.metrics,
+            resilience=self.resilience,
         )
         self.veps: dict[str, VirtualEndpoint] = {}
         #: Per-message mediation processing cost applied inside each VEP;
@@ -107,9 +124,51 @@ class WsBus:
             outbound = envelope.copy()
             outbound.addressing = envelope.addressing.retargeted(target)
         effective = timeout if timeout is not None else self.member_timeout
+        if self.resilience.active:
+            return self._resilient_send(envelope, outbound, operation, target, effective)
         if self.tracer.enabled or self.metrics.enabled:
             return self._traced_send(envelope, outbound, operation, target, effective)
         return self.invoker.send(outbound, operation=operation, timeout=effective)
+
+    def _resilient_send(self, original, outbound, operation: str, target: str, timeout):
+        """One delivery attempt under the resilience machinery.
+
+        Order matters: the breaker fails fast *before* the bulkhead so a
+        quarantined endpoint costs neither time nor a concurrency slot;
+        the adaptive timeout is derived last, when the request is actually
+        about to go out.
+        """
+        resilience = self.resilience
+        rejection = resilience.breaker_rejection(target)
+        if rejection is not None:
+            raise SoapFaultError(rejection)
+        bulkhead = resilience.endpoint_bulkhead(target)
+        waiter = None
+        if bulkhead is not None:
+            try:
+                waiter = bulkhead.try_acquire()
+            except SoapFaultError:
+                if self.metrics.enabled:
+                    self.metrics.counter("wsbus.resilience.bulkhead.rejected").inc()
+                raise
+            if waiter is not None:
+                yield waiter
+        effective = resilience.timeout_for(target, timeout)
+        try:
+            if self.tracer.enabled or self.metrics.enabled:
+                return (
+                    yield from self._traced_send(
+                        original, outbound, operation, target, effective
+                    )
+                )
+            return (
+                yield from self.invoker.send(
+                    outbound, operation=operation, timeout=effective
+                )
+            )
+        finally:
+            if bulkhead is not None:
+                bulkhead.release()
 
     def _traced_send(self, original, outbound, operation: str, target: str, timeout):
         """The tracing/metrics wrapper of one delivery attempt.
@@ -178,6 +237,7 @@ class WsBus:
             overhead_rng=self._overhead_rng,
             tracer=self.tracer,
             metrics=self.metrics,
+            resilience=self.resilience,
         )
         if from_registry:
             vep.refresh_members_from_registry()
@@ -255,6 +315,18 @@ class WsBus:
 
         engine.binder = binder
 
+    # -- dead-letter replay -------------------------------------------------------------
+
+    def replay_dead_letters(self, entries=None, policy=None):
+        """Re-enqueue dead letters for redelivery with a fresh budget.
+
+        ``entries`` selects which dead letters to revive (default: all);
+        ``policy`` overrides the :class:`~repro.policy.actions.RetryAction`
+        governing the fresh attempts. Returns the completion events, one
+        per replayed message.
+        """
+        return self.dead_letters.replay(self.retry_queue, entries=entries, policy=policy)
+
     # -- reporting ---------------------------------------------------------------------
 
     def stats_summary(self) -> dict[str, dict]:
@@ -265,9 +337,12 @@ class WsBus:
                 "attempted": self.retry_queue.redeliveries_attempted,
                 "succeeded": self.retry_queue.redeliveries_succeeded,
                 "depth": self.retry_queue.depth,
+                "replayed": self.dead_letters.replayed,
             },
             "dead_letters": len(self.dead_letters),
         }
+        if self.resilience.active:
+            summary["resilience"] = self.resilience.summary()
         if self.metrics.enabled:
             summary["metrics"] = self.metrics.snapshot()
         return summary

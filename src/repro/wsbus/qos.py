@@ -50,6 +50,13 @@ class EndpointQoS:
         records = list(self.records)
         return records[-window:] if window > 0 else records
 
+    def sample_count(self, window: int = 0, successful_only: bool = False) -> int:
+        """How many observations the window holds (adaptive-timeout input)."""
+        records = self._recent(window)
+        if successful_only:
+            return sum(1 for r in records if r.succeeded)
+        return len(records)
+
     def reliability(self, window: int = 0) -> float | None:
         """Ratio of successful invocations over total, in the window."""
         records = self._recent(window)
@@ -68,8 +75,9 @@ class EndpointQoS:
             return durations[0]
         if aggregate == "max":
             return durations[-1]
-        if aggregate == "p95":
-            index = min(len(durations) - 1, int(round(0.95 * (len(durations) - 1))))
+        if aggregate in ("p95", "p99"):
+            quantile = 0.95 if aggregate == "p95" else 0.99
+            index = min(len(durations) - 1, int(round(quantile * (len(durations) - 1))))
             return durations[index]
         raise ValueError(f"unknown aggregate {aggregate!r}")
 

@@ -52,6 +52,8 @@ class DeadLetterQueue:
 
     def __init__(self) -> None:
         self.entries: list[DeadLetterEntry] = []
+        #: How many entries have ever been revived via :meth:`replay`.
+        self.replayed = 0
 
     def add(self, entry: DeadLetterEntry) -> None:
         self.entries.append(entry)
@@ -61,6 +63,50 @@ class DeadLetterQueue:
 
     def for_target(self, target: str) -> list[DeadLetterEntry]:
         return [entry for entry in self.entries if entry.target == target]
+
+    def replay(
+        self,
+        retry_queue: "RetryQueue",
+        entries: list[DeadLetterEntry] | None = None,
+        policy: RetryAction | None = None,
+        parent_span=None,
+    ) -> list:
+        """Give selected dead letters a fresh redelivery budget.
+
+        Each selected entry is removed from this queue and re-enqueued on
+        ``retry_queue`` with ``attempts_made`` reset to zero. The original
+        envelope is reused, so the correlation ID (ProcessInstanceID /
+        message ID) is preserved across the replay. Entries exhausting the
+        fresh budget are dead-lettered again as new entries.
+
+        Returns the completion events (one per entry, in queue order);
+        callers may yield on them or fire-and-forget — failures are
+        pre-defused so an ignored exhausted replay cannot crash the run.
+        """
+        if policy is None:
+            policy = RetryAction()
+        if entries is None:
+            selected = list(self.entries)
+        else:
+            selected = [entry for entry in entries if entry in self.entries]
+        completions = []
+        for entry in selected:
+            self.entries.remove(entry)
+            self.replayed += 1
+            completion = retry_queue.enqueue(
+                entry.envelope,
+                entry.operation,
+                entry.target,
+                policy,
+                parent_span=parent_span,
+            )
+            completion.callbacks.append(_defuse_failure)
+            completions.append(completion)
+        return completions
+
+
+def _defuse_failure(event) -> None:
+    event.defused = True
 
 
 class RetryQueue:
@@ -74,13 +120,24 @@ class RetryQueue:
     """
 
     def __init__(
-        self, env, sender, dead_letter_queue: DeadLetterQueue, tracer=None, metrics=None
+        self,
+        env,
+        sender,
+        dead_letter_queue: DeadLetterQueue,
+        tracer=None,
+        metrics=None,
+        random_source=None,
     ) -> None:
         self.env = env
         self.sender = sender
         self.dead_letters = dead_letter_queue
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        from repro.simulation import RandomSource
+
+        #: Named stream for retry-delay jitter: deterministic per seed, and
+        #: independent of every other stochastic choice in the simulation.
+        self._jitter_rng = (random_source or RandomSource()).stream("wsbus.retry.jitter")
         self._pending: deque[_RetryEntry] = deque()
         self.redeliveries_attempted = 0
         self.redeliveries_succeeded = 0
@@ -139,7 +196,7 @@ class RetryQueue:
         try:
             while entry.attempts_made < entry.policy.max_retries:
                 entry.attempts_made += 1
-                delay = entry.policy.delay_for_attempt(entry.attempts_made)
+                delay = entry.policy.delay_for_attempt(entry.attempts_made, rng=self._jitter_rng)
                 if delay > 0:
                     yield self.env.timeout(delay)
                 self.redeliveries_attempted += 1

@@ -42,9 +42,13 @@ class SelectionService:
         qos: QoSMeasurementService,
         random_source: RandomSource | None = None,
         metrics=None,
+        resilience=None,
     ) -> None:
         self.qos = qos
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        #: Optional :class:`~repro.resilience.ResilienceService`: members
+        #: with an open circuit breaker are skipped during selection.
+        self.resilience = resilience
         self._rng = (random_source or RandomSource()).stream("wsbus.selection")
         self._round_robin_counters: dict[str, int] = {}
         self._content_rules: dict[str, list[ContentRule]] = {}
@@ -68,6 +72,7 @@ class SelectionService:
         if self.metrics.enabled:
             self.metrics.counter(f"wsbus.selection.{strategy}").inc()
         candidates = [m for m in members if not exclude or m not in exclude]
+        candidates = self._admitted(candidates)
         if not candidates:
             return None
         if strategy == "primary":
@@ -91,12 +96,30 @@ class SelectionService:
                     return content_rule.target
         return candidates[0]
 
-    @staticmethod
     def broadcast_targets(
-        members: list[str], max_targets: int = 0, exclude: set[str] | None = None
+        self, members: list[str], max_targets: int = 0, exclude: set[str] | None = None
     ) -> list[str]:
         """The member set for concurrent invocation (first response wins)."""
         candidates = [m for m in members if not exclude or m not in exclude]
+        candidates = self._admitted(candidates)
         if max_targets > 0:
             candidates = candidates[:max_targets]
         return candidates
+
+    def _admitted(self, candidates: list[str]) -> list[str]:
+        """Drop members whose circuit breaker would reject the send.
+
+        The peek is non-consuming (``would_allow``), so inspecting every
+        member here never burns a half-open probe budget. When *every*
+        candidate is quarantined the empty list stands — failing fast is
+        the point of the breaker; the open interval elapsing re-admits
+        members for probing.
+        """
+        if self.resilience is None or not candidates:
+            return candidates
+        admitted = [m for m in candidates if self.resilience.member_selectable(m)]
+        if self.metrics.enabled and len(admitted) < len(candidates):
+            self.metrics.counter("wsbus.resilience.breaker.skipped").inc(
+                len(candidates) - len(admitted)
+            )
+        return admitted

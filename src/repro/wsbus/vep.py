@@ -33,6 +33,8 @@ class VepStats:
     recovered: int = 0
     failures: int = 0
     violations: int = 0
+    #: Requests rejected at admission (load shedding / bulkhead saturation).
+    shed: int = 0
 
 
 class VirtualEndpoint:
@@ -58,6 +60,7 @@ class VirtualEndpoint:
         overhead_rng=None,
         tracer=None,
         metrics=None,
+        resilience=None,
     ) -> None:
         self.name = name
         self.contract = contract
@@ -95,6 +98,9 @@ class VirtualEndpoint:
         self.overhead_rng = overhead_rng
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        #: Optional :class:`~repro.resilience.ResilienceService` providing
+        #: admission control (load shedding + per-VEP bulkhead).
+        self.resilience = resilience
         self.address: str | None = None  # set by the bus on deployment
         self.stats = VepStats()
 
@@ -125,7 +131,32 @@ class VirtualEndpoint:
     # -- the message path -------------------------------------------------------------
 
     def handle(self, request: SoapEnvelope) -> Generator:
-        """Network handler: the full mediation path for one request.
+        """Network handler: admission control + the mediation path.
+
+        Admission comes first: under overload the bus sheds this request
+        with a retryable fault (or parks it briefly in the VEP bulkhead
+        queue) *before* spending any mediation effort on it.
+        """
+        if self.resilience is None or not self.resilience.active:
+            return (yield from self._observed_handle(request))
+        try:
+            admission = self.resilience.admit_vep_request(
+                self.name, self.contract.service_type
+            )
+        except SoapFaultError as error:
+            self.stats.shed += 1
+            if self.metrics.enabled:
+                self.metrics.counter("wsbus.vep.shed").inc()
+            return request.reply_fault(error.fault)
+        if admission.wait is not None:
+            yield admission.wait
+        try:
+            return (yield from self._observed_handle(request))
+        finally:
+            admission.release()
+
+    def _observed_handle(self, request: SoapEnvelope) -> Generator:
+        """The mediation path under its observability wrapper.
 
         When tracing is enabled the whole pass runs under a ``vep.handle``
         span correlated on the request (ProcessInstanceID if the engine is
@@ -307,9 +338,38 @@ class VirtualEndpoint:
                     source=self.name,
                 )
             )
-        response, winner = yield from broadcast_first_response(
-            self.env, self.sender, request, operation, list(self.members)
-        )
+        targets = self.selection.broadcast_targets(self.members)
+        if not targets:
+            raise SoapFaultError(
+                SoapFault(
+                    FaultCode.SERVICE_UNAVAILABLE,
+                    f"all members of VEP {self.name!r} are quarantined",
+                    source=self.name,
+                )
+            )
+        try:
+            response, winner = yield from broadcast_first_response(
+                self.env, self.sender, request, operation, targets
+            )
+        except SoapFaultError:
+            # Every member faulted: the message is undeliverable by this
+            # recovery block. Park it so operators can replay it once the
+            # fleet recovers (addressed to the VEP, so a replay re-runs the
+            # whole selection/recovery path).
+            from repro.wsbus.retry import DeadLetterEntry
+
+            self.adaptation.dead_letters.add(
+                DeadLetterEntry(
+                    time=self.env.now,
+                    envelope=request,
+                    operation=operation,
+                    target=self.address or self.name,
+                    attempts_made=len(targets),
+                    reason=f"broadcast to all {len(targets)} members of "
+                    f"VEP {self.name!r} failed",
+                )
+            )
+            raise
         return response, winner
 
     # -- utilities -----------------------------------------------------------------------
