@@ -2,14 +2,19 @@
 
 Usage::
 
-    python -m repro table1 [--seeds 11 23 47] [--requests 250] [--trace spans.jsonl]
-    python -m repro figure5 [--requests 150] [--trace spans.jsonl]
-    python -m repro storm [--seed 7] [--requests 60] [--trace spans.jsonl]
+    python -m repro table1 [--seeds 11 23 47] [--requests 250] [--jobs 4] [--trace spans.jsonl]
+    python -m repro figure5 [--requests 150] [--jobs 4] [--trace spans.jsonl]
+    python -m repro storm [--seed 7] [--requests 60] [--jobs 2] [--trace spans.jsonl]
     python -m repro scenarios
     python -m repro quickcheck
 
+``--jobs N`` shards the independent experiment cells over N worker
+processes (see ``docs/performance.md``); results are byte-identical to a
+sequential run because every cell is independently seeded and the merge
+order is fixed by cell key.
 ``--trace PATH`` records every middleware span of the bus-mediated runs
-to a JSONL file (one span per line; see ``docs/observability.md``).
+to a JSONL file (one span per line; see ``docs/observability.md``) and
+forces ``--jobs 1``.
 ``quickcheck`` runs a fast, low-volume version of everything — a smoke
 test that the full stack works on this machine in a few seconds.
 """
@@ -47,10 +52,23 @@ def _close_tracer(tracer, exporter, path) -> None:
     print(f"\nwrote {exporter.exported} spans to {path}")
 
 
+def _effective_jobs(args: argparse.Namespace, tracer) -> int:
+    """The worker count for a run; tracing forces 1 (spans are in-process)."""
+    jobs = max(1, getattr(args, "jobs", 1))
+    if tracer is not None and jobs > 1:
+        print("--trace records spans in-process; forcing --jobs 1", file=sys.stderr)
+        return 1
+    return jobs
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     tracer, exporter = _make_tracer(args)
     rows = regenerate_table1(
-        seeds=tuple(args.seeds), clients=args.clients, requests=args.requests, tracer=tracer
+        seeds=tuple(args.seeds),
+        clients=args.clients,
+        requests=args.requests,
+        tracer=tracer,
+        jobs=_effective_jobs(args, tracer),
     )
     print(render_table1(rows))
     _close_tracer(tracer, exporter, args.trace)
@@ -59,27 +77,24 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 def _cmd_figure5(args: argparse.Namespace) -> int:
     tracer, exporter = _make_tracer(args)
-    series = regenerate_figure5(requests=args.requests, tracer=tracer)
+    series = regenerate_figure5(
+        requests=args.requests, tracer=tracer, jobs=_effective_jobs(args, tracer)
+    )
     print(render_figure5(series))
     _close_tracer(tracer, exporter, args.trace)
     return 0
 
 
 def _cmd_storm(args: argparse.Namespace) -> int:
-    from repro.experiments import run_fault_storm
+    from repro.experiments import run_cells, storm_cells
     from repro.metrics import Table
 
     tracer, exporter = _make_tracer(args)
-    results = [
-        run_fault_storm(
-            seed=args.seed,
-            resilience=enabled,
-            clients=args.clients,
-            requests=args.requests,
-            tracer=tracer if enabled else None,
-        )
-        for enabled in (False, True)
-    ]
+    cells = storm_cells(
+        seed=args.seed, clients=args.clients, requests=args.requests, tracer=tracer
+    )
+    merged = run_cells(cells, jobs=_effective_jobs(args, tracer))
+    results = [merged[(args.seed, "off")], merged[(args.seed, "on")]]
     table = Table(
         ["Resilience", "Delivered", "Reliability", "p50 RTT", "p99 RTT", "Breaker transitions"],
         title="Fault storm — resilience ablation",
@@ -197,12 +212,20 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument(
         "--trace", metavar="PATH", help="dump spans of the VEP runs to a JSONL file"
     )
+    table1.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard (config, seed) cells over N worker processes",
+    )
     table1.set_defaults(handler=_cmd_table1)
 
     figure5 = subparsers.add_parser("figure5", help="Figure 5: RTT vs request size")
     figure5.add_argument("--requests", type=int, default=150, help="requests per point")
     figure5.add_argument(
         "--trace", metavar="PATH", help="dump spans of the wsBus runs to a JSONL file"
+    )
+    figure5.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard (operation, size, path) cells over N worker processes",
     )
     figure5.set_defaults(handler=_cmd_figure5)
 
@@ -214,6 +237,10 @@ def build_parser() -> argparse.ArgumentParser:
     storm.add_argument("--requests", type=int, default=60, help="requests per client")
     storm.add_argument(
         "--trace", metavar="PATH", help="dump spans of the resilience-on run to a JSONL file"
+    )
+    storm.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run the two ablation arms in separate worker processes",
     )
     storm.set_defaults(handler=_cmd_storm)
 

@@ -16,24 +16,36 @@ from repro.experiments.harness import (
     run_rtt_point,
     run_vep_configuration,
 )
+from repro.experiments.parallel import (
+    Cell,
+    ShardError,
+    run_cells,
+    storm_cells,
+)
 from repro.experiments.reports import (
     regenerate_figure5,
     regenerate_table1,
+    regenerate_table1_per_seed,
     render_figure5,
     render_table1,
 )
 
 __all__ = [
+    "Cell",
+    "ShardError",
     "StormResult",
     "Table1Row",
     "catalog_plan",
     "order_plan",
     "regenerate_figure5",
     "regenerate_table1",
+    "regenerate_table1_per_seed",
     "render_figure5",
     "render_table1",
+    "run_cells",
     "run_direct_configuration",
     "run_fault_storm",
     "run_rtt_point",
     "run_vep_configuration",
+    "storm_cells",
 ]

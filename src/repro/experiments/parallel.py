@@ -1,0 +1,220 @@
+"""Process-pool sharded experiment runner.
+
+The Table 1 / Figure 5 / fault-storm matrices are embarrassingly parallel:
+every ``(configuration, seed)`` cell builds its own seeded deployment and
+simulation environment, so cells share no state and can run in separate
+worker processes. This module fans cells out across a process pool and
+merges the results in an order fixed by the *cell key* — never by
+completion order — so ``--jobs 4`` produces per-seed results byte-identical
+to ``--jobs 1``.
+
+Design rules that keep the merge deterministic:
+
+- A :class:`Cell` is ``(key, runner, kwargs)`` where ``runner`` is a
+  module-level function (picklable by reference) returning plain data.
+- :func:`run_cells` executes cells (inline for ``jobs <= 1``; otherwise in
+  a pool) and returns ``{key: result}`` ordered by sorted key. Execution
+  order is irrelevant: cells are seeded and isolated.
+- A crashing shard never hangs or silently drops its cell: every failure
+  is collected and reported per-key through :exc:`ShardError`.
+
+Tracing (``--trace``) records spans in-process, so a non-None ``tracer``
+forces the calling harness back to ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+from repro.experiments.harness import (
+    run_direct_configuration,
+    run_fault_storm,
+    run_rtt_point,
+    run_vep_configuration,
+)
+
+__all__ = [
+    "Cell",
+    "ShardError",
+    "figure5_cells",
+    "figure5_point_cell",
+    "run_cells",
+    "storm_cell",
+    "storm_cells",
+    "table1_cells",
+    "table1_direct_cell",
+    "table1_vep_cell",
+]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent experiment shard.
+
+    ``key`` orders the merge and names the cell in failure reports;
+    ``runner`` must be a module-level callable returning picklable data.
+    """
+
+    key: tuple
+    runner: Callable[..., Any]
+    kwargs: dict = field(default_factory=dict)
+
+
+class ShardError(RuntimeError):
+    """One or more experiment shards failed.
+
+    ``failures`` maps each failed cell key to the exception it raised (or
+    the pool-level error, e.g. ``BrokenProcessPool``, if the worker died).
+    """
+
+    def __init__(self, failures: dict[tuple, BaseException]) -> None:
+        self.failures = dict(failures)
+        detail = "; ".join(
+            f"{key}: {type(error).__name__}: {error}"
+            for key, error in sorted(self.failures.items(), key=lambda item: item[0])
+        )
+        super().__init__(f"{len(self.failures)} experiment shard(s) failed: {detail}")
+
+
+def _pool_context():
+    """Prefer fork (workers inherit the imported simulation stack)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_cells(cells: list[Cell], jobs: int = 1) -> dict[tuple, Any]:
+    """Execute every cell; return ``{key: result}`` in sorted-key order.
+
+    ``jobs <= 1`` runs inline in the calling process (no pool, no pickling);
+    ``jobs > 1`` fans out over a process pool of at most ``jobs`` workers.
+    Raises :exc:`ShardError` naming every failed cell if any shard raised.
+    """
+    ordered = sorted(cells, key=lambda cell: cell.key)
+    keys = [cell.key for cell in ordered]
+    if len(set(keys)) != len(keys):
+        raise ValueError(f"duplicate cell keys in {keys}")
+    results: dict[tuple, Any] = {}
+    failures: dict[tuple, BaseException] = {}
+    if jobs <= 1 or len(ordered) <= 1:
+        for cell in ordered:
+            try:
+                results[cell.key] = cell.runner(**cell.kwargs)
+            except Exception as error:  # noqa: BLE001 - reported per cell
+                failures[cell.key] = error
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(ordered)), mp_context=_pool_context()
+        ) as pool:
+            futures = [(cell, pool.submit(cell.runner, **cell.kwargs)) for cell in ordered]
+            for cell, future in futures:
+                try:
+                    results[cell.key] = future.result()
+                except Exception as error:  # noqa: BLE001 - includes BrokenProcessPool
+                    failures[cell.key] = error
+    if failures:
+        raise ShardError(failures)
+    return {key: results[key] for key in keys}
+
+
+# -- cell runners (module-level: picklable by reference) ------------------------
+
+
+def table1_direct_cell(retailer: str, seed: int, clients: int, requests: int):
+    """One direct-configuration Table 1 cell."""
+    return run_direct_configuration(retailer, seed, clients=clients, requests=requests)
+
+
+def table1_vep_cell(seed: int, clients: int, requests: int, tracer=None):
+    """One wsBus-VEP Table 1 cell (row only; the bus stays in the worker)."""
+    row, _bus, _result = run_vep_configuration(
+        seed, clients=clients, requests=requests, tracer=tracer
+    )
+    return row
+
+
+def figure5_point_cell(
+    operation: str, padding: int, through_bus: bool, requests: int, tracer=None
+):
+    """One Figure 5 cell: the mean RTT at one request size."""
+    rtt, _result = run_rtt_point(
+        operation, padding, through_bus=through_bus, requests=requests, tracer=tracer
+    )
+    return rtt
+
+
+def storm_cell(seed: int, resilience: bool, clients: int, requests: int, tracer=None):
+    """One fault-storm arm; the (unpicklable) bus is stripped from the result."""
+    result = run_fault_storm(
+        seed=seed, resilience=resilience, clients=clients, requests=requests, tracer=tracer
+    )
+    return replace(result, bus=None)
+
+
+# -- matrix builders ------------------------------------------------------------
+
+
+def table1_cells(
+    seeds, clients: int, requests: int, tracer=None
+) -> list[Cell]:
+    """The full Table 1 matrix: 4 direct configurations + the VEP, per seed."""
+    cells = []
+    for retailer in ("A", "B", "C", "D"):
+        for seed in seeds:
+            cells.append(
+                Cell(
+                    (retailer, seed),
+                    table1_direct_cell,
+                    dict(retailer=retailer, seed=seed, clients=clients, requests=requests),
+                )
+            )
+    for seed in seeds:
+        kwargs = dict(seed=seed, clients=clients, requests=requests)
+        if tracer is not None:
+            kwargs["tracer"] = tracer
+        cells.append(Cell(("VEP", seed), table1_vep_cell, kwargs))
+    return cells
+
+
+def figure5_cells(
+    sizes_kb, operations, requests: int, tracer=None
+) -> list[Cell]:
+    """The Figure 5 sweep: (operation, size, direct|bus) cells."""
+    cells = []
+    for operation in operations:
+        for size_kb in sizes_kb:
+            padding = size_kb * 1024
+            cells.append(
+                Cell(
+                    (operation, size_kb, "direct"),
+                    figure5_point_cell,
+                    dict(
+                        operation=operation,
+                        padding=padding,
+                        through_bus=False,
+                        requests=requests,
+                    ),
+                )
+            )
+            kwargs = dict(
+                operation=operation, padding=padding, through_bus=True, requests=requests
+            )
+            if tracer is not None:
+                kwargs["tracer"] = tracer
+            cells.append(Cell((operation, size_kb, "bus"), figure5_point_cell, kwargs))
+    return cells
+
+
+def storm_cells(
+    seed: int, clients: int, requests: int, tracer=None
+) -> list[Cell]:
+    """Both fault-storm ablation arms (resilience off / on)."""
+    cells = []
+    for resilience in (False, True):
+        kwargs = dict(seed=seed, resilience=resilience, clients=clients, requests=requests)
+        if tracer is not None and resilience:
+            kwargs["tracer"] = tracer
+        cells.append(Cell((seed, "on" if resilience else "off"), storm_cell, kwargs))
+    return cells

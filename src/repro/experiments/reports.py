@@ -2,17 +2,14 @@
 
 from __future__ import annotations
 
-from repro.experiments.harness import (
-    run_direct_configuration,
-    run_rtt_point,
-    run_vep_configuration,
-)
+from repro.experiments.parallel import figure5_cells, run_cells, table1_cells
 from repro.metrics import Table, mean
 
 __all__ = [
     "PAPER_TABLE1",
     "regenerate_figure5",
     "regenerate_table1",
+    "regenerate_table1_per_seed",
     "render_figure5",
     "render_table1",
 ]
@@ -35,30 +32,42 @@ TABLE1_LABELS = {
 }
 
 
-def regenerate_table1(seeds=(11, 23, 47), clients: int = 4, requests: int = 250, tracer=None):
+def regenerate_table1_per_seed(
+    seeds=(11, 23, 47), clients: int = 4, requests: int = 250, tracer=None, jobs: int = 1
+):
+    """Run every Table 1 cell; returns {(config, seed): Table1Row}.
+
+    ``config`` is one of ``"A"``–``"D"`` (direct) or ``"VEP"``. With
+    ``jobs > 1`` the cells fan out over a process pool; the merged mapping
+    is identical to the sequential run because every cell is independently
+    seeded and the merge order is fixed by the cell key. A non-None
+    ``tracer`` forces ``jobs=1`` (spans are recorded in-process).
+    """
+    if tracer is not None:
+        jobs = 1
+    cells = table1_cells(seeds, clients=clients, requests=requests, tracer=tracer)
+    return run_cells(cells, jobs=jobs)
+
+
+def regenerate_table1(
+    seeds=(11, 23, 47), clients: int = 4, requests: int = 250, tracer=None, jobs: int = 1
+):
     """Run all five Table 1 configurations; returns {key: (f/1000, avail)}.
 
     ``tracer`` records spans of the VEP runs (the direct configurations
-    bypass the bus and produce none).
+    bypass the bus and produce none). ``jobs`` shards the (config, seed)
+    matrix across worker processes without changing the results.
     """
-    rows: dict[str, tuple[float, float]] = {}
-    for retailer in ("A", "B", "C", "D"):
-        per_seed = [
-            run_direct_configuration(retailer, seed, clients=clients, requests=requests)
-            for seed in seeds
-        ]
-        rows[retailer] = (
-            mean([r.failures_per_1000 for r in per_seed]),
-            mean([r.availability for r in per_seed]),
-        )
-    vep_runs = [
-        run_vep_configuration(seed, clients=clients, requests=requests, tracer=tracer)[0]
-        for seed in seeds
-    ]
-    rows["VEP"] = (
-        mean([r.failures_per_1000 for r in vep_runs]),
-        mean([r.availability for r in vep_runs]),
+    per_seed = regenerate_table1_per_seed(
+        seeds, clients=clients, requests=requests, tracer=tracer, jobs=jobs
     )
+    rows: dict[str, tuple[float, float]] = {}
+    for key in ("A", "B", "C", "D", "VEP"):
+        runs = [per_seed[(key, seed)] for seed in seeds]
+        rows[key] = (
+            mean([r.failures_per_1000 for r in runs]),
+            mean([r.availability for r in runs]),
+        )
     return rows
 
 
@@ -90,19 +99,21 @@ def regenerate_figure5(
     operations=("getCatalog", "submitOrder"),
     requests: int = 150,
     tracer=None,
+    jobs: int = 1,
 ):
-    """Figure 5 series: {operation: (direct RTTs, wsBus RTTs)} in seconds."""
+    """Figure 5 series: {operation: (direct RTTs, wsBus RTTs)} in seconds.
+
+    ``jobs`` shards the (operation, size, direct|bus) sweep across worker
+    processes; a non-None ``tracer`` forces ``jobs=1``.
+    """
+    if tracer is not None:
+        jobs = 1
+    cells = figure5_cells(sizes_kb, operations, requests=requests, tracer=tracer)
+    points = run_cells(cells, jobs=jobs)
     series = {}
     for operation in operations:
-        direct, mediated = [], []
-        for size_kb in sizes_kb:
-            padding = size_kb * 1024
-            direct_rtt, _ = run_rtt_point(operation, padding, through_bus=False, requests=requests)
-            bus_rtt, _ = run_rtt_point(
-                operation, padding, through_bus=True, requests=requests, tracer=tracer
-            )
-            direct.append(direct_rtt)
-            mediated.append(bus_rtt)
+        direct = [points[(operation, size_kb, "direct")] for size_kb in sizes_kb]
+        mediated = [points[(operation, size_kb, "bus")] for size_kb in sizes_kb]
         series[operation] = (direct, mediated)
     return series
 

@@ -97,7 +97,7 @@ class AvailabilityFaultInjector:
 
     def inject(self, profile: EndpointFaultProfile) -> DowntimeLog:
         """Start the up/down cycle for one endpoint."""
-        endpoint = self.network.endpoint(profile.address)
+        endpoint = self.network.fault_injection_target(profile.address)
         if endpoint is None:
             raise ValueError(f"no endpoint registered at {profile.address!r}")
         log = DowntimeLog(profile.address)
@@ -162,11 +162,15 @@ class QoSDegradationInjector:
         mean_episode_duration: float,
         added_delay_seconds: float,
     ) -> None:
-        endpoint = self.network.endpoint(address)
+        endpoint = self.network.fault_injection_target(address)
         if endpoint is None:
             raise ValueError(f"no endpoint registered at {address!r}")
         rng = self._source.stream(f"degradation.{address}")
-        self.episodes.setdefault(address, [])
+        episodes = self.episodes.setdefault(address, [])
+        if endpoint.address != address:
+            # Injection resolved through a proxy: record episodes under both
+            # the requested and the relocated backend address.
+            self.episodes[endpoint.address] = episodes
         self.env.process(
             self._cycle(
                 endpoint,
@@ -215,7 +219,7 @@ class ApplicationFaultInjector:
         self.injected_counts: dict[str, int] = {}
 
     def inject(self, address: str, fault_probability: float) -> None:
-        endpoint = self.network.endpoint(address)
+        endpoint = self.network.fault_injection_target(address)
         if endpoint is None:
             raise ValueError(f"no endpoint registered at {address!r}")
         if not 0.0 <= fault_probability <= 1.0:
@@ -264,12 +268,14 @@ class LatencySpikeInjector:
         added_delay_seconds: float,
         start_after: float = 0.0,
     ) -> None:
-        endpoint = self.network.endpoint(address)
+        endpoint = self.network.fault_injection_target(address)
         if endpoint is None:
             raise ValueError(f"no endpoint registered at {address!r}")
         if period_seconds <= 0 or spike_duration_seconds <= 0:
             raise ValueError("spike period and duration must be positive")
-        self.episodes.setdefault(address, [])
+        episodes = self.episodes.setdefault(address, [])
+        if endpoint.address != address:
+            self.episodes[endpoint.address] = episodes
         self.env.process(
             self._cycle(
                 endpoint, period_seconds, spike_duration_seconds, added_delay_seconds, start_after
@@ -318,7 +324,7 @@ class FlappingEndpointInjector:
         start_after: float = 0.0,
         cycles: int | None = None,
     ) -> DowntimeLog:
-        endpoint = self.network.endpoint(address)
+        endpoint = self.network.fault_injection_target(address)
         if endpoint is None:
             raise ValueError(f"no endpoint registered at {address!r}")
         if up_seconds <= 0 or down_seconds <= 0:

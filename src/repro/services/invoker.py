@@ -137,7 +137,7 @@ class Invoker:
         try:
             response = yield self.env.process(
                 self.network.send(envelope, timeout=effective_timeout),
-                name=f"invoke:{self.caller}->{target}",
+                name=("invoke", self.caller, target),
             )
         except ConnectionRefused as refused:
             fault = SoapFault(

@@ -67,6 +67,8 @@ class Event:
     when the environment processes them.
     """
 
+    __slots__ = ("env", "callbacks", "_state", "_ok", "_value", "defused")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: list[Callable[[Event], None]] = []
@@ -145,6 +147,8 @@ class Event:
 class Timeout(Event):
     """An event that succeeds after a fixed simulated delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         super().__init__(env)
         if delay < 0:
@@ -159,19 +163,39 @@ class Process(Event):
     The process is itself an event: it triggers when the generator returns
     (success, with the generator's return value) or raises (failure). Other
     processes can therefore ``yield`` a process to wait for it.
+
+    ``name`` may be a string or a tuple of parts joined with ``:`` on first
+    access — hot callers pass tuples so no formatting happens for the vast
+    majority of processes, whose names are never read.
     """
 
-    def __init__(self, env: "Environment", generator: Generator, name: str | None = None) -> None:
+    __slots__ = ("_generator", "_name", "_waiting_on")
+
+    def __init__(
+        self, env: "Environment", generator: Generator, name: str | tuple | None = None
+    ) -> None:
         super().__init__(env)
         if not hasattr(generator, "throw"):
             raise SimulationError(f"expected a generator, got {generator!r}")
         self._generator = generator
-        self.name = name or getattr(generator, "__name__", "process")
+        self._name = name
         self._waiting_on: Event | None = None
         # Kick the generator off at the current simulated instant.
         bootstrap = Event(env)
         bootstrap.callbacks.append(self._resume)
         bootstrap.succeed()
+
+    @property
+    def name(self) -> str:
+        """The process's debug name, formatted lazily."""
+        name = self._name
+        if name is None:
+            name = getattr(self._generator, "__name__", "process")
+            self._name = name
+        elif type(name) is tuple:
+            name = ":".join(str(part) for part in name)
+            self._name = name
+        return name
 
     @property
     def is_alive(self) -> bool:
@@ -239,6 +263,8 @@ class Process(Event):
 class _Condition(Event):
     """Base for AnyOf/AllOf composite events."""
 
+    __slots__ = ("events", "_pending")
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
         self.events: list[Event] = list(events)
@@ -288,12 +314,16 @@ class AnyOf(_Condition):
     (usually a single entry). Fails if any constituent fails first.
     """
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return any(event.processed and event.ok for event in self.events)
 
 
 class AllOf(_Condition):
     """Succeeds when every constituent event has succeeded."""
+
+    __slots__ = ()
 
     def _satisfied(self) -> bool:
         return all(event.processed and event.ok for event in self.events)
@@ -322,8 +352,12 @@ class Environment:
         """An event that succeeds ``delay`` seconds from now."""
         return Timeout(self, delay, value)
 
-    def process(self, generator: Generator, name: str | None = None) -> Process:
-        """Start a simulated activity from ``generator``."""
+    def process(self, generator: Generator, name: str | tuple | None = None) -> Process:
+        """Start a simulated activity from ``generator``.
+
+        ``name`` may be a tuple of parts, joined lazily only if the name is
+        ever read (hot paths never format names they do not print).
+        """
         return Process(self, generator, name=name)
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
@@ -356,14 +390,21 @@ class Environment:
         - ``until`` is an :class:`Event` (e.g. a :class:`Process`): run until
           it triggers, then return its value (raising its failure).
         """
+        # The three loops below are the simulation's hottest code: they
+        # inline :meth:`step` with local bindings for the queue and heappop,
+        # which measurably raises events/sec on long runs.
+        queue = self._queue
+        pop = heapq.heappop
         if isinstance(until, Event):
             stop = until
             while not stop.processed:
-                if not self._queue:
+                if not queue:
                     raise SimulationError(
                         "simulation ran out of events before the awaited event triggered"
                     )
-                self.step()
+                time, _seq, event = pop(queue)
+                self._now = time
+                event._process()
             if stop.ok:
                 return stop.value
             stop.defused = True
@@ -372,12 +413,16 @@ class Environment:
             horizon = float(until)
             if horizon < self._now:
                 raise SimulationError(f"cannot run backwards to {horizon}")
-            while self._queue and self._queue[0][0] <= horizon:
-                self.step()
+            while queue and queue[0][0] <= horizon:
+                time, _seq, event = pop(queue)
+                self._now = time
+                event._process()
             self._now = horizon
             return None
-        while self._queue:
-            self.step()
+        while queue:
+            time, _seq, event = pop(queue)
+            self._now = time
+            event._process()
         return None
 
     def peek(self) -> float:

@@ -27,6 +27,11 @@ class SoapHeader:
     must_understand: bool = False
 
 
+#: Fields whose reassignment changes the serialized form (and therefore
+#: invalidates the cached :attr:`SoapEnvelope.size_bytes`).
+_SIZE_FIELDS = frozenset({"addressing", "headers", "body", "fault", "padding"})
+
+
 @dataclass
 class SoapEnvelope:
     """One SOAP message: headers plus a body payload or fault."""
@@ -38,10 +43,17 @@ class SoapEnvelope:
     #: Extra padding bytes, used by workload generators to sweep request
     #: sizes without fabricating huge payload trees.
     padding: int = 0
+    #: Cached serialized size; recomputed lazily after any field write.
+    _size_cache: int | None = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.body is not None and self.fault is not None:
             raise ValueError("an envelope carries either a body payload or a fault, not both")
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in _SIZE_FIELDS:
+            object.__setattr__(self, "_size_cache", None)
+        object.__setattr__(self, name, value)
 
     # -- classification --------------------------------------------------------
 
@@ -84,7 +96,36 @@ class SoapEnvelope:
         return SoapEnvelope(addressing=self.addressing.for_reply(), fault=fault)
 
     def copy(self) -> "SoapEnvelope":
-        """A deep copy (used when broadcasting to multiple targets)."""
+        """A header-shallow working copy (the per-attempt retarget copy).
+
+        The headers *list* is fresh — adding headers to the copy never leaks
+        into the original — but the header blocks, body and fault are shared
+        by reference. That is safe because every mutation site in the
+        middleware replaces ``body``/``addressing`` wholesale instead of
+        editing the shared element tree in place (pipeline modules that
+        enrich a payload copy it first), and it removes a deep element-tree
+        copy from every delivery attempt made by ``WsBus._send`` and
+        ``RetryQueue._redeliver``. The serialized-size cache carries over;
+        reassigning any content field on the copy invalidates it. Use
+        :meth:`deep_copy` when the copy's trees must be private.
+        """
+        duplicate = SoapEnvelope(
+            addressing=self.addressing,
+            headers=list(self.headers),
+            body=self.body,
+            fault=self.fault,
+            padding=self.padding,
+        )
+        object.__setattr__(duplicate, "_size_cache", self._size_cache)
+        return duplicate
+
+    def deep_copy(self) -> "SoapEnvelope":
+        """A fully private copy: header blocks and body trees are cloned.
+
+        This is the pre-fast-path :meth:`copy` semantics, kept for callers
+        that intend to mutate element trees in place and as the reference
+        implementation for the equivalence tests and microbenchmarks.
+        """
         return SoapEnvelope(
             addressing=self.addressing,
             headers=[SoapHeader(h.element.copy(), h.must_understand) for h in self.headers],
@@ -103,6 +144,7 @@ class SoapEnvelope:
 
     def add_header(self, element: Element, must_understand: bool = False) -> None:
         self.headers.append(SoapHeader(element, must_understand))
+        self._size_cache = None
 
     # -- XML mapping --------------------------------------------------------------
 
@@ -128,8 +170,19 @@ class SoapEnvelope:
 
     @property
     def size_bytes(self) -> int:
-        """Serialized size plus padding; drives transport latency."""
-        return len(self.to_xml().encode()) + self.padding
+        """Serialized size plus padding; drives transport latency.
+
+        Serializing is by far the most expensive step of a simulated send,
+        and the same envelope's size is read several times per exchange
+        (latency sampling on each hop, invocation records), so the value is
+        cached. Reassigning any content field — including the retargeting
+        reassignment of ``addressing`` — invalidates the cache.
+        """
+        cached = self._size_cache
+        if cached is None:
+            cached = len(self.to_xml().encode()) + self.padding
+            self._size_cache = cached
+        return cached
 
     @classmethod
     def from_element(cls, element: Element) -> "SoapEnvelope":

@@ -86,6 +86,11 @@ class NetworkEndpoint:
         self.handler = handler
         self.available = True
         self.added_delay_seconds = 0.0
+        #: When a transparent proxy interposes at this address, the address
+        #: of the relocated backend that fault injection should actually
+        #: affect (see :meth:`Network.fault_injection_target`). The proxy
+        #: itself does not fail when its backend is faulted.
+        self.fault_target: str | None = None
         #: Optional per-endpoint latency model overriding the network's
         #: default for traffic to/from this endpoint. Used to model
         #: co-location (e.g. a client-side wsBus reached over loopback).
@@ -127,6 +132,44 @@ class Network:
     def endpoint(self, address: str) -> NetworkEndpoint | None:
         return self._endpoints.get(address)
 
+    def relocate(self, address: str, new_address: str) -> NetworkEndpoint:
+        """Move the endpoint at ``address`` to ``new_address``.
+
+        The *same* :class:`NetworkEndpoint` object is re-keyed, preserving
+        its availability/delay state, counters and — critically — its
+        identity: fault injectors that already hold the object keep
+        toggling the service they targeted even after a proxy takes over
+        its old address.
+        """
+        endpoint = self._endpoints.pop(address, None)
+        if endpoint is None:
+            raise ValueError(f"no endpoint registered at {address!r}")
+        endpoint.address = new_address
+        self._endpoints[new_address] = endpoint
+        return endpoint
+
+    def fault_injection_target(self, address: str) -> NetworkEndpoint | None:
+        """The endpoint fault injection at ``address`` should affect.
+
+        Follows :attr:`NetworkEndpoint.fault_target` links, so injecting at
+        a transparently proxied address degrades the relocated backend (the
+        origin "shares its fate") rather than knocking out the proxy that
+        is supposed to mediate the failure.
+        """
+        endpoint = self._endpoints.get(address)
+        seen: set[str] = set()
+        while (
+            endpoint is not None
+            and endpoint.fault_target is not None
+            and endpoint.address not in seen
+        ):
+            seen.add(endpoint.address)
+            linked = self._endpoints.get(endpoint.fault_target)
+            if linked is None:
+                break
+            endpoint = linked
+        return endpoint
+
     @property
     def addresses(self) -> list[str]:
         return sorted(self._endpoints)
@@ -162,7 +205,7 @@ class Network:
             yield self.env.timeout(endpoint.added_delay_seconds)
         endpoint.requests_handled += 1
         response = yield self.env.process(
-            endpoint.handler(envelope), name=f"handle:{address}"
+            endpoint.handler(envelope), name=("handle", address)
         )
         if not isinstance(response, SoapEnvelope):
             raise TransportError(f"handler at {address!r} returned {response!r}", address)
@@ -172,7 +215,7 @@ class Network:
     def _exchange_with_timeout(
         self, address: str, envelope: SoapEnvelope, timeout: float
     ) -> Generator:
-        exchange = self.env.process(self._exchange(address, envelope), name=f"rtt:{address}")
+        exchange = self.env.process(self._exchange(address, envelope), name=("rtt", address))
         timer = self.env.timeout(timeout)
         result = yield self.env.any_of([exchange, timer])
         if exchange in result:

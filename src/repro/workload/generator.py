@@ -92,7 +92,7 @@ class WorkloadRunner:
             processes.append(
                 self.env.process(
                     self._client_loop(invoker, plan, client_id, requests_per_client),
-                    name=f"workload:{client_id}",
+                    name=("workload", client_id),
                 )
             )
         gate = self.env.all_of(processes)

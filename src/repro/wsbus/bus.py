@@ -272,23 +272,28 @@ class WsBus:
     ) -> VirtualEndpoint:
         """Interpose a VEP at an existing service address.
 
-        The original handler is re-registered at ``<address>#origin`` and
-        becomes the VEP's first member; clients keep using ``address``
-        unmodified (the transparent HTTP proxy deployment).
+        The original endpoint is *relocated* to ``<address>#origin`` —
+        the same :class:`~repro.transport.NetworkEndpoint` object, keeping
+        its availability/delay state and its identity for fault injectors
+        that already hold it — and becomes the VEP's first member; clients
+        keep using ``address`` unmodified (the transparent HTTP proxy
+        deployment). Fault injection aimed at the proxied address *after*
+        deployment resolves through the VEP to the relocated origin (see
+        :meth:`~repro.transport.Network.fault_injection_target`), so the
+        backend genuinely shares its pre-proxy fate while the proxy keeps
+        mediating.
         """
-        endpoint = self.network.endpoint(address)
-        if endpoint is None:
+        if self.network.endpoint(address) is None:
             raise ValueError(f"no service to proxy at {address!r}")
         origin_address = f"{address}#origin"
-        origin = self.network.register(origin_address, endpoint.handler)
-        # Mirror availability state: fault injection targets the original
-        # endpoint object, so the relocated origin shares its fate via the
-        # same NetworkEndpoint instance swap.
-        origin.available = endpoint.available
+        self.network.relocate(address, origin_address)
         members = [origin_address] + list(extra_members or ())
         vep = self.create_vep(
             name, contract, members=members, address=address, **vep_kwargs
         )
+        front = self.network.endpoint(address)
+        if front is not None:
+            front.fault_target = origin_address
         return vep
 
     # -- gateway deployment ---------------------------------------------------------------

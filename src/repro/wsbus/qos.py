@@ -114,12 +114,31 @@ class EndpointQoS:
         return max(0.0, min(1.0, 1.0 - downtime / horizon))
 
     def throughput(self, window: int = 0) -> float | None:
-        """Successful requests per second over the window's time span."""
+        """Successful requests per second, as a caller observed them.
+
+        Semantics:
+
+        - The numerator counts *successful* invocations in the window.
+        - The denominator is the delivery span: from the first successful
+          invocation's start to the last successful invocation's finish.
+          Think-time gaps between successes count as elapsed time (this is
+          an observed delivery rate, not a peak service rate), but failed
+          requests hanging off the edges of the window — e.g. a trailing
+          30-second timeout burn — no longer dilute the rate of the
+          successes that actually happened.
+        - A single successful invocation is a measurable rate: its own
+          duration is the span (one success taking 0.5s is 2 req/s).
+        - Returns ``0.0`` when the window holds records but no success,
+          and ``None`` only when the window is empty or the successes
+          carry no elapsed time to divide by (all instantaneous).
+        """
         records = self._recent(window)
-        successes = [r for r in records if r.succeeded]
         if not records:
             return None
-        span = records[-1].finished_at - records[0].started_at
+        successes = [r for r in records if r.succeeded]
+        if not successes:
+            return 0.0
+        span = successes[-1].finished_at - successes[0].started_at
         if span <= 0:
             return None
         return len(successes) / span

@@ -82,16 +82,34 @@ class DeadLetterQueue:
         Returns the completion events (one per entry, in queue order);
         callers may yield on them or fire-and-forget — failures are
         pre-defused so an ignored exhausted replay cannot crash the run.
+
+        Each *queued* entry is replayed at most once: requesting the same
+        entry twice (or two value-equal entries — :class:`DeadLetterEntry`
+        is a frozen dataclass, so distinct objects can compare equal) maps
+        each request onto a distinct queued entry, instead of crashing on
+        the second removal of an already-removed entry.
         """
         if policy is None:
             policy = RetryAction()
         if entries is None:
             selected = list(self.entries)
         else:
-            selected = [entry for entry in entries if entry in self.entries]
+            # Match every requested entry to a distinct queued entry by
+            # identity, falling back to value equality; duplicates beyond
+            # the queue's supply are ignored.
+            remaining = list(self.entries)
+            selected = []
+            for entry in entries:
+                match = next((e for e in remaining if e is entry), None)
+                if match is None:
+                    match = next((e for e in remaining if e == entry), None)
+                if match is not None:
+                    remaining[:] = [e for e in remaining if e is not match]
+                    selected.append(match)
+        selected_ids = {id(entry) for entry in selected}
+        self.entries = [e for e in self.entries if id(e) not in selected_ids]
         completions = []
         for entry in selected:
-            self.entries.remove(entry)
             self.replayed += 1
             completion = retry_queue.enqueue(
                 entry.envelope,
@@ -177,7 +195,7 @@ class RetryQueue:
             parent_span=parent_span,
         )
         self._pending.append(entry)
-        self.env.process(self._redeliver(entry), name=f"retry:{target}")
+        self.env.process(self._redeliver(entry), name=("retry", target))
         return entry.completion
 
     def _redeliver(self, entry: _RetryEntry) -> Generator:
@@ -204,7 +222,7 @@ class RetryQueue:
                 try:
                     response = yield self.env.process(
                         self.sender(entry.envelope.copy(), entry.operation, entry.target),
-                        name=f"redeliver:{entry.target}",
+                        name=("redeliver", entry.target),
                     )
                 except SoapFaultError as error:
                     entry.last_fault = error.fault

@@ -80,9 +80,21 @@ class SelectionService:
         if strategy == "random":
             return self._rng.choice(candidates)
         if strategy == "round_robin":
+            # Rotate over positions in the *full* member list, skipping
+            # non-admitted members. Indexing the filtered candidate list with
+            # the per-VEP counter would shift every subsequent pick whenever
+            # an exclusion or open breaker shrinks the set, skipping or
+            # double-serving members; anchoring positions to ``members``
+            # keeps the rotation stable while the admitted set fluctuates.
             counter = self._round_robin_counters.get(vep_name, 0)
-            self._round_robin_counters[vep_name] = counter + 1
-            return candidates[counter % len(candidates)]
+            admitted = set(candidates)
+            size = len(members)
+            for offset in range(size):
+                member = members[(counter + offset) % size]
+                if member in admitted:
+                    self._round_robin_counters[vep_name] = counter + offset + 1
+                    return member
+            return None  # unreachable: candidates is a non-empty subset of members
         if strategy == "best_response_time":
             return self.qos.best_endpoint(candidates, "response_time", qos_window)
         if strategy == "best_reliability":

@@ -118,7 +118,10 @@ class EnrichmentModule(MessageProcessingModule):
         if not additions:
             return envelope
         result = envelope.copy()
-        assert result.body is not None
+        assert envelope.body is not None
+        # copy() shares the body tree; take a private copy before enriching
+        # it in place so the original message is not mutated.
+        result.body = envelope.body.copy()
         for part, text in additions.items():
             result.body.add(part, text=str(text))
         return result

@@ -290,7 +290,7 @@ class VirtualEndpoint:
         try:
             response = yield self.env.process(
                 self.sender(outbound, operation, target, timeout=self.invocation_timeout),
-                name=f"vep:{self.name}:{target}",
+                name=("vep", self.name, target),
             )
             return response, target
         except SoapFaultError as error:

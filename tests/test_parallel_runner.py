@@ -1,0 +1,106 @@
+"""The sharded experiment runner: determinism, merge order, crash reporting."""
+
+import json
+import os
+from dataclasses import asdict
+
+import pytest
+
+from repro.experiments import (
+    Cell,
+    ShardError,
+    regenerate_figure5,
+    regenerate_table1_per_seed,
+    run_cells,
+)
+
+# -- cell functions (module level: picklable by reference) ----------------------
+
+
+def _double(value):
+    return value * 2
+
+
+def _raise(value):
+    raise RuntimeError(f"cell {value} exploded")
+
+
+def _die(value):
+    os._exit(13)  # simulate a hard worker crash (segfault/OOM-kill)
+
+
+# -- runner mechanics -----------------------------------------------------------
+
+
+class TestRunCells:
+    def test_merge_order_is_sorted_by_key_not_submission(self):
+        cells = [Cell(("b",), _double, {"value": 2}), Cell(("a",), _double, {"value": 1})]
+        merged = run_cells(cells, jobs=1)
+        assert list(merged) == [("a",), ("b",)]
+        assert merged == {("a",): 2, ("b",): 4}
+
+    def test_duplicate_keys_rejected(self):
+        cells = [Cell(("a",), _double, {"value": 1}), Cell(("a",), _double, {"value": 2})]
+        with pytest.raises(ValueError, match="duplicate"):
+            run_cells(cells, jobs=1)
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_failed_cell_is_reported_by_key_not_dropped(self, jobs):
+        cells = [
+            Cell(("ok",), _double, {"value": 1}),
+            Cell(("boom",), _raise, {"value": 2}),
+        ]
+        with pytest.raises(ShardError) as excinfo:
+            run_cells(cells, jobs=jobs)
+        assert ("boom",) in excinfo.value.failures
+        assert "exploded" in str(excinfo.value)
+
+    def test_dead_worker_process_surfaces_as_shard_error(self):
+        # A worker that dies mid-cell (not a Python exception: the process
+        # itself exits) must neither hang the merge nor silently drop the
+        # cell — the pool error is attributed to the cell's key. (A second
+        # cell keeps the run off the single-cell inline path.)
+        cells = [
+            Cell(("dead",), _die, {"value": 1}),
+            Cell(("ok",), _double, {"value": 1}),
+        ]
+        with pytest.raises(ShardError) as excinfo:
+            run_cells(cells, jobs=2)
+        assert ("dead",) in excinfo.value.failures
+
+
+# -- experiment determinism -----------------------------------------------------
+
+
+def _table1_fingerprint(per_seed):
+    return json.dumps(
+        {repr(key): asdict(row) for key, row in per_seed.items()}, sort_keys=True
+    )
+
+
+class TestShardedDeterminism:
+    def test_table1_jobs4_byte_identical_to_jobs1(self):
+        kwargs = dict(seeds=(11, 23), clients=2, requests=40)
+        sequential = regenerate_table1_per_seed(jobs=1, **kwargs)
+        sharded = regenerate_table1_per_seed(jobs=4, **kwargs)
+        assert list(sequential) == list(sharded)
+        assert _table1_fingerprint(sequential) == _table1_fingerprint(sharded)
+
+    def test_figure5_jobs4_identical_to_jobs1(self):
+        kwargs = dict(sizes_kb=(1, 4), requests=20)
+        sequential = regenerate_figure5(jobs=1, **kwargs)
+        sharded = regenerate_figure5(jobs=4, **kwargs)
+        assert json.dumps(sequential, sort_keys=True) == json.dumps(
+            sharded, sort_keys=True
+        )
+
+    def test_tracer_forces_sequential_run(self):
+        from repro.observability import Tracer
+
+        tracer = Tracer()
+        rows = regenerate_table1_per_seed(
+            seeds=(11,), clients=2, requests=20, tracer=tracer, jobs=4
+        )
+        # Spans only exist if the cells ran in-process.
+        assert tracer.finished_count > 0
+        assert ("VEP", 11) in rows

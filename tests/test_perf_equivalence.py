@@ -1,0 +1,58 @@
+"""The simulation-kernel fast path must not change simulated metrics.
+
+The envelope copy-on-write and size-cache optimizations only touch *how*
+values are computed, never the values: these tests pin that down by running
+the same seeded experiment twice — once on the fast path, once with the
+reference implementations (``deep_copy`` and uncached ``size_bytes``)
+monkeypatched back in — and asserting the per-record metric streams are
+identical, float for float.
+"""
+
+from dataclasses import asdict
+
+from repro.experiments import run_vep_configuration
+from repro.soap import SoapEnvelope
+
+
+def _uncached_size_bytes(self):
+    return len(self.to_xml().encode()) + self.padding
+
+
+def _run(seed):
+    row, _bus, result = run_vep_configuration(seed, clients=2, requests=40)
+    records = [
+        (
+            record.caller,
+            record.target,
+            record.operation,
+            record.started_at,
+            record.finished_at,
+            record.outcome.value,
+            record.fault_code.value if record.fault_code else None,
+            record.request_bytes,
+            record.response_bytes,
+        )
+        for record in result.records
+    ]
+    return asdict(row), records
+
+
+def test_fast_path_metrics_identical_to_reference(monkeypatch):
+    fast = _run(seed=11)
+    with monkeypatch.context() as patch:
+        patch.setattr(SoapEnvelope, "copy", SoapEnvelope.deep_copy)
+        patch.setattr(SoapEnvelope, "size_bytes", property(_uncached_size_bytes))
+        reference = _run(seed=11)
+    assert fast[0] == reference[0]  # Table1Row
+    assert fast[1] == reference[1]  # full per-record stream
+
+
+def test_copy_and_deep_copy_serialize_identically():
+    from repro.xmlutils import Element
+
+    envelope = SoapEnvelope.request(
+        "http://svc/a", "urn:op:x", Element("q", text="payload"), padding=256
+    )
+    envelope.add_header(Element("h", text="meta"))
+    assert envelope.copy().to_xml() == envelope.deep_copy().to_xml()
+    assert envelope.copy().size_bytes == envelope.deep_copy().size_bytes

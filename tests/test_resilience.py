@@ -425,6 +425,46 @@ class TestDeadLetterReplay:
         assert len(dlq) == 1 and dlq.entries[0].envelope is first
         assert sender.delivered[0].addressing.message_id == second.addressing.message_id
 
+    def test_replay_same_entry_requested_twice_replays_once(self, env):
+        dlq = DeadLetterQueue()
+        sender = RecoveringSender(env)
+        queue = RetryQueue(env, sender, dlq)
+        envelope = SoapEnvelope.request("http://svc", "urn:op:x", Element("q"))
+        self.exhaust(env, queue, envelope)
+        entry = dlq.entries[0]
+
+        sender.healed = True
+        # Regression: selecting the same dead letter twice (easy from an
+        # operator console) crashed replay on the second list removal.
+        completions = dlq.replay(queue, entries=[entry, entry])
+        assert len(completions) == 1
+        env.run(env.process(_wait(env.all_of(completions))))
+        assert len(dlq) == 0
+        assert dlq.replayed == 1
+        assert len(sender.delivered) == 1
+
+    def test_replay_matches_value_equal_entries_by_identity_first(self, env):
+        from repro.wsbus.retry import DeadLetterEntry
+
+        dlq = DeadLetterQueue()
+        sender = RecoveringSender(env)
+        queue = RetryQueue(env, sender, dlq)
+        envelope = SoapEnvelope.request("http://svc", "urn:op:x", Element("q"))
+        first = DeadLetterEntry(1.0, envelope, "x", "http://svc", 2, "down")
+        twin = DeadLetterEntry(1.0, envelope, "x", "http://svc", 2, "down")
+        assert first == twin and first is not twin
+        dlq.add(first)
+        dlq.add(twin)
+
+        sender.healed = True
+        completions = dlq.replay(queue, entries=[twin])
+        assert len(completions) == 1
+        # Identity wins over value equality: the requested twin leaves the
+        # queue, the equal-but-distinct first entry stays put.
+        assert dlq.entries == [first] and dlq.entries[0] is first
+        env.run(env.process(_wait(env.all_of(completions))))
+        assert dlq.replayed == 1
+
 
 # ---------------------------------------------------------------------------
 # Bus integration: the wired subsystem

@@ -32,6 +32,25 @@ class TestSelectionServiceUnit:
         other = selection.select("vep2", "round_robin", self.MEMBERS)
         assert first == other == "http://a"
 
+    def test_round_robin_exclusion_keeps_rotation_position(self, selection):
+        # Regression: indexing the *filtered* candidate list with the
+        # rotation counter warped the cycle whenever a member was excluded
+        # mid-rotation (counter=1 over candidates [b, c] picked c,
+        # starving b). Positions must anchor to the full member list.
+        assert selection.select("vep", "round_robin", self.MEMBERS) == "http://a"
+        pick = selection.select(
+            "vep", "round_robin", self.MEMBERS, exclude={"http://a"}
+        )
+        assert pick == "http://b"
+        assert selection.select("vep", "round_robin", self.MEMBERS) == "http://c"
+
+    def test_round_robin_fair_under_persistent_exclusion(self, selection):
+        picks = [
+            selection.select("vep", "round_robin", self.MEMBERS, exclude={"http://c"})
+            for _ in range(4)
+        ]
+        assert picks == ["http://a", "http://b", "http://a", "http://b"]
+
     def test_exclusions_respected(self, selection):
         pick = selection.select(
             "vep", "primary", self.MEMBERS, exclude={"http://a", "http://b"}

@@ -68,11 +68,27 @@ class TestEnvelope:
         assert fault_reply.is_fault
         assert fault_reply.fault.code is FaultCode.TIMEOUT
 
-    def test_copy_is_deep(self):
+    def test_copy_is_header_shallow(self):
+        # copy() shares the body tree (the per-attempt fast path) but owns
+        # its headers list: adding headers to the copy never leaks back.
         envelope = SoapEnvelope.request("http://svc", "urn:a", Element("q", text="v"))
         duplicate = envelope.copy()
-        duplicate.body.text = "changed"
+        assert duplicate.body is envelope.body
+        duplicate.add_header(Element("extra"))
+        assert envelope.headers == []
+        # Replacing the copy's body never touches the original.
+        duplicate.body = Element("q", text="changed")
         assert envelope.body.text == "v"
+
+    def test_deep_copy_is_private(self):
+        envelope = SoapEnvelope.request("http://svc", "urn:a", Element("q", text="v"))
+        envelope.add_header(Element("h", text="x"))
+        duplicate = envelope.deep_copy()
+        assert duplicate.to_xml() == envelope.to_xml()
+        duplicate.body.text = "changed"
+        duplicate.headers[0].element.text = "y"
+        assert envelope.body.text == "v"
+        assert envelope.headers[0].element.text == "x"
 
     def test_xml_round_trip(self):
         body = Element("order", children=[Element("amount", text="99")])

@@ -85,6 +85,31 @@ class TestEndpointQoS:
         throughput = qos.lookup("throughput", 0, "mean", "http://a")
         assert throughput == pytest.approx(10 / 9.5, rel=0.01)
 
+    def test_throughput_excludes_trailing_failure_burn(self):
+        qos = QoSMeasurementService()
+        qos.observe(record(start=0.0, duration=0.5))
+        qos.observe(record(start=10.0, duration=20.0, ok=False))
+        # One success delivered over its own 0.5s is 2 req/s. The
+        # 20-second timeout burn hanging off the end of the window must
+        # not dilute the rate (regression: the span ran first record
+        # start to last record finish, yielding 1/30).
+        assert qos.lookup("throughput", 0, "mean", "http://a") == pytest.approx(2.0)
+
+    def test_throughput_single_success_is_measurable(self):
+        qos = QoSMeasurementService()
+        qos.observe(record(start=1.0, duration=0.25))
+        assert qos.lookup("throughput", 0, "mean", "http://a") == pytest.approx(4.0)
+
+    def test_throughput_no_successes_is_zero(self):
+        qos = QoSMeasurementService()
+        qos.observe(record(ok=False))
+        assert qos.lookup("throughput", 0, "mean", "http://a") == 0.0
+
+    def test_throughput_empty_window_is_none(self):
+        from repro.wsbus.qos import EndpointQoS
+
+        assert EndpointQoS("http://a").throughput() is None
+
     def test_window_eviction(self):
         qos = QoSMeasurementService(window=3)
         for index in range(10):

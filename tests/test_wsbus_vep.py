@@ -334,6 +334,50 @@ class TestProxyDeployment:
         with pytest.raises(ValueError):
             bus.deploy_as_proxy("ghost", ECHO_CONTRACT, "http://nothing")
 
+    def test_fault_injection_resolves_through_proxy_to_origin(self, env, network, world):
+        bus, repository = world
+        load_recovery(repository, (SubstituteAction("round_robin"),))
+        bus.deploy_as_proxy(
+            "proxy-a", ECHO_CONTRACT, "http://svc/a", extra_members=["http://svc/b"]
+        )
+        # Operators keep aiming fault injection at the service's public
+        # address; it must degrade the relocated origin, not the proxy
+        # that is supposed to mediate the failure. (Regression: the proxy
+        # used to mirror the origin's availability once at deploy time and
+        # post-deployment injection knocked out the proxy itself.)
+        target = network.fault_injection_target("http://svc/a")
+        assert target is network.endpoint("http://svc/a#origin")
+        target.available = False
+        assert network.endpoint("http://svc/a").available  # front door stays up
+        assert call(env, network, "http://svc/a") == "hi@echo-b"
+
+    def test_availability_injector_at_public_address_spares_proxy(
+        self, env, network, world
+    ):
+        from repro.faultinjection import AvailabilityFaultInjector, EndpointFaultProfile
+        from repro.simulation import RandomSource
+
+        bus, repository = world
+        load_recovery(repository, (SubstituteAction("round_robin"),))
+        bus.deploy_as_proxy(
+            "proxy-a", ECHO_CONTRACT, "http://svc/a", extra_members=["http://svc/b"]
+        )
+        injector = AvailabilityFaultInjector(env, network, RandomSource(3))
+        injector.inject(
+            EndpointFaultProfile(
+                "http://svc/a",
+                mean_time_between_failures=2.0,
+                mean_time_to_recover=1.0,
+            )
+        )
+        env.run(until=30.0)
+        injector.finalize()
+        # The storm toggled the relocated origin, never the proxy front
+        # door, so clients calling the original address keep being served.
+        assert injector.logs["http://svc/a"].failure_count >= 1
+        assert network.endpoint("http://svc/a").available
+        assert call(env, network, "http://svc/a").startswith("hi@echo-")
+
 
 class TestBusMonitoringIntegration:
     def test_qos_threshold_violation_blocks_response(self, env, network, container, world):
