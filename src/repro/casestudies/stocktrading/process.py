@@ -15,7 +15,14 @@ concerns.
 
 from __future__ import annotations
 
-from repro.orchestration import Assign, Invoke, ProcessDefinition, Reply, Sequence
+from repro.orchestration import (
+    Assign,
+    Expression,
+    Invoke,
+    ProcessDefinition,
+    Reply,
+    Sequence,
+)
 
 __all__ = ["TRADING_ANCHORS", "build_trading_process"]
 
@@ -92,7 +99,9 @@ def build_trading_process(
                 inputs={
                     "orderId": "$order_id",
                     "symbol": "$symbol",
-                    "side": lambda v: "buy" if v.get("order_type") == "invest" else "sell",
+                    # Declarative (serializable) buy/sell decision: keeps the
+                    # base process fully dehydratable for crash recovery.
+                    "side": Expression("'buy' if order_type == 'invest' else 'sell'"),
                     "quantity": "$quantity",
                     "limitPrice": "$price",
                 },

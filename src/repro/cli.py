@@ -5,6 +5,7 @@ Usage::
     python -m repro table1 [--seeds 11 23 47] [--requests 250] [--jobs 4] [--trace spans.jsonl]
     python -m repro figure5 [--requests 150] [--jobs 4] [--trace spans.jsonl]
     python -m repro storm [--seed 7] [--requests 60] [--jobs 2] [--trace spans.jsonl]
+    python -m repro storm --crash-engine [--seed 7]
     python -m repro scenarios
     python -m repro quickcheck
 
@@ -15,6 +16,10 @@ order is fixed by cell key.
 ``--trace PATH`` records every middleware span of the bus-mediated runs
 to a JSONL file (one span per line; see ``docs/observability.md``) and
 forces ``--jobs 1``.
+``storm --crash-engine`` swaps the resilience ablation for the durability
+scenario: it kills the workflow engine mid-process, rehydrates the
+checkpointed instance in a fresh engine, and verifies the recovered run
+finishes identically to an uninterrupted one (see ``docs/persistence.md``).
 ``quickcheck`` runs a fast, low-volume version of everything — a smoke
 test that the full stack works on this machine in a few seconds.
 """
@@ -89,6 +94,9 @@ def _cmd_storm(args: argparse.Namespace) -> int:
     from repro.experiments import run_cells, storm_cells
     from repro.metrics import Table
 
+    if args.crash_engine:
+        return _run_crash_storm(args)
+
     tracer, exporter = _make_tracer(args)
     cells = storm_cells(
         seed=args.seed, clients=args.clients, requests=args.requests, tracer=tracer
@@ -126,6 +134,55 @@ def _cmd_storm(args: argparse.Namespace) -> int:
         for name, value in sorted(shed.items()):
             print(f"  {name}: {value}")
     _close_tracer(tracer, exporter, args.trace)
+    return 0
+
+
+def _run_crash_storm(args: argparse.Namespace) -> int:
+    """Kill the engine mid-flight and prove checkpointed instances recover."""
+    from repro.experiments import run_crash_recovery
+    from repro.metrics import Table
+
+    table = Table(
+        [
+            "Process",
+            "Crash after",
+            "Checkpoints",
+            "Replayed",
+            "Recovered",
+            "Equivalent",
+        ],
+        title="Fault storm — engine crash recovery",
+    )
+    failures: list[str] = []
+    for process in ("scm", "trading"):
+        for crash_after in (1, 2, 3):
+            result = run_crash_recovery(
+                process=process,
+                seed=args.seed,
+                crash_after_completions=crash_after,
+            )
+            table.add_row(
+                [
+                    process,
+                    crash_after,
+                    result.checkpoints,
+                    result.replayed_activities,
+                    result.recovered_status,
+                    result.equivalent,
+                ]
+            )
+            if not result.equivalent:
+                failures.append(
+                    f"{process} (crash after {crash_after}): "
+                    f"{', '.join(result.divergences) or 'status mismatch'}"
+                )
+    print(table.render())
+    if failures:
+        print("\nRecovery divergences:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print("\nAll crashed instances rehydrated and finished identically.")
     return 0
 
 
@@ -233,6 +290,11 @@ def build_parser() -> argparse.ArgumentParser:
         "storm", help="Resilience ablation under a fault storm"
     )
     storm.add_argument("--seed", type=int, default=7)
+    storm.add_argument(
+        "--crash-engine",
+        action="store_true",
+        help="run the engine crash/rehydration scenario instead of the ablation",
+    )
     storm.add_argument("--clients", type=int, default=6)
     storm.add_argument("--requests", type=int, default=60, help="requests per client")
     storm.add_argument(

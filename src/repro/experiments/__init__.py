@@ -7,10 +7,12 @@ callers render or assert on.
 """
 
 from repro.experiments.harness import (
+    CrashRecoveryResult,
     StormResult,
     Table1Row,
     catalog_plan,
     order_plan,
+    run_crash_recovery,
     run_direct_configuration,
     run_fault_storm,
     run_rtt_point,
@@ -32,6 +34,7 @@ from repro.experiments.reports import (
 
 __all__ = [
     "Cell",
+    "CrashRecoveryResult",
     "ShardError",
     "StormResult",
     "Table1Row",
@@ -43,6 +46,7 @@ __all__ = [
     "render_figure5",
     "render_table1",
     "run_cells",
+    "run_crash_recovery",
     "run_direct_configuration",
     "run_fault_storm",
     "run_rtt_point",

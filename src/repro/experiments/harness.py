@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.casestudies.scm import (
     RETAILER_CONTRACT,
@@ -268,3 +268,208 @@ def run_rtt_point(
     result = runner.run(plan, clients=clients, requests_per_client=requests)
     stats = result.rtt_stats()
     return stats["mean"], result
+
+
+@dataclass
+class CrashRecoveryResult:
+    """Outcome of one crash-recovery scenario run.
+
+    ``equivalent`` is the acceptance check: the killed-and-rehydrated run
+    must end with the same result, the same final variables, and the same
+    tracking-event sequence (pre-crash events + post-recovery live events,
+    replay markers excluded) as the uninterrupted same-seed run.
+    """
+
+    process: str
+    seed: int
+    crash_after_completions: int
+    crash_time: float | None
+    checkpoints: int
+    journal_records: int
+    replayed_activities: int
+    reference_status: str
+    recovered_status: str
+    result_match: bool
+    variables_match: bool
+    events_match: bool
+    divergences: list[str] = field(default_factory=list)
+
+    @property
+    def equivalent(self) -> bool:
+        return (
+            self.recovered_status == self.reference_status == "completed"
+            and self.result_match
+            and self.variables_match
+            and self.events_match
+        )
+
+
+def _scm_composition(seed: int):
+    """A fresh SCM backend plus the purchase composition definition."""
+    from repro.casestudies.scm.process import build_scm_process
+    from repro.orchestration import TrackingService, WorkflowEngine
+
+    deployment = build_scm_deployment(seed=seed, log_events=False)
+    definition = build_scm_process(
+        deployment.retailers["C"].address, deployment.logging.address
+    )
+
+    def make_engine():
+        engine = WorkflowEngine(deployment.env, network=deployment.network)
+        engine.add_service(TrackingService())
+        return engine
+
+    return deployment.env, make_engine, definition
+
+
+def _trading_composition(seed: int):
+    """A fresh stock-trading backend plus the base trading definition."""
+    from repro.casestudies.stocktrading import (
+        build_trading_deployment,
+        build_trading_process,
+    )
+    from repro.orchestration import TrackingService, WorkflowEngine
+
+    deployment = build_trading_deployment(seed=seed, start_notifications=False)
+    masc = deployment.masc
+    definition = build_trading_process(
+        fund_manager_address=deployment.fund_manager.address,
+        analysis_address=deployment.analysis_services[0].address,
+        compliance_address=deployment.compliance.address,
+        market_address=deployment.market.address,
+    )
+
+    def make_engine():
+        engine = WorkflowEngine(masc.env, network=masc.network, registry=masc.registry)
+        engine.add_service(TrackingService())
+        return engine
+
+    return masc.env, make_engine, definition
+
+
+_CRASH_COMPOSITIONS = {"scm": _scm_composition, "trading": _trading_composition}
+
+
+def run_crash_recovery(
+    process: str = "scm",
+    seed: int = 0,
+    crash_after_completions: int = 2,
+    store_path=None,
+) -> CrashRecoveryResult:
+    """Kill the engine mid-flight and prove checkpoint recovery is exact.
+
+    Two same-seed deployments run the same composition. The reference run
+    is uninterrupted. In the crash run a
+    :class:`~repro.faultinjection.ProcessCrashInjector` kills the engine
+    after ``crash_after_completions`` activity completions; the instance is
+    then rehydrated from the checkpoint store into a *fresh* engine on the
+    same simulation and driven to completion. Because the crash freezes the
+    instance at an activity boundary and replay fast-forwards completed
+    work, the recovered run must be byte-identical to the reference.
+    """
+    from repro.faultinjection import ProcessCrashInjector
+    from repro.orchestration import TrackingService
+    from repro.persistence import CheckpointStore, CheckpointingService, encode_value
+
+    builder = _CRASH_COMPOSITIONS.get(process)
+    if builder is None:
+        raise ValueError(f"unknown crash-recovery process {process!r}")
+
+    # Reference (uninterrupted) run on its own same-seed deployment.
+    ref_env, make_ref_engine, ref_definition = builder(seed)
+    ref_engine = make_ref_engine()
+    ref_engine.register_definition(ref_definition)
+    reference = ref_engine.start(ref_definition.name)
+    ref_env.run(reference.process)
+    ref_tracking = ref_engine.service_of_type(TrackingService)
+    ref_events = [
+        (event.kind, event.activity_name)
+        for event in ref_tracking.events_for(reference.id)
+    ]
+
+    # Crash run: checkpointing on, engine killed mid-flight.
+    env, make_engine, definition = builder(seed)
+    store = CheckpointStore(store_path)
+    doomed_engine = make_engine()
+    doomed_engine.add_service(CheckpointingService(store, strict=True))
+    injector = ProcessCrashInjector(env, crash_after_completions)
+    doomed_engine.add_service(injector)
+    doomed_engine.register_definition(definition)
+    doomed = doomed_engine.start(definition.name)
+    env.run(until=injector.crashed_event)
+    pre_events = [
+        (event.kind, event.activity_name)
+        for event in doomed_engine.service_of_type(TrackingService).events_for(doomed.id)
+    ]
+
+    # Recovery: rehydrate into a fresh engine on the same simulation. When
+    # the crash landed after the last freeze point the instance drained to
+    # completion synchronously — the store's final checkpoint records the
+    # outcome and a real recovery manager would not rehydrate at all.
+    if doomed.status.is_final:
+        recovered = doomed
+        replayed = 0
+        live_tail: list[tuple[str, str | None]] = []
+    else:
+        recovery_engine = make_engine()
+        recovery_engine.add_service(CheckpointingService(store, strict=True))
+        recovered = recovery_engine.rehydrate(store, doomed.id)
+        env.run(recovered.process)
+
+        post_events = [
+            (event.kind, event.activity_name)
+            for event in recovery_engine.service_of_type(TrackingService).events_for(
+                recovered.id
+            )
+        ]
+        replayed = sum(1 for kind, _name in post_events if kind == "activity_replayed")
+        live_tail = [
+            event
+            for event in post_events
+            if event[0] not in ("activity_replayed", "instance_rehydrated")
+        ]
+
+    divergences: list[str] = []
+    result_match = encode_value(reference.result) == encode_value(recovered.result)
+    if not result_match:
+        divergences.append(
+            f"result: reference {reference.result!r} != recovered {recovered.result!r}"
+        )
+    try:
+        variables_match = {
+            name: encode_value(value) for name, value in reference.variables.items()
+        } == {name: encode_value(value) for name, value in recovered.variables.items()}
+    except Exception as error:  # noqa: BLE001 - comparison must not crash the report
+        variables_match = False
+        divergences.append(f"variables not comparable: {error}")
+    else:
+        if not variables_match:
+            differing = sorted(
+                name
+                for name in set(reference.variables) | set(recovered.variables)
+                if encode_value(reference.variables.get(name))
+                != encode_value(recovered.variables.get(name))
+            )
+            divergences.append(f"variables diverged: {differing}")
+    events_match = ref_events == pre_events + live_tail
+    if not events_match:
+        divergences.append(
+            f"tracking events diverged: reference {len(ref_events)} events, "
+            f"recovered {len(pre_events)} pre-crash + {len(live_tail)} live"
+        )
+
+    return CrashRecoveryResult(
+        process=process,
+        seed=seed,
+        crash_after_completions=crash_after_completions,
+        crash_time=injector.crash_time,
+        checkpoints=len(store.records(record_type="checkpoint")),
+        journal_records=len(store.records(record_type="modification")),
+        replayed_activities=replayed,
+        reference_status=reference.status.value,
+        recovered_status=recovered.status.value,
+        result_match=result_match,
+        variables_match=variables_match,
+        events_match=events_match,
+        divergences=divergences,
+    )

@@ -22,6 +22,10 @@ Three more drive the resilience fault-storm scenarios, all on fixed
 - :class:`LatencySpikeInjector` — periodic latency spikes;
 - :class:`FlappingEndpointInjector` — rapid up/down cycling;
 - :class:`OverloadBurstInjector` — bursts of synthetic background traffic.
+
+:class:`ProcessCrashInjector` targets the *orchestration host* instead of a
+service: it kills the workflow engine mid-flight so the crash-recovery
+scenarios can prove instances rehydrate from the checkpoint store.
 """
 
 from repro.faultinjection.injectors import (
@@ -32,6 +36,7 @@ from repro.faultinjection.injectors import (
     FlappingEndpointInjector,
     LatencySpikeInjector,
     OverloadBurstInjector,
+    ProcessCrashInjector,
     QoSDegradationInjector,
 )
 
@@ -43,5 +48,6 @@ __all__ = [
     "FlappingEndpointInjector",
     "LatencySpikeInjector",
     "OverloadBurstInjector",
+    "ProcessCrashInjector",
     "QoSDegradationInjector",
 ]

@@ -49,11 +49,17 @@ from repro.orchestration.errors import (
 )
 from repro.orchestration.expressions import Expression, ExpressionError
 from repro.orchestration.instance import InstanceStatus, ProcessInstance
-from repro.orchestration.modification import ProcessModifier
+from repro.orchestration.modification import (
+    ModificationOperation,
+    ProcessModifier,
+    perform_operation,
+)
 from repro.orchestration.xmlio import (
     PROCESS_NS,
     ProcessSerializationError,
+    parse_activity,
     parse_process_definition,
+    serialize_activity,
     serialize_process_definition,
 )
 
@@ -72,6 +78,7 @@ __all__ = [
     "InstanceStatus",
     "Invoke",
     "ModificationError",
+    "ModificationOperation",
     "PROCESS_NS",
     "PersistenceService",
     "ProcessDefinition",
@@ -91,6 +98,9 @@ __all__ = [
     "TrackingService",
     "While",
     "WorkflowEngine",
+    "parse_activity",
     "parse_process_definition",
+    "perform_operation",
+    "serialize_activity",
     "serialize_process_definition",
 ]

@@ -219,8 +219,15 @@ class Flow(Activity):
         ]
         if not branches:
             return
+        composite = env.all_of(branches)
         try:
-            yield env.all_of(branches)
+            yield composite
+        except BaseException:
+            # Abrupt unwinding (interrupt, crashed-engine tear-down): the
+            # composite loses its listener; defuse so a branch failing later
+            # doesn't raise unattended in the simulation core.
+            composite.defused = True
+            raise
         finally:
             for branch in branches:
                 if branch.is_alive:
@@ -252,6 +259,20 @@ class IfElse(Activity):
         return branches
 
     def execute(self, instance: "ProcessInstance") -> Generator:
+        credits = instance._replay_credits
+        if credits:
+            # Replaying a rehydrated instance: the branch actually taken
+            # before the checkpoint is the one holding completion credits —
+            # re-take it rather than re-evaluating the condition, whose
+            # variables may have changed after the original decision.
+            for branch in self.children():
+                if any(credits.get(node.name) for node in branch.iter_tree()):
+                    yield from instance.run_activity(branch)
+                    return
+            if credits.get(self.name):
+                # Completed without taking a branch (false condition, no
+                # orelse); run_activity consumes this activity's credit.
+                return
         if self.condition(instance.variables):
             yield from instance.run_activity(self.then)
         elif self.orelse is not None:

@@ -50,8 +50,12 @@ class RuntimeService:
     def instance_terminated(self, instance: ProcessInstance) -> None: ...
     def instance_suspended(self, instance: ProcessInstance) -> None: ...
     def instance_resumed(self, instance: ProcessInstance) -> None: ...
+    def instance_rehydrated(self, instance: ProcessInstance) -> None: ...
+    def instance_modified(self, instance: ProcessInstance, operations, bindings) -> None: ...
+    def engine_crashed(self, engine: "WorkflowEngine") -> None: ...
     def activity_started(self, instance: ProcessInstance, activity) -> None: ...
     def activity_completed(self, instance: ProcessInstance, activity) -> None: ...
+    def activity_replayed(self, instance: ProcessInstance, activity) -> None: ...
     def activity_faulted(self, instance: ProcessInstance, activity, fault) -> None: ...
     def activity_retried(
         self, instance: ProcessInstance, activity, fault, attempt: int
@@ -135,6 +139,12 @@ class TrackingService(RuntimeService):
     def activity_completed(self, instance, activity) -> None:
         self._track(instance, "activity_completed", activity)
 
+    def activity_replayed(self, instance, activity) -> None:
+        self._track(instance, "activity_replayed", activity)
+
+    def instance_rehydrated(self, instance) -> None:
+        self._track(instance, "instance_rehydrated")
+
     def activity_faulted(self, instance, activity, fault) -> None:
         self._track(instance, "activity_faulted", activity, detail=str(fault.fault))
 
@@ -190,15 +200,16 @@ class PersistenceService(RuntimeService):
 
     def _snapshot(self, instance: ProcessInstance) -> None:
         assert self._engine is not None
+        # Structured snapshot: every variable survives, including nested
+        # containers, XML elements and faults, as an independent deep copy
+        # (the old filter silently dropped anything non-scalar).
+        from repro.persistence.encoding import snapshot_variables
+
         self.snapshots.setdefault(instance.id, []).append(
             _Snapshot(
                 time=self._engine.env.now,
                 status=instance.status.value,
-                variables={
-                    key: value
-                    for key, value in instance.variables.items()
-                    if isinstance(value, (str, int, float, bool, type(None)))
-                },
+                variables=snapshot_variables(instance.variables),
             )
         )
 
@@ -239,6 +250,9 @@ class WorkflowEngine:
         self.instances: dict[str, ProcessInstance] = {}
         self._services: list[RuntimeService] = []
         self._ids = itertools.count(1)
+        #: True once :meth:`crash` was called; instances freeze at their
+        #: next activity boundary and no new instances can start.
+        self.crashed = False
         #: Optional override for abstract service resolution (VEP binding).
         self.binder = None
         #: Optional process-level fault advisor:
@@ -291,6 +305,10 @@ class WorkflowEngine:
         ``instance_created`` fires before the first activity executes, and
         MASC's adaptation service edits the fresh instance tree there.
         """
+        if self.crashed:
+            raise RuntimeError(
+                "engine has crashed; rehydrate its instances into a fresh engine"
+            )
         if isinstance(definition, str):
             definition = self.definitions[definition]
         instance_id = f"proc-{next(self._ids):06d}"
@@ -325,6 +343,39 @@ class WorkflowEngine:
     def run_to_completion(self, instance: ProcessInstance) -> Any:
         """Convenience: drive the simulation until the instance finishes."""
         return self.env.run(instance.process)
+
+    # -- crash & recovery ---------------------------------------------------------------
+
+    def crash(self, reason: str = "engine host failure") -> None:
+        """Simulate an abrupt engine/host failure (idempotent).
+
+        The engine stops scheduling: every live instance freezes at its
+        next activity boundary — exactly the state its latest checkpoint
+        captured — and :meth:`start` refuses new work. Recovery means
+        rehydrating the instances from a checkpoint store into a *fresh*
+        engine (:meth:`rehydrate`).
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.metrics.counter("engine.crashes").inc()
+        if self.tracer.enabled:
+            span = self.tracer.start_span("engine.crash", attributes={"reason": reason})
+            span.end(status="crashed")
+        self.notify("engine_crashed", self)
+
+    def rehydrate(self, store, instance_id: str) -> ProcessInstance:
+        """Reconstruct a checkpointed instance in this engine and resume it.
+
+        ``store`` is a :class:`repro.persistence.CheckpointStore` (or any
+        object with its record-query API). The instance is rebuilt from its
+        latest checkpoint plus the modification journal, registered with
+        this engine under its original id, and scheduled; already-completed
+        activities fast-forward via replay credits instead of re-executing.
+        """
+        from repro.persistence import rehydrate_instance
+
+        return rehydrate_instance(self, store, instance_id)
 
     def resolve_service(self, service_type: str, instance: ProcessInstance) -> str:
         """Map an abstract service type to a concrete address."""

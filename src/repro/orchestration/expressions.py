@@ -29,14 +29,50 @@ class ExpressionError(Exception):
     """The expression is outside the safe subset or failed to evaluate."""
 
 
+#: Resource-exhaustion guards: a policy document is untrusted input, so an
+#: expression must not be able to hang evaluation (``2**2**30``) or allocate
+#: gigabytes (``[0] * 10**9``). Numeric work is bounded; sequence repetition
+#: is rejected outright.
+_MAX_POW_EXPONENT = 128
+_MAX_INT_BITS = 4096
+_SEQUENCE_TYPES = (str, bytes, bytearray, list, tuple)
+
+
+def _check_int_magnitude(value: Any, context: str) -> None:
+    if isinstance(value, int) and not isinstance(value, bool) and value.bit_length() > _MAX_INT_BITS:
+        raise ExpressionError(
+            f"{context}: integer operand exceeds {_MAX_INT_BITS} bits"
+        )
+
+
+def _safe_mult(left: Any, right: Any) -> Any:
+    if isinstance(left, _SEQUENCE_TYPES) or isinstance(right, _SEQUENCE_TYPES):
+        raise ExpressionError(
+            "sequence repetition is not allowed in safe expressions "
+            "(it can allocate unbounded memory)"
+        )
+    _check_int_magnitude(left, "multiplication")
+    _check_int_magnitude(right, "multiplication")
+    return operator.mul(left, right)
+
+
+def _safe_pow(base: Any, exponent: Any) -> Any:
+    if isinstance(exponent, int) and not isinstance(exponent, bool) and abs(exponent) > _MAX_POW_EXPONENT:
+        raise ExpressionError(
+            f"exponent {exponent} exceeds the safe-expression bound of {_MAX_POW_EXPONENT}"
+        )
+    _check_int_magnitude(base, "exponentiation")
+    return operator.pow(base, exponent)
+
+
 _BINARY_OPS = {
     ast.Add: operator.add,
     ast.Sub: operator.sub,
-    ast.Mult: operator.mul,
+    ast.Mult: _safe_mult,
     ast.Div: operator.truediv,
     ast.FloorDiv: operator.floordiv,
     ast.Mod: operator.mod,
-    ast.Pow: operator.pow,
+    ast.Pow: _safe_pow,
 }
 
 _COMPARE_OPS = {

@@ -85,6 +85,15 @@ class ProcessInstance:
         self.executed_activities: set[str] = set()
         #: Names currently executing (between started and completed).
         self.active_activities: set[str] = set()
+        #: How many times each activity has completed (persistence state:
+        #: the replay cursor for loop bodies and repeated activities).
+        self.completion_counts: dict[str, int] = {}
+        #: Remaining fast-forward skips per activity name while a rehydrated
+        #: instance replays past already-completed work (None = live run).
+        self._replay_credits: dict[str, int] | None = None
+        #: Names that had already *started* before the checkpoint; their
+        #: re-entry during replay does not re-emit ``activity_started``.
+        self._replayed_started: frozenset[str] = frozenset()
         self._resume_event = None
         self._terminate_reason: str | None = None
         self._deadlines: dict[str, DeadlineHandle] = {}
@@ -146,9 +155,24 @@ class ProcessInstance:
         (with delay), skip the activity, or substitute a replacement.
         """
         yield from self._gate()
+        if self.engine.crashed:
+            # A crashed engine schedules nothing further: the instance
+            # freezes at this activity boundary, exactly the state the
+            # latest checkpoint captured, until rehydrated elsewhere.
+            yield self.env.event()
+        credits = self._replay_credits
+        if credits is not None and credits.get(activity.name) and not activity.children():
+            # Fast-forward: this leaf already completed before the
+            # checkpoint; its effects live in the restored variables.
+            self._consume_replay_credit(activity)
+            return
+        replayed_start = (
+            self._replay_credits is not None and activity.name in self._replayed_started
+        )
         self.executed_activities.add(activity.name)
         self.active_activities.add(activity.name)
-        self.engine.notify("activity_started", self, activity)
+        if not replayed_start:
+            self.engine.notify("activity_started", self, activity)
         span = None
         if self.engine.tracer.enabled:
             span = self.engine.tracer.start_span(
@@ -218,7 +242,33 @@ class ProcessInstance:
             self.active_activities.discard(activity.name)
         if span is not None:
             span.end()
-        self.engine.notify("activity_completed", self, activity)
+        credits = self._replay_credits
+        if credits is not None and credits.get(activity.name):
+            # A composite that had completed before the checkpoint just
+            # re-interpreted itself (its leaves fast-forwarded): account
+            # for it as replayed, not as a fresh completion.
+            self._consume_replay_credit(activity)
+        else:
+            self.completion_counts[activity.name] = (
+                self.completion_counts.get(activity.name, 0) + 1
+            )
+            self.engine.notify("activity_completed", self, activity)
+
+    def _consume_replay_credit(self, activity: Activity) -> None:
+        credits = self._replay_credits
+        assert credits is not None
+        remaining = credits[activity.name] - 1
+        if remaining > 0:
+            credits[activity.name] = remaining
+        else:
+            del credits[activity.name]
+        if not credits:
+            self._replay_credits = None
+        self.executed_activities.add(activity.name)
+        self.completion_counts[activity.name] = (
+            self.completion_counts.get(activity.name, 0) + 1
+        )
+        self.engine.notify("activity_replayed", self, activity)
 
     def _gate(self) -> Generator:
         """Block while suspended; honor pending termination requests."""
@@ -317,6 +367,14 @@ class ProcessInstance:
                 )
         except SoapFaultError as error:
             raise ProcessFault(error.fault, activity.name) from error
+        except (ProcessFault, ProcessTerminated):
+            raise
+        except BaseException:
+            # Abrupt unwinding (interrupt, crashed engine tear-down): nobody
+            # will observe the call's outcome any more — keep a late failure
+            # from surfacing as an unhandled simulation error.
+            self._abandon(call, interrupt=False)
+            raise
         return response
 
     def run_with_deadline(
@@ -357,7 +415,18 @@ class ProcessInstance:
                         activity_name,
                     )
                 timer = self.env.timeout(remaining)
-                outcome = yield self.env.any_of([awaited, timer])
+                composite = self.env.any_of([awaited, timer])
+                try:
+                    outcome = yield composite
+                except SoapFaultError:
+                    raise
+                except BaseException:
+                    # Abrupt unwinding while racing the deadline: defuse the
+                    # composite and abandon the awaited work so their later
+                    # outcomes don't raise unattended in the simulation core.
+                    composite.defused = True
+                    self._abandon(awaited, interrupt_on_expiry)
+                    raise
                 if awaited in outcome:
                     return outcome[awaited]
                 # Timer fired; if the deadline moved, loop and keep waiting.

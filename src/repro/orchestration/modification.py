@@ -33,14 +33,20 @@ from repro.orchestration.activities import Activity, Flow, Sequence
 from repro.orchestration.errors import ModificationError
 from repro.orchestration.instance import InstanceStatus, ProcessInstance
 
-__all__ = ["ProcessModifier"]
+__all__ = ["ModificationOperation", "ProcessModifier", "perform_operation"]
 
 
 @dataclass(frozen=True)
-class _Operation:
+class ModificationOperation:
+    """One staged tree edit; the unit the persistence journal replays."""
+
     kind: str  # insert_before | insert_after | append_to | remove | replace
     anchor: str
     activity: Activity | None = None
+
+
+# Backwards-compatible private alias (pre-journal name).
+_Operation = ModificationOperation
 
 
 def _find_with_parent(
@@ -152,6 +158,12 @@ class ProcessModifier:
         instance.variables.update(self._variable_bindings)
         self.applied = True
         instance.engine.metrics.counter("engine.modifications.applied").inc()
+        # Persistence journaling: runtime services (notably the checkpoint
+        # service) record the applied operations so crash recovery can replay
+        # them on top of the last dehydrated tree.
+        instance.engine.notify(
+            "instance_modified", instance, tuple(self._operations), dict(self._variable_bindings)
+        )
         if span is not None:
             span.end(status="applied")
 
@@ -180,77 +192,102 @@ class ProcessModifier:
                 f"cannot insert before {operation.anchor!r}: it already executed "
                 "(the insertion could only run out of order)"
             )
+        if (
+            operation.kind == "replace"
+            and operation.anchor in instance.executed_activities
+            and operation.activity is not None
+            and operation.activity.name != operation.anchor
+        ):
+            # A replacement under a *new* name is not in the enclosing
+            # sequence's completed set, so the scheduler would run it now —
+            # after activities that followed the executed anchor. A same-name
+            # replacement is safe: it inherits the anchor's completed status.
+            raise ModificationError(
+                f"cannot replace executed activity {operation.anchor!r} with "
+                f"{operation.activity.name!r}: the renamed replacement would "
+                "re-execute out of order"
+            )
 
     # -- the actual tree surgery ---------------------------------------------------------
 
-    def _perform(self, root: Activity, operation: _Operation) -> None:
-        if operation.activity is not None:
-            clashes = {a.name for a in operation.activity.iter_tree()} & {
-                a.name for a in root.iter_tree()
-            }
-            if operation.kind != "replace" and clashes:
-                raise ModificationError(
-                    f"inserted activity names already exist in the process: {sorted(clashes)}"
-                )
-        if operation.kind == "append_to":
-            container = None
-            for activity in root.iter_tree():
-                if activity.name == operation.anchor:
-                    container = activity
-                    break
-            if container is None:
-                raise ModificationError(f"no container named {operation.anchor!r}")
-            assert operation.activity is not None
-            _container_list(container, "append_to").append(operation.activity.copy())
-            return
+    def _perform(self, root: Activity, operation: ModificationOperation) -> None:
+        perform_operation(root, operation)
 
-        target, parent = _find_with_parent(root, operation.anchor)
-        if target is None:
-            raise ModificationError(f"no activity named {operation.anchor!r}")
-        if parent is None:
-            raise ModificationError(f"cannot edit the process root {operation.anchor!r}")
-        siblings = _container_list(parent, operation.kind) if operation.kind != "replace" else None
 
-        if operation.kind == "insert_before":
-            assert operation.activity is not None and siblings is not None
-            siblings.insert(siblings.index(target), operation.activity.copy())
-        elif operation.kind == "insert_after":
-            assert operation.activity is not None and siblings is not None
-            siblings.insert(siblings.index(target) + 1, operation.activity.copy())
-        elif operation.kind == "remove":
-            assert siblings is not None
-            siblings.remove(target)
-        elif operation.kind == "replace":
-            assert operation.activity is not None
-            replacement = operation.activity.copy()
-            clashes = ({a.name for a in replacement.iter_tree()} - {target.name}) & (
-                {a.name for a in root.iter_tree()} - {a.name for a in target.iter_tree()}
+def perform_operation(root: Activity, operation: ModificationOperation) -> None:
+    """Apply one modification operation to an activity tree.
+
+    Shared by :class:`ProcessModifier` (transient copy + live tree) and the
+    persistence layer, which replays journaled operations onto a rehydrated
+    tree during crash recovery.
+    """
+    if operation.activity is not None:
+        clashes = {a.name for a in operation.activity.iter_tree()} & {
+            a.name for a in root.iter_tree()
+        }
+        if operation.kind != "replace" and clashes:
+            raise ModificationError(
+                f"inserted activity names already exist in the process: {sorted(clashes)}"
             )
-            if clashes:
-                raise ModificationError(
-                    f"replacement activity names already exist: {sorted(clashes)}"
-                )
-            self._replace_child(parent, target, replacement)
-        else:  # pragma: no cover - exhaustive
-            raise ModificationError(f"unknown operation {operation.kind!r}")
+    if operation.kind == "append_to":
+        container = None
+        for activity in root.iter_tree():
+            if activity.name == operation.anchor:
+                container = activity
+                break
+        if container is None:
+            raise ModificationError(f"no container named {operation.anchor!r}")
+        assert operation.activity is not None
+        _container_list(container, "append_to").append(operation.activity.copy())
+        return
 
-    @staticmethod
-    def _replace_child(parent: Activity, target: Activity, replacement: Activity) -> None:
-        if isinstance(parent, (Sequence, Flow)):
-            index = parent.activities.index(target)
-            parent.activities[index] = replacement
-            return
-        # Structured parents: swap the matching slot.
-        for attribute in ("then", "orelse", "body", "compensation"):
-            if getattr(parent, attribute, None) is target:
-                setattr(parent, attribute, replacement)
-                return
-        fault_handlers = getattr(parent, "fault_handlers", None)
-        if isinstance(fault_handlers, dict):
-            for code, handler in fault_handlers.items():
-                if handler is target:
-                    fault_handlers[code] = replacement
-                    return
-        raise ModificationError(
-            f"cannot locate {target.name!r} inside parent {parent.name!r} for replacement"
+    target, parent = _find_with_parent(root, operation.anchor)
+    if target is None:
+        raise ModificationError(f"no activity named {operation.anchor!r}")
+    if parent is None:
+        raise ModificationError(f"cannot edit the process root {operation.anchor!r}")
+    siblings = _container_list(parent, operation.kind) if operation.kind != "replace" else None
+
+    if operation.kind == "insert_before":
+        assert operation.activity is not None and siblings is not None
+        siblings.insert(siblings.index(target), operation.activity.copy())
+    elif operation.kind == "insert_after":
+        assert operation.activity is not None and siblings is not None
+        siblings.insert(siblings.index(target) + 1, operation.activity.copy())
+    elif operation.kind == "remove":
+        assert siblings is not None
+        siblings.remove(target)
+    elif operation.kind == "replace":
+        assert operation.activity is not None
+        replacement = operation.activity.copy()
+        clashes = ({a.name for a in replacement.iter_tree()} - {target.name}) & (
+            {a.name for a in root.iter_tree()} - {a.name for a in target.iter_tree()}
         )
+        if clashes:
+            raise ModificationError(
+                f"replacement activity names already exist: {sorted(clashes)}"
+            )
+        _replace_child(parent, target, replacement)
+    else:  # pragma: no cover - exhaustive
+        raise ModificationError(f"unknown operation {operation.kind!r}")
+
+
+def _replace_child(parent: Activity, target: Activity, replacement: Activity) -> None:
+    if isinstance(parent, (Sequence, Flow)):
+        index = parent.activities.index(target)
+        parent.activities[index] = replacement
+        return
+    # Structured parents: swap the matching slot.
+    for attribute in ("then", "orelse", "body", "compensation"):
+        if getattr(parent, attribute, None) is target:
+            setattr(parent, attribute, replacement)
+            return
+    fault_handlers = getattr(parent, "fault_handlers", None)
+    if isinstance(fault_handlers, dict):
+        for code, handler in fault_handlers.items():
+            if handler is target:
+                fault_handlers[code] = replacement
+                return
+    raise ModificationError(
+        f"cannot locate {target.name!r} inside parent {parent.name!r} for replacement"
+    )

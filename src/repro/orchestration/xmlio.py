@@ -41,7 +41,9 @@ from repro.xmlutils import Element, QName, parse_xml, serialize_xml
 __all__ = [
     "PROCESS_NS",
     "ProcessSerializationError",
+    "parse_activity",
     "parse_process_definition",
+    "serialize_activity",
     "serialize_process_definition",
 ]
 
@@ -76,6 +78,24 @@ def serialize_process_definition(definition: ProcessDefinition, indent: bool = F
             )
     root.append(_activity_to_element(definition.root))
     return serialize_xml(root, indent=indent)
+
+
+def serialize_activity(activity: Activity, indent: bool = False) -> str:
+    """Render one activity subtree as a standalone XML document.
+
+    The persistence layer dehydrates *instance* trees with this (the live
+    tree may differ from its definition after dynamic modification), and the
+    modification journal serializes inserted/replacement activities the same
+    way. Only fully declarative activities serialize; Python callables raise
+    :class:`ProcessSerializationError` exactly as in full-definition form.
+    """
+    return serialize_xml(_activity_to_element(activity), indent=indent)
+
+
+def parse_activity(source: str | Element) -> Activity:
+    """Parse a standalone activity document back into an activity tree."""
+    root = parse_xml(source) if isinstance(source, str) else source
+    return _element_to_activity(root)
 
 
 def _type_name(value: Any) -> str:

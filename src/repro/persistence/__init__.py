@@ -1,0 +1,51 @@
+"""Durable process-instance persistence: dehydration and rehydration.
+
+Reproduces the WF persistence-service role the paper's middleware depends
+on: running compositions are dehydrated (checkpointed) at activity
+boundaries and around suspend–modify–resume adaptation cycles, and can be
+rehydrated into a fresh :class:`~repro.orchestration.WorkflowEngine` after
+an engine crash, resuming mid-sequence with no lost or re-executed work.
+
+- :class:`CheckpointStore` — append-only JSONL record log (memory or file).
+- :class:`CheckpointingService` — engine runtime service writing full
+  checkpoints plus a replayable modification journal.
+- :func:`rehydrate_instance` / ``WorkflowEngine.rehydrate`` — recovery.
+- :mod:`repro.persistence.encoding` — structured variable encoding (the
+  replacement for the old scalars-only snapshot filter).
+"""
+
+from repro.persistence.checkpoint import (
+    CheckpointingService,
+    PersistenceError,
+    RestoredState,
+    capture_checkpoint,
+    rehydrate_instance,
+    restore_state,
+)
+from repro.persistence.encoding import (
+    StateEncodingError,
+    decode_value,
+    decode_variables,
+    encode_value,
+    encode_variables,
+    snapshot_variables,
+)
+from repro.persistence.store import CHECKPOINT, MODIFICATION, CheckpointStore
+
+__all__ = [
+    "CHECKPOINT",
+    "MODIFICATION",
+    "CheckpointStore",
+    "CheckpointingService",
+    "PersistenceError",
+    "RestoredState",
+    "StateEncodingError",
+    "capture_checkpoint",
+    "decode_value",
+    "decode_variables",
+    "encode_value",
+    "encode_variables",
+    "rehydrate_instance",
+    "restore_state",
+    "snapshot_variables",
+]

@@ -1,0 +1,308 @@
+"""Dehydration and rehydration of process instances.
+
+This is the WF-style persistence service the paper's process layer relies
+on: at every activity boundary (activity completion) and on suspension the
+:class:`CheckpointingService` dehydrates the *complete* instance state —
+activity tree, variables, execution cursor, compensation stack, pending
+result — into an append-only :class:`~repro.persistence.store.CheckpointStore`.
+Dynamic modifications applied between checkpoints land in the store as a
+replayable journal of :class:`~repro.orchestration.modification.ModificationOperation`
+records.
+
+Recovery (:func:`rehydrate_instance`, surfaced as
+``WorkflowEngine.rehydrate``) rebuilds a runnable instance in a *fresh*
+engine from the latest checkpoint plus the journal tail, and schedules it
+with replay credits: already-completed activities fast-forward (emitting
+``activity_replayed`` instead of re-executing), so the instance resumes
+mid-sequence without re-invoking partners whose effects are already in the
+restored variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.orchestration.activities import Activity, Scope
+from repro.orchestration.engine import RuntimeService, WorkflowEngine
+from repro.orchestration.instance import InstanceStatus, ProcessInstance
+from repro.orchestration.modification import ModificationOperation, perform_operation
+from repro.orchestration.xmlio import (
+    ProcessSerializationError,
+    parse_activity,
+    serialize_activity,
+)
+from repro.persistence.encoding import (
+    StateEncodingError,
+    decode_value,
+    decode_variables,
+    encode_value,
+    encode_variables,
+)
+from repro.persistence.store import CHECKPOINT, MODIFICATION, CheckpointStore
+
+__all__ = [
+    "CheckpointingService",
+    "PersistenceError",
+    "RestoredState",
+    "capture_checkpoint",
+    "rehydrate_instance",
+    "restore_state",
+]
+
+
+class PersistenceError(RuntimeError):
+    """Recovery failed: missing, unusable or final checkpoint state."""
+
+
+def capture_checkpoint(instance: ProcessInstance) -> dict[str, Any]:
+    """Dehydrate one instance into a checkpoint record payload.
+
+    Raises :class:`~repro.orchestration.xmlio.ProcessSerializationError` if
+    the activity tree is not fully declarative, or
+    :class:`~repro.persistence.encoding.StateEncodingError` if a variable
+    cannot be encoded — dehydration never silently drops state.
+    """
+    return {
+        "type": CHECKPOINT,
+        "instance_id": instance.id,
+        "definition": instance.definition_name,
+        "time": instance.env.now,
+        "status": instance.status.value,
+        "tree": serialize_activity(instance.root),
+        "variables": encode_variables(instance.variables),
+        "executed": sorted(instance.executed_activities),
+        "active": sorted(instance.active_activities),
+        "completions": dict(instance.completion_counts),
+        "compensations": [scope.name for scope in instance._compensations],
+        "result": encode_value(instance.result),
+        "input": encode_value(instance.input),
+        "fault": encode_value(instance.fault),
+    }
+
+
+class CheckpointingService(RuntimeService):
+    """Runtime service that dehydrates instances into a checkpoint store.
+
+    Checkpoints are written at every activity completion, on suspension and
+    at instance finalization; applied tree modifications are journaled.
+    Counters (``persistence.checkpoints``, ``persistence.journal_records``,
+    ``persistence.checkpoint_errors``) and ``persistence.checkpoint`` spans
+    are exported through the engine's observability bindings.
+    """
+
+    def __init__(self, store: CheckpointStore | None = None, strict: bool = False) -> None:
+        self.store = store if store is not None else CheckpointStore()
+        #: Strict mode re-raises dehydration errors; the default counts and
+        #: skips them so a non-serializable test process cannot take the
+        #: whole engine down.
+        self.strict = strict
+        self.errors: list[tuple[str, str]] = []
+        self._engine: WorkflowEngine | None = None
+
+    def attached(self, engine: WorkflowEngine) -> None:
+        self._engine = engine
+
+    # -- hook wiring --------------------------------------------------------------
+
+    def activity_completed(self, instance, activity) -> None:
+        self._checkpoint(instance, reason=f"activity:{activity.name}")
+
+    def instance_suspended(self, instance) -> None:
+        self._checkpoint(instance, reason="suspended")
+
+    def instance_completed(self, instance) -> None:
+        self._checkpoint(instance, reason="completed")
+
+    def instance_faulted(self, instance) -> None:
+        self._checkpoint(instance, reason="faulted")
+
+    def instance_terminated(self, instance) -> None:
+        self._checkpoint(instance, reason="terminated")
+
+    def instance_modified(self, instance, operations, bindings) -> None:
+        self._journal(instance, operations, bindings)
+
+    # -- record writers -----------------------------------------------------------
+
+    def _checkpoint(self, instance: ProcessInstance, reason: str) -> None:
+        assert self._engine is not None
+        engine = self._engine
+        span = None
+        if engine.tracer.enabled:
+            span = engine.tracer.start_span(
+                "persistence.checkpoint",
+                correlation_id=instance.id,
+                parent=instance.span,
+                attributes={"reason": reason},
+            )
+        try:
+            record = capture_checkpoint(instance)
+        except (ProcessSerializationError, StateEncodingError) as error:
+            engine.metrics.counter("persistence.checkpoint_errors").inc()
+            self.errors.append((instance.id, str(error)))
+            if span is not None:
+                span.end(status=f"error:{type(error).__name__}")
+            if self.strict:
+                raise PersistenceError(
+                    f"cannot dehydrate instance {instance.id}: {error}"
+                ) from error
+            return
+        stamped = self.store.append(record)
+        engine.metrics.counter("persistence.checkpoints").inc()
+        if span is not None:
+            span.set_attribute("seq", stamped["seq"])
+            span.end(status="written")
+
+    def _journal(self, instance: ProcessInstance, operations, bindings) -> None:
+        assert self._engine is not None
+        engine = self._engine
+        try:
+            encoded_ops = [
+                {
+                    "kind": operation.kind,
+                    "anchor": operation.anchor,
+                    "activity": (
+                        None
+                        if operation.activity is None
+                        else serialize_activity(operation.activity)
+                    ),
+                }
+                for operation in operations
+            ]
+            encoded_bindings = encode_variables(dict(bindings))
+        except (ProcessSerializationError, StateEncodingError):
+            # A non-serializable operation (callable-based activity): the
+            # live tree already reflects the edit, so a full checkpoint
+            # supersedes the journal entry.
+            self._checkpoint(instance, reason="modification-fallback")
+            return
+        self.store.append(
+            {
+                "type": MODIFICATION,
+                "instance_id": instance.id,
+                "time": instance.env.now,
+                "operations": encoded_ops,
+                "bindings": encoded_bindings,
+            }
+        )
+        engine.metrics.counter("persistence.journal_records").inc()
+
+
+@dataclass
+class RestoredState:
+    """Decoded recovery state: latest checkpoint + replayed journal tail."""
+
+    instance_id: str
+    definition_name: str
+    status: str
+    root: Activity
+    variables: dict[str, Any]
+    executed: set[str]
+    completions: dict[str, int]
+    compensations: list[str]
+    result: Any
+    input: Any
+    checkpoint_seq: int
+    checkpoint_time: float
+    journal_entries: int = 0
+    fault: Any = None
+    field_errors: list[str] = field(default_factory=list)
+
+
+def restore_state(store: CheckpointStore, instance_id: str) -> RestoredState:
+    """Rebuild recovery state from the latest checkpoint plus the journal."""
+    checkpoint = store.latest_checkpoint(instance_id)
+    if checkpoint is None:
+        raise PersistenceError(f"no checkpoint recorded for instance {instance_id!r}")
+    root = parse_activity(checkpoint["tree"])
+    variables = decode_variables(checkpoint["variables"])
+    journal = store.journal_after(instance_id, checkpoint["seq"])
+    for record in journal:
+        for encoded in record["operations"]:
+            operation = ModificationOperation(
+                kind=encoded["kind"],
+                anchor=encoded["anchor"],
+                activity=(
+                    None
+                    if encoded["activity"] is None
+                    else parse_activity(encoded["activity"])
+                ),
+            )
+            perform_operation(root, operation)
+        variables.update(decode_variables(record.get("bindings", {})))
+    return RestoredState(
+        instance_id=instance_id,
+        definition_name=checkpoint["definition"],
+        status=checkpoint["status"],
+        root=root,
+        variables=variables,
+        executed=set(checkpoint["executed"]),
+        completions=dict(checkpoint["completions"]),
+        compensations=list(checkpoint["compensations"]),
+        result=decode_value(checkpoint["result"]),
+        input=decode_value(checkpoint["input"]),
+        checkpoint_seq=checkpoint["seq"],
+        checkpoint_time=checkpoint["time"],
+        journal_entries=len(journal),
+        fault=decode_value(checkpoint.get("fault")),
+    )
+
+
+def rehydrate_instance(
+    engine: WorkflowEngine, store: CheckpointStore, instance_id: str
+) -> ProcessInstance:
+    """Reconstruct a checkpointed instance in ``engine`` and schedule it."""
+    if engine.crashed:
+        raise PersistenceError("cannot rehydrate into a crashed engine")
+    existing = engine.instances.get(instance_id)
+    if existing is not None and not existing.status.is_final:
+        raise PersistenceError(f"instance {instance_id!r} is already live in this engine")
+    state = restore_state(store, instance_id)
+    if state.status in ("completed", "faulted", "terminated"):
+        raise PersistenceError(
+            f"instance {instance_id!r} already reached final status {state.status!r}"
+        )
+    instance = ProcessInstance(
+        engine=engine,
+        instance_id=state.instance_id,
+        definition_name=state.definition_name,
+        root=state.root,
+        variables=state.variables,
+        input=state.input,
+    )
+    instance.result = state.result
+    instance.executed_activities = set(state.executed)
+    instance._replayed_started = frozenset(state.executed)
+    instance._replay_credits = dict(state.completions) or None
+    # Completion counts are rebuilt credit-by-credit during replay, so a
+    # later checkpoint of the recovered run stays self-consistent.
+    instance.completion_counts = {}
+    for scope_name in state.compensations:
+        # Compensations re-register in order as their scopes replay; this
+        # pre-pass only matters for scopes whose subtree was later removed
+        # by a modification (their replay will never re-run).
+        found = instance.find_activity(scope_name)
+        if found is None:
+            state.field_errors.append(f"compensation scope {scope_name!r} missing")
+    if state.status == InstanceStatus.SUSPENDED.value:
+        instance.status = InstanceStatus.SUSPENDED
+        instance._resume_event = engine.env.event()
+    engine.instances[instance.id] = instance
+    engine.metrics.counter("engine.instances.rehydrated").inc()
+    if engine.tracer.enabled:
+        instance.span = engine.tracer.start_span(
+            "process.instance",
+            correlation_id=instance.id,
+            attributes={
+                "process": state.definition_name,
+                "rehydrated": True,
+                "checkpoint_seq": state.checkpoint_seq,
+                "journal_entries": state.journal_entries,
+            },
+        )
+    engine.notify("instance_rehydrated", instance)
+    instance.process = engine.env.process(
+        instance.run(), name=f"instance:{instance.id}:rehydrated"
+    )
+    return instance

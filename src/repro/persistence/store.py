@@ -1,0 +1,100 @@
+"""Append-only JSONL checkpoint store.
+
+The durable medium of the persistence layer: every record — full instance
+checkpoints and modification-journal entries — is appended as one JSON line
+with a monotonically increasing ``seq``. Recovery reads the latest
+checkpoint for an instance and replays any journal entries recorded after
+it. The store works purely in memory by default; give it a ``path`` to
+mirror every record to disk and to reload records written by a previous
+process (the crash being recovered from).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = ["CHECKPOINT", "MODIFICATION", "CheckpointStore"]
+
+#: Record types.
+CHECKPOINT = "checkpoint"
+MODIFICATION = "modification"
+
+
+class CheckpointStore:
+    """Append-only record log, optionally mirrored to a JSONL file."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._records: list[dict[str, Any]] = []
+        self._seq = 0
+        if self.path is not None and self.path.exists():
+            with self.path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        self._records.append(json.loads(line))
+            if self._records:
+                self._seq = max(record["seq"] for record in self._records)
+
+    # -- writing ------------------------------------------------------------------
+
+    def append(self, record: dict[str, Any]) -> dict[str, Any]:
+        """Append one record; assigns and returns it with its ``seq``."""
+        self._seq += 1
+        stamped = dict(record)
+        stamped["seq"] = self._seq
+        self._records.append(stamped)
+        if self.path is not None:
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps(stamped, sort_keys=True) + "\n")
+        return stamped
+
+    # -- reading ------------------------------------------------------------------
+
+    def records(
+        self, instance_id: str | None = None, record_type: str | None = None
+    ) -> list[dict[str, Any]]:
+        """All records, optionally filtered by instance and/or type."""
+        return [
+            record
+            for record in self._records
+            if (instance_id is None or record.get("instance_id") == instance_id)
+            and (record_type is None or record.get("type") == record_type)
+        ]
+
+    def instance_ids(self) -> list[str]:
+        """Instances with at least one checkpoint, in first-seen order."""
+        seen: dict[str, None] = {}
+        for record in self._records:
+            if record.get("type") == CHECKPOINT:
+                seen.setdefault(record["instance_id"], None)
+        return list(seen)
+
+    def latest_checkpoint(self, instance_id: str) -> dict[str, Any] | None:
+        """The most recent checkpoint record for an instance, if any."""
+        for record in reversed(self._records):
+            if record.get("type") == CHECKPOINT and record.get("instance_id") == instance_id:
+                return record
+        return None
+
+    def journal_after(self, instance_id: str, seq: int) -> list[dict[str, Any]]:
+        """Modification-journal records for ``instance_id`` newer than ``seq``."""
+        return [
+            record
+            for record in self._records
+            if record.get("type") == MODIFICATION
+            and record.get("instance_id") == instance_id
+            and record["seq"] > seq
+        ]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterable[dict[str, Any]]:
+        return iter(list(self._records))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = str(self.path) if self.path is not None else "memory"
+        return f"<CheckpointStore {where} records={len(self._records)}>"

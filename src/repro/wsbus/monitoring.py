@@ -97,6 +97,15 @@ class BusMonitoringService:
                 )
                 if first_fault is None:
                     first_fault = fault
+                # The policy's declared events accompany the classification:
+                # the paper sends the violation "toward the decision maker"
+                # regardless of whether it was also classified as a fault.
+                violation_context = dict(context)
+                violation_context["violated_policy"] = policy.name
+                for emitted in policy.emits:
+                    self._emit(
+                        emitted, envelope, point, violation_context, policy.name, fault=fault
+                    )
                 continue
             if policy.classify_as is None and conditions_hold:
                 for emitted in policy.emits:

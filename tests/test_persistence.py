@@ -1,0 +1,472 @@
+"""Durable checkpointing and crash recovery (``repro.persistence``),
+plus regression tests for the adaptation-path correctness sweep.
+
+The rehydration-equivalence tests are the tentpole acceptance check: a
+process killed at *every possible* activity boundary and rehydrated into
+a fresh engine must finish with the same result, variables, and tracking
+event sequence as an uninterrupted same-seed run.
+"""
+
+import pytest
+
+from conftest import EchoService
+from repro.orchestration import (
+    Assign,
+    Delay,
+    Empty,
+    Expression,
+    ExpressionError,
+    ModificationError,
+    PersistenceService,
+    ProcessDefinition,
+    ProcessModifier,
+    Reply,
+    Sequence,
+    TrackingService,
+    While,
+    WorkflowEngine,
+)
+from repro.orchestration.instance import InstanceStatus
+from repro.persistence import (
+    CHECKPOINT,
+    MODIFICATION,
+    CheckpointStore,
+    CheckpointingService,
+    PersistenceError,
+    StateEncodingError,
+    decode_value,
+    decode_variables,
+    encode_value,
+    encode_variables,
+    restore_state,
+)
+from repro.soap import FaultCode, SoapFault
+from repro.xmlutils import Element, serialize_xml
+
+
+# ---------------------------------------------------------------------------
+# Value / variable encoding
+# ---------------------------------------------------------------------------
+
+
+class TestValueEncoding:
+    @pytest.mark.parametrize("value", [None, True, 7, 2.5, "text"])
+    def test_scalars_pass_through(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_xml_element_round_trip(self):
+        element = Element("order")
+        element.add("item", text="widget")
+        restored = decode_value(encode_value(element))
+        assert serialize_xml(restored) == serialize_xml(element)
+
+    def test_soap_fault_round_trip(self):
+        fault = SoapFault(
+            FaultCode.SLA_VIOLATION, "too slow", actor="http://svc", source="bus"
+        )
+        restored = decode_value(encode_value(fault))
+        assert restored.code is FaultCode.SLA_VIOLATION
+        assert restored.reason == "too slow"
+        assert restored.actor == "http://svc"
+
+    def test_nested_containers_round_trip(self):
+        value = {"rows": [(1, "a"), (2, "b")], "tags": {"x", "y"}, 3: "int-key"}
+        restored = decode_value(encode_value(value))
+        assert restored == value
+        assert isinstance(restored["rows"][0], tuple)
+        assert isinstance(restored["tags"], set)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(StateEncodingError):
+            encode_value(object())
+
+    def test_variable_errors_name_the_variable(self):
+        with pytest.raises(StateEncodingError, match="bad_var"):
+            encode_variables({"ok": 1, "bad_var": object()})
+
+    def test_variables_round_trip(self):
+        variables = {"x": 1, "nested": {"deep": [1, 2, {"deeper": True}]}}
+        assert decode_variables(encode_variables(variables)) == variables
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint store
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpointStore:
+    def test_append_assigns_monotonic_seq(self):
+        store = CheckpointStore()
+        first = store.append({"type": CHECKPOINT, "instance_id": "i1"})
+        second = store.append({"type": MODIFICATION, "instance_id": "i1"})
+        assert second["seq"] > first["seq"]
+        assert len(store) == 2
+
+    def test_record_queries(self):
+        store = CheckpointStore()
+        store.append({"type": CHECKPOINT, "instance_id": "i1", "n": 1})
+        store.append({"type": MODIFICATION, "instance_id": "i1", "n": 2})
+        store.append({"type": CHECKPOINT, "instance_id": "i1", "n": 3})
+        store.append({"type": CHECKPOINT, "instance_id": "i2", "n": 4})
+        assert store.instance_ids() == ["i1", "i2"]
+        assert store.latest_checkpoint("i1")["n"] == 3
+        assert [r["n"] for r in store.records("i1", CHECKPOINT)] == [1, 3]
+        first_seq = store.records("i1", CHECKPOINT)[0]["seq"]
+        assert [r["n"] for r in store.journal_after("i1", first_seq)] == [2]
+
+    def test_file_backed_store_reloads(self, tmp_path):
+        path = tmp_path / "checkpoints.jsonl"
+        store = CheckpointStore(path)
+        store.append({"type": CHECKPOINT, "instance_id": "i1", "n": 1})
+        store.append({"type": CHECKPOINT, "instance_id": "i1", "n": 2})
+        reopened = CheckpointStore(path)
+        assert len(reopened) == 2
+        assert reopened.latest_checkpoint("i1")["n"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Engine-level checkpointing and rehydration
+# ---------------------------------------------------------------------------
+
+
+def three_step_definition():
+    return ProcessDefinition(
+        "steps",
+        Sequence(
+            "main",
+            [
+                Sequence("part1", [Delay("d1", 1.0), Assign("a1", "x", value=1)]),
+                Sequence("part2", [Delay("d2", 1.0), Assign("a2", "y", value=2)]),
+                Reply("r", variable="y"),
+            ],
+        ),
+    )
+
+
+def loop_definition():
+    return ProcessDefinition(
+        "looper",
+        Sequence(
+            "main",
+            [
+                Assign("init", "x", value=0),
+                While(
+                    "loop",
+                    condition="x < 4",
+                    body=Sequence(
+                        "body",
+                        [Delay("tick", 1.0), Assign("inc", "x", expression="x + 1")],
+                    ),
+                ),
+                Reply("r", variable="x"),
+            ],
+        ),
+    )
+
+
+@pytest.fixture
+def engine(env, network, container):
+    container.deploy(EchoService(env, "echo1", "http://test/echo"))
+    return WorkflowEngine(env, network=network)
+
+
+class TestCheckpointing:
+    def test_checkpoints_written_at_completions(self, env, network):
+        from repro.observability import MetricsRegistry
+
+        engine = WorkflowEngine(env, network=network, metrics=MetricsRegistry())
+        store = CheckpointStore()
+        engine.add_service(CheckpointingService(store, strict=True))
+        instance = engine.start(three_step_definition())
+        engine.run_to_completion(instance)
+        checkpoints = store.records(instance.id, CHECKPOINT)
+        assert checkpoints, "no checkpoints recorded"
+        final = checkpoints[-1]
+        assert final["status"] == "completed"
+        assert decode_variables(final["variables"]) == {"x": 1, "y": 2}
+        assert "main" in final["executed"]
+        assert engine.metrics.counter("persistence.checkpoints").value == len(
+            checkpoints
+        )
+
+    def test_restore_state_without_checkpoint_raises(self):
+        with pytest.raises(PersistenceError):
+            restore_state(CheckpointStore(), "missing")
+
+    def test_rehydrate_resumes_mid_sequence(self, env, network, engine):
+        store = CheckpointStore()
+        engine.add_service(CheckpointingService(store, strict=True))
+        instance = engine.start(three_step_definition())
+
+        def killer():
+            yield env.timeout(1.5)  # part1 done, d2 in flight
+            engine.crash()
+
+        env.process(killer())
+        env.run(until=3.0)
+        assert instance.status is InstanceStatus.RUNNING  # frozen, not dead
+        state = restore_state(store, instance.id)
+        assert "part1" in state.executed
+        assert "a2" not in state.completions
+
+        recovery = WorkflowEngine(env, network=network)
+        tracking = recovery.add_service(TrackingService())
+        recovered = recovery.rehydrate(store, instance.id)
+        assert recovery.run_to_completion(recovered) == 2
+        assert recovered.variables == {"x": 1, "y": 2}
+        replayed = [e for e in tracking.events if e.kind == "activity_replayed"]
+        assert replayed, "completed activities should replay, not re-execute"
+
+    def test_rehydrated_loop_converges(self, env, network, engine):
+        store = CheckpointStore()
+        engine.add_service(CheckpointingService(store, strict=True))
+        instance = engine.start(loop_definition())
+
+        def killer():
+            yield env.timeout(2.5)  # mid third iteration
+            engine.crash()
+
+        env.process(killer())
+        env.run(until=4.0)
+        recovery = WorkflowEngine(env, network=network)
+        recovered = recovery.rehydrate(store, instance.id)
+        assert recovery.run_to_completion(recovered) == 4
+        assert recovered.variables["x"] == 4
+
+    def test_rehydrate_suspended_instance(self, env, network, engine):
+        store = CheckpointStore()
+        engine.add_service(CheckpointingService(store, strict=True))
+        instance = engine.start(three_step_definition())
+
+        def killer():
+            yield env.timeout(1.5)
+            instance.suspend()
+            yield env.timeout(1.0)
+            engine.crash()
+
+        env.process(killer())
+        env.run(until=4.0)
+        recovery = WorkflowEngine(env, network=network)
+        recovered = recovery.rehydrate(store, instance.id)
+        assert recovered.status is InstanceStatus.SUSPENDED
+
+        def resumer():
+            yield env.timeout(1.0)
+            recovered.resume()
+
+        env.process(resumer())
+        assert recovery.run_to_completion(recovered) == 2
+
+    def test_crashed_engine_refuses_work(self, env, engine):
+        store = CheckpointStore()
+        engine.add_service(CheckpointingService(store, strict=True))
+        instance = engine.start(three_step_definition())
+        env.run(until=1.5)
+        engine.crash()
+        engine.crash()  # idempotent
+        with pytest.raises(RuntimeError, match="crashed"):
+            engine.start(three_step_definition())
+        with pytest.raises(PersistenceError, match="crashed"):
+            engine.rehydrate(store, instance.id)
+
+    def test_rehydrating_completed_instance_rejected(self, env, network, engine):
+        store = CheckpointStore()
+        engine.add_service(CheckpointingService(store, strict=True))
+        instance = engine.start(three_step_definition())
+        engine.run_to_completion(instance)
+        recovery = WorkflowEngine(env, network=network)
+        with pytest.raises(PersistenceError, match="final"):
+            recovery.rehydrate(store, instance.id)
+
+
+class TestModificationJournal:
+    def test_modification_journaled_and_replayed(self, env, network, engine):
+        store = CheckpointStore()
+        engine.add_service(CheckpointingService(store, strict=True))
+        instance = engine.start(three_step_definition())
+
+        def meddler():
+            yield env.timeout(1.5)
+            instance.suspend()
+            modifier = ProcessModifier(instance)
+            modifier.insert_after("part2", Assign("injected", "y", expression="y * 10"))
+            modifier.bind_variables({"z": 99})
+            modifier.apply()
+            instance.resume()
+            yield env.timeout(0.1)
+            engine.crash()
+
+        env.process(meddler())
+        env.run(until=4.0)
+        assert store.records(instance.id, MODIFICATION)
+
+        state = restore_state(store, instance.id)
+        assert any(node.name == "injected" for node in state.root.iter_tree())
+        assert state.variables["z"] == 99
+
+        recovery = WorkflowEngine(env, network=network)
+        recovered = recovery.rehydrate(store, instance.id)
+        assert recovery.run_to_completion(recovered) == 20
+        assert recovered.variables["y"] == 20
+
+
+# ---------------------------------------------------------------------------
+# Kill-at-every-checkpoint equivalence (property-style, both case studies)
+# ---------------------------------------------------------------------------
+
+
+class TestCrashRecoveryEquivalence:
+    """Rehydration equivalence swept over every crash point.
+
+    ``run_crash_recovery`` compares a killed-and-recovered run against an
+    uninterrupted same-seed reference: same final status/result, same
+    variables, and reference events == pre-crash events + recovered live
+    events (replay markers excluded).
+    """
+
+    @pytest.mark.parametrize("crash_after", [1, 2, 3, 4])
+    def test_scm_equivalent_at_every_boundary(self, crash_after):
+        from repro.experiments import run_crash_recovery
+
+        result = run_crash_recovery(
+            process="scm", seed=5, crash_after_completions=crash_after
+        )
+        assert result.equivalent, result.divergences
+        # A crash after the last freeze point drains to completion (0
+        # replays); any earlier crash replays exactly the completed work.
+        assert result.replayed_activities in (crash_after, 0)
+
+    @pytest.mark.parametrize("crash_after", [1, 2, 3, 4, 5, 6])
+    def test_trading_equivalent_at_every_boundary(self, crash_after):
+        from repro.experiments import run_crash_recovery
+
+        result = run_crash_recovery(
+            process="trading", seed=5, crash_after_completions=crash_after
+        )
+        assert result.equivalent, result.divergences
+        assert result.replayed_activities in (crash_after, 0)
+
+    def test_file_backed_store_survives(self, tmp_path):
+        from repro.experiments import run_crash_recovery
+
+        path = tmp_path / "scm.jsonl"
+        result = run_crash_recovery(
+            process="scm", seed=1, crash_after_completions=2, store_path=path
+        )
+        assert result.equivalent
+        assert len(CheckpointStore(path)) == result.checkpoints
+
+
+# ---------------------------------------------------------------------------
+# Satellite regressions: the adaptation-path correctness sweep
+# ---------------------------------------------------------------------------
+
+
+class TestExpressionResourceBounds:
+    """Satellite 1: the safe evaluator must also be *cheap* to evaluate."""
+
+    def test_huge_exponent_rejected(self):
+        with pytest.raises(ExpressionError):
+            Expression("2 ** 2 ** 30").evaluate({})
+
+    def test_sequence_repetition_rejected(self):
+        with pytest.raises(ExpressionError, match="sequence repetition"):
+            Expression("[0] * 10 ** 9").evaluate({})
+
+    def test_string_repetition_rejected(self):
+        with pytest.raises(ExpressionError, match="sequence repetition"):
+            Expression("'a' * 3").evaluate({})
+
+    def test_huge_multiplication_operand_rejected(self):
+        big = 1 << 5000
+        with pytest.raises(ExpressionError, match="bits"):
+            Expression("x * 2").evaluate({"x": big})
+
+    def test_ordinary_arithmetic_still_works(self):
+        assert Expression("2 ** 10").evaluate({}) == 1024
+        assert Expression("3 * 4").evaluate({}) == 12
+        assert Expression("2.5 ** -2").evaluate({}) == pytest.approx(0.16)
+
+
+class TestMonitoringViolationEmits:
+    """Satellite 2: a classified violation must still raise its MASC events."""
+
+    def test_classified_violation_delivers_emits(self):
+        from test_wsbus_monitoring import POINT, envelope, service_with
+
+        from repro.policy import MessageCondition, MonitoringPolicy
+
+        monitoring, events = service_with(
+            [
+                MonitoringPolicy(
+                    name="amount-cap",
+                    events=("message.request",),
+                    conditions=(MessageCondition("amount", "lte", "1000"),),
+                    classify_as=FaultCode.SERVICE_FAILURE,
+                    emits=("order.rejected",),
+                )
+            ]
+        )
+        fault = monitoring.check_message("request", envelope(amount=5000), POINT)
+        assert fault is not None and fault.code is FaultCode.SERVICE_FAILURE
+        assert [e.name for e in events] == ["order.rejected"]
+        assert events[0].context["violated_policy"] == "amount-cap"
+        assert events[0].fault is fault
+
+
+class TestReplaceExecutedValidation:
+    """Satellite 3: replacing an executed activity re-runs it out of order."""
+
+    def test_replace_of_executed_activity_rejected(self, env, engine):
+        instance = engine.start(three_step_definition())
+
+        def meddler():
+            yield env.timeout(1.5)  # part1 already executed
+            instance.suspend()
+            modifier = ProcessModifier(instance)
+            modifier.replace("part1", Empty("renamed-part1"))
+            with pytest.raises(ModificationError, match="cannot replace executed"):
+                modifier.apply()
+            instance.resume()
+
+        env.process(meddler())
+        engine.run_to_completion(instance)
+
+    def test_same_name_replacement_of_executed_allowed(self, env, engine):
+        instance = engine.start(three_step_definition())
+
+        def meddler():
+            yield env.timeout(1.5)
+            instance.suspend()
+            modifier = ProcessModifier(instance)
+            modifier.replace("part1", Empty("part1"))
+            modifier.apply()
+            instance.resume()
+
+        env.process(meddler())
+        assert engine.run_to_completion(instance) == 2
+
+
+class TestSnapshotEncoding:
+    """Satellite 4: snapshots keep every variable, including nested ones."""
+
+    def test_nested_variables_survive_snapshot(self, env, engine):
+        persistence = engine.add_service(PersistenceService())
+        definition = ProcessDefinition(
+            "nested",
+            Sequence(
+                "main",
+                [
+                    Assign("a1", "config", value={"limits": [1, 2, 3], "on": True}),
+                    Delay("d", 1.0),
+                    Reply("r", variable="config"),
+                ],
+            ),
+        )
+        instance = engine.start(definition)
+        engine.run_to_completion(instance)
+        latest = persistence.latest(instance.id)
+        assert latest.variables["config"] == {"limits": [1, 2, 3], "on": True}
+        # The snapshot is an independent copy, not a live reference.
+        instance.variables["config"]["on"] = False
+        assert latest.variables["config"]["on"] is True
