@@ -25,6 +25,7 @@ from repro.casestudies.scm.policies import (
     logging_skip_policy_document,
     resilience_policy_document,
     retailer_recovery_policy_document,
+    slo_policy_document,
 )
 from repro.casestudies.scm.process import build_scm_process
 from repro.casestudies.scm.services import (
@@ -54,4 +55,5 @@ __all__ = [
     "logging_skip_policy_document",
     "resilience_policy_document",
     "retailer_recovery_policy_document",
+    "slo_policy_document",
 ]

@@ -20,13 +20,16 @@ from repro.policy import (
     AdaptationPolicy,
     AdaptiveTimeoutAction,
     BulkheadAction,
+    BurnRateAlertAction,
     CircuitBreakerAction,
     ConcurrentInvokeAction,
     LoadSheddingAction,
     PolicyDocument,
     PolicyScope,
     RetryAction,
+    SelectionStrategyAction,
     SkipAction,
+    SloAction,
     SubstituteAction,
     parse_policy_document,
     serialize_policy_document,
@@ -37,6 +40,7 @@ __all__ = [
     "logging_skip_policy_document",
     "resilience_policy_document",
     "retailer_recovery_policy_document",
+    "slo_policy_document",
 ]
 
 
@@ -178,6 +182,86 @@ def resilience_policy_document(
             actions=(LoadSheddingAction(max_inflight=max_inflight),),
             priority=30,
             adaptation_type="prevention",
+        )
+    )
+    return _round_trip(document)
+
+
+def slo_policy_document(
+    endpoint_pattern: str = "http://scm/retailer*",
+    availability_target: float = 99.0,
+    latency_target_seconds: float | None = None,
+    latency_percentile: str = "p99",
+    window_seconds: float = 300.0,
+    fast_window_seconds: float = 30.0,
+    slow_window_seconds: float = 120.0,
+    fast_burn_threshold: float = 6.0,
+    slow_burn_threshold: float = 2.0,
+    evaluation_interval_seconds: float = 5.0,
+    min_requests: int = 5,
+    strategy: str = "best_reliability",
+    breaker_consecutive_failures: int = 2,
+    breaker_open_seconds: float = 10.0,
+) -> PolicyDocument:
+    """SLO declaration + burn-rate reaction for the Retailer tier.
+
+    Two policies close the feedback loop:
+
+    - ``retailer-availability-slo`` uses the ``observability.slo`` trigger
+      convention (scanned at load time by the bus's
+      :class:`~repro.observability.slo.SloService`, like
+      ``resilience.configure``): it declares the availability/latency
+      objective and the multi-window burn-rate alert that evaluates it.
+    - ``retailer-slo-burn-reaction`` is an ordinary adaptation policy
+      triggered by the events the SLO engine emits: when the error budget
+      burns too fast it switches the Retailer VEP's selection strategy to
+      ``best_reliability`` and tightens the circuit breaker on the
+      Retailer endpoints.
+
+    Defaults are scaled for the fault-storm experiments (minutes, not the
+    SRE-canonical hours) so a short storm exercises the whole loop.
+    """
+    document = PolicyDocument("scm-slo")
+    document.adaptation_policies.append(
+        AdaptationPolicy(
+            name="retailer-availability-slo",
+            triggers=("observability.slo",),
+            scope=PolicyScope(endpoint=endpoint_pattern),
+            actions=(
+                SloAction(
+                    name="retailer-availability",
+                    availability_target=availability_target,
+                    latency_target_seconds=latency_target_seconds,
+                    latency_percentile=latency_percentile,
+                    window_seconds=window_seconds,
+                ),
+                BurnRateAlertAction(
+                    fast_window_seconds=fast_window_seconds,
+                    slow_window_seconds=slow_window_seconds,
+                    fast_burn_threshold=fast_burn_threshold,
+                    slow_burn_threshold=slow_burn_threshold,
+                    evaluation_interval_seconds=evaluation_interval_seconds,
+                    min_requests=min_requests,
+                ),
+            ),
+            priority=10,
+            adaptation_type="prevention",
+        )
+    )
+    document.adaptation_policies.append(
+        AdaptationPolicy(
+            name="retailer-slo-burn-reaction",
+            triggers=("sloBurnRateExceeded", "errorBudgetExhausted"),
+            scope=PolicyScope(service_type="Retailer"),
+            actions=(
+                SelectionStrategyAction(strategy=strategy),
+                CircuitBreakerAction(
+                    consecutive_failures=breaker_consecutive_failures,
+                    open_seconds=breaker_open_seconds,
+                ),
+            ),
+            priority=10,
+            adaptation_type="optimization",
         )
     )
     return _round_trip(document)

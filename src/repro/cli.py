@@ -4,8 +4,9 @@ Usage::
 
     python -m repro table1 [--seeds 11 23 47] [--requests 250] [--jobs 4] [--trace spans.jsonl]
     python -m repro figure5 [--requests 150] [--jobs 4] [--trace spans.jsonl]
-    python -m repro storm [--seed 7] [--requests 60] [--jobs 2] [--trace spans.jsonl]
+    python -m repro storm [--seed 7] [--requests 60] [--jobs 2] [--trace spans.jsonl] [--slo]
     python -m repro storm --crash-engine [--seed 7]
+    python -m repro top [--seed 7] [--interval 10]
     python -m repro scenarios
     python -m repro quickcheck
 
@@ -15,7 +16,15 @@ sequential run because every cell is independently seeded and the merge
 order is fixed by cell key.
 ``--trace PATH`` records every middleware span of the bus-mediated runs
 to a JSONL file (one span per line; see ``docs/observability.md``) and
-forces ``--jobs 1``.
+forces ``--jobs 1`` — spans are recorded in-process, so sharded workers
+could not share one exporter. For ``storm`` it additionally writes a
+flight-recorder dump (``PATH.flight.json``) and a Prometheus metrics
+snapshot (``PATH.prom``) next to the span file.
+``storm --slo`` loads the SCM SLO policy document and closes the feedback
+loop: burn-rate events drive a selection-strategy switch (see
+``docs/slo.md``).
+``top`` runs a short SLO-enabled storm and renders the live per-endpoint
+operations table every ``--interval`` simulated seconds.
 ``storm --crash-engine`` swaps the resilience ablation for the durability
 scenario: it kills the workflow engine mid-process, rehydrates the
 checkpointed instance in a fresh engine, and verifies the recovered run
@@ -91,18 +100,41 @@ def _cmd_figure5(args: argparse.Namespace) -> int:
 
 
 def _cmd_storm(args: argparse.Namespace) -> int:
-    from repro.experiments import run_cells, storm_cells
+    from repro.experiments import run_cells, run_fault_storm, storm_cells
     from repro.metrics import Table
 
     if args.crash_engine:
         return _run_crash_storm(args)
 
     tracer, exporter = _make_tracer(args)
-    cells = storm_cells(
-        seed=args.seed, clients=args.clients, requests=args.requests, tracer=tracer
-    )
-    merged = run_cells(cells, jobs=_effective_jobs(args, tracer))
-    results = [merged[(args.seed, "off")], merged[(args.seed, "on")]]
+    recorder = None
+    if tracer is not None:
+        # Tracing runs the arms inline (jobs forced to 1), so the bus of
+        # the resilience-on arm stays available for the operations-plane
+        # artifacts: the flight-recorder dump and the Prometheus snapshot.
+        from repro.observability import FlightRecorder
+
+        recorder = tracer.add_exporter(FlightRecorder())
+        _effective_jobs(args, tracer)
+        off = run_fault_storm(
+            seed=args.seed, resilience=False, clients=args.clients, requests=args.requests
+        )
+        on = run_fault_storm(
+            seed=args.seed,
+            resilience=True,
+            clients=args.clients,
+            requests=args.requests,
+            tracer=tracer,
+            slo=args.slo,
+            flight_recorder=recorder,
+        )
+        results = [off, on]
+    else:
+        cells = storm_cells(
+            seed=args.seed, clients=args.clients, requests=args.requests, slo=args.slo
+        )
+        merged = run_cells(cells, jobs=_effective_jobs(args, tracer))
+        results = [merged[(args.seed, "off")], merged[(args.seed, "on")]]
     table = Table(
         ["Resilience", "Delivered", "Reliability", "p50 RTT", "p99 RTT", "Breaker transitions"],
         title="Fault storm — resilience ablation",
@@ -133,7 +165,48 @@ def _cmd_storm(args: argparse.Namespace) -> int:
         print("\nResilience counters (on):")
         for name, value in sorted(shed.items()):
             print(f"  {name}: {value}")
+    if args.slo and on.slo is not None:
+        print("\nSLO events (resilience on):")
+        for event in on.slo["events"]:
+            print(
+                f"  t={event['time']:9.3f}s  {event['name']}  {event['endpoint']}"
+                f"  fast_burn={event['fast_burn']:.1f}x"
+            )
+    if recorder is not None:
+        flight_path = f"{args.trace}.flight.json"
+        recorder.dump(flight_path, reason="storm-complete")
+        prom_path = f"{args.trace}.prom"
+        with open(prom_path, "w", encoding="utf-8") as handle:
+            handle.write(on.bus.metrics.render_prometheus())
+        print(f"\nwrote flight-recorder dump to {flight_path}")
+        print(f"wrote Prometheus snapshot to {prom_path}")
     _close_tracer(tracer, exporter, args.trace)
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """A short SLO-enabled storm, rendered as live operations-table frames."""
+    from repro.experiments import run_fault_storm
+    from repro.observability import render_top
+
+    def tick(bus) -> None:
+        print(render_top(bus, window_seconds=args.window))
+        print()
+
+    result = run_fault_storm(
+        seed=args.seed,
+        resilience=True,
+        clients=args.clients,
+        requests=args.requests,
+        slo=True,
+        on_tick=tick,
+        tick_interval=args.interval,
+    )
+    print(render_top(result.bus, window_seconds=args.window))
+    if result.slo is not None and result.slo["events"]:
+        print("\nSLO events:")
+        for event in result.slo["events"]:
+            print(f"  t={event['time']:9.3f}s  {event['name']}  {event['endpoint']}")
     return 0
 
 
@@ -267,7 +340,9 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--clients", type=int, default=4)
     table1.add_argument("--requests", type=int, default=250, help="requests per client")
     table1.add_argument(
-        "--trace", metavar="PATH", help="dump spans of the VEP runs to a JSONL file"
+        "--trace", metavar="PATH",
+        help="dump spans of the VEP runs to a JSONL file "
+        "(spans are in-process: forces --jobs 1)",
     )
     table1.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -278,7 +353,9 @@ def build_parser() -> argparse.ArgumentParser:
     figure5 = subparsers.add_parser("figure5", help="Figure 5: RTT vs request size")
     figure5.add_argument("--requests", type=int, default=150, help="requests per point")
     figure5.add_argument(
-        "--trace", metavar="PATH", help="dump spans of the wsBus runs to a JSONL file"
+        "--trace", metavar="PATH",
+        help="dump spans of the wsBus runs to a JSONL file "
+        "(spans are in-process: forces --jobs 1)",
     )
     figure5.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -298,13 +375,40 @@ def build_parser() -> argparse.ArgumentParser:
     storm.add_argument("--clients", type=int, default=6)
     storm.add_argument("--requests", type=int, default=60, help="requests per client")
     storm.add_argument(
-        "--trace", metavar="PATH", help="dump spans of the resilience-on run to a JSONL file"
+        "--slo",
+        action="store_true",
+        help="load the SCM SLO policies: burn-rate events drive adaptation "
+        "(selection-strategy switch + tightened breakers) on the resilience-on arm",
+    )
+    storm.add_argument(
+        "--trace", metavar="PATH",
+        help="dump spans of the resilience-on run to a JSONL file, plus a "
+        "flight-recorder dump (PATH.flight.json) and a Prometheus snapshot "
+        "(PATH.prom); spans are recorded in-process, so this forces --jobs 1",
     )
     storm.add_argument(
         "--jobs", type=int, default=1, metavar="N",
-        help="run the two ablation arms in separate worker processes",
+        help="run the two ablation arms in separate worker processes "
+        "(ignored — forced to 1 — when --trace is given)",
     )
     storm.set_defaults(handler=_cmd_storm)
+
+    top = subparsers.add_parser(
+        "top",
+        help="live per-VEP/per-endpoint operations table of an SLO-enabled storm",
+    )
+    top.add_argument("--seed", type=int, default=7)
+    top.add_argument("--clients", type=int, default=6)
+    top.add_argument("--requests", type=int, default=60, help="requests per client")
+    top.add_argument(
+        "--interval", type=float, default=10.0,
+        help="simulated seconds between table frames",
+    )
+    top.add_argument(
+        "--window", type=float, default=60.0,
+        help="sliding window (simulated seconds) for the Req/Avail/Burn columns",
+    )
+    top.set_defaults(handler=_cmd_top)
 
     scenarios = subparsers.add_parser(
         "scenarios", help="Section 2.2 customization scenario matrix"

@@ -10,6 +10,7 @@ from repro.casestudies.scm import (
     logging_skip_policy_document,
     resilience_policy_document,
     retailer_recovery_policy_document,
+    slo_policy_document,
 )
 from repro.metrics import describe, reliability_report
 from repro.observability import MetricsRegistry
@@ -149,6 +150,8 @@ class StormResult:
     breaker_transitions: list[tuple[float, str, str, str]]
     metrics: dict
     bus: WsBus
+    #: ``bus.slo.summary()`` when the SLO engine was active, else None.
+    slo: dict | None = None
 
     @property
     def p99_rtt(self) -> float:
@@ -162,6 +165,10 @@ def run_fault_storm(
     requests: int = 60,
     client_timeout: float = 8.0,
     tracer=None,
+    slo: bool = False,
+    on_tick=None,
+    tick_interval: float = 10.0,
+    flight_recorder=None,
 ) -> StormResult:
     """All four Retailers behind one VEP under the fault storm.
 
@@ -171,6 +178,17 @@ def run_fault_storm(
     send follows the pre-resilience code path. Both arms share the same
     recovery policies (retry with jitter, then substitute) so the ablation
     isolates the breaker/bulkhead/adaptive-timeout/shedding contribution.
+
+    With ``slo=True`` the SCM SLO policy document is also loaded, turning
+    on the full feedback loop: the bus's
+    :class:`~repro.observability.slo.SloService` watches per-endpoint
+    availability and emits burn-rate events that the reaction policy turns
+    into a selection-strategy switch. ``on_tick`` (a callable receiving the
+    bus) runs every ``tick_interval`` simulated seconds alongside the
+    workload — the hook behind ``python -m repro top``. A
+    ``flight_recorder`` (already registered on the tracer by the caller)
+    additionally receives every SLO event via
+    :meth:`~repro.observability.ops.FlightRecorder.record_event`.
     """
     deployment = build_scm_deployment(seed=seed, log_events=False)
     deployment.inject_fault_storm()
@@ -187,6 +205,8 @@ def run_fault_storm(
     )
     if resilience:
         repository.load(resilience_policy_document())
+    if slo:
+        repository.load(slo_policy_document())
     metrics = MetricsRegistry()
     bus = WsBus(
         deployment.env,
@@ -198,12 +218,22 @@ def run_fault_storm(
         tracer=tracer,
         metrics=metrics,
     )
+    if flight_recorder is not None:
+        bus.slo.add_sink(flight_recorder.record_event)
     vep = bus.create_vep(
         "retailers",
         RETAILER_CONTRACT,
         members=deployment.retailer_addresses,
         selection_strategy="round_robin",
     )
+    if on_tick is not None:
+
+        def _ticker():
+            while True:
+                yield deployment.env.timeout(tick_interval)
+                on_tick(bus)
+
+        deployment.env.process(_ticker(), name="storm-ticker")
     runner = WorkloadRunner(deployment.env, deployment.network)
     result = runner.run(
         catalog_plan(vep.address, timeout=client_timeout, think=0.5),
@@ -223,6 +253,7 @@ def run_fault_storm(
         breaker_transitions=bus.resilience.transition_log(),
         metrics=metrics.snapshot(),
         bus=bus,
+        slo=bus.slo.summary() if bus.slo.active else None,
     )
 
 

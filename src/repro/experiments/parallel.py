@@ -145,10 +145,17 @@ def figure5_point_cell(
     return rtt
 
 
-def storm_cell(seed: int, resilience: bool, clients: int, requests: int, tracer=None):
+def storm_cell(
+    seed: int, resilience: bool, clients: int, requests: int, tracer=None, slo: bool = False
+):
     """One fault-storm arm; the (unpicklable) bus is stripped from the result."""
     result = run_fault_storm(
-        seed=seed, resilience=resilience, clients=clients, requests=requests, tracer=tracer
+        seed=seed,
+        resilience=resilience,
+        clients=clients,
+        requests=requests,
+        tracer=tracer,
+        slo=slo,
     )
     return replace(result, bus=None)
 
@@ -208,7 +215,7 @@ def figure5_cells(
 
 
 def storm_cells(
-    seed: int, clients: int, requests: int, tracer=None
+    seed: int, clients: int, requests: int, tracer=None, slo: bool = False
 ) -> list[Cell]:
     """Both fault-storm ablation arms (resilience off / on)."""
     cells = []
@@ -216,5 +223,9 @@ def storm_cells(
         kwargs = dict(seed=seed, resilience=resilience, clients=clients, requests=requests)
         if tracer is not None and resilience:
             kwargs["tracer"] = tracer
+        if slo and resilience:
+            # The SLO loop rides the resilience arm only: its reaction
+            # policy tightens breakers, which need the service active.
+            kwargs["slo"] = True
         cells.append(Cell((seed, "on" if resilience else "off"), storm_cell, kwargs))
     return cells

@@ -38,6 +38,8 @@ from repro.observability.metrics import (
     Histogram,
     MetricsRegistry,
     NullMetrics,
+    labeled_name,
+    merge_metric_snapshots,
 )
 from repro.observability.tracing import (
     NULL_TRACER,
@@ -50,6 +52,7 @@ from repro.observability.tracing import (
 __all__ = [
     "ConsoleSummaryExporter",
     "Counter",
+    "FlightRecorder",
     "Histogram",
     "InMemoryExporter",
     "JsonlExporter",
@@ -58,10 +61,35 @@ __all__ = [
     "NULL_TRACER",
     "NullMetrics",
     "NullTracer",
+    "SloObjective",
+    "SloService",
     "Span",
     "SpanExporter",
     "Tracer",
     "correlation_id_for",
+    "labeled_name",
+    "merge_metric_snapshots",
     "read_spans_jsonl",
+    "render_top",
     "render_trace_tree",
 ]
+
+#: Lazily re-exported: the SLO engine imports :mod:`repro.core.events`
+#: and :mod:`repro.policy`, which themselves import this package during
+#: init — an eager import here would be a cycle. Everything that only
+#: needs tracing/metrics/exporters stays eager above.
+_LAZY = {
+    "FlightRecorder": "repro.observability.ops",
+    "SloObjective": "repro.observability.slo",
+    "SloService": "repro.observability.slo",
+    "render_top": "repro.observability.ops",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

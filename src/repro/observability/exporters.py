@@ -16,6 +16,7 @@ from __future__ import annotations
 import io
 import json
 import sys
+import warnings
 from pathlib import Path
 
 from repro.observability.tracing import Span
@@ -72,7 +73,19 @@ class InMemoryExporter(SpanExporter):
 
 
 class JsonlExporter(SpanExporter):
-    """Writes one JSON object per finished span to ``path`` (or a stream)."""
+    """Writes one JSON object per finished span to ``path`` (or a stream).
+
+    The file is opened **line-buffered** and every span is written as one
+    complete line, so a crash mid-run loses at most the line being
+    written — :func:`read_spans_jsonl` tolerates that truncated tail.
+    Usable as a context manager::
+
+        with JsonlExporter("spans.jsonl") as exporter:
+            tracer.add_exporter(exporter)
+            ...
+
+    ``flush()`` forces buffered lines to disk; ``close()`` is idempotent.
+    """
 
     def __init__(self, path, mode: str = "w") -> None:
         if hasattr(path, "write"):
@@ -81,28 +94,62 @@ class JsonlExporter(SpanExporter):
             self.path = None
         else:
             self.path = Path(path)
-            self._file = self.path.open(mode, encoding="utf-8")
+            # buffering=1 == line buffered: each span line reaches the OS
+            # as soon as it is complete (crash-safety for long runs).
+            self._file = self.path.open(mode, encoding="utf-8", buffering=1)
             self._owns_file = True
         self.exported = 0
+        self._closed = False
 
     def export(self, span: Span) -> None:
-        json.dump(span.to_dict(), self._file, separators=(",", ":"))
-        self._file.write("\n")
+        self._file.write(json.dumps(span.to_dict(), separators=(",", ":")) + "\n")
         self.exported += 1
 
+    def flush(self) -> None:
+        """Push buffered lines to the OS without closing the file."""
+        if not self._closed:
+            self._file.flush()
+
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         self._file.flush()
         if self._owns_file:
             self._file.close()
 
+    def __enter__(self) -> "JsonlExporter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
 
 def read_spans_jsonl(path) -> list[Span]:
-    """Load spans back from a :class:`JsonlExporter` file."""
+    """Load spans back from a :class:`JsonlExporter` file.
+
+    A truncated *trailing* line (the writer crashed mid-write) is
+    tolerated with a warning; corruption anywhere else still raises.
+    """
     if hasattr(path, "read"):
         lines = path.read().splitlines()
     else:
         lines = Path(path).read_text(encoding="utf-8").splitlines()
-    return [Span.from_dict(json.loads(line)) for line in lines if line.strip()]
+    lines = [line for line in lines if line.strip()]
+    spans: list[Span] = []
+    for index, line in enumerate(lines):
+        try:
+            spans.append(Span.from_dict(json.loads(line)))
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                warnings.warn(
+                    f"ignoring truncated trailing span line ({len(line)} bytes)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                break
+            raise
+    return spans
 
 
 def render_trace_tree(spans: list[Span]) -> str:

@@ -132,6 +132,9 @@ class Span:
     def __exit__(self, exc_type, exc, _tb) -> None:
         if exc is not None and self.status == "ok":
             self.status = f"error:{exc_type.__name__}"
+            self.attributes.setdefault("exception.type", exc_type.__name__)
+            if str(exc):
+                self.attributes.setdefault("exception.message", str(exc))
         self.end()
 
     # -- serialization -------------------------------------------------------

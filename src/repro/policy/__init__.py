@@ -25,6 +25,7 @@ from repro.policy.actions import (
     ActionError,
     AdaptiveTimeoutAction,
     BulkheadAction,
+    BurnRateAlertAction,
     CircuitBreakerAction,
     DelayProcessAction,
     LoadSheddingAction,
@@ -39,7 +40,9 @@ from repro.policy.actions import (
     ReplaceActivityAction,
     ResilienceAction,
     RetryAction,
+    SelectionStrategyAction,
     SkipAction,
+    SloAction,
     SubstituteAction,
     SuspendProcessAction,
     TerminateProcessAction,
@@ -68,6 +71,7 @@ __all__ = [
     "AdaptiveTimeoutAction",
     "AddActivityAction",
     "BulkheadAction",
+    "BurnRateAlertAction",
     "BusinessValue",
     "CircuitBreakerAction",
     "ConcurrentInvokeAction",
@@ -91,7 +95,9 @@ __all__ = [
     "ReplaceActivityAction",
     "ResilienceAction",
     "RetryAction",
+    "SelectionStrategyAction",
     "SkipAction",
+    "SloAction",
     "SubstituteAction",
     "SuspendProcessAction",
     "TerminateProcessAction",

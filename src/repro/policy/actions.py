@@ -26,6 +26,7 @@ __all__ = [
     "AdaptiveTimeoutAction",
     "AddActivityAction",
     "BulkheadAction",
+    "BurnRateAlertAction",
     "CircuitBreakerAction",
     "ConcurrentInvokeAction",
     "DelayProcessAction",
@@ -39,7 +40,10 @@ __all__ = [
     "ResilienceAction",
     "ResumeProcessAction",
     "RetryAction",
+    "SELECTION_STRATEGIES",
+    "SelectionStrategyAction",
     "SkipAction",
+    "SloAction",
     "SubstituteAction",
     "SuspendProcessAction",
     "TerminateProcessAction",
@@ -564,3 +568,152 @@ class LoadSheddingAction(ResilienceAction):
         if self.max_retry_queue_depth is not None:
             description += f" or retry depth {self.max_retry_queue_depth}"
         return description
+
+
+# ---------------------------------------------------------------------------
+# SLO assertions and observability-driven adaptation (messaging layer)
+# ---------------------------------------------------------------------------
+
+
+#: Mirror of :data:`repro.wsbus.selection.STRATEGIES`; duplicated here so
+#: the policy vocabulary stays importable without the messaging layer
+#: (a consistency test asserts the two tuples stay identical).
+SELECTION_STRATEGIES = (
+    "round_robin",
+    "best_response_time",
+    "best_reliability",
+    "random",
+    "primary",
+    "content",
+)
+
+
+@dataclass(frozen=True)
+class SloAction(AdaptationAction):
+    """A Service Level Objective over a scope of endpoints.
+
+    Declared in adaptation policies carrying the conventional
+    ``observability.slo`` trigger (the same load-time-scan convention as
+    ``resilience.configure``); the bus's
+    :class:`~repro.observability.slo.SloService` materializes one
+    objective per scope-matched endpoint and evaluates it continuously
+    against the shared :class:`~repro.observability.MetricsRegistry`.
+
+    ``availability_target`` is a percentage (e.g. ``99.0``); the **error
+    budget** is its complement (1% of requests may fail). An optional
+    latency SLO is expressed as ``latency_percentile`` (``p50``/``p95``/
+    ``p99``) ≤ ``latency_target_seconds``. ``window_seconds`` is the SLO
+    period over which the budget is accounted.
+    """
+
+    name: str = "slo"
+    availability_target: float = 99.0
+    latency_target_seconds: float | None = None
+    latency_percentile: str = "p99"
+    window_seconds: float = 3600.0
+
+    layer = "messaging"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.availability_target < 100.0:
+            raise ActionError(
+                f"availability_target must be in (0, 100): {self.availability_target}"
+            )
+        if self.latency_target_seconds is not None and self.latency_target_seconds <= 0:
+            raise ActionError(
+                f"latency_target_seconds must be positive: {self.latency_target_seconds}"
+            )
+        if self.latency_percentile not in ("p50", "p95", "p99"):
+            raise ActionError(f"unknown latency_percentile {self.latency_percentile!r}")
+        if self.window_seconds <= 0:
+            raise ActionError(f"window_seconds must be positive: {self.window_seconds}")
+
+    @property
+    def error_budget(self) -> float:
+        """The tolerable failure fraction (1 - availability)."""
+        return 1.0 - self.availability_target / 100.0
+
+    def describe(self) -> str:
+        description = (
+            f"SLO {self.name!r}: availability >= {self.availability_target:g}% "
+            f"over {self.window_seconds:g}s"
+        )
+        if self.latency_target_seconds is not None:
+            description += (
+                f", {self.latency_percentile} <= {self.latency_target_seconds:g}s"
+            )
+        return description
+
+
+@dataclass(frozen=True)
+class BurnRateAlertAction(AdaptationAction):
+    """Multi-window burn-rate alerting thresholds for an SLO.
+
+    Attached alongside an :class:`SloAction` in the same
+    ``observability.slo`` policy. The burn rate is the observed failure
+    rate divided by the error budget (1.0 = budget exactly consumed by
+    the end of the SLO window). The evaluator fires
+    ``sloBurnRateExceeded`` when **both** the fast and the slow window
+    burn exceed their thresholds (the fast window gives reaction speed,
+    the slow window suppresses blips), and ``sloRecovered`` once the fast
+    window drops back under 1.0.
+    """
+
+    fast_window_seconds: float = 60.0
+    slow_window_seconds: float = 300.0
+    fast_burn_threshold: float = 14.0
+    slow_burn_threshold: float = 2.0
+    evaluation_interval_seconds: float = 5.0
+    min_requests: int = 10
+
+    layer = "messaging"
+
+    def __post_init__(self) -> None:
+        if self.fast_window_seconds <= 0 or self.slow_window_seconds <= 0:
+            raise ActionError("burn-rate windows must be positive")
+        if self.fast_window_seconds > self.slow_window_seconds:
+            raise ActionError(
+                f"fast window ({self.fast_window_seconds:g}s) must not exceed "
+                f"slow window ({self.slow_window_seconds:g}s)"
+            )
+        if self.fast_burn_threshold <= 0 or self.slow_burn_threshold <= 0:
+            raise ActionError("burn thresholds must be positive")
+        if self.evaluation_interval_seconds <= 0:
+            raise ActionError(
+                f"evaluation_interval_seconds must be positive: "
+                f"{self.evaluation_interval_seconds}"
+            )
+        if self.min_requests < 1:
+            raise ActionError(f"min_requests must be positive: {self.min_requests}")
+
+    def describe(self) -> str:
+        return (
+            f"burn-rate alert (fast {self.fast_burn_threshold:g}x over "
+            f"{self.fast_window_seconds:g}s, slow {self.slow_burn_threshold:g}x over "
+            f"{self.slow_window_seconds:g}s, every {self.evaluation_interval_seconds:g}s)"
+        )
+
+
+@dataclass(frozen=True)
+class SelectionStrategyAction(AdaptationAction):
+    """Switch the selection strategy of scope-matched VEPs.
+
+    The observability-driven adaptation of the SLO loop: a policy
+    triggered by ``sloBurnRateExceeded`` can move a VEP from, say,
+    ``round_robin`` to ``best_reliability`` so traffic drains away from
+    the members burning the error budget.
+    """
+
+    strategy: str = "best_reliability"
+
+    layer = "messaging"
+
+    def __post_init__(self) -> None:
+        if self.strategy not in SELECTION_STRATEGIES:
+            raise ActionError(
+                f"unknown selection strategy {self.strategy!r}; "
+                f"expected one of {SELECTION_STRATEGIES}"
+            )
+
+    def describe(self) -> str:
+        return f"switch selection strategy to {self.strategy}"

@@ -14,6 +14,7 @@ from repro.policy.actions import (
     AdaptiveTimeoutAction,
     AddActivityAction,
     BulkheadAction,
+    BurnRateAlertAction,
     CircuitBreakerAction,
     DelayProcessAction,
     ConcurrentInvokeAction,
@@ -26,7 +27,9 @@ from repro.policy.actions import (
     ReplaceActivityAction,
     ResumeProcessAction,
     RetryAction,
+    SelectionStrategyAction,
     SkipAction,
+    SloAction,
     SubstituteAction,
     SuspendProcessAction,
     TerminateProcessAction,
@@ -290,6 +293,32 @@ def _action_to_element(action: AdaptationAction) -> Element:
         if action.max_retry_queue_depth is not None:
             attributes["maxRetryQueueDepth"] = str(action.max_retry_queue_depth)
         return Element(_masc("LoadShedding"), attributes=attributes)
+    if isinstance(action, SloAction):
+        attributes = {
+            "name": action.name,
+            "availabilityTarget": str(action.availability_target),
+            "windowSeconds": str(action.window_seconds),
+        }
+        if action.latency_target_seconds is not None:
+            attributes["latencyTargetSeconds"] = str(action.latency_target_seconds)
+            attributes["latencyPercentile"] = action.latency_percentile
+        return Element(_masc("Slo"), attributes=attributes)
+    if isinstance(action, BurnRateAlertAction):
+        return Element(
+            _masc("BurnRateAlert"),
+            attributes={
+                "fastWindowSeconds": str(action.fast_window_seconds),
+                "slowWindowSeconds": str(action.slow_window_seconds),
+                "fastBurnThreshold": str(action.fast_burn_threshold),
+                "slowBurnThreshold": str(action.slow_burn_threshold),
+                "evaluationIntervalSeconds": str(action.evaluation_interval_seconds),
+                "minRequests": str(action.min_requests),
+            },
+        )
+    if isinstance(action, SelectionStrategyAction):
+        return Element(
+            _masc("SelectionStrategy"), attributes={"strategy": action.strategy}
+        )
     if isinstance(action, AddActivityAction):
         attributes = {"anchor": action.anchor, "position": action.position}
         if action.block_name is not None:
@@ -517,6 +546,32 @@ def _parse_action(element: Element) -> AdaptationAction:
         return LoadSheddingAction(
             max_inflight=int(element.attributes.get("maxInflight", "64")),
             max_retry_queue_depth=int(depth_text) if depth_text is not None else None,
+        )
+    if local == "Slo":
+        latency_text = element.attributes.get("latencyTargetSeconds")
+        return SloAction(
+            name=element.attributes.get("name", "slo"),
+            availability_target=float(element.attributes.get("availabilityTarget", "99.0")),
+            latency_target_seconds=(
+                float(latency_text) if latency_text is not None else None
+            ),
+            latency_percentile=element.attributes.get("latencyPercentile", "p99"),
+            window_seconds=float(element.attributes.get("windowSeconds", "3600")),
+        )
+    if local == "BurnRateAlert":
+        return BurnRateAlertAction(
+            fast_window_seconds=float(element.attributes.get("fastWindowSeconds", "60")),
+            slow_window_seconds=float(element.attributes.get("slowWindowSeconds", "300")),
+            fast_burn_threshold=float(element.attributes.get("fastBurnThreshold", "14")),
+            slow_burn_threshold=float(element.attributes.get("slowBurnThreshold", "2")),
+            evaluation_interval_seconds=float(
+                element.attributes.get("evaluationIntervalSeconds", "5")
+            ),
+            min_requests=int(element.attributes.get("minRequests", "10")),
+        )
+    if local == "SelectionStrategy":
+        return SelectionStrategyAction(
+            strategy=element.attributes.get("strategy", "best_reliability")
         )
     if local == "AddActivity":
         return AddActivityAction(

@@ -31,6 +31,7 @@ from repro.policy.actions import (
     ResilienceAction,
     ResumeProcessAction,
     RetryAction,
+    SelectionStrategyAction,
     SkipAction,
     SubstituteAction,
 )
@@ -38,7 +39,7 @@ from repro.soap import FaultCode, SoapEnvelope, SoapFault, SoapFaultError
 from repro.wsbus.retry import DeadLetterEntry, DeadLetterQueue, RetryQueue
 from repro.wsbus.selection import SelectionService
 
-__all__ = ["AdaptationManager", "RecoveryOutcome"]
+__all__ = ["AdaptationManager", "EventAdaptation", "RecoveryOutcome"]
 
 
 @dataclass
@@ -54,6 +55,17 @@ class RecoveryOutcome:
     actions_taken: list[str] = field(default_factory=list)
     final_target: str | None = None
     policies_consulted: list[str] = field(default_factory=list)
+
+
+@dataclass
+class EventAdaptation:
+    """Audit record of one event-driven (non-message-path) adaptation."""
+
+    time: float
+    event: str
+    endpoint: str | None
+    policy: str
+    actions_taken: list[str] = field(default_factory=list)
 
 
 class AdaptationManager:
@@ -86,6 +98,10 @@ class AdaptationManager:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.outcomes: list[RecoveryOutcome] = []
+        #: VEPs eligible for event-driven adaptation (selection-strategy
+        #: switches). The bus shares its live ``veps`` dict after init.
+        self.veps: dict = {}
+        self.event_adaptations: list[EventAdaptation] = []
 
     def recover(
         self,
@@ -186,6 +202,116 @@ class AdaptationManager:
             )
         )
         raise last_error
+
+    # -- event-driven adaptation ------------------------------------------------------
+
+    def handle_event(self, event: MASCEvent) -> list[EventAdaptation]:
+        """Enact adaptation policies triggered by a MASC event.
+
+        This is the non-message-path half of the Adaptation Manager: SLO
+        violations (``sloBurnRateExceeded``, ``errorBudgetExhausted``) and
+        other detector events arrive here, outside any in-flight request,
+        and the matching policies reconfigure the standing machinery —
+        switch a VEP's selection strategy, tighten a circuit breaker —
+        rather than repair one message. The span tree links back to the
+        detection via ``event.trace_parent``, closing the observability
+        loop: exemplar → violation event → adaptation.
+        """
+        policies = self.repository.adaptation_policies_for(event.name, **event.subject())
+        enacted: list[EventAdaptation] = []
+        for policy in policies:
+            if not policy.condition_holds(event.context):
+                continue
+            subject_key = event.subject_key()
+            if not self.repository.check_state(policy, subject_key):
+                continue
+            span = None
+            if self.tracer.enabled:
+                span = self.tracer.start_span(
+                    "wsbus.adaptation.event",
+                    parent=event.trace_parent,
+                    attributes={
+                        "event": event.name,
+                        "policy": policy.name,
+                        "endpoint": event.endpoint,
+                    },
+                )
+            record = EventAdaptation(
+                time=self.env.now,
+                event=event.name,
+                endpoint=event.endpoint,
+                policy=policy.name,
+            )
+            for action in policy.actions:
+                if span is not None:
+                    span.add_event("action", layer=action.layer, action=action.describe())
+                if isinstance(action, SelectionStrategyAction):
+                    matched, switched = self._switch_selection_strategy(action, policy)
+                    if switched:
+                        record.actions_taken.append(
+                            f"selection strategy -> {action.strategy} on "
+                            + ", ".join(switched)
+                        )
+                    elif matched:
+                        record.actions_taken.append(
+                            f"no-change: already {action.strategy}"
+                        )
+                    else:
+                        record.actions_taken.append(
+                            f"skipped(no-matching-vep): {action.describe()}"
+                        )
+                elif isinstance(action, ResilienceAction):
+                    if self.resilience is not None and self.resilience.apply_action(
+                        action, scope=policy.scope
+                    ):
+                        record.actions_taken.append(f"configured: {action.describe()}")
+                    else:
+                        record.actions_taken.append(
+                            f"skipped(no-resilience): {action.describe()}"
+                        )
+                elif action.layer == "process":
+                    if self.process_enforcement is None:
+                        record.actions_taken.append(
+                            f"skipped(no-process-layer): {action.describe()}"
+                        )
+                    else:
+                        ok = self.process_enforcement.enact(action, policy, event)
+                        record.actions_taken.append(
+                            ("cross-layer: " if ok else "cross-layer(no-effect): ")
+                            + action.describe()
+                        )
+                else:
+                    record.actions_taken.append(f"unsupported-here: {action.describe()}")
+            self.repository.transition(policy, subject_key)
+            self.repository.record_business_value(self.env.now, policy, subject_key)
+            self.metrics.counter("wsbus.adaptation.event_driven").inc()
+            self.event_adaptations.append(record)
+            enacted.append(record)
+            if span is not None:
+                span.end(status="enacted")
+        return enacted
+
+    def _switch_selection_strategy(
+        self, action: SelectionStrategyAction, policy: AdaptationPolicy
+    ) -> tuple[int, list[str]]:
+        """Switch the strategy of every scope-matched VEP.
+
+        Returns ``(matched_count, switched_names)`` — a matched VEP that
+        already runs the requested strategy counts but is not switched.
+        """
+        matched = 0
+        switched: list[str] = []
+        for name in sorted(self.veps):
+            vep = self.veps[name]
+            if not policy.scope.matches(
+                service_type=vep.contract.service_type, endpoint=vep.address
+            ):
+                continue
+            matched += 1
+            if vep.selection_strategy != action.strategy:
+                vep.selection_strategy = action.strategy
+                switched.append(name)
+        return matched, switched
 
     # -- policy enactment -------------------------------------------------------------
 

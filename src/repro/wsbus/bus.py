@@ -15,6 +15,7 @@ la[t]ter routes request messages to the real services."
 from __future__ import annotations
 
 from repro.observability import NULL_METRICS, NULL_TRACER, correlation_id_for
+from repro.observability.slo import SloService
 from repro.policy import PolicyRepository
 from repro.resilience import ResilienceService
 from repro.services import Invoker, ServiceRegistry
@@ -106,6 +107,17 @@ class WsBus:
             resilience=self.resilience,
         )
         self.veps: dict[str, VirtualEndpoint] = {}
+        #: Event-triggered (non-message) adaptation needs the live VEP map
+        #: so selection-strategy switches can find their subjects.
+        self.adaptation.veps = self.veps
+        #: SLO engine: inert until ``observability.slo`` policies are
+        #: loaded *and* a real metrics registry is attached. Its events
+        #: flow both to the Monitoring Service's sinks (cross-layer
+        #: decision makers) and to the bus's own Adaptation Manager.
+        self.slo = SloService(env, self.repository, metrics=self.metrics, tracer=self.tracer)
+        self.slo.add_sink(self.adaptation.handle_event)
+        self.slo.add_sink(self.monitoring.raise_event)
+        self.slo.ensure_started()
         #: Per-message mediation processing cost applied inside each VEP;
         #: calibrated so mediation adds roughly the paper's ~10% RTT.
         from repro.transport import LatencyModel as _LatencyModel
@@ -192,10 +204,26 @@ class WsBus:
             )
         except SoapFaultError as error:
             self.metrics.counter("wsbus.send.failures").inc()
+            if self.slo.active:
+                self.slo.record(
+                    target,
+                    self.env.now - started,
+                    ok=False,
+                    trace_id=span.trace_id if span is not None else None,
+                    correlation_id=span.correlation_id if span is not None else None,
+                )
             if span is not None:
                 span.end(status=f"fault:{error.fault.code.value}")
             raise
         self.metrics.histogram("wsbus.send.seconds").observe(self.env.now - started)
+        if self.slo.active:
+            self.slo.record(
+                target,
+                self.env.now - started,
+                ok=True,
+                trace_id=span.trace_id if span is not None else None,
+                correlation_id=span.correlation_id if span is not None else None,
+            )
         if span is not None:
             span.end()
         return response
@@ -241,6 +269,8 @@ class WsBus:
         )
         if from_registry:
             vep.refresh_members_from_registry()
+        for member in vep.members:
+            self.slo.register_endpoint(member, contract.service_type)
         vep.address = address or f"{self.base_address}/{name}"
         endpoint = self.network.register(vep.address, vep.handle)
         if self.colocated_with_clients:
@@ -348,6 +378,8 @@ class WsBus:
         }
         if self.resilience.active:
             summary["resilience"] = self.resilience.summary()
+        if self.slo.active:
+            summary["slo"] = self.slo.summary()
         if self.metrics.enabled:
             summary["metrics"] = self.metrics.snapshot()
         return summary

@@ -67,6 +67,16 @@ class BusMonitoringService:
     def add_sink(self, sink: Callable[[MASCEvent], None]) -> None:
         self._sinks.append(sink)
 
+    def raise_event(self, event: MASCEvent) -> None:
+        """Forward an externally produced MASC event to the sinks.
+
+        The SLO engine (and any other in-process detector) routes its
+        violation events through here so the decision maker and the flight
+        recorder see one unified event stream.
+        """
+        for sink in self._sinks:
+            sink(event)
+
     # -- message checks ------------------------------------------------------------
 
     def check_message(

@@ -61,3 +61,37 @@ class TestCli:
         assert main(["table1", "--seeds", "11", "--clients", "1", "--requests", "30"]) == 0
         output = capsys.readouterr().out
         assert "Reliability (ours)" in output
+
+    def test_storm_slo_trace_writes_operations_artifacts(self, capsys, tmp_path):
+        trace = tmp_path / "storm.jsonl"
+        assert (
+            main(
+                [
+                    "storm",
+                    "--seed",
+                    "7",
+                    "--clients",
+                    "3",
+                    "--requests",
+                    "25",
+                    "--slo",
+                    "--trace",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "SLO events (resilience on):" in output
+        assert "sloBurnRateExceeded" in output
+        assert trace.exists()
+        flight = tmp_path / "storm.jsonl.flight.json"
+        prom = tmp_path / "storm.jsonl.prom"
+        assert flight.exists() and prom.exists()
+        assert "wsbus_endpoint_requests_total" in prom.read_text(encoding="utf-8")
+
+    def test_top_command_renders_operations_table(self, capsys):
+        assert main(["top", "--seed", "7", "--clients", "3", "--requests", "20"]) == 0
+        output = capsys.readouterr().out
+        assert "wsBus top" in output
+        assert "Breaker" in output and "Burn" in output

@@ -6,6 +6,7 @@ request, JSONL round-trips, and — critically — that the disabled default
 tracer adds zero allocations to the dispatch path.
 """
 
+import json
 import tracemalloc
 
 import pytest
@@ -82,6 +83,35 @@ class TestSpanModel:
         assert span.ended
         assert memory.spans[0].status == "ok"
 
+    def test_exception_exit_records_type_and_message_attributes(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        memory = tracer.add_exporter(InMemoryExporter())
+        with pytest.raises(ValueError):
+            with tracer.span("x"):
+                raise ValueError("boom")
+        [span] = memory.spans
+        assert span.status == "error:ValueError"
+        assert span.attributes["exception.type"] == "ValueError"
+        assert span.attributes["exception.message"] == "boom"
+
+    def test_exception_exit_preserves_explicit_status_and_attributes(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        with pytest.raises(RuntimeError):
+            with tracer.span("x") as span:
+                span.status = "fault:Timeout"
+                span.set_attribute("exception.type", "Timeout")
+                raise RuntimeError("late")
+        assert span.status == "fault:Timeout"
+        assert span.attributes["exception.type"] == "Timeout"
+
+    def test_messageless_exception_omits_message_attribute(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        with pytest.raises(KeyError):
+            with tracer.span("x") as span:
+                raise KeyError()
+        assert span.attributes["exception.type"] == "KeyError"
+        assert "exception.message" not in span.attributes
+
     def test_events_are_timestamped_on_the_tracer_clock(self):
         now = {"t": 1.0}
         tracer = Tracer(clock=lambda: now["t"])
@@ -119,6 +149,54 @@ class TestExporters:
         [restored] = read_spans_jsonl(path)
         assert isinstance(restored, Span)
         assert restored.to_dict() == span.to_dict()
+
+    def test_jsonl_exporter_is_a_context_manager(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(clock=lambda: 0.0)
+        with JsonlExporter(path) as exporter:
+            tracer.add_exporter(exporter)
+            tracer.start_span("x").end()
+        assert exporter.exported == 1
+        assert len(read_spans_jsonl(path)) == 1
+        exporter.close()  # idempotent: second close is a no-op
+
+    def test_jsonl_lines_are_readable_before_close(self, tmp_path):
+        # Line-buffered writes: a reader (or a crash) sees every complete
+        # span line without waiting for close().
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(clock=lambda: 0.0)
+        exporter = tracer.add_exporter(JsonlExporter(path))
+        tracer.start_span("early").end()
+        exporter.flush()
+        assert [span.name for span in read_spans_jsonl(path)] == ["early"]
+        tracer.close()
+
+    def test_truncated_trailing_line_warns_not_raises(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(clock=lambda: 0.0)
+        with JsonlExporter(path) as exporter:
+            tracer.add_exporter(exporter)
+            tracer.start_span("kept").end()
+            tracer.start_span("also-kept").end()
+        # Simulate a crash mid-write: chop the final line in half.
+        content = path.read_text(encoding="utf-8")
+        path.write_text(content[: len(content) - 40], encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="truncated trailing"):
+            spans = read_spans_jsonl(path)
+        assert [span.name for span in spans] == ["kept"]
+
+    def test_corruption_before_the_tail_still_raises(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(clock=lambda: 0.0)
+        with JsonlExporter(path) as exporter:
+            tracer.add_exporter(exporter)
+            tracer.start_span("a").end()
+            tracer.start_span("b").end()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[0] = lines[0][:10]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(json.JSONDecodeError):
+            read_spans_jsonl(path)
 
     def test_in_memory_find_and_grouping(self):
         tracer = Tracer(clock=lambda: 0.0)

@@ -104,3 +104,56 @@ class TestShardedDeterminism:
         # Spans only exist if the cells ran in-process.
         assert tracer.finished_count > 0
         assert ("VEP", 11) in rows
+
+    def test_slo_storm_jobs4_identical_to_jobs1(self):
+        # The SLO engine rides the resilience-on arm: metrics snapshots,
+        # SLO event sequences, and burn-rate status must survive the
+        # pickle round-trip through the pool byte-identically.
+        from repro.experiments import run_cells, storm_cells
+
+        kwargs = dict(seed=7, clients=3, requests=25, slo=True)
+        sequential = run_cells(storm_cells(**kwargs), jobs=1)
+        sharded = run_cells(storm_cells(**kwargs), jobs=4)
+        assert list(sequential) == list(sharded)
+        for key in sequential:
+            a, b = asdict(sequential[key]), asdict(sharded[key])
+            assert json.dumps(a, sort_keys=True, default=str) == json.dumps(
+                b, sort_keys=True, default=str
+            )
+        on = sequential[(7, "on")]
+        assert on.slo is not None and on.slo["events"]
+        assert sequential[(7, "off")].slo is None
+
+
+class TestMetricSnapshotMerge:
+    def test_counters_sum_and_histograms_combine(self):
+        from repro.observability import MetricsRegistry, merge_metric_snapshots
+
+        first = MetricsRegistry()
+        first.counter("x").inc(2)
+        first.histogram("h").observe(1.0)
+        second = MetricsRegistry()
+        second.counter("x").inc(3)
+        second.counter("y").inc(1)
+        second.histogram("h").observe(3.0)
+        merged = merge_metric_snapshots([first.snapshot(), second.snapshot()])
+        assert merged["counters"] == {"x": 5, "y": 1}
+        combined = merged["histograms"]["h"]
+        assert combined["count"] == 2
+        assert combined["min"] == 1.0 and combined["max"] == 3.0
+        assert combined["mean"] == pytest.approx(2.0)
+
+    def test_merge_is_order_independent(self):
+        from repro.observability import MetricsRegistry, merge_metric_snapshots
+
+        registries = []
+        for seed in (1, 2, 3):
+            registry = MetricsRegistry()
+            registry.counter("c").inc(seed)
+            registry.histogram("h").observe(float(seed))
+            registries.append(registry.snapshot())
+        forward = merge_metric_snapshots(registries)
+        backward = merge_metric_snapshots(list(reversed(registries)))
+        assert json.dumps(forward, sort_keys=True) == json.dumps(
+            backward, sort_keys=True
+        )
