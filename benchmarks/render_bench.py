@@ -1,0 +1,118 @@
+"""Render BENCH_kernel.json as a markdown summary.
+
+Usage::
+
+    python benchmarks/render_bench.py [BENCH_kernel.json [BENCH_kernel.md]]
+
+CI runs this after the kernel benchmarks and uploads the markdown next to
+the JSON (and into the job's step summary). Missing sections are skipped
+so the renderer keeps working as the benchmark suite evolves.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+__all__ = ["render_markdown"]
+
+
+def _row(cells: list[str]) -> str:
+    return "| " + " | ".join(cells) + " |"
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    lines = [_row(headers), _row(["---"] * len(headers))]
+    lines.extend(_row(row) for row in rows)
+    return lines
+
+
+def render_markdown(results: dict) -> str:
+    """The BENCH_kernel.json payload as a readable markdown report."""
+    lines = ["# Kernel benchmark summary", ""]
+    baseline = results.get("baseline_pr3", {})
+
+    throughput = results.get("event_throughput")
+    if throughput:
+        pr3 = baseline.get("event_throughput_events_per_sec")
+        rows = [
+            [
+                "raw kernel (timeout churn)",
+                f"{throughput['events_per_sec']:,.0f} events/sec",
+                f"{throughput['events_per_sec'] / pr3:.2f}x vs PR 3" if pr3 else "—",
+            ]
+        ]
+        table1 = results.get("table1_end_to_end")
+        if table1 and "events_per_sec" in table1:
+            pr3_wall = baseline.get("table1_jobs1_seconds")
+            rows.append(
+                [
+                    "Table 1 workload (jobs=1)",
+                    f"{table1['events_per_sec']:,.0f} events/sec",
+                    (
+                        f"{pr3_wall / table1['jobs1_seconds']:.2f}x the PR 3 wall-clock"
+                        if pr3_wall
+                        else "—"
+                    ),
+                ]
+            )
+        lines += ["## Throughput", ""]
+        lines += _table(["workload", "throughput", "vs baseline"], rows)
+        lines.append("")
+
+    micro_rows = []
+    copy = results.get("envelope_copy")
+    if copy:
+        micro_rows.append(
+            ["`SoapEnvelope.copy` vs `deep_copy`", f"{copy['speedup']:.1f}x"]
+        )
+    expr = results.get("expression_eval")
+    if expr:
+        micro_rows.append(
+            ["compiled conditions vs AST walker", f"{expr['speedup']:.1f}x"]
+        )
+    if micro_rows:
+        lines += ["## Hot-path fast paths", ""]
+        lines += _table(["fast path", "speedup"], micro_rows)
+        lines.append("")
+
+    scaling = results.get("jobs_scaling")
+    if scaling:
+        cpus = scaling.get("cpu_count", "?")
+        rows = [["1", f"{scaling['jobs1_seconds']:.2f}s", "1.00x"]]
+        for jobs, entry in sorted(scaling["jobs"].items(), key=lambda kv: int(kv[0])):
+            rows.append(
+                [jobs, f"{entry['seconds']:.2f}s", f"{entry['speedup_vs_serial']:.2f}x"]
+            )
+        lines += [f"## Jobs scaling ({cpus} CPU(s))", ""]
+        lines += _table(["jobs", "wall-clock", "speedup vs serial"], rows)
+        lines.append("")
+        table1 = results.get("table1_end_to_end", {})
+        if isinstance(cpus, int) and cpus < 2:
+            lines.append(
+                "Single-core runner: the pool can only add overhead here, so "
+                "speedup-vs-serial below 1.0 is expected; the >1.0 gate applies "
+                "on multi-core machines."
+            )
+        elif table1.get("speedup"):
+            lines.append(
+                f"jobs=4 end to end: {table1['speedup']:.2f}x vs serial "
+                f"(byte-identical: {table1.get('byte_identical', '?')})."
+            )
+        lines.append("")
+
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main(argv: list[str]) -> int:
+    source = pathlib.Path(argv[1]) if len(argv) > 1 else pathlib.Path("BENCH_kernel.json")
+    target = pathlib.Path(argv[2]) if len(argv) > 2 else source.with_suffix(".md")
+    markdown = render_markdown(json.loads(source.read_text()))
+    target.write_text(markdown)
+    print(markdown)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

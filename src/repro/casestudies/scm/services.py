@@ -207,6 +207,10 @@ class RetailerService(SimulatedService):
         self.warehouse_addresses = list(warehouse_addresses or ())
         self.logging_address = logging_address
         self.catalog = dict(catalog or DEFAULT_CATALOG)
+        #: Rendered catalog reply text, rebuilt only when the catalog changes
+        #: (every getCatalog reply is the same string otherwise).
+        self._catalog_text: str | None = None
+        self._catalog_text_source: dict[str, float] | None = None
         self.log_events = log_events
         self.orders_fulfilled = 0
         self.orders_rejected = 0
@@ -228,10 +232,14 @@ class RetailerService(SimulatedService):
     def op_getCatalog(self, payload: Element, ctx) -> Generator:
         yield ctx.work()
         yield from self._log("getCatalog")
-        catalog_text = ";".join(
-            f"{product}:{price:.2f}" for product, price in sorted(self.catalog.items())
-        )
-        return RETAILER_CONTRACT.operation("getCatalog").output.build(
+        catalog_text = self._catalog_text
+        if catalog_text is None or self._catalog_text_source != self.catalog:
+            catalog_text = ";".join(
+                f"{product}:{price:.2f}" for product, price in sorted(self.catalog.items())
+            )
+            self._catalog_text = catalog_text
+            self._catalog_text_source = dict(self.catalog)
+        return RETAILER_CONTRACT.operation("getCatalog").output.build_interned(
             catalog=catalog_text, itemCount=len(self.catalog)
         )
 

@@ -83,6 +83,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         requests=args.requests,
         tracer=tracer,
         jobs=_effective_jobs(args, tracer),
+        chunk_size=args.chunk,
     )
     print(render_table1(rows))
     _close_tracer(tracer, exporter, args.trace)
@@ -92,7 +93,10 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 def _cmd_figure5(args: argparse.Namespace) -> int:
     tracer, exporter = _make_tracer(args)
     series = regenerate_figure5(
-        requests=args.requests, tracer=tracer, jobs=_effective_jobs(args, tracer)
+        requests=args.requests,
+        tracer=tracer,
+        jobs=_effective_jobs(args, tracer),
+        chunk_size=args.chunk,
     )
     print(render_figure5(series))
     _close_tracer(tracer, exporter, args.trace)
@@ -133,7 +137,7 @@ def _cmd_storm(args: argparse.Namespace) -> int:
         cells = storm_cells(
             seed=args.seed, clients=args.clients, requests=args.requests, slo=args.slo
         )
-        merged = run_cells(cells, jobs=_effective_jobs(args, tracer))
+        merged = run_cells(cells, jobs=_effective_jobs(args, tracer), chunk_size=args.chunk)
         results = [merged[(args.seed, "off")], merged[(args.seed, "on")]]
     table = Table(
         ["Resilience", "Delivered", "Reliability", "p50 RTT", "p99 RTT", "Breaker transitions"],
@@ -348,6 +352,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="shard (config, seed) cells over N worker processes",
     )
+    table1.add_argument(
+        "--chunk", type=int, default=None, metavar="C",
+        help="cells per pool task (default: automatic, ~4 chunks per worker)",
+    )
     table1.set_defaults(handler=_cmd_table1)
 
     figure5 = subparsers.add_parser("figure5", help="Figure 5: RTT vs request size")
@@ -360,6 +368,10 @@ def build_parser() -> argparse.ArgumentParser:
     figure5.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="shard (operation, size, path) cells over N worker processes",
+    )
+    figure5.add_argument(
+        "--chunk", type=int, default=None, metavar="C",
+        help="cells per pool task (default: automatic, ~4 chunks per worker)",
     )
     figure5.set_defaults(handler=_cmd_figure5)
 
@@ -390,6 +402,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="run the two ablation arms in separate worker processes "
         "(ignored — forced to 1 — when --trace is given)",
+    )
+    storm.add_argument(
+        "--chunk", type=int, default=None, metavar="C",
+        help="cells per pool task (default: automatic, ~4 chunks per worker)",
     )
     storm.set_defaults(handler=_cmd_storm)
 

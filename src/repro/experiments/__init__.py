@@ -22,6 +22,7 @@ from repro.experiments.parallel import (
     Cell,
     ShardError,
     run_cells,
+    shutdown_pool,
     storm_cells,
 )
 from repro.experiments.reports import (
@@ -51,5 +52,6 @@ __all__ = [
     "run_fault_storm",
     "run_rtt_point",
     "run_vep_configuration",
+    "shutdown_pool",
     "storm_cells",
 ]

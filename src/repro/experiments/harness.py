@@ -22,7 +22,7 @@ def catalog_plan(target, timeout=5.0, think=2.0, padding=0):
     return RequestPlan(
         target=target,
         operation="getCatalog",
-        payload_factory=lambda c, i: RETAILER_CONTRACT.operation("getCatalog").input.build(),
+        payload_factory=lambda c, i: RETAILER_CONTRACT.operation("getCatalog").input.build_interned(),
         timeout=timeout,
         think_time_seconds=think,
         padding_bytes=padding,

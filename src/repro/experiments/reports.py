@@ -33,24 +33,35 @@ TABLE1_LABELS = {
 
 
 def regenerate_table1_per_seed(
-    seeds=(11, 23, 47), clients: int = 4, requests: int = 250, tracer=None, jobs: int = 1
+    seeds=(11, 23, 47),
+    clients: int = 4,
+    requests: int = 250,
+    tracer=None,
+    jobs: int = 1,
+    chunk_size: int | None = None,
 ):
     """Run every Table 1 cell; returns {(config, seed): Table1Row}.
 
     ``config`` is one of ``"A"``–``"D"`` (direct) or ``"VEP"``. With
-    ``jobs > 1`` the cells fan out over a process pool; the merged mapping
-    is identical to the sequential run because every cell is independently
+    ``jobs > 1`` the cells fan out over a process pool (``chunk_size``
+    cells per pool task; default automatic); the merged mapping is
+    identical to the sequential run because every cell is independently
     seeded and the merge order is fixed by the cell key. A non-None
     ``tracer`` forces ``jobs=1`` (spans are recorded in-process).
     """
     if tracer is not None:
         jobs = 1
     cells = table1_cells(seeds, clients=clients, requests=requests, tracer=tracer)
-    return run_cells(cells, jobs=jobs)
+    return run_cells(cells, jobs=jobs, chunk_size=chunk_size)
 
 
 def regenerate_table1(
-    seeds=(11, 23, 47), clients: int = 4, requests: int = 250, tracer=None, jobs: int = 1
+    seeds=(11, 23, 47),
+    clients: int = 4,
+    requests: int = 250,
+    tracer=None,
+    jobs: int = 1,
+    chunk_size: int | None = None,
 ):
     """Run all five Table 1 configurations; returns {key: (f/1000, avail)}.
 
@@ -59,7 +70,12 @@ def regenerate_table1(
     matrix across worker processes without changing the results.
     """
     per_seed = regenerate_table1_per_seed(
-        seeds, clients=clients, requests=requests, tracer=tracer, jobs=jobs
+        seeds,
+        clients=clients,
+        requests=requests,
+        tracer=tracer,
+        jobs=jobs,
+        chunk_size=chunk_size,
     )
     rows: dict[str, tuple[float, float]] = {}
     for key in ("A", "B", "C", "D", "VEP"):
@@ -100,16 +116,18 @@ def regenerate_figure5(
     requests: int = 150,
     tracer=None,
     jobs: int = 1,
+    chunk_size: int | None = None,
 ):
     """Figure 5 series: {operation: (direct RTTs, wsBus RTTs)} in seconds.
 
     ``jobs`` shards the (operation, size, direct|bus) sweep across worker
-    processes; a non-None ``tracer`` forces ``jobs=1``.
+    processes (``chunk_size`` cells per pool task; default automatic); a
+    non-None ``tracer`` forces ``jobs=1``.
     """
     if tracer is not None:
         jobs = 1
     cells = figure5_cells(sizes_kb, operations, requests=requests, tracer=tracer)
-    points = run_cells(cells, jobs=jobs)
+    points = run_cells(cells, jobs=jobs, chunk_size=chunk_size)
     series = {}
     for operation in operations:
         direct = [points[(operation, size_kb, "direct")] for size_kb in sizes_kb]

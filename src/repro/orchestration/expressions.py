@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import ast
 import operator
-from typing import Any
+from functools import lru_cache
+from typing import Any, Callable
 
 __all__ = ["Expression", "ExpressionError"]
 
@@ -107,21 +108,31 @@ _SAFE_FUNCTIONS: dict[str, Any] = {
 
 
 class Expression:
-    """A compiled safe expression, evaluated against a variables dict."""
+    """A compiled safe expression, evaluated against a variables dict.
+
+    Compilation happens once per distinct source string: the validated AST
+    is lowered to nested closures (no per-evaluation AST walk, no
+    ``isinstance`` dispatch) and memoized, so policy engines that rebuild
+    ``Expression`` objects for every trigger — and processes that evaluate
+    the same condition on every iteration — pay the parse/validate cost a
+    single time. The closures apply exactly the same operator table and
+    resource guards (:func:`_safe_mult`, :func:`_safe_pow`) as the
+    interpretive :func:`_evaluate` walker, which is kept as the reference
+    implementation for the cache-correctness tests.
+    """
+
+    __slots__ = ("source", "_body", "_run")
 
     def __init__(self, source: str) -> None:
         self.source = source
-        try:
-            tree = ast.parse(source, mode="eval")
-        except SyntaxError as exc:
-            raise ExpressionError(f"invalid expression {source!r}: {exc}") from exc
-        _validate(tree.body, source)
-        self._body = tree.body
+        body, run = _compiled(source)
+        self._body = body
+        self._run = run
 
     def evaluate(self, variables: dict[str, Any]) -> Any:
         """Evaluate with ``variables`` as the namespace."""
         try:
-            return _evaluate(self._body, variables)
+            return self._run(variables)
         except ExpressionError:
             raise
         except Exception as exc:  # noqa: BLE001 - surfaced as ExpressionError
@@ -133,6 +144,124 @@ class Expression:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Expression({self.source!r})"
+
+
+@lru_cache(maxsize=1024)
+def _compiled(source: str) -> tuple[ast.AST, "Callable[[dict[str, Any]], Any]"]:
+    """Parse, validate and lower ``source``; memoized per source string.
+
+    Returns the validated AST body (kept for the reference walker) and the
+    closure. Rejections are *not* cached: an invalid source raises
+    :class:`ExpressionError` from the parse/validate step on every call,
+    exactly as the uncached path did.
+    """
+    try:
+        tree = ast.parse(source, mode="eval")
+    except SyntaxError as exc:
+        raise ExpressionError(f"invalid expression {source!r}: {exc}") from exc
+    _validate(tree.body, source)
+    return tree.body, _compile(tree.body, source)
+
+
+def _compile(node: ast.AST, source: str) -> "Callable[[dict[str, Any]], Any]":
+    """Lower one validated AST node to a closure over the variables dict.
+
+    Mirrors :func:`_evaluate` case for case — same operator tables, same
+    guards, same short-circuit and chained-comparison semantics — but does
+    the dispatch once at compile time.
+    """
+    if isinstance(node, ast.Constant):
+        value = node.value
+        return lambda variables: value
+    if isinstance(node, ast.Name):
+        name = node.id
+        if name in _SAFE_FUNCTIONS:
+            fallback = _SAFE_FUNCTIONS[name]
+
+            def run_name(variables: dict[str, Any]) -> Any:
+                return variables[name] if name in variables else fallback
+
+            return run_name
+
+        def run_variable(variables: dict[str, Any]) -> Any:
+            try:
+                return variables[name]
+            except KeyError:
+                raise ExpressionError(f"unknown variable {name!r}") from None
+
+        return run_variable
+    if isinstance(node, ast.BinOp):
+        binary = _BINARY_OPS[type(node.op)]
+        left = _compile(node.left, source)
+        right = _compile(node.right, source)
+        return lambda variables: binary(left(variables), right(variables))
+    if isinstance(node, ast.UnaryOp):
+        unary = _UNARY_OPS[type(node.op)]
+        operand = _compile(node.operand, source)
+        return lambda variables: unary(operand(variables))
+    if isinstance(node, ast.BoolOp):
+        parts = [_compile(value, source) for value in node.values]
+        if isinstance(node.op, ast.And):
+
+            def run_and(variables: dict[str, Any]) -> Any:
+                result: Any = True
+                for part in parts:
+                    result = part(variables)
+                    if not result:
+                        return result
+                return result
+
+            return run_and
+
+        def run_or(variables: dict[str, Any]) -> Any:
+            result: Any = False
+            for part in parts:
+                result = part(variables)
+                if result:
+                    return result
+            return result
+
+        return run_or
+    if isinstance(node, ast.Compare):
+        first = _compile(node.left, source)
+        pairs = [
+            (_COMPARE_OPS[type(op)], _compile(comparator, source))
+            for op, comparator in zip(node.ops, node.comparators)
+        ]
+        if len(pairs) == 1:
+            compare, second = pairs[0]
+            return lambda variables: bool(compare(first(variables), second(variables)))
+
+        def run_chain(variables: dict[str, Any]) -> bool:
+            left_value = first(variables)
+            for compare, comparator in pairs:
+                right_value = comparator(variables)
+                if not compare(left_value, right_value):
+                    return False
+                left_value = right_value
+            return True
+
+        return run_chain
+    if isinstance(node, ast.IfExp):
+        test = _compile(node.test, source)
+        body = _compile(node.body, source)
+        orelse = _compile(node.orelse, source)
+        return lambda variables: body(variables) if test(variables) else orelse(variables)
+    if isinstance(node, ast.List):
+        elements = [_compile(element, source) for element in node.elts]
+        return lambda variables: [element(variables) for element in elements]
+    if isinstance(node, ast.Tuple):
+        elements = [_compile(element, source) for element in node.elts]
+        return lambda variables: tuple(element(variables) for element in elements)
+    if isinstance(node, ast.Subscript):
+        value = _compile(node.value, source)
+        key = _compile(node.slice, source)
+        return lambda variables: value(variables)[key(variables)]
+    if isinstance(node, ast.Call):
+        function = _SAFE_FUNCTIONS[node.func.id]  # type: ignore[union-attr]
+        arguments = [_compile(argument, source) for argument in node.args]
+        return lambda variables: function(*(argument(variables) for argument in arguments))
+    raise ExpressionError(f"unexpected node {type(node).__name__}")
 
 
 def _validate(node: ast.AST, source: str) -> None:

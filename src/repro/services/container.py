@@ -91,10 +91,11 @@ class ServiceContainer:
                         )
                     )
             try:
-                payload = yield self.env.process(
-                    service.dispatch(operation, request),
-                    name=f"{service.name}.{operation}",
-                )
+                # Run the operation body inline: dispatch is pure request-scope
+                # work, so driving its generator from the handler process saves
+                # a process allocation (and its bootstrap/completion events)
+                # on every single request.
+                payload = yield from service.dispatch(operation, request)
             except SoapFaultError as error:
                 service.faults_raised += 1
                 fault = error.fault

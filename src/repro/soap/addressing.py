@@ -44,12 +44,18 @@ class AddressingHeaders:
 
     def for_reply(self, to: str | None = None) -> "AddressingHeaders":
         """Headers for a reply correlated to this message."""
-        return AddressingHeaders(
-            to=to if to is not None else self.reply_to,
-            action=f"{self.action}Response" if self.action else None,
-            relates_to=self.message_id,
-            process_instance_id=self.process_instance_id,
-        )
+        # Direct construction (no dataclass __init__): one reply per request
+        # makes this hot, and the frozen-dataclass field funnel is pure
+        # overhead for a freshly built value.
+        reply = AddressingHeaders.__new__(AddressingHeaders)
+        state = reply.__dict__
+        state["to"] = to if to is not None else self.reply_to
+        state["action"] = f"{self.action}Response" if self.action else None
+        state["message_id"] = new_message_id()
+        state["relates_to"] = self.message_id
+        state["reply_to"] = None
+        state["process_instance_id"] = self.process_instance_id
+        return reply
 
     def with_process_instance(self, process_instance_id: str) -> "AddressingHeaders":
         """A copy carrying the calling process instance identifier."""
@@ -62,7 +68,12 @@ class AddressingHeaders:
         distinct messages on the wire (the paper's concurrent-invocation
         strategy "makes a copy of the message and modifies its route").
         """
-        return replace(self, to=to, message_id=new_message_id())
+        retargeted = AddressingHeaders.__new__(AddressingHeaders)
+        state = retargeted.__dict__
+        state.update(self.__dict__)
+        state["to"] = to
+        state["message_id"] = new_message_id()
+        return retargeted
 
     # -- XML mapping ---------------------------------------------------------
 

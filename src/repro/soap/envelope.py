@@ -9,14 +9,68 @@ the serialized size feeds the transport's size-dependent latency model
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from weakref import WeakKeyDictionary
 
 from repro.soap.addressing import AddressingHeaders
 from repro.soap.faults import SoapFault
 from repro.xmlutils import Element, QName, XmlError, parse_xml, serialize_xml
+from repro.xmlutils.element import _escape_cdata
 
 __all__ = ["SOAP_ENV_NS", "SoapEnvelope", "SoapHeader"]
 
 SOAP_ENV_NS = "http://schemas.xmlsoap.org/soap/envelope/"
+
+_ENVELOPE_NAME = QName(SOAP_ENV_NS, "Envelope")
+_HEADER_NAME = QName(SOAP_ENV_NS, "Header")
+_BODY_NAME = QName(SOAP_ENV_NS, "Body")
+_MUST_UNDERSTAND_ATTR = QName(SOAP_ENV_NS, "mustUnderstand").clark()
+
+
+def _borrowed(
+    name: QName,
+    children: list[Element],
+    attributes: dict[str, str] | None = None,
+    text: str | None = None,
+) -> Element:
+    """A throwaway element whose children are shared by reference.
+
+    :meth:`Element.append` reparents, so building a wire tree with the public
+    API would detach shared payload/header subtrees from their owners. This
+    constructs the node directly instead; the result is a read-only view for
+    the serializer (which never touches ``parent``) and must not be mutated.
+    """
+    node = Element.__new__(Element)
+    node.name = name
+    node.attributes = attributes if attributes is not None else {}
+    node.text = text
+    node.parent = None
+    node._children = children
+    return node
+
+
+#: Serialized envelope sizes memoized per shared *body* payload tree:
+#: body identity -> {addressing shape -> byte length before padding}. Two
+#: envelopes that share a body object and agree on which addressing fields
+#: are present and on each field's escaped byte length serialize to the same
+#: number of bytes (addressing blocks are flat text elements, and namespace
+#: prefix assignment depends only on the presence pattern and the body), so
+#: the expensive serialize-and-measure runs once per shape. Entries die with
+#: the body tree. Envelopes with extension headers or faults never consult
+#: the memo. Like the size cache itself, the memo relies on the middleware's
+#: copy-on-write discipline: shared body trees are replaced, never edited in
+#: place.
+_BODY_SIZE_MEMO: "WeakKeyDictionary[Element, dict[tuple, int]]" = WeakKeyDictionary()
+
+
+def _escaped_size(text: str | None) -> int | None:
+    # Inlined escaped_text_size: this runs six times per size-memo lookup.
+    # Addressing values are almost always plain ASCII URIs/URNs, where the
+    # escaped UTF-8 length is just the string length — skip the regex + encode.
+    if text is None:
+        return None
+    if "&" not in text and "<" not in text and ">" not in text and text.isascii():
+        return len(text)
+    return len(_escape_cdata(text).encode("utf-8"))
 
 
 @dataclass
@@ -68,6 +122,28 @@ class SoapEnvelope:
     # -- construction helpers ---------------------------------------------------
 
     @classmethod
+    def _fresh(
+        cls,
+        addressing: AddressingHeaders,
+        body: Element | None,
+        fault: SoapFault | None,
+        padding: int,
+    ) -> "SoapEnvelope":
+        # The construction fast path: the dataclass __init__ funnels every
+        # field write through the cache-invalidation __setattr__, which is
+        # pointless for a brand-new envelope. Envelope construction happens
+        # several times per simulated request, so the builders below skip it.
+        envelope = cls.__new__(cls)
+        state = envelope.__dict__
+        state["addressing"] = addressing
+        state["headers"] = []
+        state["body"] = body
+        state["fault"] = fault
+        state["padding"] = padding
+        state["_size_cache"] = None
+        return envelope
+
+    @classmethod
     def request(
         cls,
         to: str,
@@ -75,25 +151,28 @@ class SoapEnvelope:
         body: Element,
         reply_to: str | None = None,
         padding: int = 0,
+        process_instance_id: str | None = None,
     ) -> "SoapEnvelope":
         """A request message addressed to ``to`` with the given WSA action."""
-        return cls(
-            addressing=AddressingHeaders(to=to, action=action, reply_to=reply_to),
-            body=body,
-            padding=padding,
+        return cls._fresh(
+            AddressingHeaders(
+                to=to,
+                action=action,
+                reply_to=reply_to,
+                process_instance_id=process_instance_id,
+            ),
+            body,
+            None,
+            padding,
         )
 
     def reply(self, body: Element, padding: int = 0) -> "SoapEnvelope":
         """A success reply correlated to this request."""
-        return SoapEnvelope(
-            addressing=self.addressing.for_reply(),
-            body=body,
-            padding=padding,
-        )
+        return SoapEnvelope._fresh(self.addressing.for_reply(), body, None, padding)
 
     def reply_fault(self, fault: SoapFault) -> "SoapEnvelope":
         """A fault reply correlated to this request."""
-        return SoapEnvelope(addressing=self.addressing.for_reply(), fault=fault)
+        return SoapEnvelope._fresh(self.addressing.for_reply(), None, fault, 0)
 
     def copy(self) -> "SoapEnvelope":
         """A header-shallow working copy (the per-attempt retarget copy).
@@ -109,14 +188,10 @@ class SoapEnvelope:
         reassigning any content field on the copy invalidates it. Use
         :meth:`deep_copy` when the copy's trees must be private.
         """
-        duplicate = SoapEnvelope(
-            addressing=self.addressing,
-            headers=list(self.headers),
-            body=self.body,
-            fault=self.fault,
-            padding=self.padding,
-        )
-        object.__setattr__(duplicate, "_size_cache", self._size_cache)
+        duplicate = SoapEnvelope.__new__(SoapEnvelope)
+        state = duplicate.__dict__
+        state.update(self.__dict__)
+        state["headers"] = list(self.headers)
         return duplicate
 
     def deep_copy(self) -> "SoapEnvelope":
@@ -165,8 +240,43 @@ class SoapEnvelope:
             body.append(self.body.copy())
         return envelope
 
+    def _wire_element(self) -> Element:
+        """The serialization view of this envelope.
+
+        Structurally identical to :meth:`to_element` (and serializes to the
+        same bytes) but the payload and extension-header subtrees are shared
+        by reference instead of deep-copied: only the envelope scaffolding
+        (Envelope/Header/Body, the flat addressing blocks, and a shallow
+        wrapper per ``mustUnderstand`` header) is allocated per call. The
+        returned tree is a read-only view — callers that hand the tree out
+        for mutation must use :meth:`to_element`.
+        """
+        header_children = self.addressing.to_elements()
+        for extension in self.headers:
+            element = extension.element
+            if extension.must_understand:
+                element = _borrowed(
+                    element.name,
+                    element._children,
+                    {**element.attributes, _MUST_UNDERSTAND_ATTR: "1"},
+                    element.text,
+                )
+            header_children.append(element)
+        body_children: list[Element] = []
+        if self.fault is not None:
+            body_children.append(self.fault.to_element())
+        elif self.body is not None:
+            body_children.append(self.body)
+        return _borrowed(
+            _ENVELOPE_NAME,
+            [
+                _borrowed(_HEADER_NAME, header_children),
+                _borrowed(_BODY_NAME, body_children),
+            ],
+        )
+
     def to_xml(self) -> str:
-        return serialize_xml(self.to_element())
+        return serialize_xml(self._wire_element())
 
     @property
     def size_bytes(self) -> int:
@@ -177,11 +287,37 @@ class SoapEnvelope:
         (latency sampling on each hop, invocation records), so the value is
         cached. Reassigning any content field — including the retargeting
         reassignment of ``addressing`` — invalidates the cache.
+
+        On a cache miss, plain payload envelopes (no extension headers, no
+        fault) first consult the per-body size memo: workload generators
+        intern their constant payloads, so the thousands of envelopes that
+        share one payload tree pay for serialization once per addressing
+        shape instead of once per message.
         """
         cached = self._size_cache
-        if cached is None:
-            cached = len(self.to_xml().encode()) + self.padding
-            self._size_cache = cached
+        if cached is not None:
+            return cached
+        body = self.body
+        if body is not None and not self.headers:
+            shapes = _BODY_SIZE_MEMO.get(body)
+            if shapes is None:
+                shapes = _BODY_SIZE_MEMO.setdefault(body, {})
+            addressing = self.addressing
+            shape = (
+                _escaped_size(addressing.to),
+                _escaped_size(addressing.action),
+                _escaped_size(addressing.message_id),
+                _escaped_size(addressing.relates_to),
+                _escaped_size(addressing.reply_to),
+                _escaped_size(addressing.process_instance_id),
+            )
+            size = shapes.get(shape)
+            if size is None:
+                size = shapes[shape] = len(self.to_xml().encode("utf-8"))
+            cached = size + self.padding
+        else:
+            cached = len(self.to_xml().encode("utf-8")) + self.padding
+        self._size_cache = cached
         return cached
 
     @classmethod

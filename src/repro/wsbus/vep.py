@@ -288,9 +288,8 @@ class VirtualEndpoint:
         outbound = request.copy()
         outbound.addressing = request.addressing.retargeted(target)
         try:
-            response = yield self.env.process(
-                self.sender(outbound, operation, target, timeout=self.invocation_timeout),
-                name=("vep", self.name, target),
+            response = yield from self.sender(
+                outbound, operation, target, timeout=self.invocation_timeout
             )
             return response, target
         except SoapFaultError as error:

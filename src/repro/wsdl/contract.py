@@ -10,6 +10,8 @@ abstract WSDL for accessing the configured services".
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
+from weakref import WeakKeyDictionary
 
 from repro.soap import FaultCode
 from repro.xmlutils import Element, QName
@@ -99,6 +101,42 @@ class MessageSchema:
             raise ContractViolation(f"missing required parts {missing} for {self.element_name!r}")
         return root
 
+    def build_interned(self, namespace: str = "", **parts: object) -> Element:
+        """Like :meth:`build`, but returns a shared, memoized payload tree.
+
+        Workloads and services that emit the same payload thousands of times
+        (every ``getCatalog`` request, every catalog reply) get one element
+        tree back for all of them, which lets the SOAP layer's per-body size
+        memo collapse serialization to once per addressing shape. The
+        returned tree is shared: callers must treat it as immutable and
+        follow the middleware's copy-on-write discipline (replace bodies,
+        never edit them in place — exactly what the envelope fast-path
+        ``copy`` already requires). Unhashable part values fall back to a
+        fresh :meth:`build`.
+        """
+        try:
+            return _build_interned(self, namespace, tuple(parts.items()))
+        except TypeError:
+            return self.build(namespace, **parts)
+
+
+#: Payload trees that already validated cleanly, per message schema (matched
+#: by identity). Interned payloads repeat for thousands of requests, so the
+#: per-request contract walk runs once per shared tree. Only clean results
+#: are cached — violations always re-validate — and entries die with the
+#: payload. Relies on the middleware-wide copy-on-write discipline for
+#: shared trees.
+_VALIDATED_OK: "WeakKeyDictionary[Element, list[MessageSchema]]" = WeakKeyDictionary()
+
+
+@lru_cache(maxsize=4096)
+def _build_interned(
+    schema: MessageSchema, namespace: str, parts: tuple[tuple[str, object], ...]
+) -> Element:
+    # ``parts`` preserves keyword order, so a cache hit returns a tree with
+    # the same child order ``build`` would have produced for that call.
+    return schema.build(namespace, **dict(parts))
+
 
 @dataclass(frozen=True)
 class Operation:
@@ -141,12 +179,20 @@ class ServiceContract:
         return None
 
     def validate_request(self, operation_name: str, payload: Element) -> None:
-        violations = self.operation(operation_name).input.validate(payload)
+        schema = self.operation(operation_name).input
+        validated = _VALIDATED_OK.get(payload)
+        if validated is not None and any(entry is schema for entry in validated):
+            return
+        violations = schema.validate(payload)
         if violations:
             raise ContractViolation(
                 f"request to {self.service_type}.{operation_name} violates contract",
                 violations,
             )
+        if validated is None:
+            _VALIDATED_OK[payload] = [schema]
+        else:
+            validated.append(schema)
 
     def validate_response(self, operation_name: str, payload: Element) -> None:
         violations = self.operation(operation_name).output.validate(payload)

@@ -17,7 +17,14 @@ from collections.abc import Iterable, Iterator
 
 from repro.xmlutils.qname import QName
 
-__all__ = ["Element", "XmlError", "parse_xml", "serialize_xml"]
+__all__ = [
+    "Element",
+    "XmlError",
+    "escaped_text_size",
+    "parse_xml",
+    "serialize_xml",
+    "serialize_xml_reference",
+]
 
 
 class XmlError(Exception):
@@ -144,6 +151,146 @@ def _to_etree(element: Element) -> ET.Element:
     return node
 
 
+# -- direct serializer ---------------------------------------------------------
+#
+# Serializing through ``xml.etree`` costs a full tree conversion plus
+# ElementTree's own namespace pass on every call, and envelope serialization
+# is the hottest non-kernel code in the middleware (message sizes drive the
+# transport latency model). The writer below produces output byte-identical
+# to ``ET.tostring(..., encoding="unicode")`` — same ``ns0``/``ns1`` prefix
+# assignment in document order, same well-known prefixes (via ElementTree's
+# own registry, so ``ET.register_namespace`` keeps working), same escaping,
+# same ``<tag />`` short empty form — without ever materializing an etree.
+# ``serialize_xml_reference`` keeps the old path alive so tests can assert
+# the two stay bit-for-bit interchangeable.
+
+#: ElementTree's live well-known/registered prefix map ("for tests and
+#: troubleshooting" per its source; shared here so registrations apply to
+#: both serializers).
+_ET_PREFIXES = ET.register_namespace._namespace_map  # type: ignore[attr-defined]
+
+_XML_NS = "http://www.w3.org/XML/1998/namespace"
+
+
+def _escape_cdata(text: str) -> str:
+    # Mirrors ElementTree._escape_cdata.
+    if "&" in text:
+        text = text.replace("&", "&amp;")
+    if "<" in text:
+        text = text.replace("<", "&lt;")
+    if ">" in text:
+        text = text.replace(">", "&gt;")
+    return text
+
+
+def _escape_attrib(text: str) -> str:
+    # Mirrors ElementTree._escape_attrib, including the CR/LF/TAB entities.
+    if "&" in text:
+        text = text.replace("&", "&amp;")
+    if "<" in text:
+        text = text.replace("<", "&lt;")
+    if ">" in text:
+        text = text.replace(">", "&gt;")
+    if '"' in text:
+        text = text.replace('"', "&quot;")
+    if "\r" in text:
+        text = text.replace("\r", "&#13;")
+    if "\n" in text:
+        text = text.replace("\n", "&#10;")
+    if "\t" in text:
+        text = text.replace("\t", "&#09;")
+    return text
+
+
+class _QNameTable:
+    """Prefix assignment replicating ElementTree's ``_namespaces`` pass.
+
+    Namespace URIs get prefixes in order of first appearance in document
+    order (tag before attributes, parents before children): a well-known
+    prefix from ElementTree's registry if there is one, else ``ns%d`` with
+    ``%d`` the number of declarations so far. The ``xml`` namespace is
+    usable but never declared.
+    """
+
+    __slots__ = ("tags", "attrs", "namespaces")
+
+    def __init__(self) -> None:
+        self.tags: dict[QName, str] = {}
+        self.attrs: dict[str, str] = {}
+        self.namespaces: dict[str, str] = {}
+
+    def _prefix(self, uri: str) -> str:
+        prefix = self.namespaces.get(uri)
+        if prefix is None and uri != _XML_NS:
+            prefix = _ET_PREFIXES.get(uri)
+            if prefix is None:
+                prefix = "ns%d" % len(self.namespaces)
+            if prefix != "xml":
+                self.namespaces[uri] = prefix
+        if prefix is None:  # the implicit xml namespace
+            prefix = "xml"
+        return prefix
+
+    def add_tag(self, name: QName) -> None:
+        uri = name.namespace
+        if not uri:
+            self.tags[name] = name.local
+            return
+        prefix = self._prefix(uri)
+        self.tags[name] = f"{prefix}:{name.local}" if prefix else name.local
+
+    def add_attr(self, key: str) -> None:
+        if not key.startswith("{"):
+            self.attrs[key] = key
+            return
+        uri, _, local = key[1:].rpartition("}")
+        prefix = self._prefix(uri)
+        self.attrs[key] = f"{prefix}:{local}" if prefix else local
+
+    def collect(self, element: Element) -> None:
+        """One document-order pass over ``element`` and its subtree."""
+        if element.name not in self.tags:
+            self.add_tag(element.name)
+        for key in element.attributes:
+            if key not in self.attrs:
+                self.add_attr(key)
+        for child in element._children:
+            self.collect(child)
+
+    def declarations(self) -> str:
+        """The root element's ``xmlns`` attribute text, sorted by prefix."""
+        return "".join(
+            f' xmlns:{prefix}="{_escape_attrib(uri)}"'
+            for uri, prefix in sorted(self.namespaces.items(), key=lambda item: item[1])
+        )
+
+
+def _write_element(element: Element, out: list[str], table: _QNameTable, decl: str) -> None:
+    tag = table.tags[element.name]
+    attrs = element.attributes
+    if attrs:
+        out.append(
+            "<"
+            + tag
+            + decl
+            + "".join(
+                f' {table.attrs[key]}="{_escape_attrib(value)}"'
+                for key, value in attrs.items()
+            )
+        )
+    else:
+        out.append("<" + tag + decl)
+    text = element.text
+    children = element._children
+    if text or children:
+        out.append(">" + _escape_cdata(text) if text else ">")
+        for child in children:
+            _write_element(child, out, table, "")
+        out.append("</" + tag + ">")
+    else:
+        out.append(" />")
+
+
 def _from_etree(node: ET.Element) -> Element:
     tag = node.tag
     if not isinstance(tag, str):
@@ -156,7 +303,36 @@ def _from_etree(node: ET.Element) -> Element:
 
 
 def serialize_xml(element: Element, indent: bool = False) -> str:
-    """Serialize to an XML string (optionally pretty-printed)."""
+    """Serialize to an XML string (optionally pretty-printed).
+
+    The compact form uses the direct writer (byte-identical to the
+    ElementTree reference path, pinned by differential tests); pretty
+    printing is a debugging/reporting path and keeps using ElementTree.
+    """
+    if indent:
+        tree = _to_etree(element)
+        ET.indent(tree)
+        return ET.tostring(tree, encoding="unicode")
+    table = _QNameTable()
+    table.collect(element)
+    out: list[str] = []
+    _write_element(element, out, table, table.declarations())
+    return "".join(out)
+
+
+def escaped_text_size(text: str) -> int:
+    """UTF-8 byte length of ``text`` once escaped as element character data.
+
+    This is exactly the number of bytes ``text`` contributes to a serialized
+    document, which lets callers predict how a serialized size changes when
+    only flat text fields change (the SOAP envelope size memo relies on it).
+    """
+    return len(_escape_cdata(text).encode("utf-8"))
+
+
+def serialize_xml_reference(element: Element, indent: bool = False) -> str:
+    """The ``xml.etree`` serialization path, kept as the reference
+    implementation for differential tests against :func:`serialize_xml`."""
     tree = _to_etree(element)
     if indent:
         ET.indent(tree)

@@ -87,3 +87,104 @@ class TestSecurity:
     def test_syntax_error_wrapped(self):
         with pytest.raises(ExpressionError):
             Expression("1 +")
+
+
+class TestCompilationCache:
+    """The compiled closures must be indistinguishable from the AST walker."""
+
+    AGREEMENT_CORPUS = [
+        ("2 + 3 * 4 - 1", {}),
+        ("amount * rate", {"amount": 100, "rate": 1.5}),
+        ("0 < x <= 10", {"x": 5}),
+        ("0 < x <= 10", {"x": 15}),
+        ("a >= 1 and b < 2 or not c", {"a": 1, "b": 5, "c": False}),
+        ("x or 5", {"x": 0}),
+        ("x and 5", {"x": 0}),
+        ("c in ['BR', 'RU']", {"c": "AU"}),
+        ("'big' if n > 5 else 'small'", {"n": 2}),
+        ("xs[1] + xs[0]", {"xs": [10, 20]}),
+        ("max(1, n, 3) + len(name)", {"n": 7, "name": "ab"}),
+        ("-x ** 2", {"x": 3}),
+        ("(1, 2)", {}),
+        ("[x, x + 1]", {"x": 1}),
+        ("round(2.675, 2)", {}),
+    ]
+
+    @pytest.mark.parametrize("source,variables", AGREEMENT_CORPUS)
+    def test_compiled_matches_reference_walker(self, source, variables):
+        from repro.orchestration.expressions import _compiled, _evaluate
+
+        body, _run = _compiled(source)
+        compiled_result = Expression(source).evaluate(variables)
+        walker_result = _evaluate(body, variables)
+        assert compiled_result == walker_result
+        assert type(compiled_result) is type(walker_result)
+
+    def test_comparisons_return_bool_singletons(self):
+        assert Expression("1 < 2").evaluate({}) is True
+        assert Expression("1 < 2 < 1").evaluate({}) is False
+
+    def test_boolean_operators_return_operand_values(self):
+        # and/or return the last evaluated operand, exactly like Python.
+        assert Expression("x or 5").evaluate({"x": 0}) == 5
+        assert Expression("x and 5").evaluate({"x": 0}) == 0
+        assert Expression("x or 5").evaluate({"x": 7}) == 7
+
+    def test_same_source_shares_one_compiled_closure(self):
+        source = "threshold_cache_probe + 1"
+        assert Expression(source)._run is Expression(source)._run
+
+    def test_rejections_are_not_cached(self):
+        from repro.orchestration.expressions import _compiled
+
+        before = _compiled.cache_info().currsize
+        for _ in range(2):
+            with pytest.raises(ExpressionError):
+                Expression("x.__class__")
+        with pytest.raises(ExpressionError):
+            Expression("1 +")
+        assert _compiled.cache_info().currsize == before
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "__import__('os')",
+            "open('/etc/passwd')",
+            "x.__class__",
+            "(lambda: 1)()",
+            "[x for x in range(3)]",
+            "exec('1')",
+            "getattr(x, 'y')",
+            "x.attribute",
+            "f'{x}'",
+            "max(x, key=abs)",
+        ],
+    )
+    def test_cached_path_rejects_same_ast_as_uncached(self, source):
+        # Same corpus as TestSecurity, but constructed twice: a warm cache
+        # must not admit a source the cold path rejects.
+        for _ in range(2):
+            with pytest.raises(ExpressionError):
+                Expression(source)
+
+    def test_unknown_variable_error_matches_walker(self):
+        from repro.orchestration.expressions import _compiled, _evaluate
+
+        body, _run = _compiled("ghost + 1")
+        with pytest.raises(ExpressionError, match="unknown variable 'ghost'"):
+            Expression("ghost + 1").evaluate({})
+        with pytest.raises(ExpressionError, match="unknown variable 'ghost'"):
+            _evaluate(body, {})
+
+    def test_resource_guards_apply_through_closures(self):
+        # _safe_mult / _safe_pow must run inside the compiled closures too.
+        with pytest.raises(ExpressionError):
+            Expression("x * y").evaluate({"x": 10**3000, "y": 10**3000})
+        with pytest.raises(ExpressionError):
+            Expression("2 ** n").evaluate({"n": 100_000})
+        with pytest.raises(ExpressionError):
+            Expression("s * n").evaluate({"s": "a", "n": 10**9})
+
+    def test_short_circuit_skips_guarded_right_side(self):
+        # The right operand (which would trip the pow guard) is never built.
+        assert Expression("flag and 2 ** n").evaluate({"flag": False, "n": 10**6}) is False

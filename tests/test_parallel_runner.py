@@ -68,6 +68,85 @@ class TestRunCells:
             run_cells(cells, jobs=2)
         assert ("dead",) in excinfo.value.failures
 
+    def test_dead_worker_discards_pool_and_next_run_recovers(self):
+        # BrokenProcessPool poisons the executor; run_cells must drop the
+        # cached pool so the *next* call gets healthy workers again.
+        from repro.experiments import parallel
+
+        with pytest.raises(ShardError):
+            run_cells(
+                [Cell(("dead",), _die, {"value": 1}), Cell(("ok",), _double, {"value": 1})],
+                jobs=2,
+            )
+        assert parallel._pool is None
+        merged = run_cells(
+            [Cell(("a",), _double, {"value": 1}), Cell(("b",), _double, {"value": 2})],
+            jobs=2,
+        )
+        assert merged == {("a",): 2, ("b",): 4}
+
+    def test_pool_persists_across_run_cells_calls(self):
+        # The whole point of runner v2: fork once, reuse the workers.
+        from repro.experiments import parallel
+
+        cells = [Cell(("a",), _double, {"value": 1}), Cell(("b",), _double, {"value": 2})]
+        run_cells(cells, jobs=2)
+        first = parallel._pool
+        assert first is not None
+        run_cells(cells, jobs=2)
+        assert parallel._pool is first
+
+    def test_explicit_chunk_size_changes_batching_not_results(self):
+        cells = [Cell((name,), _double, {"value": i}) for i, name in enumerate("abcdef")]
+        expected = run_cells(cells, jobs=1)
+        for chunk_size in (1, 2, 6, 99):
+            assert run_cells(cells, jobs=2, chunk_size=chunk_size) == expected
+
+    def test_failing_cell_does_not_lose_its_chunk_mates(self):
+        # One bad cell in a multi-cell chunk: the others still report, and
+        # only the bad key lands in the failure map.
+        cells = [
+            Cell(("a",), _double, {"value": 1}),
+            Cell(("boom",), _raise, {"value": 2}),
+            Cell(("c",), _double, {"value": 3}),
+        ]
+        with pytest.raises(ShardError) as excinfo:
+            run_cells(cells, jobs=2, chunk_size=3)
+        assert list(excinfo.value.failures) == [("boom",)]
+
+
+class TestPoolFallbacks:
+    """run_cells must degrade gracefully on platforms without fork."""
+
+    def test_no_fork_falls_back_to_spawn_with_warning(self, monkeypatch):
+        from repro.experiments import parallel
+
+        parallel.shutdown_pool()
+        monkeypatch.setattr(parallel, "_warned_no_fork", False)
+        monkeypatch.setattr(
+            parallel.multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        cells = [Cell(("a",), _double, {"value": 1}), Cell(("b",), _double, {"value": 2})]
+        with pytest.warns(RuntimeWarning, match="falling back to 'spawn'"):
+            merged = run_cells(cells, jobs=2)
+        assert merged == {("a",): 2, ("b",): 4}
+        parallel.shutdown_pool()  # do not leave spawn workers to later tests
+
+    def test_pool_creation_failure_falls_back_to_serial_with_warning(self, monkeypatch):
+        from repro.experiments import parallel
+
+        parallel.shutdown_pool()
+
+        def _no_pool(*args, **kwargs):
+            raise OSError("no process support on this platform")
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", _no_pool)
+        cells = [Cell(("a",), _double, {"value": 1}), Cell(("b",), _double, {"value": 2})]
+        with pytest.warns(RuntimeWarning, match="running experiment cells serially"):
+            merged = run_cells(cells, jobs=2)
+        assert merged == {("a",): 2, ("b",): 4}
+        assert parallel._pool is None
+
 
 # -- experiment determinism -----------------------------------------------------
 
@@ -123,6 +202,38 @@ class TestShardedDeterminism:
         on = sequential[(7, "on")]
         assert on.slo is not None and on.slo["events"]
         assert sequential[(7, "off")].slo is None
+
+
+class TestChunkedDeterminism:
+    """jobs=8 with explicit chunking stays byte-identical to jobs=1."""
+
+    def test_table1_jobs8_chunked_byte_identical_to_jobs1(self):
+        kwargs = dict(seeds=(11, 23), clients=2, requests=30)
+        sequential = regenerate_table1_per_seed(jobs=1, **kwargs)
+        chunked = regenerate_table1_per_seed(jobs=8, chunk_size=2, **kwargs)
+        assert list(sequential) == list(chunked)
+        assert _table1_fingerprint(sequential) == _table1_fingerprint(chunked)
+
+    def test_figure5_jobs8_chunked_byte_identical_to_jobs1(self):
+        kwargs = dict(sizes_kb=(1, 4, 16), requests=15)
+        sequential = regenerate_figure5(jobs=1, **kwargs)
+        chunked = regenerate_figure5(jobs=8, chunk_size=3, **kwargs)
+        assert json.dumps(sequential, sort_keys=True) == json.dumps(
+            chunked, sort_keys=True
+        )
+
+    def test_slo_storm_jobs8_chunked_byte_identical_to_jobs1(self):
+        from repro.experiments import run_cells, storm_cells
+
+        kwargs = dict(seed=7, clients=3, requests=20, slo=True)
+        sequential = run_cells(storm_cells(**kwargs), jobs=1)
+        chunked = run_cells(storm_cells(**kwargs), jobs=8, chunk_size=2)
+        assert list(sequential) == list(chunked)
+        for key in sequential:
+            a, b = asdict(sequential[key]), asdict(chunked[key])
+            assert json.dumps(a, sort_keys=True, default=str) == json.dumps(
+                b, sort_keys=True, default=str
+            )
 
 
 class TestMetricSnapshotMerge:

@@ -162,3 +162,104 @@ class TestFaults:
     def test_qname_namespaced(self):
         assert FaultCode.SLA_VIOLATION.qname.local == "SLAViolation"
         assert FaultCode.SLA_VIOLATION.qname.namespace
+
+
+class TestEnvelopeSharingSafety:
+    """Envelope interning/borrowing must never leak state across messages."""
+
+    def test_wire_serialization_matches_copying_reference(self):
+        from repro.xmlutils import serialize_xml_reference
+
+        envelope = SoapEnvelope.request(
+            "http://svc/a", "urn:op:x", Element("q", text="5 < 6 & more")
+        )
+        envelope.add_header(Element("{urn:ext}h", text="meta"), must_understand=True)
+        assert envelope.to_xml() == serialize_xml_reference(envelope.to_element())
+
+    def test_fault_wire_serialization_matches_copying_reference(self):
+        from repro.xmlutils import serialize_xml_reference
+
+        request = SoapEnvelope.request("http://svc/a", "urn:op:x", Element("q"))
+        reply = request.reply_fault(SoapFault(FaultCode.TIMEOUT, "too slow"))
+        assert reply.to_xml() == serialize_xml_reference(reply.to_element())
+
+    def test_must_understand_serialization_does_not_mutate_the_header(self):
+        header_element = Element("{urn:ext}h", text="meta")
+        envelope = SoapEnvelope.request("http://svc/a", "urn:op:x", Element("q"))
+        envelope.add_header(header_element, must_understand=True)
+        assert "mustUnderstand" in envelope.to_xml()
+        # The wire view wraps the header; the caller's element is untouched.
+        assert header_element.attributes == {}
+        assert header_element.parent is None
+
+    def test_serialization_does_not_reparent_the_shared_body(self):
+        body = Element("q", text="payload")
+        envelope = SoapEnvelope.request("http://svc/a", "urn:op:x", body)
+        envelope.to_xml()
+        envelope.size_bytes
+        assert body.parent is None
+        assert envelope.body is body
+
+    def test_reply_gets_fresh_headers_not_the_request_headers(self):
+        request = SoapEnvelope.request("http://svc/a", "urn:op:x", Element("q"))
+        request.add_header(Element("{urn:ext}h", text="meta"))
+        reply = request.reply(Element("ok"))
+        assert reply.headers == []
+        reply.add_header(Element("{urn:ext}other"))
+        assert len(request.headers) == 1
+
+    def test_shared_body_size_memo_tracks_addressing_shape(self):
+        # Two envelopes sharing one body tree but differing in the length
+        # of an addressing field must not share a memoized size.
+        body = Element("q", text="payload")
+        short = SoapEnvelope.request("http://svc/a", "urn:op:x", body)
+        long = SoapEnvelope.request("http://svc/a-much-longer-address", "urn:op:x", body)
+        delta = len("http://svc/a-much-longer-address") - len("http://svc/a")
+        assert long.size_bytes - short.size_bytes == delta
+        assert short.size_bytes == len(short.to_xml().encode("utf-8"))
+        assert long.size_bytes == len(long.to_xml().encode("utf-8"))
+
+    def test_size_memo_same_shape_is_exact_not_stale(self):
+        # Same presence pattern and field lengths -> memo hit; the hit must
+        # still equal a from-scratch serialization of the second envelope
+        # (message ids are fixed-width, so the shapes genuinely match).
+        body = Element("q", text="payload")
+        first = SoapEnvelope.request("http://svc/a", "urn:op:x", body)
+        second = SoapEnvelope.request("http://svc/a", "urn:op:x", body)
+        assert first.size_bytes == second.size_bytes
+        assert second.size_bytes == len(second.to_xml().encode("utf-8"))
+
+    def test_copy_on_write_body_replacement_invalidates_size(self):
+        body = Element("q", text="x")
+        original = SoapEnvelope.request("http://svc/a", "urn:op:x", body)
+        duplicate = original.copy()
+        baseline = original.size_bytes
+        assert duplicate.size_bytes == baseline
+        duplicate.body = Element("q", text="x" * 100)
+        assert duplicate.size_bytes == baseline + 99
+        assert original.size_bytes == baseline
+        assert original.body is body
+
+    def test_padding_applied_after_memoized_size(self):
+        body = Element("q", text="payload")
+        plain = SoapEnvelope.request("http://svc/a", "urn:op:x", body)
+        padded = SoapEnvelope.request("http://svc/a", "urn:op:x", body, padding=4096)
+        assert padded.size_bytes == plain.size_bytes + 4096
+
+    def test_interned_payloads_are_shared_but_validation_safe(self):
+        # Workload generators intern constant payloads: same parts, same
+        # Element object. Envelopes built around it must still serialize
+        # and size independently.
+        from repro.casestudies.scm import RETAILER_CONTRACT
+
+        schema = RETAILER_CONTRACT.operation("getCatalog").input
+        first = schema.build_interned()
+        second = schema.build_interned()
+        assert first is second
+        distinct = schema.build()
+        assert distinct is not first
+        assert distinct.structurally_equal(first)
+        a = SoapEnvelope.request("http://svc/a", "urn:op:getCatalog", first)
+        b = SoapEnvelope.request("http://svc/b-longer", "urn:op:getCatalog", second)
+        assert a.size_bytes == len(a.to_xml().encode("utf-8"))
+        assert b.size_bytes == len(b.to_xml().encode("utf-8"))

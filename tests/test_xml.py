@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.xmlutils import Element, QName, XmlError, parse_xml, serialize_xml
+from repro.xmlutils import (
+    Element,
+    QName,
+    XmlError,
+    parse_xml,
+    serialize_xml,
+    serialize_xml_reference,
+)
 
 
 class TestQName:
@@ -150,3 +157,89 @@ class TestSerialization:
     def test_indent_output_contains_newlines(self):
         root = Element("r", children=[Element("c")])
         assert "\n" in serialize_xml(root, indent=True)
+
+
+def _multi_namespace_tree():
+    root = Element(QName("urn:a", "root"), attributes={"plain": "1"})
+    child = root.add(QName("urn:b", "child"), text="payload")
+    child.append(Element(QName("urn:a", "leaf"), attributes={"{urn:c}ref": "x"}))
+    root.add(QName("urn:b", "sibling"))
+    return root
+
+
+def _special_character_tree():
+    root = Element("doc", text="a & b < c > d")
+    root.append(
+        Element("attrs", attributes={"q": 'say "hi"', "nl": "line1\nline2", "tab": "a\tb"})
+    )
+    root.add("entities", text="5 < 6 && 7 > 2")
+    root.append(Element("cr", attributes={"v": "a\rb"}))
+    return root
+
+
+def _well_known_prefix_tree():
+    # ElementTree assigns its registered prefix (wsdl) instead of ns0.
+    root = Element(QName("http://schemas.xmlsoap.org/wsdl/", "definitions"))
+    root.add(QName("http://schemas.xmlsoap.org/wsdl/", "message"))
+    return root
+
+
+def _xml_namespace_tree():
+    # The xml: prefix is predeclared and must never get an xmlns declaration.
+    return Element(
+        "note",
+        attributes={"{http://www.w3.org/XML/1998/namespace}lang": "en"},
+        text="hello",
+    )
+
+
+def _empty_elements_tree():
+    root = Element("r")
+    root.add("empty")
+    root.add("with-attr", a="1")
+    root.add("with-text", text="")
+    return root
+
+
+def _unicode_tree():
+    root = Element("r", text="héllo — 中文")
+    root.append(Element("c", attributes={"v": "naïve"}))
+    return root
+
+
+def _deep_repeated_namespace_tree():
+    root = Element(QName("urn:x", "a"))
+    node = root
+    for _ in range(6):
+        node = node.add(QName("urn:x", "a"), text="t")
+    return root
+
+
+class TestFastSerializerDifferential:
+    """The direct writer must match the ElementTree reference byte for byte."""
+
+    CORPUS = {
+        "multi_namespace": _multi_namespace_tree,
+        "special_characters": _special_character_tree,
+        "well_known_prefix": _well_known_prefix_tree,
+        "xml_namespace_attr": _xml_namespace_tree,
+        "empty_elements": _empty_elements_tree,
+        "unicode": _unicode_tree,
+        "deep_repeated_namespace": _deep_repeated_namespace_tree,
+    }
+
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_fast_path_matches_reference(self, name):
+        tree = self.CORPUS[name]()
+        assert serialize_xml(tree) == serialize_xml_reference(tree)
+
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_fast_path_output_reparses(self, name):
+        tree = self.CORPUS[name]()
+        assert parse_xml(serialize_xml(tree)).structurally_equal(tree)
+
+    def test_serialization_does_not_mutate_the_tree(self):
+        tree = _multi_namespace_tree()
+        before = serialize_xml_reference(tree)
+        serialize_xml(tree)
+        assert serialize_xml_reference(tree) == before
