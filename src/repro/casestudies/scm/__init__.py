@@ -25,9 +25,10 @@ from repro.casestudies.scm.policies import (
     logging_skip_policy_document,
     resilience_policy_document,
     retailer_recovery_policy_document,
+    saga_policy_document,
     slo_policy_document,
 )
-from repro.casestudies.scm.process import build_scm_process
+from repro.casestudies.scm.process import build_scm_process, build_scm_saga_process
 from repro.casestudies.scm.services import (
     ConfigurationService,
     LoggingFacilityService,
@@ -52,8 +53,10 @@ __all__ = [
     "broadcast_policy_document",
     "build_scm_deployment",
     "build_scm_process",
+    "build_scm_saga_process",
     "logging_skip_policy_document",
     "resilience_policy_document",
     "retailer_recovery_policy_document",
+    "saga_policy_document",
     "slo_policy_document",
 ]

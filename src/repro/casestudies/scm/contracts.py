@@ -38,6 +38,37 @@ RETAILER_CONTRACT = ServiceContract(
                 ),
             ),
         ),
+        Operation(
+            name="cancelOrder",
+            input=MessageSchema("cancelOrderRequest", (PartSchema("orderId"),)),
+            output=MessageSchema(
+                "cancelOrderResponse",
+                (PartSchema("orderId"), PartSchema("status")),
+            ),
+        ),
+        Operation(
+            name="collectPayment",
+            input=MessageSchema(
+                "collectPaymentRequest",
+                (
+                    PartSchema("orderId"),
+                    PartSchema("customerId"),
+                    PartSchema("amount", "float"),
+                ),
+            ),
+            output=MessageSchema(
+                "collectPaymentResponse",
+                (PartSchema("paymentId"), PartSchema("status")),
+            ),
+        ),
+        Operation(
+            name="refundPayment",
+            input=MessageSchema("refundPaymentRequest", (PartSchema("paymentId"),)),
+            output=MessageSchema(
+                "refundPaymentResponse",
+                (PartSchema("paymentId"), PartSchema("status")),
+            ),
+        ),
     ),
 )
 
@@ -60,6 +91,17 @@ WAREHOUSE_CONTRACT = ServiceContract(
             input=MessageSchema("checkStockRequest", (PartSchema("product"),)),
             output=MessageSchema(
                 "checkStockResponse",
+                (PartSchema("product"), PartSchema("level", "int")),
+            ),
+        ),
+        Operation(
+            name="restock",
+            input=MessageSchema(
+                "restockRequest",
+                (PartSchema("product"), PartSchema("quantity", "int")),
+            ),
+            output=MessageSchema(
+                "restockResponse",
                 (PartSchema("product"), PartSchema("level", "int")),
             ),
         ),

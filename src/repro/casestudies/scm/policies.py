@@ -22,6 +22,7 @@ from repro.policy import (
     BulkheadAction,
     BurnRateAlertAction,
     CircuitBreakerAction,
+    CompensateInstanceAction,
     ConcurrentInvokeAction,
     LoadSheddingAction,
     PolicyDocument,
@@ -40,6 +41,7 @@ __all__ = [
     "logging_skip_policy_document",
     "resilience_policy_document",
     "retailer_recovery_policy_document",
+    "saga_policy_document",
     "slo_policy_document",
 ]
 
@@ -262,6 +264,44 @@ def slo_policy_document(
             ),
             priority=10,
             adaptation_type="optimization",
+        )
+    )
+    return _round_trip(document)
+
+
+def saga_policy_document(
+    process: str | None = "scm-purchase-saga",
+    scope: str | None = None,
+    mode: str = "orchestration",
+    triggers: tuple[str, ...] = ("errorBudgetExhausted",),
+) -> PolicyDocument:
+    """Turn SLO despair into a saga unwind — a policy-only change.
+
+    When the SLO engine reports the error budget gone, keeping in-flight
+    purchase sagas running only piles further work onto a tier that can
+    no longer meet its objective.  This reaction policy compensates them
+    instead: each instance's registered compensations (cancel the order,
+    refund the payment) run in LIFO order, either engine-driven
+    (``orchestration``) or as direct wsBus messages to the owning
+    services (``choreography``).  No code change is involved — loading
+    this document is enough.
+    """
+    document = PolicyDocument("scm-saga")
+    document.adaptation_policies.append(
+        AdaptationPolicy(
+            name="purchase-saga-compensate-on-budget-exhausted",
+            triggers=triggers,
+            scope=PolicyScope(service_type="Retailer"),
+            actions=(
+                CompensateInstanceAction(
+                    scope=scope,
+                    mode=mode,
+                    process=process,
+                    reason="error budget exhausted",
+                ),
+            ),
+            priority=5,
+            adaptation_type="correction",
         )
     )
     return _round_trip(document)

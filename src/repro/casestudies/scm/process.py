@@ -9,9 +9,19 @@ services.
 
 from __future__ import annotations
 
-from repro.orchestration import Invoke, ProcessDefinition, Reply, Sequence
+from repro.orchestration import (
+    Assign,
+    CompensationScope,
+    IfElse,
+    Invoke,
+    ProcessDefinition,
+    Reply,
+    Sequence,
+    Throw,
+)
+from repro.soap import FaultCode
 
-__all__ = ["build_scm_process"]
+__all__ = ["build_scm_process", "build_scm_saga_process"]
 
 
 def build_scm_process(
@@ -66,5 +76,124 @@ def build_scm_process(
             "order_id": "order-0001",
             "order_items": order_items,
             "customer_id": customer_id,
+        },
+    )
+
+
+def build_scm_saga_process(
+    retailer_address: str,
+    logging_address: str,
+    order_items: str = "TVx1,DVDx2",
+    customer_id: str = "customer-1",
+    amount: float = 1697.0,
+    abort: bool = False,
+    name: str = "scm-purchase-saga",
+) -> ProcessDefinition:
+    """The purchase composition as a saga (cancel-order compensation).
+
+    Same flow as :func:`build_scm_process` with payment collection added,
+    wrapped in a :class:`CompensationScope`: ``submit-order`` is undone by
+    ``cancel-order`` (the retailer restocks the exact warehouses that
+    shipped) and ``collect-payment`` by ``refund-payment``. With
+    ``abort=True`` a gate throws after payment, so the engine unwinds the
+    registered chain LIFO (refund, then cancel) and the catch-all handler
+    replies ``aborted`` — the instance still *completes*.
+    """
+    body = Sequence(
+        "saga-main",
+        [
+            Invoke(
+                "get-catalog",
+                operation="getCatalog",
+                to=retailer_address,
+                inputs={},
+                output_variable="catalog_response",
+                extract={"catalog": "catalog", "item_count": "itemCount"},
+                timeout_seconds=15.0,
+            ),
+            Invoke(
+                "submit-order",
+                operation="submitOrder",
+                to=retailer_address,
+                inputs={
+                    "orderId": "$order_id",
+                    "items": "$order_items",
+                    "customerId": "$customer_id",
+                },
+                output_variable="order_response",
+                extract={"order_status": "status", "shipped_from": "shippedFrom"},
+                timeout_seconds=20.0,
+            ),
+            Invoke(
+                "collect-payment",
+                operation="collectPayment",
+                to=retailer_address,
+                inputs={
+                    "orderId": "$order_id",
+                    "customerId": "$customer_id",
+                    "amount": "$amount",
+                },
+                extract={"payment_id": "paymentId", "payment_status": "status"},
+                timeout_seconds=10.0,
+            ),
+            IfElse(
+                "abort-gate",
+                "abort == 'true'",
+                then=Throw(
+                    "abort-order", FaultCode.SERVER, "purchase aborted after payment"
+                ),
+            ),
+            Invoke(
+                "track-order",
+                operation="getEvents",
+                to=logging_address,
+                inputs={},
+                output_variable="events_response",
+                extract={"event_count": "count"},
+                timeout_seconds=10.0,
+            ),
+            Reply("order-result", variable="order_status"),
+        ],
+    )
+    root = CompensationScope(
+        "purchase-saga",
+        body,
+        compensations={
+            "submit-order": Invoke(
+                "cancel-order",
+                operation="cancelOrder",
+                to=retailer_address,
+                inputs={"orderId": "$order_id"},
+                extract={"cancel_status": "status"},
+                timeout_seconds=10.0,
+            ),
+            "collect-payment": Invoke(
+                "refund-payment",
+                operation="refundPayment",
+                to=retailer_address,
+                inputs={"paymentId": "$payment_id"},
+                extract={"refund_status": "status"},
+                timeout_seconds=10.0,
+            ),
+        },
+        fault_handlers={
+            None: Sequence(
+                "abort-flow",
+                [
+                    Assign("mark-aborted", "order_status", value="aborted"),
+                    Reply("aborted-result", variable="order_status"),
+                ],
+            )
+        },
+    )
+    return ProcessDefinition(
+        name,
+        root,
+        initial_variables={
+            "order_id": "order-0001",
+            "order_items": order_items,
+            "customer_id": customer_id,
+            "amount": amount,
+            "abort": "true" if abort else "false",
         },
     )

@@ -134,12 +134,28 @@ class WarehouseService(SimulatedService):
         self._restocking: set[str] = set()
         self.shipments = 0
         self.stockouts = 0
+        self.returns = 0
 
     def op_checkStock(self, payload: Element, ctx) -> Generator:
         yield ctx.work()
         product = payload.child_text("product", "") or ""
         return WAREHOUSE_CONTRACT.operation("checkStock").output.build(
             product=product, level=self.stock.get(product, 0)
+        )
+
+    def op_restock(self, payload: Element, ctx) -> Generator:
+        """Return previously shipped goods to stock (saga compensation)."""
+        yield ctx.work()
+        product = payload.child_text("product", "") or ""
+        quantity = int(payload.child_text("quantity", "0") or 0)
+        if quantity <= 0:
+            raise SoapFaultError(
+                SoapFault(FaultCode.CLIENT, f"invalid quantity {quantity}")
+            )
+        self.stock[product] = self.stock.get(product, 0) + quantity
+        self.returns += 1
+        return WAREHOUSE_CONTRACT.operation("restock").output.build(
+            product=product, level=self.stock[product]
         )
 
     def op_shipGoods(self, payload: Element, ctx) -> Generator:
@@ -214,6 +230,13 @@ class RetailerService(SimulatedService):
         self.log_events = log_events
         self.orders_fulfilled = 0
         self.orders_rejected = 0
+        self.orders_cancelled = 0
+        self.payments_refunded = 0
+        #: Fulfilled-but-cancellable orders:
+        #: orderId -> [(product, quantity, warehouse address), ...].
+        self.open_orders: dict[str, list[tuple[str, int, str]]] = {}
+        #: Collected payments: paymentId -> (customerId, amount).
+        self.payments: dict[str, tuple[str, float]] = {}
 
     def _log(self, event: str) -> Generator:
         """Log a business event; logging failures never fail the use case."""
@@ -250,27 +273,85 @@ class RetailerService(SimulatedService):
         if not items:
             raise SoapFaultError(SoapFault(FaultCode.CLIENT, "order has no items"))
         shipped_from: list[str] = []
+        reservations: list[tuple[str, int, str]] = []
         for product, quantity in items:
             if product not in self.catalog:
                 raise SoapFaultError(
                     SoapFault(FaultCode.CLIENT, f"unknown product {product!r}")
                 )
-            warehouse = yield from self._fulfil(product, quantity)
-            if warehouse is None:
+            fulfilled = yield from self._fulfil(product, quantity)
+            if fulfilled is None:
                 self.orders_rejected += 1
                 yield from self._log(f"submitOrder:{order_id}:rejected")
                 return RETAILER_CONTRACT.operation("submitOrder").output.build(
                     orderId=order_id, status="rejected", shippedFrom="none"
                 )
+            warehouse, address = fulfilled
             shipped_from.append(warehouse)
+            reservations.append((product, quantity, address))
         self.orders_fulfilled += 1
+        self.open_orders[order_id] = reservations
         yield from self._log(f"submitOrder:{order_id}:fulfilled")
         return RETAILER_CONTRACT.operation("submitOrder").output.build(
             orderId=order_id, status="fulfilled", shippedFrom=",".join(shipped_from)
         )
 
+    def op_cancelOrder(self, payload: Element, ctx) -> Generator:
+        """Saga compensation for submitOrder: reverse the reservations."""
+        yield ctx.work()
+        order_id = payload.child_text("orderId", "") or ""
+        reservations = self.open_orders.pop(order_id, None)
+        if reservations is None:
+            return RETAILER_CONTRACT.operation("cancelOrder").output.build(
+                orderId=order_id, status="unknown"
+            )
+        for product, quantity, address in reservations:
+            request = WAREHOUSE_CONTRACT.operation("restock").input.build(
+                product=product, quantity=quantity
+            )
+            try:
+                yield from self.invoker.invoke(address, "restock", request, timeout=10.0)
+            except SoapFaultError:
+                pass  # warehouse unreachable: the goods are written off
+        self.orders_cancelled += 1
+        yield from self._log(f"cancelOrder:{order_id}:cancelled")
+        return RETAILER_CONTRACT.operation("cancelOrder").output.build(
+            orderId=order_id, status="cancelled"
+        )
+
+    def op_collectPayment(self, payload: Element, ctx) -> Generator:
+        yield ctx.work()
+        order_id = payload.child_text("orderId", "") or ""
+        customer_id = payload.child_text("customerId", "") or ""
+        amount = float(payload.child_text("amount", "0") or 0.0)
+        payment_id = f"pay-{order_id}"
+        self.payments[payment_id] = (customer_id, amount)
+        yield from self._log(f"collectPayment:{payment_id}:collected")
+        return RETAILER_CONTRACT.operation("collectPayment").output.build(
+            paymentId=payment_id, status="collected"
+        )
+
+    def op_refundPayment(self, payload: Element, ctx) -> Generator:
+        """Saga compensation for collectPayment."""
+        yield ctx.work()
+        payment_id = payload.child_text("paymentId", "") or ""
+        if self.payments.pop(payment_id, None) is None:
+            return RETAILER_CONTRACT.operation("refundPayment").output.build(
+                paymentId=payment_id, status="unknown"
+            )
+        self.payments_refunded += 1
+        yield from self._log(f"refundPayment:{payment_id}:refunded")
+        return RETAILER_CONTRACT.operation("refundPayment").output.build(
+            paymentId=payment_id, status="refunded"
+        )
+
     def _fulfil(self, product: str, quantity: int) -> Generator:
-        """Warehouse fall-through: first warehouse that can ship wins."""
+        """Warehouse fall-through: first warehouse that can ship wins.
+
+        Returns ``(warehouse name, warehouse address)`` — the address is
+        kept with the reservation so a cancelOrder can restock the exact
+        warehouse that shipped.
+        """
         request = WAREHOUSE_CONTRACT.operation("shipGoods").input.build(
             product=product, quantity=quantity
         )
@@ -282,7 +363,7 @@ class RetailerService(SimulatedService):
             except SoapFaultError:
                 continue  # warehouse unreachable: fall through to the next
             if (response.body.child_text("shipped") or "") == "true":
-                return response.body.child_text("warehouse")
+                return (response.body.child_text("warehouse"), address)
         return None
 
 

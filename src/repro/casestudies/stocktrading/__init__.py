@@ -29,7 +29,11 @@ from repro.casestudies.stocktrading.policies import (
     currency_conversion_policy_document,
     pest_analysis_policy_document,
 )
-from repro.casestudies.stocktrading.process import TRADING_ANCHORS, build_trading_process
+from repro.casestudies.stocktrading.process import (
+    TRADING_ANCHORS,
+    build_trading_process,
+    build_trading_saga_process,
+)
 from repro.casestudies.stocktrading.services import (
     CreditRatingService,
     CurrencyConversionService,
@@ -70,6 +74,7 @@ __all__ = [
     "TradingDeployment",
     "build_trading_deployment",
     "build_trading_process",
+    "build_trading_saga_process",
     "compliance_removal_policy_document",
     "credit_rating_policy_document",
     "currency_conversion_policy_document",

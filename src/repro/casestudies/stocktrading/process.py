@@ -17,14 +17,18 @@ from __future__ import annotations
 
 from repro.orchestration import (
     Assign,
+    CompensationScope,
     Expression,
+    IfElse,
     Invoke,
     ProcessDefinition,
     Reply,
     Sequence,
+    Throw,
 )
+from repro.soap import FaultCode
 
-__all__ = ["TRADING_ANCHORS", "build_trading_process"]
+__all__ = ["TRADING_ANCHORS", "build_trading_process", "build_trading_saga_process"]
 
 #: The activity names policies anchor to (kept stable as a public contract).
 TRADING_ANCHORS = {
@@ -121,5 +125,150 @@ def build_trading_process(
             "country": "AU",
             "currency": "AUD",
             "profile": "personal",
+        },
+    )
+
+
+def build_trading_saga_process(
+    fund_manager_address: str,
+    analysis_address: str,
+    market_address: str,
+    payment_address: str,
+    abort: bool = False,
+    name: str = "trading-saga",
+) -> ProcessDefinition:
+    """The trading composition as an unwind-position saga.
+
+    ``reserve-funds`` moves the investment amount from the investor to the
+    broker and is undone by ``release-funds`` (the same transfer with the
+    parties flipped); ``place-trade`` is undone by ``unwind-trade`` (the
+    same trade with the side flipped). With ``abort=True`` a gate throws
+    after the trade, the saga unwinds LIFO (unwind the position, then
+    release the funds) and the catch-all handler replies ``unwound``.
+    """
+    body = Sequence(
+        "trading-saga-main",
+        [
+            Invoke(
+                "verify-order",
+                operation="placeOrder",
+                to=fund_manager_address,
+                inputs={
+                    "investorId": "$investor_id",
+                    "orderType": "$order_type",
+                    "amount": "$amount",
+                    "country": "$country",
+                    "profile": "$profile",
+                },
+                extract={"order_id": "orderId", "order_status": "status"},
+                timeout_seconds=15.0,
+            ),
+            Invoke(
+                "get-analysis",
+                operation="getRecommendation",
+                to=analysis_address,
+                inputs={
+                    "orderType": "$order_type",
+                    "amount": "$amount",
+                    "country": "$country",
+                },
+                extract={"symbol": "symbol", "score": "score", "price": "price"},
+                timeout_seconds=15.0,
+            ),
+            Assign(
+                "size-trade",
+                "quantity",
+                expression="max(1, int(amount / price)) if price > 0 else 1",
+            ),
+            Invoke(
+                "reserve-funds",
+                operation="transferFunds",
+                to=payment_address,
+                inputs={
+                    "tradeId": "$order_id",
+                    "amount": "$amount",
+                    "fromParty": "$investor_id",
+                    "toParty": "broker",
+                },
+                extract={"funds_reserved": "settled"},
+                timeout_seconds=10.0,
+            ),
+            Invoke(
+                "place-trade",
+                operation="placeTrade",
+                to=market_address,
+                inputs={
+                    "orderId": "$order_id",
+                    "symbol": "$symbol",
+                    "side": Expression("'buy' if order_type == 'invest' else 'sell'"),
+                    "quantity": "$quantity",
+                    "limitPrice": "$price",
+                },
+                extract={"trade_id": "tradeId", "trade_status": "status"},
+                timeout_seconds=20.0,
+            ),
+            IfElse(
+                "abort-gate",
+                "abort == 'true'",
+                then=Throw(
+                    "abort-trade", FaultCode.SERVER, "position abandoned after trade"
+                ),
+            ),
+            Reply("trade-result", variable="trade_status"),
+        ],
+    )
+    root = CompensationScope(
+        "trade-saga",
+        body,
+        compensations={
+            "reserve-funds": Invoke(
+                "release-funds",
+                operation="transferFunds",
+                to=payment_address,
+                inputs={
+                    "tradeId": "$order_id",
+                    "amount": "$amount",
+                    "fromParty": "broker",
+                    "toParty": "$investor_id",
+                },
+                extract={"funds_released": "settled"},
+                timeout_seconds=10.0,
+            ),
+            "place-trade": Invoke(
+                "unwind-trade",
+                operation="placeTrade",
+                to=market_address,
+                inputs={
+                    "orderId": "$order_id",
+                    "symbol": "$symbol",
+                    "side": Expression("'sell' if order_type == 'invest' else 'buy'"),
+                    "quantity": "$quantity",
+                    "limitPrice": "$price",
+                },
+                extract={"unwind_trade_id": "tradeId", "unwind_status": "status"},
+                timeout_seconds=20.0,
+            ),
+        },
+        fault_handlers={
+            None: Sequence(
+                "unwind-flow",
+                [
+                    Assign("mark-unwound", "trade_status", value="unwound"),
+                    Reply("unwound-result", variable="trade_status"),
+                ],
+            )
+        },
+    )
+    return ProcessDefinition(
+        name,
+        root,
+        initial_variables={
+            "investor_id": "investor-1",
+            "order_type": "invest",
+            "amount": 5000.0,
+            "country": "AU",
+            "currency": "AUD",
+            "profile": "personal",
+            "abort": "true" if abort else "false",
         },
     )

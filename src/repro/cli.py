@@ -5,7 +5,8 @@ Usage::
     python -m repro table1 [--seeds 11 23 47] [--requests 250] [--jobs 4] [--trace spans.jsonl]
     python -m repro figure5 [--requests 150] [--jobs 4] [--trace spans.jsonl]
     python -m repro storm [--seed 7] [--requests 60] [--jobs 2] [--trace spans.jsonl] [--slo]
-    python -m repro storm --crash-engine [--seed 7]
+    python -m repro storm --crash-engine [--seed 7] [--sagas] [--journal DIR]
+    python -m repro replay JOURNAL [--instance ID] [--at SEQ] [--diff OTHER] [--verify]
     python -m repro top [--seed 7] [--interval 10]
     python -m repro scenarios
     python -m repro quickcheck
@@ -29,6 +30,17 @@ operations table every ``--interval`` simulated seconds.
 scenario: it kills the workflow engine mid-process, rehydrates the
 checkpointed instance in a fresh engine, and verifies the recovered run
 finishes identically to an uninterrupted one (see ``docs/persistence.md``).
+``--sagas`` extends the crash matrix to the compensation case studies
+(the SCM cancel-order saga and the trading unwind-position saga) and
+sweeps *every* activity boundary — including each compensation step — so
+crashes landing mid-compensation are recovered too (see ``docs/sagas.md``).
+``--journal DIR`` keeps each crash run's event journal as a JSONL file in
+``DIR`` and verifies every stored checkpoint byte-matches its
+journal-derived snapshot.
+``replay`` is the journal debugger: list a journal's domain events, print
+the reconstructed activity tree and variables at any sequence number
+(``--at SEQ``), diff two same-seed journals (``--diff OTHER``), or check
+checkpoint/journal byte-identity (``--verify``).
 ``quickcheck`` runs a fast, low-volume version of everything — a smoke
 test that the full stack works on this machine in a few seconds.
 """
@@ -109,6 +121,9 @@ def _cmd_storm(args: argparse.Namespace) -> int:
 
     if args.crash_engine:
         return _run_crash_storm(args)
+    if args.sagas or args.journal:
+        print("--sagas/--journal require --crash-engine", file=sys.stderr)
+        return 2
 
     tracer, exporter = _make_tracer(args)
     recorder = None
@@ -216,8 +231,27 @@ def _cmd_top(args: argparse.Namespace) -> int:
 
 def _run_crash_storm(args: argparse.Namespace) -> int:
     """Kill the engine mid-flight and prove checkpointed instances recover."""
-    from repro.experiments import run_crash_recovery
+    from pathlib import Path
+
+    from repro.experiments import count_crash_boundaries, run_crash_recovery
     from repro.metrics import Table
+    from repro.persistence import CheckpointStore, verify_journal
+
+    journal_dir = Path(args.journal) if getattr(args, "journal", None) else None
+    if journal_dir is not None:
+        journal_dir.mkdir(parents=True, exist_ok=True)
+
+    if args.sagas:
+        # The saga compositions abort after payment/trade, so the boundary
+        # sweep covers every compensation step as a kill point too.
+        matrix = {
+            process: range(1, count_crash_boundaries(process, seed=args.seed) + 1)
+            for process in ("scm-saga", "trading-saga")
+        }
+        title = "Fault storm — saga crash recovery (every boundary)"
+    else:
+        matrix = {process: (1, 2, 3) for process in ("scm", "trading")}
+        title = "Fault storm — engine crash recovery"
 
     table = Table(
         [
@@ -227,17 +261,32 @@ def _run_crash_storm(args: argparse.Namespace) -> int:
             "Replayed",
             "Recovered",
             "Equivalent",
+            "Journal",
         ],
-        title="Fault storm — engine crash recovery",
+        title=title,
     )
     failures: list[str] = []
-    for process in ("scm", "trading"):
-        for crash_after in (1, 2, 3):
+    for process, crash_points in matrix.items():
+        for crash_after in crash_points:
+            store_path = None
+            if journal_dir is not None:
+                store_path = journal_dir / f"{process}-crash{crash_after}.jsonl"
+                store_path.unlink(missing_ok=True)
             result = run_crash_recovery(
                 process=process,
                 seed=args.seed,
                 crash_after_completions=crash_after,
+                store_path=store_path,
             )
+            journal_status = "-"
+            if store_path is not None:
+                divergences = verify_journal(CheckpointStore(store_path))
+                journal_status = "ok" if not divergences else f"{len(divergences)} diverged"
+                if divergences:
+                    failures.append(
+                        f"{process} (crash after {crash_after}): journal-derived "
+                        f"snapshot diverges from {len(divergences)} checkpoint field(s)"
+                    )
             table.add_row(
                 [
                     process,
@@ -246,6 +295,7 @@ def _run_crash_storm(args: argparse.Namespace) -> int:
                     result.replayed_activities,
                     result.recovered_status,
                     result.equivalent,
+                    journal_status,
                 ]
             )
             if not result.equivalent:
@@ -254,12 +304,168 @@ def _run_crash_storm(args: argparse.Namespace) -> int:
                     f"{', '.join(result.divergences) or 'status mismatch'}"
                 )
     print(table.render())
+    if journal_dir is not None:
+        print(f"\nwrote event journals to {journal_dir}/")
     if failures:
         print("\nRecovery divergences:")
         for line in failures:
             print(f"  {line}")
         return 1
     print("\nAll crashed instances rehydrated and finished identically.")
+    return 0
+
+
+def _render_activity_tree(tree_xml: str, executed, active) -> str:
+    """The activity tree with per-node execution markers."""
+    from repro.orchestration.xmlio import parse_activity
+
+    root = parse_activity(tree_xml)
+    lines: list[str] = []
+
+    def walk(activity, depth: int) -> None:
+        if activity.name in active:
+            marker = ">"
+        elif activity.name in executed:
+            marker = "*"
+        else:
+            marker = " "
+        kind = type(activity).__name__
+        lines.append(f"  {marker} {'  ' * depth}{activity.name} [{kind}]")
+        for child in activity.children():
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    return "\n".join(lines)
+
+
+def _pick_instance(store, requested: str | None) -> str | None:
+    """Resolve ``--instance``; on ambiguity list the choices and bail."""
+    instance_ids = store.instance_ids()
+    if requested is not None:
+        if requested not in instance_ids:
+            print(f"no records for instance {requested!r}", file=sys.stderr)
+            print(f"instances in journal: {', '.join(instance_ids)}", file=sys.stderr)
+            return None
+        return requested
+    if len(instance_ids) == 1:
+        return instance_ids[0]
+    print("journal holds several instances; pick one with --instance:", file=sys.stderr)
+    for instance_id in instance_ids:
+        print(f"  {instance_id}", file=sys.stderr)
+    return None
+
+
+def _summarize_event(record: dict) -> str:
+    data = record.get("data", {})
+    for key in ("activity", "step", "name", "status"):
+        if key in data:
+            detail = data[key]
+            if key == "name" and "value" in data:
+                return f"{detail} = {data['value']!r}"
+            return str(detail)
+    return ""
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """Step through an event journal: list, reconstruct, diff, verify."""
+    from repro.persistence import (
+        CHECKPOINT,
+        EVENT,
+        CheckpointStore,
+        derive_snapshot,
+        verify_journal,
+    )
+
+    store = CheckpointStore(args.journal)
+    if not store.records():
+        print(f"no records in {args.journal}", file=sys.stderr)
+        return 1
+
+    if args.verify:
+        divergences = verify_journal(store)
+        if divergences:
+            print(f"{len(divergences)} divergence(s) between journal and checkpoints:")
+            for entry in divergences:
+                print(
+                    f"  {entry['instance_id']} seq={entry['seq']} "
+                    f"field={entry['field']}: {entry['detail']}"
+                )
+            return 1
+        checkpoints = len(store.records(record_type=CHECKPOINT))
+        print(
+            f"ok: {checkpoints} checkpoint(s) byte-identical to their "
+            f"journal-derived snapshots"
+        )
+        return 0
+
+    if args.diff is not None:
+        other = CheckpointStore(args.diff)
+
+        def stream(source):
+            return [
+                {key: value for key, value in record.items() if key != "seq"}
+                for record in source.records(record_type=EVENT)
+            ]
+
+        def short(record) -> str:
+            text = repr(record)
+            return text if len(text) <= 240 else f"{text[:240]}... ({len(text)} chars)"
+
+        ours, theirs = stream(store), stream(other)
+        for index, (left, right) in enumerate(zip(ours, theirs)):
+            if left != right:
+                print(f"journals diverge at event {index}:")
+                print(f"  {args.journal}: {short(left)}")
+                print(f"  {args.diff}: {short(right)}")
+                return 1
+        if len(ours) != len(theirs):
+            longer = args.journal if len(ours) > len(theirs) else args.diff
+            print(
+                f"journals agree for {min(len(ours), len(theirs))} event(s); "
+                f"{longer} continues for {abs(len(ours) - len(theirs))} more"
+            )
+            return 1
+        print(f"journals identical: {len(ours)} event(s)")
+        return 0
+
+    instance_id = _pick_instance(store, args.instance)
+    if instance_id is None:
+        return 1
+
+    if args.at is not None:
+        state = derive_snapshot(store, instance_id, upto_seq=args.at)
+        print(f"instance {instance_id} ({state.definition}) at seq {args.at}")
+        print(f"  time={state.time}  status={state.status}  events={state.events_applied}")
+        if state.tainted:
+            print("  WARNING: journal truncated before this point; state is unsound")
+        print("\nActivity tree ('>' active, '*' executed):")
+        print(_render_activity_tree(state.tree, state.executed, state.active))
+        print("\nVariables:")
+        for name in sorted(state.variables):
+            print(f"  {name} = {state.variables[name]!r}")
+        if state.compensations:
+            print("\nPending compensations (LIFO):")
+            for step in reversed(state.compensations):
+                print(f"  {step}")
+        if state.result is not None:
+            print(f"\nResult: {state.result!r}")
+        if state.fault is not None:
+            print(f"Fault: {state.fault!r}")
+        return 0
+
+    print(f"instance {instance_id}: journal events")
+    for record in store.records(instance_id=instance_id):
+        kind = record.get("type")
+        if kind == EVENT:
+            print(
+                f"  seq={record['seq']:>4}  t={record['time']:>9.3f}  "
+                f"{record['event']:<26} {_summarize_event(record)}"
+            )
+        elif kind == CHECKPOINT:
+            print(
+                f"  seq={record['seq']:>4}  t={record['time']:>9.3f}  "
+                f"[checkpoint] status={record['status']}"
+            )
     return 0
 
 
@@ -387,6 +593,17 @@ def build_parser() -> argparse.ArgumentParser:
     storm.add_argument("--clients", type=int, default=6)
     storm.add_argument("--requests", type=int, default=60, help="requests per client")
     storm.add_argument(
+        "--sagas",
+        action="store_true",
+        help="with --crash-engine: crash the saga case studies at every "
+        "activity boundary, including each compensation step",
+    )
+    storm.add_argument(
+        "--journal", metavar="DIR",
+        help="with --crash-engine: keep each run's event journal as JSONL in "
+        "DIR and verify checkpoint/journal byte-identity",
+    )
+    storm.add_argument(
         "--slo",
         action="store_true",
         help="load the SCM SLO policies: burn-rate events drive adaptation "
@@ -408,6 +625,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="cells per pool task (default: automatic, ~4 chunks per worker)",
     )
     storm.set_defaults(handler=_cmd_storm)
+
+    replay = subparsers.add_parser(
+        "replay", help="step through an event journal written by --journal"
+    )
+    replay.add_argument("journal", help="journal JSONL file (a CheckpointStore log)")
+    replay.add_argument(
+        "--instance", metavar="ID",
+        help="instance to inspect (required when the journal holds several)",
+    )
+    replay.add_argument(
+        "--at", type=int, metavar="SEQ",
+        help="reconstruct and print the activity tree and variables at this "
+        "sequence number (inclusive)",
+    )
+    replay.add_argument(
+        "--diff", metavar="OTHER",
+        help="compare this journal's event stream against another journal",
+    )
+    replay.add_argument(
+        "--verify", action="store_true",
+        help="check every stored checkpoint byte-matches its journal-derived "
+        "snapshot; exit 1 on any divergence",
+    )
+    replay.set_defaults(handler=_cmd_replay)
 
     top = subparsers.add_parser(
         "top",

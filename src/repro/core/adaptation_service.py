@@ -25,6 +25,7 @@ from repro.core.events import MASCEvent
 from repro.observability import NULL_TRACER, correlation_id_for
 from repro.orchestration import (
     InstanceStatus,
+    Invoke,
     ProcessInstance,
     ProcessModifier,
     RuntimeService,
@@ -34,6 +35,7 @@ from repro.policy import AdaptationPolicy
 from repro.policy.actions import (
     AdaptationAction,
     AddActivityAction,
+    CompensateInstanceAction,
     DelayProcessAction,
     ExtendTimeoutAction,
     RemoveActivityAction,
@@ -116,7 +118,7 @@ class MASCAdaptationService(RuntimeService, EnforcementPoint):
         if self.engine is not None:
             self.engine.metrics.counter("masc.enactments").inc()
         try:
-            ok = self._enact(action, policy, event)
+            ok = self._enact(action, policy, event, span)
         except BaseException as exc:
             span.end(status=f"error:{type(exc).__name__}")
             raise
@@ -124,8 +126,16 @@ class MASCAdaptationService(RuntimeService, EnforcementPoint):
         return ok
 
     def _enact(
-        self, action: AdaptationAction, policy: AdaptationPolicy, event: MASCEvent
+        self,
+        action: AdaptationAction,
+        policy: AdaptationPolicy,
+        event: MASCEvent,
+        span=None,
     ) -> bool:
+        if isinstance(action, CompensateInstanceAction):
+            # Saga unwind may fan out over many instances (instance-less
+            # SLO events), so it resolves its own targets.
+            return self._compensate(action, policy, event, span)
         instance = self._instance_for(event)
         if instance is None:
             return False
@@ -172,6 +182,91 @@ class MASCAdaptationService(RuntimeService, EnforcementPoint):
         if isinstance(action, (AddActivityAction, RemoveActivityAction, ReplaceActivityAction)):
             return self._customize(instance, action, policy, event)
         return False
+
+    # -- saga compensation --------------------------------------------------------
+
+    def _compensate(
+        self,
+        action: CompensateInstanceAction,
+        policy: AdaptationPolicy,
+        event: MASCEvent,
+        span,
+    ) -> bool:
+        """Enact a ``Compensate`` assertion against in-flight instances.
+
+        Events that carry a ProcessInstanceID target that one instance;
+        instance-less events (e.g. SLO ``errorBudgetExhausted``) fan out
+        over every non-final instance, optionally filtered by the
+        action's ``process`` attribute.
+        """
+        if self.engine is None:
+            return False
+        instance = self._instance_for(event)
+        if instance is not None:
+            targets = [instance]
+        else:
+            targets = [
+                candidate
+                for candidate in self.engine.instances.values()
+                if candidate.status
+                in (InstanceStatus.RUNNING, InstanceStatus.SUSPENDED)
+                and (action.process is None or candidate.definition_name == action.process)
+            ]
+        enacted = False
+        for target in targets:
+            if action.mode == "choreography":
+                ok = self._compensate_choreography(target, action)
+            else:
+                ok = target.request_compensation(
+                    action.reason, scope=action.scope, trace_parent=span
+                )
+            if ok:
+                enacted = True
+                self.engine.metrics.counter("masc.compensations").inc()
+                self._report(target, policy, action.describe(), dynamic=True)
+        return enacted
+
+    def _compensate_choreography(
+        self, instance: ProcessInstance, action: CompensateInstanceAction
+    ) -> bool:
+        """Choreography-style saga: route each registered compensation as a
+        wsBus invocation to the owning service, then terminate the instance
+        (the engine never re-enters the process body)."""
+        if instance.status not in (InstanceStatus.RUNNING, InstanceStatus.SUSPENDED):
+            return False
+        engine = self.engine
+        entries = [
+            entry
+            for entry in reversed(instance._compensations)
+            if action.scope is None or entry.scope == action.scope
+        ]
+        if not entries:
+            return False
+        for entry in entries:
+            engine.notify("compensation_started", instance, entry.step, False)
+            activity = entry.activity
+            if isinstance(activity, Invoke):
+                payload = activity.build_payload(instance)
+                target = activity.to
+                if target is None:
+                    target = engine.resolve_service(activity.service_type or "", instance)
+                engine.env.process(
+                    engine.invoker.invoke(
+                        to=target,
+                        operation=activity.operation,
+                        payload=payload,
+                        timeout=activity.timeout_seconds or float("inf"),
+                        process_instance_id=instance.id,
+                    ),
+                    name=f"{instance.id}:compensate:{activity.name}",
+                )
+            engine.notify("activity_compensated", instance, entry.step, activity, False)
+        dispatched = set(id(entry) for entry in entries)
+        instance._compensations[:] = [
+            entry for entry in instance._compensations if id(entry) not in dispatched
+        ]
+        instance.terminate(f"compensated (choreography): {action.reason}")
+        return True
 
     # -- process-level corrective adaptation -------------------------------------
 

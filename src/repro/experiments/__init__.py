@@ -11,6 +11,7 @@ from repro.experiments.harness import (
     StormResult,
     Table1Row,
     catalog_plan,
+    count_crash_boundaries,
     order_plan,
     run_crash_recovery,
     run_direct_configuration,
@@ -40,6 +41,7 @@ __all__ = [
     "StormResult",
     "Table1Row",
     "catalog_plan",
+    "count_crash_boundaries",
     "order_plan",
     "regenerate_figure5",
     "regenerate_table1",

@@ -378,7 +378,86 @@ def _trading_composition(seed: int):
     return masc.env, make_engine, definition
 
 
-_CRASH_COMPOSITIONS = {"scm": _scm_composition, "trading": _trading_composition}
+def _scm_saga_composition(seed: int):
+    """The SCM purchase saga, aborting after payment so it unwinds."""
+    from repro.casestudies.scm.process import build_scm_saga_process
+    from repro.orchestration import TrackingService, WorkflowEngine
+
+    deployment = build_scm_deployment(seed=seed, log_events=False)
+    definition = build_scm_saga_process(
+        deployment.retailers["C"].address, deployment.logging.address, abort=True
+    )
+
+    def make_engine():
+        engine = WorkflowEngine(deployment.env, network=deployment.network)
+        engine.add_service(TrackingService())
+        return engine
+
+    return deployment.env, make_engine, definition
+
+
+def _trading_saga_composition(seed: int):
+    """The trading unwind-position saga, aborting after the trade."""
+    from repro.casestudies.stocktrading import (
+        build_trading_deployment,
+        build_trading_saga_process,
+    )
+    from repro.orchestration import TrackingService, WorkflowEngine
+
+    deployment = build_trading_deployment(seed=seed, start_notifications=False)
+    masc = deployment.masc
+    definition = build_trading_saga_process(
+        fund_manager_address=deployment.fund_manager.address,
+        analysis_address=deployment.analysis_services[0].address,
+        market_address=deployment.market.address,
+        payment_address=deployment.payment.address,
+        abort=True,
+    )
+
+    def make_engine():
+        engine = WorkflowEngine(masc.env, network=masc.network, registry=masc.registry)
+        engine.add_service(TrackingService())
+        return engine
+
+    return masc.env, make_engine, definition
+
+
+_CRASH_COMPOSITIONS = {
+    "scm": _scm_composition,
+    "trading": _trading_composition,
+    "scm-saga": _scm_saga_composition,
+    "trading-saga": _trading_saga_composition,
+}
+
+
+def count_crash_boundaries(process: str, seed: int = 0) -> int:
+    """Activity-completion boundaries a clean run passes.
+
+    Every value in ``range(1, count + 1)`` is a distinct kill point for
+    :func:`run_crash_recovery`'s ``crash_after_completions`` — for the saga
+    compositions that includes each *compensation* activity's boundary.
+    """
+    from repro.orchestration import RuntimeService
+
+    builder = _CRASH_COMPOSITIONS.get(process)
+    if builder is None:
+        raise ValueError(f"unknown crash-recovery process {process!r}")
+    env, make_engine, definition = builder(seed)
+    engine = make_engine()
+    engine.register_definition(definition)
+
+    class _Counter(RuntimeService):
+        def __init__(self) -> None:
+            self.count = 0
+
+        def activity_completed(self, instance, activity) -> None:
+            self.count += 1
+
+    counter = _Counter()
+    engine.add_service(counter)
+    instance = engine.start(definition.name)
+    env.run(instance.process)
+    return counter.count
 
 
 def run_crash_recovery(

@@ -492,7 +492,9 @@ class ProcessCrashInjector:
                 self.crashed_event.succeed(self.env.now)
 
     def __getattr__(self, name: str):
-        if name.startswith(("instance_", "activity_", "timeout_", "engine_")):
+        if name.startswith(
+            ("instance_", "activity_", "timeout_", "engine_", "saga_", "compensation_")
+        ):
             return _ignore_hook
         raise AttributeError(name)
 

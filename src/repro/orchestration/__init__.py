@@ -18,7 +18,10 @@ Workflow Foundation runtime (Section 2.1 of the paper):
 from repro.orchestration.activities import (
     Activity,
     Assign,
+    Compensate,
+    CompensateScope,
     CompensationPair,
+    CompensationScope,
     Delay,
     Empty,
     Flow,
@@ -48,7 +51,11 @@ from repro.orchestration.errors import (
     ProcessTerminated,
 )
 from repro.orchestration.expressions import Expression, ExpressionError
-from repro.orchestration.instance import InstanceStatus, ProcessInstance
+from repro.orchestration.instance import (
+    CompensationEntry,
+    InstanceStatus,
+    ProcessInstance,
+)
 from repro.orchestration.modification import (
     ModificationOperation,
     ProcessModifier,
@@ -66,7 +73,11 @@ from repro.orchestration.xmlio import (
 __all__ = [
     "Activity",
     "Assign",
+    "Compensate",
+    "CompensateScope",
+    "CompensationEntry",
     "CompensationPair",
+    "CompensationScope",
     "DefinitionError",
     "Delay",
     "Empty",

@@ -28,7 +28,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "Activity",
     "Assign",
+    "Compensate",
+    "CompensateScope",
     "CompensationPair",
+    "CompensationScope",
     "Delay",
     "Empty",
     "Flow",
@@ -222,18 +225,54 @@ class Flow(Activity):
         composite = env.all_of(branches)
         try:
             yield composite
+        except ProcessFault:
+            # A branch faulted. Interrupt deliveries are deferred to the next
+            # scheduler turn, so cancel the siblings and *wait for the
+            # cancellations to land* before propagating: an enclosing scope's
+            # fault handler (and its compensation chain) must observe a
+            # quiesced flow, not race against branches that are still running.
+            composite.defused = True
+            interrupted = _cancel_branches(branches)
+            if interrupted and not instance.engine.crashed:
+                yield from _await_branches_settled(env, interrupted)
+            raise
         except BaseException:
             # Abrupt unwinding (interrupt, crashed-engine tear-down): the
             # composite loses its listener; defuse so a branch failing later
-            # doesn't raise unattended in the simulation core.
+            # doesn't raise unattended in the simulation core. Generator
+            # unwinds cannot yield, so settling is not awaited here.
             composite.defused = True
+            _cancel_branches(branches)
             raise
-        finally:
-            for branch in branches:
-                if branch.is_alive:
-                    branch.interrupt("flow aborted")
-                elif not branch.processed:
-                    branch.defused = True
+
+
+def _cancel_branches(branches: list) -> list:
+    """Interrupt live flow branches; returns the ones that need to settle."""
+    interrupted = []
+    for branch in branches:
+        if branch.is_alive:
+            branch.interrupt("flow aborted")
+            branch.defused = True
+            interrupted.append(branch)
+        elif not branch.processed:
+            branch.defused = True
+    return interrupted
+
+
+def _await_branches_settled(env, interrupted: list) -> Generator:
+    """Wait until every interrupted branch process has finished unwinding."""
+    gate = env.event()
+    remaining = len(interrupted)
+
+    def _settled(_event) -> None:
+        nonlocal remaining
+        remaining -= 1
+        if remaining == 0:
+            gate.succeed()
+
+    for branch in interrupted:
+        branch.callbacks.append(_settled)
+    yield gate
 
 
 class IfElse(Activity):
@@ -476,7 +515,12 @@ class Throw(Activity):
 
 
 class Terminate(Activity):
-    """Stop the instance immediately (no fault handling, no compensation)."""
+    """Stop the instance immediately (no fault handling).
+
+    Plain scopes run no handlers on termination; an enclosing
+    :class:`CompensationScope` still unwinds its registered compensation
+    chain before the termination propagates.
+    """
 
     def __init__(self, name: str, reason: str = "terminated by process") -> None:
         super().__init__(name)
@@ -545,3 +589,99 @@ class Scope(Activity):
 def CompensationPair(name: str, primary: Activity, compensation: Activity) -> Scope:
     """Sugar: a scope pairing an activity with its compensation."""
     return Scope(f"{name}", body=primary, compensation=compensation)
+
+
+class CompensationScope(Scope):
+    """A saga scope: per-step compensations, unwound LIFO on fault.
+
+    ``compensations`` maps the names of body activities (saga steps) to
+    compensation activities. Each time a mapped step completes, its
+    compensation is registered on the instance; a fault, a ``Terminate``
+    or a policy-requested compensation unwinds the registered chain in
+    reverse (LIFO) order before the scope's fault handler runs — the
+    saga pattern's backward recovery, engine-orchestrated.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        body: Activity,
+        compensations: dict[str, Activity] | None = None,
+        fault_handlers: dict[FaultCode | None, Activity] | None = None,
+        compensation: Activity | None = None,
+        timeout_seconds: float | None = None,
+    ) -> None:
+        super().__init__(
+            name,
+            body,
+            fault_handlers=fault_handlers,
+            compensation=compensation,
+            timeout_seconds=timeout_seconds,
+            compensate_on_fault=True,
+        )
+        self.compensations: dict[str, Activity] = dict(compensations or {})
+
+    def children(self) -> list[Activity]:
+        nested = super().children()
+        nested.extend(self.compensations.values())
+        return nested
+
+    def execute(self, instance: "ProcessInstance") -> Generator:
+        instance._saga_stack.append(self)
+        try:
+            try:
+                if self.timeout_seconds is None:
+                    yield from instance.run_activity(self.body)
+                else:
+                    yield from instance.run_with_deadline(
+                        self, self.body, self.timeout_seconds
+                    )
+            except ProcessTerminated:
+                # Terminate unwinds the saga before stopping the instance.
+                yield from instance.compensate(scope=self.name, reason="terminate")
+                raise
+            except ProcessFault as fault:
+                yield from instance.compensate(
+                    scope=self.name, reason=f"fault:{fault.code.value}"
+                )
+                handler = self.fault_handlers.get(fault.code, self.fault_handlers.get(None))
+                if handler is None:
+                    raise
+                if instance._compensation_request is not None:
+                    # The request's fault stopped here; later activities
+                    # (the handler, outer scopes) run normally again.
+                    instance._compensation_request = None
+                instance.variables["_fault"] = fault.fault
+                yield from instance.run_activity(handler)
+                return
+        finally:
+            instance._saga_stack.pop()
+        if self.compensation is not None:
+            instance.register_compensation(self)
+
+
+class Compensate(Activity):
+    """Run the registered compensation chain, LIFO.
+
+    With ``scope`` set, only compensations registered under that
+    :class:`CompensationScope` are run (BPEL's ``compensateScope``);
+    without it, every registered compensation unwinds.
+    """
+
+    #: Replay must re-execute this activity (to re-pop registered
+    #: compensations) instead of fast-forwarding it as a leaf.
+    replay_composite = True
+
+    def __init__(self, name: str, scope: str | None = None) -> None:
+        super().__init__(name)
+        self.scope = scope
+
+    def execute(self, instance: "ProcessInstance") -> Generator:
+        yield from instance.compensate(scope=self.scope, reason=f"compensate:{self.name}")
+
+
+def CompensateScope(name: str, scope: str) -> Compensate:
+    """Sugar: compensate exactly one named saga scope."""
+    if not scope:
+        raise DefinitionError(f"CompensateScope {name!r} needs a scope name")
+    return Compensate(name, scope=scope)

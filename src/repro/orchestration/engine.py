@@ -54,9 +54,14 @@ class RuntimeService:
     def instance_modified(self, instance: ProcessInstance, operations, bindings) -> None: ...
     def engine_crashed(self, engine: "WorkflowEngine") -> None: ...
     def activity_started(self, instance: ProcessInstance, activity) -> None: ...
+    def activity_restarted(self, instance: ProcessInstance, activity) -> None: ...
     def activity_completed(self, instance: ProcessInstance, activity) -> None: ...
     def activity_replayed(self, instance: ProcessInstance, activity) -> None: ...
+    def activity_cancelled(
+        self, instance: ProcessInstance, activity, interrupted: bool
+    ) -> None: ...
     def activity_faulted(self, instance: ProcessInstance, activity, fault) -> None: ...
+    def activity_refaulted(self, instance: ProcessInstance, activity, fault) -> None: ...
     def activity_retried(
         self, instance: ProcessInstance, activity, fault, attempt: int
     ) -> None: ...
@@ -64,6 +69,16 @@ class RuntimeService:
     def activity_replaced(self, instance: ProcessInstance, activity, replacement) -> None: ...
     def timeout_extended(
         self, instance: ProcessInstance, activity_name: str, extra_seconds: float
+    ) -> None: ...
+    def saga_step_registered(
+        self, instance: ProcessInstance, scope_name: str | None, step_name: str,
+        replayed: bool,
+    ) -> None: ...
+    def compensation_started(
+        self, instance: ProcessInstance, step_name: str, replayed: bool
+    ) -> None: ...
+    def activity_compensated(
+        self, instance: ProcessInstance, step_name: str, activity, replayed: bool
     ) -> None: ...
 
 
@@ -160,6 +175,27 @@ class TrackingService(RuntimeService):
         self._track(
             instance, "activity_replaced", activity, detail=f"replaced by {replacement.name}"
         )
+
+    def saga_step_registered(self, instance, scope_name, step_name, replayed) -> None:
+        # Replayed registrations are replay bookkeeping, not new facts: a
+        # recovered run's tail must contain only events the reference run
+        # also produced at that point.
+        if not replayed:
+            self.events.append(
+                TrackingEvent(
+                    time=self._engine.env.now if self._engine else 0.0,
+                    instance_id=instance.id,
+                    kind="saga_step_registered",
+                    activity_name=step_name,
+                    detail=scope_name,
+                )
+            )
+
+    def activity_compensated(self, instance, step_name, activity, replayed) -> None:
+        if not replayed:
+            self._track(
+                instance, "activity_compensated", activity, detail=f"compensates {step_name}"
+            )
 
     # -- query helpers used by tests and experiments -----------------------------
 

@@ -20,15 +20,16 @@ from collections.abc import Generator
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
-from repro.orchestration.activities import Activity, Scope
+from repro.orchestration.activities import Activity, CompensationScope, Scope
 from repro.orchestration.errors import ProcessFault, ProcessTerminated
+from repro.simulation import Interrupt
 from repro.soap import FaultCode, SoapFault, SoapFaultError
 from repro.xmlutils import Element
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.orchestration.engine import WorkflowEngine
 
-__all__ = ["DeadlineHandle", "InstanceStatus", "ProcessInstance"]
+__all__ = ["CompensationEntry", "DeadlineHandle", "InstanceStatus", "ProcessInstance"]
 
 
 class InstanceStatus(enum.Enum):
@@ -57,6 +58,20 @@ class DeadlineHandle:
 
     def extend(self, extra_seconds: float) -> None:
         self.deadline += max(0.0, extra_seconds)
+
+
+@dataclass
+class CompensationEntry:
+    """One registered compensation: undo ``step`` by running ``activity``.
+
+    ``scope`` names the owning :class:`CompensationScope` (None when the
+    registration happened outside any saga scope); scoped unwinds only pop
+    entries tagged with their scope.
+    """
+
+    step: str
+    activity: Activity
+    scope: str | None = None
 
 
 class ProcessInstance:
@@ -94,10 +109,27 @@ class ProcessInstance:
         #: Names that had already *started* before the checkpoint; their
         #: re-entry during replay does not re-emit ``activity_started``.
         self._replayed_started: frozenset[str] = frozenset()
+        #: Names that were *in flight* at the checkpoint. A replayed-start
+        #: activity outside this set already faulted (or was cancelled)
+        #: pre-crash, so its deterministic re-fault is replay bookkeeping.
+        self._replayed_active: frozenset[str] = frozenset()
         self._resume_event = None
         self._terminate_reason: str | None = None
         self._deadlines: dict[str, DeadlineHandle] = {}
-        self._compensations: list[Scope] = []
+        self._compensations: list[CompensationEntry] = []
+        #: Enclosing CompensationScopes, innermost last (execution-time).
+        self._saga_stack: list[CompensationScope] = []
+        #: Pending policy-requested compensation: (reason, scope-or-None).
+        #: Persisted in checkpoints so a crash mid-unwind replays the abort.
+        self._compensation_request: tuple[str, str | None] | None = None
+        #: Span to parent compensation spans under (the triggering
+        #: violation/enactment span); transient.
+        self._compensation_trace_parent = None
+        #: True while running a compensation chain (suppresses re-triggering).
+        self._compensating = False
+        #: True once a pending request has been raised as a fault; transient
+        #: on purpose — a rehydrated instance re-raises during replay.
+        self._request_raised = False
         self.process = None  # the simulation Process, set by the engine
         #: The instance's trace span (None when tracing is disabled).
         self.span = None
@@ -161,11 +193,35 @@ class ProcessInstance:
             # latest checkpoint captured, until rehydrated elsewhere.
             yield self.env.event()
         credits = self._replay_credits
-        if credits is not None and credits.get(activity.name) and not activity.children():
+        if (
+            credits is not None
+            and credits.get(activity.name)
+            and not activity.children()
+            and not getattr(activity, "replay_composite", False)
+        ):
             # Fast-forward: this leaf already completed before the
             # checkpoint; its effects live in the restored variables.
             self._consume_replay_credit(activity)
             return
+        request = self._compensation_request
+        if (
+            request is not None
+            and not self._request_raised
+            and not self._compensating
+            and not (credits is not None and credits.get(activity.name))
+        ):
+            # Policy-requested compensation surfaces as a fault at the next
+            # *live* activity boundary (replayed work fast-forwards past the
+            # guard, so a rehydrated instance re-raises at the same point).
+            self._request_raised = True
+            raise ProcessFault(
+                SoapFault(
+                    FaultCode.SERVER,
+                    f"compensation requested: {request[0]}",
+                    source="masc-adaptation",
+                ),
+                activity.name,
+            )
         replayed_start = (
             self._replay_credits is not None and activity.name in self._replayed_started
         )
@@ -173,6 +229,8 @@ class ProcessInstance:
         self.active_activities.add(activity.name)
         if not replayed_start:
             self.engine.notify("activity_started", self, activity)
+        else:
+            self.engine.notify("activity_restarted", self, activity)
         span = None
         if self.engine.tracer.enabled:
             span = self.engine.tracer.start_span(
@@ -196,7 +254,19 @@ class ProcessInstance:
                         self, activity, fault, attempts
                     )
                     if verdict is None or verdict.kind == "propagate":
-                        self.engine.notify("activity_faulted", self, activity, fault)
+                        if (
+                            replayed_start
+                            and activity.name not in self._replayed_active
+                        ):
+                            # The same fault already propagated (and was
+                            # tracked) before the checkpoint.
+                            self.engine.notify(
+                                "activity_refaulted", self, activity, fault
+                            )
+                        else:
+                            self.engine.notify(
+                                "activity_faulted", self, activity, fault
+                            )
                         if span is not None:
                             span.end(status=f"fault:{fault.fault.code.value}")
                         raise
@@ -234,9 +304,15 @@ class ProcessInstance:
                         yield from self.run_activity(verdict.replacement)
                         break
                     raise  # pragma: no cover - unknown verdict kinds propagate
-        except BaseException:
+        except BaseException as error:
             if span is not None and not span.ended:
                 span.end(status="error")
+            # The frame exited without completing — tell listeners (the
+            # journal needs the active-set discard; flow-cancellation tests
+            # pin the Interrupt ordering).
+            self.engine.notify(
+                "activity_cancelled", self, activity, isinstance(error, Interrupt)
+            )
             raise
         finally:
             self.active_activities.discard(activity.name)
@@ -252,6 +328,7 @@ class ProcessInstance:
             self.completion_counts[activity.name] = (
                 self.completion_counts.get(activity.name, 0) + 1
             )
+            self._maybe_register_saga_step(activity, replayed=False)
             self.engine.notify("activity_completed", self, activity)
 
     def _consume_replay_credit(self, activity: Activity) -> None:
@@ -268,12 +345,19 @@ class ProcessInstance:
         self.completion_counts[activity.name] = (
             self.completion_counts.get(activity.name, 0) + 1
         )
+        self._maybe_register_saga_step(activity, replayed=True)
         self.engine.notify("activity_replayed", self, activity)
 
     def _gate(self) -> Generator:
         """Block while suspended; honor pending termination requests."""
         while True:
-            if self._terminate_reason is not None and self.status != InstanceStatus.TERMINATED:
+            if (
+                self._terminate_reason is not None
+                and self.status != InstanceStatus.TERMINATED
+                and not self._compensating
+            ):
+                # A compensation chain already unwinding for this terminate
+                # must run to completion; re-raising here would abort it.
                 raise ProcessTerminated(self._terminate_reason)
             if self.status != InstanceStatus.SUSPENDED:
                 return
@@ -456,14 +540,102 @@ class ProcessInstance:
     # -- compensation ------------------------------------------------------------------
 
     def register_compensation(self, scope: Scope) -> None:
-        self._compensations.append(scope)
+        """Register a completed scope's compensation activity."""
+        owner = self._saga_stack[-1].name if self._saga_stack else None
+        assert scope.compensation is not None
+        self._compensations.append(
+            CompensationEntry(scope.name, scope.compensation, owner)
+        )
+        replayed = bool(self._replay_credits and self._replay_credits.get(scope.name))
+        self.engine.notify("saga_step_registered", self, owner, scope.name, replayed)
+
+    def _maybe_register_saga_step(self, activity: Activity, replayed: bool) -> None:
+        """Register ``activity``'s compensation if a saga scope maps it."""
+        for saga in reversed(self._saga_stack):
+            compensation = saga.compensations.get(activity.name)
+            if compensation is not None:
+                self._compensations.append(
+                    CompensationEntry(activity.name, compensation, saga.name)
+                )
+                self.engine.notify(
+                    "saga_step_registered", self, saga.name, activity.name, replayed
+                )
+                return
+
+    def request_compensation(
+        self, reason: str, scope: str | None = None, trace_parent=None
+    ) -> bool:
+        """Ask the instance to unwind its sagas (policy-driven backward
+        recovery).
+
+        The request surfaces as a ``ProcessFault`` at the next *live*
+        activity boundary; the enclosing :class:`CompensationScope` turns
+        it into a LIFO compensation chain. It is persisted in checkpoints,
+        so a crash during the unwind replays the abort deterministically.
+        Returns False if the instance already finished.
+        """
+        if self.status.is_final:
+            return False
+        self._compensation_request = (reason, scope)
+        self._compensation_trace_parent = trace_parent
+        if self.span is not None:
+            self.span.add_event("compensation_requested", reason=reason)
+        if self.status == InstanceStatus.SUSPENDED:
+            self.resume()
+        return True
+
+    def compensate(self, scope: str | None = None, reason: str = "compensate") -> Generator:
+        """Run registered compensations in reverse (LIFO) registration order.
+
+        With ``scope`` set, only entries registered under that saga scope
+        are popped. Compensation-activity spans nest under a
+        ``process.compensation`` span parented on the triggering
+        violation/enactment span when one is known.
+        """
+        span = None
+        prev_span = self.span
+        prev_compensating = self._compensating
+        try:
+            while True:
+                index = None
+                for i in range(len(self._compensations) - 1, -1, -1):
+                    if scope is None or self._compensations[i].scope == scope:
+                        index = i
+                        break
+                if index is None:
+                    return
+                entry = self._compensations.pop(index)
+                if span is None and self.engine.tracer.enabled:
+                    parent = self._compensation_trace_parent or self.span
+                    span = self.engine.tracer.start_span(
+                        "process.compensation",
+                        correlation_id=self.id,
+                        parent=parent,
+                        attributes={"reason": reason, "scope": scope or ""},
+                    )
+                    self.span = span
+                replayed = bool(
+                    self._replay_credits
+                    and self._replay_credits.get(entry.activity.name)
+                )
+                self.engine.notify("compensation_started", self, entry.step, replayed)
+                self._compensating = True
+                try:
+                    yield from self.run_activity(entry.activity)
+                finally:
+                    self._compensating = prev_compensating
+                self.engine.notify(
+                    "activity_compensated", self, entry.step, entry.activity, replayed
+                )
+        finally:
+            self._compensating = prev_compensating
+            self.span = prev_span
+            if span is not None and not span.ended:
+                span.end()
 
     def compensate_completed_scopes(self, _requesting_scope: Scope) -> Generator:
         """Run registered compensations in reverse completion order."""
-        while self._compensations:
-            scope = self._compensations.pop()
-            if scope.compensation is not None:
-                yield from self.run_activity(scope.compensation)
+        yield from self.compensate(scope=None, reason=f"scope:{_requesting_scope.name}")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ProcessInstance {self.id} {self.definition_name!r} {self.status.value}>"

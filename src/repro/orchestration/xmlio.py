@@ -20,6 +20,8 @@ from typing import Any
 from repro.orchestration.activities import (
     Activity,
     Assign,
+    Compensate,
+    CompensationScope,
     Delay,
     Empty,
     Flow,
@@ -260,6 +262,30 @@ def _activity_to_element(activity: Activity) -> Element:
         return Element(
             _el("Terminate"), attributes={"name": activity.name, "reason": activity.reason}
         )
+    if isinstance(activity, Compensate):
+        attributes = {"name": activity.name}
+        if activity.scope is not None:
+            attributes["scope"] = activity.scope
+        return Element(_el("Compensate"), attributes=attributes)
+    if isinstance(activity, CompensationScope):
+        attributes = {"name": activity.name}
+        if activity.timeout_seconds is not None:
+            attributes["timeoutSeconds"] = str(activity.timeout_seconds)
+        element = Element(_el("CompensationScope"), attributes=attributes)
+        body = element.add(_el("Body"))
+        body.append(_activity_to_element(activity.body))
+        for step, comp in activity.compensations.items():
+            step_el = element.add(_el("CompensationFor"), step=step)
+            step_el.append(_activity_to_element(comp))
+        for code, handler in activity.fault_handlers.items():
+            handler_el = element.add(_el("FaultHandler"))
+            if code is not None:
+                handler_el.attributes["fault"] = code.value
+            handler_el.append(_activity_to_element(handler))
+        if activity.compensation is not None:
+            compensation = element.add(_el("Compensation"))
+            compensation.append(_activity_to_element(activity.compensation))
+        return element
     if isinstance(activity, Scope):
         attributes = {"name": activity.name}
         if activity.timeout_seconds is not None:
@@ -396,6 +422,43 @@ def _element_to_activity(element: Element) -> Activity:
                      element.attributes.get("reason", ""))
     if local == "Terminate":
         return Terminate(name, element.attributes.get("reason", "terminated by process"))
+    if local == "Compensate":
+        return Compensate(name, scope=element.attributes.get("scope"))
+    if local == "CompensationScope":
+        body_el = element.find(_el("Body"))
+        if body_el is None or not body_el.children:
+            raise ProcessSerializationError(f"CompensationScope {name!r} has no body")
+        compensations: dict[str, Activity] = {}
+        for step_el in element.find_all(_el("CompensationFor")):
+            if not step_el.children:
+                raise ProcessSerializationError(
+                    f"CompensationScope {name!r} has an empty CompensationFor"
+                )
+            compensations[_required_attr(step_el, "step")] = _element_to_activity(
+                step_el.children[0]
+            )
+        fault_handlers: dict[FaultCode | None, Activity] = {}
+        for handler_el in element.find_all(_el("FaultHandler")):
+            if not handler_el.children:
+                raise ProcessSerializationError(
+                    f"CompensationScope {name!r} has an empty fault handler"
+                )
+            code_text = handler_el.attributes.get("fault")
+            code = FaultCode(code_text) if code_text else None
+            fault_handlers[code] = _element_to_activity(handler_el.children[0])
+        compensation = None
+        compensation_el = element.find(_el("Compensation"))
+        if compensation_el is not None and compensation_el.children:
+            compensation = _element_to_activity(compensation_el.children[0])
+        timeout_text = element.attributes.get("timeoutSeconds")
+        return CompensationScope(
+            name,
+            body=_element_to_activity(body_el.children[0]),
+            compensations=compensations,
+            fault_handlers=fault_handlers,
+            compensation=compensation,
+            timeout_seconds=float(timeout_text) if timeout_text is not None else None,
+        )
     if local == "Scope":
         body_el = element.find(_el("Body"))
         if body_el is None or not body_el.children:

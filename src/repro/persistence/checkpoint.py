@@ -39,7 +39,7 @@ from repro.persistence.encoding import (
     encode_value,
     encode_variables,
 )
-from repro.persistence.store import CHECKPOINT, MODIFICATION, CheckpointStore
+from repro.persistence.store import CHECKPOINT, EVENT, MODIFICATION, CheckpointStore
 
 __all__ = [
     "CheckpointingService",
@@ -74,10 +74,15 @@ def capture_checkpoint(instance: ProcessInstance) -> dict[str, Any]:
         "executed": sorted(instance.executed_activities),
         "active": sorted(instance.active_activities),
         "completions": dict(instance.completion_counts),
-        "compensations": [scope.name for scope in instance._compensations],
+        "compensations": [entry.step for entry in instance._compensations],
         "result": encode_value(instance.result),
         "input": encode_value(instance.input),
         "fault": encode_value(instance.fault),
+        "compensation_request": (
+            None
+            if instance._compensation_request is None
+            else list(instance._compensation_request)
+        ),
     }
 
 
@@ -99,29 +104,199 @@ class CheckpointingService(RuntimeService):
         self.strict = strict
         self.errors: list[tuple[str, str]] = []
         self._engine: WorkflowEngine | None = None
+        #: Per-instance mirror of the last journaled variable/result/status
+        #: state, in encoded form — the diff basis for ``variable_set`` &co.
+        self._mirrors: dict[str, dict[str, Any]] = {}
+        #: Instances whose state stopped being journalable (the journal
+        #: carries a ``journal_truncated`` marker for them).
+        self._tainted: set[str] = set()
 
     def attached(self, engine: WorkflowEngine) -> None:
         self._engine = engine
 
     # -- hook wiring --------------------------------------------------------------
 
+    def instance_created(self, instance) -> None:
+        self._genesis(instance, "instance_created")
+
+    def instance_rehydrated(self, instance) -> None:
+        self._genesis(instance, "instance_rehydrated")
+
+    def activity_started(self, instance, activity) -> None:
+        self._sync(instance)
+        self._emit(instance, "activity_started", {"activity": activity.name})
+
+    def activity_restarted(self, instance, activity) -> None:
+        self._sync(instance)
+        self._emit(
+            instance, "activity_started", {"activity": activity.name, "replayed": True}
+        )
+
     def activity_completed(self, instance, activity) -> None:
+        self._sync(instance)
+        self._emit(instance, "activity_completed", {"activity": activity.name})
         self._checkpoint(instance, reason=f"activity:{activity.name}")
 
+    def activity_replayed(self, instance, activity) -> None:
+        self._sync(instance)
+        self._emit(instance, "activity_replayed", {"activity": activity.name})
+
+    def activity_cancelled(self, instance, activity, interrupted) -> None:
+        self._sync(instance)
+        self._emit(
+            instance,
+            "activity_cancelled",
+            {"activity": activity.name, "interrupted": bool(interrupted)},
+        )
+
+    def saga_step_registered(self, instance, scope_name, step_name, replayed) -> None:
+        self._sync(instance)
+        self._emit(
+            instance,
+            "saga_step_registered",
+            {"scope": scope_name, "step": step_name, "replayed": bool(replayed)},
+        )
+
+    def compensation_started(self, instance, step_name, replayed) -> None:
+        self._sync(instance)
+        self._emit(
+            instance,
+            "compensation_started",
+            {"step": step_name, "replayed": bool(replayed)},
+        )
+
+    def activity_compensated(self, instance, step_name, activity, replayed) -> None:
+        self._sync(instance)
+        self._emit(
+            instance,
+            "activity_compensated",
+            {"step": step_name, "activity": activity.name, "replayed": bool(replayed)},
+        )
+
     def instance_suspended(self, instance) -> None:
+        self._sync(instance)
         self._checkpoint(instance, reason="suspended")
 
+    def instance_resumed(self, instance) -> None:
+        self._sync(instance)
+
     def instance_completed(self, instance) -> None:
+        self._sync(instance)
         self._checkpoint(instance, reason="completed")
 
     def instance_faulted(self, instance) -> None:
+        self._sync(instance)
         self._checkpoint(instance, reason="faulted")
 
     def instance_terminated(self, instance) -> None:
+        self._sync(instance)
         self._checkpoint(instance, reason="terminated")
 
     def instance_modified(self, instance, operations, bindings) -> None:
         self._journal(instance, operations, bindings)
+
+    # -- event journal ------------------------------------------------------------
+
+    def _emit(self, instance: ProcessInstance, kind: str, data: dict[str, Any]) -> None:
+        """Append one domain-event record for ``instance``."""
+        if instance.id in self._tainted:
+            return
+        if instance.id not in self._mirrors and kind not in (
+            "instance_created",
+            "instance_rehydrated",
+        ):
+            # The service was attached after the instance started: open the
+            # journal with a genesis snapshot so derivation has a basis.
+            self._genesis(instance, "instance_created")
+            if instance.id in self._tainted:
+                return
+        assert self._engine is not None
+        self.store.append(
+            {
+                "type": EVENT,
+                "instance_id": instance.id,
+                "time": instance.env.now,
+                "event": kind,
+                "data": data,
+            }
+        )
+        self._engine.metrics.counter("persistence.journal_events").inc()
+
+    def _genesis(self, instance: ProcessInstance, kind: str) -> None:
+        """Open an instance's journal with a full snapshot event."""
+        if instance.id in self._tainted:
+            return
+        try:
+            payload = capture_checkpoint(instance)
+        except (ProcessSerializationError, StateEncodingError) as error:
+            self._taint(instance, error)
+            return
+        data = {key: value for key, value in payload.items() if key != "type"}
+        self._mirrors[instance.id] = {
+            "variables": dict(payload["variables"]),
+            "result": payload["result"],
+            "fault": payload["fault"],
+            "status": payload["status"],
+            "request": payload["compensation_request"],
+        }
+        self._emit(instance, kind, data)
+
+    def _sync(self, instance: ProcessInstance) -> None:
+        """Emit delta events for state that changed since the last sync."""
+        if instance.id in self._tainted:
+            return
+        mirror = self._mirrors.get(instance.id)
+        if mirror is None:
+            self._genesis(instance, "instance_created")
+            return
+        try:
+            variables = encode_variables(instance.variables)
+            result = encode_value(instance.result)
+            fault = encode_value(instance.fault)
+        except StateEncodingError as error:
+            self._taint(instance, error)
+            return
+        for name, value in variables.items():
+            if name not in mirror["variables"] or mirror["variables"][name] != value:
+                self._emit(instance, "variable_set", {"name": name, "value": value})
+                mirror["variables"][name] = value
+        for name in list(mirror["variables"]):
+            if name not in variables:
+                self._emit(instance, "variable_deleted", {"name": name})
+                del mirror["variables"][name]
+        if result != mirror["result"]:
+            self._emit(instance, "result_set", {"value": result})
+            mirror["result"] = result
+        if fault != mirror["fault"]:
+            self._emit(instance, "fault_set", {"value": fault})
+            mirror["fault"] = fault
+        if instance.status.value != mirror["status"]:
+            self._emit(instance, "status_changed", {"status": instance.status.value})
+            mirror["status"] = instance.status.value
+        request = (
+            None
+            if instance._compensation_request is None
+            else list(instance._compensation_request)
+        )
+        if request != mirror["request"]:
+            self._emit(instance, "compensation_request_set", {"value": request})
+            mirror["request"] = request
+
+    def _taint(self, instance: ProcessInstance, error: Exception) -> None:
+        """Stop journaling an instance whose state cannot be encoded."""
+        assert self._engine is not None
+        if instance.id not in self._tainted:
+            self.store.append(
+                {
+                    "type": EVENT,
+                    "instance_id": instance.id,
+                    "time": instance.env.now,
+                    "event": "journal_truncated",
+                    "data": {"reason": str(error)},
+                }
+            )
+            self._tainted.add(instance.id)
+            self._engine.metrics.counter("persistence.journal_errors").inc()
 
     # -- record writers -----------------------------------------------------------
 
@@ -171,12 +346,20 @@ class CheckpointingService(RuntimeService):
                 for operation in operations
             ]
             encoded_bindings = encode_variables(dict(bindings))
-        except (ProcessSerializationError, StateEncodingError):
+        except (ProcessSerializationError, StateEncodingError) as error:
             # A non-serializable operation (callable-based activity): the
             # live tree already reflects the edit, so a full checkpoint
-            # supersedes the journal entry.
+            # supersedes the journal entry. Snapshot derivation is unsound
+            # past this point, so the event journal is marked truncated.
+            self._taint(instance, error)
             self._checkpoint(instance, reason="modification-fallback")
             return
+        self._sync(instance)
+        self._emit(
+            instance,
+            "modification_applied",
+            {"operations": encoded_ops, "bindings": encoded_bindings},
+        )
         self.store.append(
             {
                 "type": MODIFICATION,
@@ -199,6 +382,7 @@ class RestoredState:
     root: Activity
     variables: dict[str, Any]
     executed: set[str]
+    active: set[str]
     completions: dict[str, int]
     compensations: list[str]
     result: Any
@@ -207,6 +391,7 @@ class RestoredState:
     checkpoint_time: float
     journal_entries: int = 0
     fault: Any = None
+    compensation_request: tuple[str, str | None] | None = None
     field_errors: list[str] = field(default_factory=list)
 
 
@@ -238,6 +423,7 @@ def restore_state(store: CheckpointStore, instance_id: str) -> RestoredState:
         root=root,
         variables=variables,
         executed=set(checkpoint["executed"]),
+        active=set(checkpoint["active"]),
         completions=dict(checkpoint["completions"]),
         compensations=list(checkpoint["compensations"]),
         result=decode_value(checkpoint["result"]),
@@ -246,6 +432,14 @@ def restore_state(store: CheckpointStore, instance_id: str) -> RestoredState:
         checkpoint_time=checkpoint["time"],
         journal_entries=len(journal),
         fault=decode_value(checkpoint.get("fault")),
+        compensation_request=(
+            None
+            if checkpoint.get("compensation_request") is None
+            else (
+                checkpoint["compensation_request"][0],
+                checkpoint["compensation_request"][1],
+            )
+        ),
     )
 
 
@@ -274,7 +468,15 @@ def rehydrate_instance(
     instance.result = state.result
     instance.executed_activities = set(state.executed)
     instance._replayed_started = frozenset(state.executed)
+    # Activities in flight at the checkpoint re-execute for real; anything
+    # started-but-not-active had already faulted or been cancelled, so its
+    # deterministic re-fault during replay is bookkeeping, not news.
+    instance._replayed_active = frozenset(state.active)
     instance._replay_credits = dict(state.completions) or None
+    # A pending policy-requested compensation replays deterministically: it
+    # re-raises at the first live (uncredited) activity boundary, which is
+    # exactly where the pre-crash run aborted.
+    instance._compensation_request = state.compensation_request
     # Completion counts are rebuilt credit-by-credit during replay, so a
     # later checkpoint of the recovered run stays self-consistent.
     instance.completion_counts = {}

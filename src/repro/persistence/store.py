@@ -12,29 +12,53 @@ process (the crash being recovered from).
 from __future__ import annotations
 
 import json
+import os
+import warnings
 from pathlib import Path
 from typing import Any, Iterable
 
-__all__ = ["CHECKPOINT", "MODIFICATION", "CheckpointStore"]
+__all__ = ["CHECKPOINT", "EVENT", "MODIFICATION", "CheckpointStore"]
 
 #: Record types.
 CHECKPOINT = "checkpoint"
 MODIFICATION = "modification"
+EVENT = "event"
 
 
 class CheckpointStore:
-    """Append-only record log, optionally mirrored to a JSONL file."""
+    """Append-only record log, optionally mirrored to a JSONL file.
 
-    def __init__(self, path: str | Path | None = None) -> None:
+    ``fsync=True`` flushes and fsyncs the file after every append, so a
+    host crash cannot leave a record half-acknowledged. Either way, a
+    truncated *trailing* line (a crash mid-write) is dropped with a
+    warning on reload — matching ``read_spans_jsonl`` semantics — while
+    corruption anywhere earlier in the file still raises.
+    """
+
+    def __init__(self, path: str | Path | None = None, fsync: bool = False) -> None:
         self.path = Path(path) if path is not None else None
+        self.fsync = fsync
         self._records: list[dict[str, Any]] = []
         self._seq = 0
         if self.path is not None and self.path.exists():
             with self.path.open("r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if line:
-                        self._records.append(json.loads(line))
+                lines = handle.readlines()
+            for number, line in enumerate(lines):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    self._records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    if number == len(lines) - 1:
+                        warnings.warn(
+                            f"ignoring truncated trailing checkpoint record "
+                            f"({len(line)} bytes)",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        break
+                    raise
             if self._records:
                 self._seq = max(record["seq"] for record in self._records)
 
@@ -49,6 +73,9 @@ class CheckpointStore:
         if self.path is not None:
             with self.path.open("a", encoding="utf-8") as handle:
                 handle.write(json.dumps(stamped, sort_keys=True) + "\n")
+                if self.fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
         return stamped
 
     # -- reading ------------------------------------------------------------------

@@ -27,6 +27,7 @@ from repro.policy.actions import (
     BulkheadAction,
     BurnRateAlertAction,
     CircuitBreakerAction,
+    CompensateInstanceAction,
     DelayProcessAction,
     LoadSheddingAction,
     PreferBestAction,
@@ -74,6 +75,7 @@ __all__ = [
     "BurnRateAlertAction",
     "BusinessValue",
     "CircuitBreakerAction",
+    "CompensateInstanceAction",
     "ConcurrentInvokeAction",
     "DelayProcessAction",
     "ExtendTimeoutAction",

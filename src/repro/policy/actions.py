@@ -28,6 +28,7 @@ __all__ = [
     "BulkheadAction",
     "BurnRateAlertAction",
     "CircuitBreakerAction",
+    "CompensateInstanceAction",
     "ConcurrentInvokeAction",
     "DelayProcessAction",
     "ExtendTimeoutAction",
@@ -214,6 +215,40 @@ class TerminateProcessAction(AdaptationAction):
 
     def describe(self) -> str:
         return f"terminate process instance ({self.reason})"
+
+
+@dataclass(frozen=True)
+class CompensateInstanceAction(AdaptationAction):
+    """Compensate (saga-unwind) affected process instances.
+
+    ``mode`` selects who drives the undo chain:
+
+    - ``orchestration`` — the engine aborts the instance at its next
+      activity boundary and the enclosing :class:`CompensationScope` runs
+      the registered compensations in LIFO order;
+    - ``choreography`` — the middleware sends each registered compensation
+      as a wsBus invocation to the owning service directly, then
+      terminates the instance (the engine never re-enters the process).
+
+    ``scope`` restricts the unwind to one CompensationScope's steps;
+    ``process`` restricts instance fan-out for instance-less events
+    (e.g. SLO burn-rate alerts) to one process definition.
+    """
+
+    scope: str | None = None
+    mode: str = "orchestration"  # orchestration | choreography
+    process: str | None = None
+    reason: str = "compensated by adaptation policy"
+
+    layer = "process"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("orchestration", "choreography"):
+            raise ActionError(f"unknown compensation mode {self.mode!r}")
+
+    def describe(self) -> str:
+        target = f" scope {self.scope!r}" if self.scope else ""
+        return f"compensate process instance{target} ({self.mode}: {self.reason})"
 
 
 @dataclass(frozen=True)

@@ -16,6 +16,7 @@ from repro.policy.actions import (
     BulkheadAction,
     BurnRateAlertAction,
     CircuitBreakerAction,
+    CompensateInstanceAction,
     DelayProcessAction,
     ConcurrentInvokeAction,
     ExtendTimeoutAction,
@@ -238,6 +239,13 @@ def _action_to_element(action: AdaptationAction) -> Element:
         return Element(_masc("Resume"))
     if isinstance(action, TerminateProcessAction):
         return Element(_masc("Terminate"), attributes={"reason": action.reason})
+    if isinstance(action, CompensateInstanceAction):
+        attributes = {"mode": action.mode, "reason": action.reason}
+        if action.scope is not None:
+            attributes["scope"] = action.scope
+        if action.process is not None:
+            attributes["process"] = action.process
+        return Element(_masc("Compensate"), attributes=attributes)
     if isinstance(action, ExtendTimeoutAction):
         return Element(
             _masc("ExtendTimeout"), attributes={"extraSeconds": str(action.extra_seconds)}
@@ -501,6 +509,13 @@ def _parse_action(element: Element) -> AdaptationAction:
     if local == "Terminate":
         return TerminateProcessAction(
             reason=element.attributes.get("reason", "terminated by adaptation policy")
+        )
+    if local in ("Compensate", "CompensateOnEvent"):
+        return CompensateInstanceAction(
+            scope=element.attributes.get("scope"),
+            mode=element.attributes.get("mode", "orchestration"),
+            process=element.attributes.get("process"),
+            reason=element.attributes.get("reason", "compensated by adaptation policy"),
         )
     if local == "ExtendTimeout":
         return ExtendTimeoutAction(extra_seconds=float(element.attributes.get("extraSeconds", "10")))

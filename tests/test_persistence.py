@@ -354,7 +354,8 @@ class TestCrashRecoveryEquivalence:
             process="scm", seed=1, crash_after_completions=2, store_path=path
         )
         assert result.equivalent
-        assert len(CheckpointStore(path)) == result.checkpoints
+        reloaded = CheckpointStore(path)
+        assert len(reloaded.records(record_type=CHECKPOINT)) == result.checkpoints
 
 
 # ---------------------------------------------------------------------------
@@ -470,3 +471,94 @@ class TestSnapshotEncoding:
         # The snapshot is an independent copy, not a live reference.
         instance.variables["config"]["on"] = False
         assert latest.variables["config"]["on"] is True
+
+
+# ---------------------------------------------------------------------------
+# Saga crash recovery: kill at every boundary, incl. mid-compensation
+# ---------------------------------------------------------------------------
+
+
+class TestSagaCrashRecovery:
+    """The saga compositions swept over *every* activity boundary.
+
+    Both case-study sagas abort after the payment/trade step, so the
+    later kill points land inside the compensation chain — a crash
+    mid-compensation must rehydrate and finish the remaining
+    compensation steps exactly once, matching an uninterrupted
+    same-seed run that aborts at the same point.
+    """
+
+    @pytest.mark.parametrize("process", ["scm-saga", "trading-saga"])
+    def test_equivalent_at_every_boundary(self, process):
+        from repro.experiments import count_crash_boundaries, run_crash_recovery
+
+        boundaries = count_crash_boundaries(process, seed=5)
+        assert boundaries >= 8, "saga sweep should cover compensation steps too"
+        for crash_after in range(1, boundaries + 1):
+            result = run_crash_recovery(
+                process=process, seed=5, crash_after_completions=crash_after
+            )
+            assert result.equivalent, (
+                f"{process} crash after {crash_after}: {result.divergences}"
+            )
+
+    @pytest.mark.parametrize("process", ["scm-saga", "trading-saga"])
+    def test_journal_replay_matches_checkpoints_at_every_boundary(
+        self, process, tmp_path
+    ):
+        from repro.experiments import count_crash_boundaries, run_crash_recovery
+        from repro.persistence import verify_journal
+
+        boundaries = count_crash_boundaries(process, seed=3)
+        for crash_after in range(1, boundaries + 1):
+            path = tmp_path / f"{process}-{crash_after}.jsonl"
+            result = run_crash_recovery(
+                process=process, seed=3, crash_after_completions=crash_after,
+                store_path=path,
+            )
+            assert result.equivalent, result.divergences
+            divergences = verify_journal(CheckpointStore(path))
+            assert not divergences, (
+                f"{process} crash after {crash_after}: journal-derived snapshots "
+                f"diverge: {divergences}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Store hardening: truncated trailing record, fsync
+# ---------------------------------------------------------------------------
+
+
+class TestStoreHardening:
+    def populated_store(self, path):
+        store = CheckpointStore(path)
+        store.append({"type": CHECKPOINT, "instance_id": "p-1", "status": "running"})
+        store.append({"type": CHECKPOINT, "instance_id": "p-1", "status": "completed"})
+        return store
+
+    def test_truncated_trailing_line_dropped_with_warning(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        self.populated_store(path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"type": "checkpoint", "instance_id": "p-1", "stat')
+        with pytest.warns(RuntimeWarning, match="truncated trailing"):
+            reloaded = CheckpointStore(path)
+        assert len(reloaded.records()) == 2
+        # Appending after the drop continues the sequence cleanly.
+        record = reloaded.append({"type": MODIFICATION, "instance_id": "p-1"})
+        assert record["seq"] == 3
+
+    def test_corruption_before_the_tail_still_raises(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        self.populated_store(path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[0] = lines[0][:20]  # damage the *first* record
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(Exception):
+            CheckpointStore(path)
+
+    def test_fsync_flag_persists_records(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        store = CheckpointStore(path, fsync=True)
+        store.append({"type": CHECKPOINT, "instance_id": "p-1", "status": "running"})
+        assert len(CheckpointStore(path).records()) == 1

@@ -15,7 +15,13 @@ class TestContractWsdlRoundTrip:
         contract, address = wsdl_to_contract(contract_to_wsdl(RETAILER_CONTRACT))
         assert contract.service_type == "Retailer"
         assert address is None
-        assert {op.name for op in contract.operations} == {"getCatalog", "submitOrder"}
+        assert {op.name for op in contract.operations} == {
+            "getCatalog",
+            "submitOrder",
+            "cancelOrder",
+            "collectPayment",
+            "refundPayment",
+        }
 
     def test_round_trip_preserves_part_types(self):
         contract, _ = wsdl_to_contract(contract_to_wsdl(RETAILER_CONTRACT))
