@@ -8,12 +8,14 @@ factor, how series move), not absolute numbers.
 """
 
 from repro.experiments.harness import (  # noqa: F401 - re-exported for benchmarks
+    OverloadStormResult,
     StormResult,
     Table1Row,
     catalog_plan,
     order_plan,
     run_direct_configuration,
     run_fault_storm,
+    run_overload_storm,
     run_rtt_point,
     run_vep_configuration,
 )

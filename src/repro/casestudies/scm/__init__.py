@@ -27,6 +27,7 @@ from repro.casestudies.scm.policies import (
     retailer_recovery_policy_document,
     saga_policy_document,
     slo_policy_document,
+    traffic_policy_document,
 )
 from repro.casestudies.scm.process import build_scm_process, build_scm_saga_process
 from repro.casestudies.scm.services import (
@@ -59,4 +60,5 @@ __all__ = [
     "retailer_recovery_policy_document",
     "saga_policy_document",
     "slo_policy_document",
+    "traffic_policy_document",
 ]

@@ -24,9 +24,12 @@ from repro.policy import (
     CircuitBreakerAction,
     CompensateInstanceAction,
     ConcurrentInvokeAction,
+    IdempotencyAction,
+    LoadLevelingAction,
     LoadSheddingAction,
     PolicyDocument,
     PolicyScope,
+    ResponseCacheAction,
     RetryAction,
     SelectionStrategyAction,
     SkipAction,
@@ -43,6 +46,7 @@ __all__ = [
     "retailer_recovery_policy_document",
     "saga_policy_document",
     "slo_policy_document",
+    "traffic_policy_document",
 ]
 
 
@@ -302,6 +306,82 @@ def saga_policy_document(
             ),
             priority=5,
             adaptation_type="correction",
+        )
+    )
+    return _round_trip(document)
+
+
+def traffic_policy_document(
+    cache_operation: str = "getCatalog",
+    cache_ttl_seconds: float = 30.0,
+    cache_max_entries: int = 256,
+    invalidate_on: tuple[str, ...] = (
+        "sloBurnRateExceeded",
+        "errorBudgetExhausted",
+        "catalogChanged",
+    ),
+    rate_per_second: float = 20.0,
+    burst: int = 4,
+    max_queue: int = 64,
+    max_wait_seconds: float = 2.0,
+) -> PolicyDocument:
+    """Traffic shaping for the Retailer tier — the gentler overload story.
+
+    Three policies on the ``traffic.configure`` trigger convention
+    (scanned at load time by the bus's
+    :class:`~repro.traffic.TrafficService`):
+
+    - ``retailer-exactly-once`` stamps every Retailer request with an
+      idempotency key, so retry/replay/broadcast redelivery is provably
+      exactly-once at the service;
+    - ``retailer-catalog-cache`` caches ``getCatalog`` responses
+      (cache-aside with TTL), invalidated when the SLO engine reports
+      budget trouble or a ``catalogChanged`` domain event flows by;
+    - ``retailer-load-leveling`` smooths Retailer VEP arrivals to a
+      sustainable rate with a bounded virtual queue instead of shedding.
+    """
+    document = PolicyDocument("scm-traffic")
+    document.adaptation_policies.append(
+        AdaptationPolicy(
+            name="retailer-exactly-once",
+            triggers=("traffic.configure",),
+            scope=PolicyScope(service_type="Retailer"),
+            actions=(IdempotencyAction(),),
+            priority=10,
+            adaptation_type="prevention",
+        )
+    )
+    document.adaptation_policies.append(
+        AdaptationPolicy(
+            name="retailer-catalog-cache",
+            triggers=("traffic.configure",),
+            scope=PolicyScope(service_type="Retailer", operation=cache_operation),
+            actions=(
+                ResponseCacheAction(
+                    ttl_seconds=cache_ttl_seconds,
+                    max_entries=cache_max_entries,
+                    invalidate_on=invalidate_on,
+                ),
+            ),
+            priority=20,
+            adaptation_type="optimization",
+        )
+    )
+    document.adaptation_policies.append(
+        AdaptationPolicy(
+            name="retailer-load-leveling",
+            triggers=("traffic.configure",),
+            scope=PolicyScope(service_type="Retailer"),
+            actions=(
+                LoadLevelingAction(
+                    rate_per_second=rate_per_second,
+                    burst=burst,
+                    max_queue=max_queue,
+                    max_wait_seconds=max_wait_seconds,
+                ),
+            ),
+            priority=30,
+            adaptation_type="prevention",
         )
     )
     return _round_trip(document)

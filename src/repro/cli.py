@@ -6,6 +6,7 @@ Usage::
     python -m repro figure5 [--requests 150] [--jobs 4] [--trace spans.jsonl]
     python -m repro storm [--seed 7] [--requests 60] [--jobs 2] [--trace spans.jsonl] [--slo]
     python -m repro storm --crash-engine [--seed 7] [--sagas] [--journal DIR]
+    python -m repro storm --traffic [--seed 7] [--report report.json]
     python -m repro replay JOURNAL [--instance ID] [--at SEQ] [--diff OTHER] [--verify]
     python -m repro top [--seed 7] [--interval 10]
     python -m repro scenarios
@@ -24,6 +25,10 @@ snapshot (``PATH.prom``) next to the span file.
 ``storm --slo`` loads the SCM SLO policy document and closes the feedback
 loop: burn-rate events drive a selection-strategy switch (see
 ``docs/slo.md``).
+``storm --traffic`` swaps the fault storm for the overload (flash-crowd)
+ablation: shed-only admission control vs the policy-driven traffic tier
+(response cache + load leveling + idempotency keys, see
+``docs/traffic.md``); ``--report PATH`` writes the numbers as JSON.
 ``top`` runs a short SLO-enabled storm and renders the live per-endpoint
 operations table every ``--interval`` simulated seconds.
 ``storm --crash-engine`` swaps the resilience ablation for the durability
@@ -119,6 +124,21 @@ def _cmd_storm(args: argparse.Namespace) -> int:
     from repro.experiments import run_cells, run_fault_storm, storm_cells
     from repro.metrics import Table
 
+    if args.traffic and (
+        args.crash_engine or args.sagas or args.journal or args.slo or args.trace
+    ):
+        print(
+            "--traffic runs its own ablation; it cannot combine with "
+            "--crash-engine/--sagas/--journal/--slo/--trace",
+            file=sys.stderr,
+        )
+        return 2
+    if args.clients is None:
+        args.clients = 32 if args.traffic else 6
+    if args.requests is None:
+        args.requests = 120 if args.traffic else 60
+    if args.traffic:
+        return _run_traffic_storm(args)
     if args.crash_engine:
         return _run_crash_storm(args)
     if args.sagas or args.journal:
@@ -226,6 +246,91 @@ def _cmd_top(args: argparse.Namespace) -> int:
         print("\nSLO events:")
         for event in result.slo["events"]:
             print(f"  t={event['time']:9.3f}s  {event['name']}  {event['endpoint']}")
+    return 0
+
+
+def _run_traffic_storm(args: argparse.Namespace) -> int:
+    """The overload ablation: shed-only vs the traffic-shaping tier."""
+    import json
+
+    from repro.experiments import run_overload_storm
+    from repro.metrics import Table
+
+    arms = [
+        run_overload_storm(
+            seed=args.seed, traffic=traffic, clients=args.clients, requests=args.requests
+        )
+        for traffic in (False, True)
+    ]
+    table = Table(
+        [
+            "Arm",
+            "Delivered",
+            "Reliability",
+            "p50 RTT",
+            "p99 RTT",
+            "Budget burn",
+            "Shed",
+            "Cache hits",
+            "Leveled",
+        ],
+        title="Overload storm — shed-only vs traffic shaping",
+    )
+    for result in arms:
+        table.add_row(
+            [
+                result.mode,
+                f"{result.delivered}/{result.total_requests}",
+                f"{result.reliability:.4f}",
+                f"{result.rtt_stats.get('p50', 0.0):.4f}s",
+                f"{result.p99_rtt:.4f}s",
+                f"{result.error_budget_burn:.1f}x",
+                result.shed,
+                result.cache_hits,
+                result.leveled,
+            ]
+        )
+    print(table.render())
+    shaped = arms[1]
+    if shaped.traffic is not None:
+        print("\nTraffic tier (shaped arm):")
+        for name, value in sorted(shaped.traffic.items()):
+            print(f"  {name}: {value}")
+        print(f"  idempotency (service container): {shaped.idempotency}")
+    if args.report:
+        payload = {
+            "seed": args.seed,
+            "clients": args.clients,
+            "requests_per_client": args.requests,
+            "arms": [
+                {
+                    "mode": result.mode,
+                    "total_requests": result.total_requests,
+                    "delivered": result.delivered,
+                    "reliability": result.reliability,
+                    "failures_per_1000": result.failures_per_1000,
+                    "rtt_stats": result.rtt_stats,
+                    "error_budget_burn": result.error_budget_burn,
+                    "shed": result.shed,
+                    "throttled": result.throttled,
+                    "leveled": result.leveled,
+                    "cache_hits": result.cache_hits,
+                    "idempotency": result.idempotency,
+                }
+                for result in arms
+            ],
+        }
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nwrote ablation report to {args.report}")
+    # The acceptance bar, enforced here too so CI can gate on the exit code.
+    shed_arm = arms[0]
+    if not (
+        shaped.p99_rtt < shed_arm.p99_rtt
+        and shaped.error_budget_burn < shed_arm.error_budget_burn
+    ):
+        print("traffic shaping failed to beat shed-only", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -590,8 +695,25 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the engine crash/rehydration scenario instead of the ablation",
     )
-    storm.add_argument("--clients", type=int, default=6)
-    storm.add_argument("--requests", type=int, default=60, help="requests per client")
+    storm.add_argument(
+        "--clients", type=int, default=None,
+        help="concurrent clients (default: 6; 32 with --traffic)",
+    )
+    storm.add_argument(
+        "--requests", type=int, default=None,
+        help="requests per client (default: 60; 120 with --traffic)",
+    )
+    storm.add_argument(
+        "--traffic",
+        action="store_true",
+        help="run the overload (flash-crowd) ablation instead: shed-only vs "
+        "the traffic-shaping tier (response cache + load leveling + "
+        "idempotency keys)",
+    )
+    storm.add_argument(
+        "--report", metavar="PATH",
+        help="with --traffic: write the ablation numbers as JSON to PATH",
+    )
     storm.add_argument(
         "--sagas",
         action="store_true",

@@ -8,6 +8,7 @@ callers render or assert on.
 
 from repro.experiments.harness import (
     CrashRecoveryResult,
+    OverloadStormResult,
     StormResult,
     Table1Row,
     catalog_plan,
@@ -16,8 +17,10 @@ from repro.experiments.harness import (
     run_crash_recovery,
     run_direct_configuration,
     run_fault_storm,
+    run_overload_storm,
     run_rtt_point,
     run_vep_configuration,
+    shed_only_policy_document,
 )
 from repro.experiments.parallel import (
     Cell,
@@ -37,6 +40,7 @@ from repro.experiments.reports import (
 __all__ = [
     "Cell",
     "CrashRecoveryResult",
+    "OverloadStormResult",
     "ShardError",
     "StormResult",
     "Table1Row",
@@ -52,7 +56,9 @@ __all__ = [
     "run_crash_recovery",
     "run_direct_configuration",
     "run_fault_storm",
+    "run_overload_storm",
     "run_rtt_point",
+    "shed_only_policy_document",
     "run_vep_configuration",
     "shutdown_pool",
     "storm_cells",

@@ -11,10 +11,18 @@ from repro.casestudies.scm import (
     resilience_policy_document,
     retailer_recovery_policy_document,
     slo_policy_document,
+    traffic_policy_document,
 )
 from repro.metrics import describe, reliability_report
 from repro.observability import MetricsRegistry
-from repro.policy import PolicyRepository
+from repro.policy import (
+    AdaptationPolicy,
+    LoadSheddingAction,
+    PolicyDocument,
+    PolicyRepository,
+    PolicyScope,
+)
+from repro.services import ProcessingModel
 from repro.workload import RequestPlan, WorkloadRunner
 from repro.wsbus import WsBus
 
@@ -254,6 +262,149 @@ def run_fault_storm(
         metrics=metrics.snapshot(),
         bus=bus,
         slo=bus.slo.summary() if bus.slo.active else None,
+    )
+
+
+@dataclass
+class OverloadStormResult:
+    """Outcome of one overload-storm run (shed-only vs traffic shaping)."""
+
+    mode: str
+    total_requests: int
+    delivered: int
+    reliability: float
+    failures_per_1000: float
+    #: RTT statistics over *all* requests, failures included (same
+    #: rationale as :class:`StormResult`).
+    rtt_stats: dict[str, float]
+    #: ``failure_rate / (1 - availability_target/100)`` — how many error
+    #: budgets at the availability target this run burned. 1.0 means the
+    #: budget is exactly exhausted; 50.0 means a 50x overspend.
+    error_budget_burn: float
+    shed: int
+    throttled: int
+    leveled: int
+    cache_hits: int
+    idempotency: dict
+    #: ``bus.traffic.summary()`` when the traffic tier was active, else None.
+    traffic: dict | None
+    metrics: dict
+    bus: WsBus
+
+    @property
+    def p99_rtt(self) -> float:
+        return self.rtt_stats.get("p99", float("inf"))
+
+
+def shed_only_policy_document(max_inflight: int = 16) -> PolicyDocument:
+    """Just the unscoped load-shedding gate — the blunt overload control.
+
+    The overload ablation's baseline arm: reject everything past
+    ``max_inflight`` concurrent mediations with a retryable
+    ``ServiceUnavailable``. No breakers, no bulkheads, no adaptive
+    timeouts — so the comparison against the traffic-shaping arm
+    isolates cache + leveling against shedding alone.
+    """
+    document = PolicyDocument("overload-shed-only")
+    document.adaptation_policies.append(
+        AdaptationPolicy(
+            name="bus-load-shedding",
+            triggers=("resilience.configure",),
+            scope=PolicyScope(),
+            actions=(LoadSheddingAction(max_inflight=max_inflight),),
+            priority=10,
+            adaptation_type="prevention",
+        )
+    )
+    return document
+
+
+def run_overload_storm(
+    seed: int,
+    traffic: bool,
+    clients: int = 32,
+    requests: int = 120,
+    client_timeout: float = 4.0,
+    availability_target: float = 99.0,
+    max_inflight: int = 16,
+    processing_seconds: float = 0.25,
+) -> OverloadStormResult:
+    """A flash crowd against one slow Retailer VEP: shed-only vs shaped.
+
+    No fault injection — the overload *is* the fault. Every Retailer's
+    processing model is slowed to ``processing_seconds`` so a burst of
+    ``clients`` concurrent ``getCatalog`` callers (think time 50ms) far
+    exceeds the fleet's service rate. Both arms load the same unscoped
+    shedding gate (:func:`shed_only_policy_document`); the ``traffic``
+    arm additionally loads :func:`traffic_policy_document` — response
+    cache + load leveling + idempotency keys. The ablation switch is
+    purely which policies are loaded, so the shed-only arm runs the
+    byte-identical pre-traffic mediation path.
+
+    The headline numbers: p99 RTT over all requests and
+    ``error_budget_burn`` — the failure rate expressed in multiples of
+    the error budget at ``availability_target``.
+    """
+    deployment = build_scm_deployment(seed=seed, log_events=False)
+    for retailer in deployment.retailers.values():
+        retailer.processing = ProcessingModel(
+            base_seconds=processing_seconds,
+            per_kb_seconds=0.0,
+            jitter_fraction=0.1,
+        )
+    repository = PolicyRepository()
+    repository.load(
+        retailer_recovery_policy_document(max_retries=1, retry_delay_seconds=0.25)
+    )
+    repository.load(shed_only_policy_document(max_inflight=max_inflight))
+    if traffic:
+        repository.load(traffic_policy_document())
+    metrics = MetricsRegistry()
+    bus = WsBus(
+        deployment.env,
+        deployment.network,
+        repository=repository,
+        registry=deployment.registry,
+        random_source=deployment.random_source,
+        member_timeout=5.0,
+        metrics=metrics,
+    )
+    vep = bus.create_vep(
+        "retailers",
+        RETAILER_CONTRACT,
+        members=deployment.retailer_addresses,
+        selection_strategy="round_robin",
+    )
+    runner = WorkloadRunner(deployment.env, deployment.network)
+    result = runner.run(
+        catalog_plan(vep.address, timeout=client_timeout, think=0.05),
+        clients=clients,
+        requests_per_client=requests,
+    )
+    report = reliability_report("overload storm", result.records)
+    total = len(result.records)
+    delivered = len(result.successes)
+    reliability = delivered / total if total else 0.0
+    budget = 1.0 - availability_target / 100.0
+    shedder = bus.resilience.shedder
+    snapshot = metrics.snapshot()
+    counters = snapshot.get("counters", {})
+    return OverloadStormResult(
+        mode="traffic" if traffic else "shed",
+        total_requests=total,
+        delivered=delivered,
+        reliability=reliability,
+        failures_per_1000=report.failures_per_1000,
+        rtt_stats=describe([record.duration for record in result.records]),
+        error_budget_burn=(1.0 - reliability) / budget if budget > 0 else float("inf"),
+        shed=shedder.shed_total if shedder is not None else 0,
+        throttled=counters.get("wsbus.traffic.throttled", 0),
+        leveled=counters.get("wsbus.traffic.leveled", 0),
+        cache_hits=counters.get("wsbus.traffic.cache.hits", 0),
+        idempotency=deployment.container.idempotency.stats(),
+        traffic=bus.traffic.summary() if bus.traffic.active else None,
+        metrics=snapshot,
+        bus=bus,
     )
 
 

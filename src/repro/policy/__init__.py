@@ -36,10 +36,13 @@ from repro.policy.actions import (
     AddActivityAction,
     ConcurrentInvokeAction,
     ExtendTimeoutAction,
+    IdempotencyAction,
     InvokeSpec,
+    LoadLevelingAction,
     RemoveActivityAction,
     ReplaceActivityAction,
     ResilienceAction,
+    ResponseCacheAction,
     RetryAction,
     SelectionStrategyAction,
     SkipAction,
@@ -47,6 +50,7 @@ from repro.policy.actions import (
     SubstituteAction,
     SuspendProcessAction,
     TerminateProcessAction,
+    TrafficAction,
 )
 from repro.policy.assertions import (
     MessageCondition,
@@ -80,7 +84,9 @@ __all__ = [
     "DelayProcessAction",
     "ExtendTimeoutAction",
     "GoalPolicy",
+    "IdempotencyAction",
     "InvokeSpec",
+    "LoadLevelingAction",
     "LoadSheddingAction",
     "MASC_POLICY_NS",
     "MessageCondition",
@@ -96,6 +102,7 @@ __all__ = [
     "RemoveActivityAction",
     "ReplaceActivityAction",
     "ResilienceAction",
+    "ResponseCacheAction",
     "RetryAction",
     "SelectionStrategyAction",
     "SkipAction",
@@ -103,6 +110,7 @@ __all__ = [
     "SubstituteAction",
     "SuspendProcessAction",
     "TerminateProcessAction",
+    "TrafficAction",
     "WSP_NS",
     "parse_policy_document",
     "serialize_policy_document",

@@ -32,13 +32,16 @@ __all__ = [
     "ConcurrentInvokeAction",
     "DelayProcessAction",
     "ExtendTimeoutAction",
+    "IdempotencyAction",
     "InvokeSpec",
+    "LoadLevelingAction",
     "LoadSheddingAction",
     "PreferBestAction",
     "QuarantineAction",
     "RemoveActivityAction",
     "ReplaceActivityAction",
     "ResilienceAction",
+    "ResponseCacheAction",
     "ResumeProcessAction",
     "RetryAction",
     "SELECTION_STRATEGIES",
@@ -48,6 +51,7 @@ __all__ = [
     "SubstituteAction",
     "SuspendProcessAction",
     "TerminateProcessAction",
+    "TrafficAction",
 ]
 
 
@@ -603,6 +607,114 @@ class LoadSheddingAction(ResilienceAction):
         if self.max_retry_queue_depth is not None:
             description += f" or retry depth {self.max_retry_queue_depth}"
         return description
+
+
+# ---------------------------------------------------------------------------
+# Traffic-shaping assertions (messaging layer)
+# ---------------------------------------------------------------------------
+
+
+class TrafficAction(AdaptationAction):
+    """Base class of the traffic-shaping vocabulary.
+
+    Like the resilience assertions these configure standing machinery of
+    the bus (``repro.traffic``) rather than repair one failed message.
+    They are declared in adaptation policies carrying the conventional
+    ``traffic.configure`` trigger and scope-matched against service types
+    and operations, so caching, idempotency and leveling behavior stays
+    policy-driven like every other MASC behavior.
+    """
+
+    layer = "messaging"
+
+
+@dataclass(frozen=True)
+class IdempotencyAction(TrafficAction):
+    """Stamp scope-matched requests with an idempotency key.
+
+    The VEP derives the key from the envelope's message ID at mediation
+    entry; header-preserving copies carry it through every redelivery path
+    (retry, dead-letter replay, broadcast, substitution, choreography
+    compensation), and the service container's dedupe store then executes
+    each key at most once, answering duplicates with the recorded first
+    response — recovery "must not blindly re-invoke constituents".
+    """
+
+    def describe(self) -> str:
+        return "stamp idempotency keys for exactly-once execution"
+
+
+@dataclass(frozen=True)
+class ResponseCacheAction(TrafficAction):
+    """Cache-aside response cache for scope-matched operations.
+
+    Successful responses are kept for ``ttl_seconds`` (at most
+    ``max_entries``, LRU-evicted) keyed by service type, operation and
+    request body, so repeated reads are answered at the VEP without
+    touching a member. ``invalidate_on`` lists MASC event names (fnmatch
+    patterns, e.g. ``sloBurnRateExceeded`` or ``catalogChanged``) that
+    flush the cache — policy-driven invalidation wired to the same event
+    fabric that drives adaptation.
+    """
+
+    ttl_seconds: float = 30.0
+    max_entries: int = 256
+    invalidate_on: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.ttl_seconds <= 0:
+            raise ActionError(f"ttl_seconds must be positive: {self.ttl_seconds}")
+        if self.max_entries < 1:
+            raise ActionError(f"max_entries must be positive: {self.max_entries}")
+        for pattern in self.invalidate_on:
+            if not pattern:
+                raise ActionError("invalidate_on patterns must be non-empty")
+
+    def describe(self) -> str:
+        description = (
+            f"cache responses for {self.ttl_seconds:g}s "
+            f"(max {self.max_entries} entries)"
+        )
+        if self.invalidate_on:
+            description += f", invalidated on {', '.join(self.invalidate_on)}"
+        return description
+
+
+@dataclass(frozen=True)
+class LoadLevelingAction(TrafficAction):
+    """Queue-based load leveling + token-bucket throttling for a VEP.
+
+    The gentler alternative to shed-only admission control: a burst of up
+    to ``burst`` requests passes immediately, then arrivals are smoothed
+    to ``rate_per_second`` by *delaying* them in a bounded virtual queue
+    instead of rejecting them outright. Only past the queue's limits —
+    more than ``max_queue`` requests already waiting, or a computed delay
+    beyond ``max_wait_seconds`` — is a request rejected with a retryable
+    ``ServiceUnavailable`` fault.
+    """
+
+    rate_per_second: float = 50.0
+    burst: int = 10
+    max_queue: int = 64
+    max_wait_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_second <= 0:
+            raise ActionError(
+                f"rate_per_second must be positive: {self.rate_per_second}"
+            )
+        if self.burst < 1:
+            raise ActionError(f"burst must be positive: {self.burst}")
+        if self.max_queue < 0:
+            raise ActionError(f"negative max_queue {self.max_queue}")
+        if self.max_wait_seconds < 0:
+            raise ActionError(f"negative max_wait_seconds {self.max_wait_seconds}")
+
+    def describe(self) -> str:
+        return (
+            f"level load to {self.rate_per_second:g}/s (burst {self.burst}, "
+            f"queue {self.max_queue}, wait <= {self.max_wait_seconds:g}s)"
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -20,12 +20,15 @@ from repro.policy.actions import (
     DelayProcessAction,
     ConcurrentInvokeAction,
     ExtendTimeoutAction,
+    IdempotencyAction,
     InvokeSpec,
+    LoadLevelingAction,
     LoadSheddingAction,
     PreferBestAction,
     QuarantineAction,
     RemoveActivityAction,
     ReplaceActivityAction,
+    ResponseCacheAction,
     ResumeProcessAction,
     RetryAction,
     SelectionStrategyAction,
@@ -301,6 +304,29 @@ def _action_to_element(action: AdaptationAction) -> Element:
         if action.max_retry_queue_depth is not None:
             attributes["maxRetryQueueDepth"] = str(action.max_retry_queue_depth)
         return Element(_masc("LoadShedding"), attributes=attributes)
+    if isinstance(action, IdempotencyAction):
+        return Element(_masc("Idempotency"))
+    if isinstance(action, ResponseCacheAction):
+        element = Element(
+            _masc("ResponseCache"),
+            attributes={
+                "ttlSeconds": str(action.ttl_seconds),
+                "maxEntries": str(action.max_entries),
+            },
+        )
+        for pattern in action.invalidate_on:
+            element.add(_masc("InvalidateOn"), event=pattern)
+        return element
+    if isinstance(action, LoadLevelingAction):
+        return Element(
+            _masc("LoadLeveling"),
+            attributes={
+                "ratePerSecond": str(action.rate_per_second),
+                "burst": str(action.burst),
+                "maxQueue": str(action.max_queue),
+                "maxWaitSeconds": str(action.max_wait_seconds),
+            },
+        )
     if isinstance(action, SloAction):
         attributes = {
             "name": action.name,
@@ -561,6 +587,23 @@ def _parse_action(element: Element) -> AdaptationAction:
         return LoadSheddingAction(
             max_inflight=int(element.attributes.get("maxInflight", "64")),
             max_retry_queue_depth=int(depth_text) if depth_text is not None else None,
+        )
+    if local == "Idempotency":
+        return IdempotencyAction()
+    if local == "ResponseCache":
+        return ResponseCacheAction(
+            ttl_seconds=float(element.attributes.get("ttlSeconds", "30")),
+            max_entries=int(element.attributes.get("maxEntries", "256")),
+            invalidate_on=tuple(
+                _required(on, "event") for on in element.find_all(_masc("InvalidateOn"))
+            ),
+        )
+    if local == "LoadLeveling":
+        return LoadLevelingAction(
+            rate_per_second=float(element.attributes.get("ratePerSecond", "50")),
+            burst=int(element.attributes.get("burst", "10")),
+            max_queue=int(element.attributes.get("maxQueue", "64")),
+            max_wait_seconds=float(element.attributes.get("maxWaitSeconds", "5")),
         )
     if local == "Slo":
         latency_text = element.attributes.get("latencyTargetSeconds")

@@ -14,6 +14,12 @@ State machine (the classic three states):
     OPEN   --(open_seconds elapsed)--> HALF_OPEN
     HALF_OPEN --(all probes succeed)--> CLOSED
     HALF_OPEN --(any probe fails)-----> OPEN
+    HALF_OPEN --(probe outcome lost for open_seconds)--> OPEN
+
+The last edge reclaims wedged probes: an admitted half-open probe whose
+request is shed, bulkhead-rejected, or lost mid-flight never reports an
+outcome, and without a clock-based escape the probe budget would stay
+exhausted and the breaker would reject forever.
 
 Everything is driven by the simulation clock, so a fixed seed yields a
 bit-identical transition log.
@@ -75,6 +81,9 @@ class CircuitBreaker:
         #: Probes admitted / succeeded since entering HALF_OPEN.
         self._probes_admitted = 0
         self._probes_succeeded = 0
+        #: Clock reading of the latest probe admission, for reclaiming
+        #: probes whose outcome never arrives.
+        self._probe_admitted_at: float | None = None
 
     # -- admission ---------------------------------------------------------------
 
@@ -86,22 +95,41 @@ class CircuitBreaker:
             if not self._open_interval_elapsed():
                 return False
             self._transition(BreakerState.HALF_OPEN, "open interval elapsed")
+        elif self._probe_timed_out():
+            self._transition(BreakerState.OPEN, "half-open probe timed out")
+            return False
         if self._probes_admitted < self.config.half_open_probes:
             self._probes_admitted += 1
+            self._probe_admitted_at = self._clock()
             return True
         return False
 
     def would_allow(self) -> bool:
-        """Non-mutating peek used by selection filtering.
+        """Peek used by selection filtering; never consumes probe budget.
 
-        Must not consume the half-open probe budget: selection may inspect
-        every member before the VEP commits to one.
+        Selection may inspect every member before the VEP commits to one,
+        so this must not count as an admission — but it does reclaim a
+        timed-out probe, because a wedged breaker whose endpoint selection
+        keeps filtering out would otherwise never see another
+        ``allow_request`` call to clear it.
         """
         if self.state is BreakerState.CLOSED:
             return True
         if self.state is BreakerState.OPEN:
             return self._open_interval_elapsed()
+        if self._probe_timed_out():
+            self._transition(BreakerState.OPEN, "half-open probe timed out")
+            return False
         return self._probes_admitted < self.config.half_open_probes
+
+    def _probe_timed_out(self) -> bool:
+        """True when every half-open probe was admitted ``open_seconds``
+        ago or more without an outcome resolving the state."""
+        return (
+            self._probes_admitted >= self.config.half_open_probes
+            and self._probe_admitted_at is not None
+            and self._clock() - self._probe_admitted_at >= self.config.open_seconds
+        )
 
     def _open_interval_elapsed(self) -> bool:
         return (
@@ -156,6 +184,7 @@ class CircuitBreaker:
             self._opened_at = self._clock()
         self._probes_admitted = 0
         self._probes_succeeded = 0
+        self._probe_admitted_at = None
         self.transitions.append(transition)
         if self._on_transition is not None:
             self._on_transition(transition)

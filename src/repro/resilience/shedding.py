@@ -27,6 +27,10 @@ class LoadShedder:
         self.in_flight = 0
         self.admitted_total = 0
         self.shed_total = 0
+        #: Releases that arrived without a matching admission. Always a
+        #: bug upstream; counted (and floored) so the gate keeps its real
+        #: capacity instead of silently admitting extra traffic.
+        self.unbalanced_releases = 0
 
     def try_admit(self) -> SoapFault | None:
         """Admit one mediation (returns None) or the rejection fault."""
@@ -51,6 +55,10 @@ class LoadShedder:
         return None
 
     def release(self) -> None:
+        if self.in_flight <= 0:
+            self.unbalanced_releases += 1
+            self.in_flight = 0
+            return
         self.in_flight -= 1
 
     def stats(self) -> dict[str, int]:
@@ -58,4 +66,5 @@ class LoadShedder:
             "in_flight": self.in_flight,
             "admitted": self.admitted_total,
             "shed": self.shed_total,
+            "unbalanced_releases": self.unbalanced_releases,
         }

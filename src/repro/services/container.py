@@ -13,6 +13,7 @@ from collections.abc import Generator
 
 from repro.simulation import Environment, RandomSource
 from repro.soap import FaultCode, SoapEnvelope, SoapFault, SoapFaultError
+from repro.traffic.idempotency import IdempotencyStore, idempotency_key_of
 from repro.transport import Network
 from repro.wsdl import ContractViolation
 
@@ -37,6 +38,9 @@ class ServiceContainer:
         self.random_source = random_source or RandomSource()
         self.validate_requests = validate_requests
         self.services: dict[str, SimulatedService] = {}
+        #: Provider-side dedupe store: requests stamped with an
+        #: idempotency key execute at most once per hosted service.
+        self.idempotency = IdempotencyStore(env)
 
     def deploy(self, service: SimulatedService) -> SimulatedService:
         """Host ``service`` at its address and give it client-side plumbing."""
@@ -58,6 +62,19 @@ class ServiceContainer:
 
     def _handler_for(self, service: SimulatedService):
         def handle(request: SoapEnvelope) -> Generator:
+            # Headerless requests (the overwhelmingly common case) take
+            # the direct path; only stamped ones pay the dedupe lookup.
+            if request.headers:
+                key = idempotency_key_of(request)
+                if key is not None:
+                    return (
+                        yield from self.idempotency.execute_once(
+                            service.address, request, key, execute
+                        )
+                    )
+            return (yield from execute(request))
+
+        def execute(request: SoapEnvelope) -> Generator:
             not_understood = [
                 header.element.name.clark()
                 for header in request.headers

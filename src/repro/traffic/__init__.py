@@ -1,0 +1,58 @@
+"""Policy-driven traffic shaping for wsBus mediation.
+
+The tier ROADMAP item 3 asks for, in three pieces configured entirely by
+WS-Policy4MASC assertions on the conventional ``traffic.configure``
+trigger:
+
+- **idempotency keys** (:mod:`repro.traffic.idempotency`): the VEP stamps
+  scope-matched requests with a key derived from the envelope's message
+  ID; the service container's dedupe store executes each key at most once
+  and answers every redelivery (retry, dead-letter replay, broadcast,
+  choreography compensation) with the recorded first response;
+- **response cache** (:mod:`repro.traffic.cache`): cache-aside with TTL
+  and LRU bounds at the VEP, invalidated by MASC events named in the
+  policy (the same event fabric that drives adaptation);
+- **load leveling** (:mod:`repro.traffic.leveling`): token-bucket
+  smoothing with a bounded virtual wait queue in front of VEP admission —
+  the gentler alternative to shed-only overload control.
+
+:class:`~repro.traffic.service.TrafficService` scans the repository and
+serves scope-matched configuration to the VEPs; with no traffic policies
+loaded it is inert and the mediation path is byte-for-byte unchanged.
+"""
+
+from repro.traffic.idempotency import (
+    IDEMPOTENCY_HEADER,
+    IdempotencyStore,
+    idempotency_key_of,
+    stamp_idempotency_key,
+)
+
+__all__ = [
+    "IDEMPOTENCY_HEADER",
+    "IdempotencyStore",
+    "LoadLeveler",
+    "ResponseCache",
+    "TrafficService",
+    "idempotency_key_of",
+    "stamp_idempotency_key",
+]
+
+#: Lazily exported (PEP 562): these pull in :mod:`repro.policy`, which in
+#: turn imports :mod:`repro.services` → this package — eager imports here
+#: would close that cycle. :mod:`repro.traffic.idempotency` stays eager
+#: because the service container needs it and it only touches SOAP/XML.
+_LAZY = {
+    "LoadLeveler": "repro.traffic.leveling",
+    "ResponseCache": "repro.traffic.cache",
+    "TrafficService": "repro.traffic.service",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    return getattr(import_module(module_name), name)

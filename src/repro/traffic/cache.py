@@ -1,0 +1,111 @@
+"""Cache-aside response cache for VEP mediation.
+
+Successful response bodies are kept per (service type, operation, request
+body) for the policy's TTL, bounded by an LRU of ``max_entries``. The VEP
+consults the cache before admission control — a hit costs neither a
+shedder slot nor a member invocation — and fills it on the way back
+(cache-aside, not write-through: only responses that actually flowed are
+stored).
+
+Invalidation is policy-driven: :class:`~repro.traffic.service.TrafficService`
+subscribes to the bus's MASC event stream and flushes caches whose
+``invalidate_on`` patterns match the event name, so an SLO burn-rate
+alert or a domain event like ``catalogChanged`` empties the cache through
+the same event fabric that drives every other adaptation.
+
+Returned bodies are shared by reference (the same copy-on-write
+discipline as envelope replies); consumers must not mutate reply bodies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from fnmatch import fnmatchcase
+from weakref import WeakKeyDictionary
+
+from repro.policy.actions import ResponseCacheAction
+from repro.xmlutils import Element, serialize_xml
+
+__all__ = ["ResponseCache"]
+
+
+class ResponseCache:
+    """TTL + LRU response cache configured by one :class:`ResponseCacheAction`."""
+
+    def __init__(self, config: ResponseCacheAction, clock) -> None:
+        self.config = config
+        self._clock = clock
+        #: key -> (expires_at, body); insertion/access order is LRU order.
+        self._entries: OrderedDict[str, tuple[float, Element]] = OrderedDict()
+        #: Request-body tree -> serialized signature. Interned payloads
+        #: recur across requests, so memoizing by body identity makes the
+        #: common key computation a dict hit instead of a serialization.
+        self._signatures: WeakKeyDictionary = WeakKeyDictionary()
+        self.hits = 0
+        self.misses = 0
+        self.expired = 0
+        self.evicted = 0
+        self.flushes = 0
+        self.invalidated = 0
+
+    def _signature(self, body: Element | None) -> str:
+        if body is None:
+            return ""
+        signature = self._signatures.get(body)
+        if signature is None:
+            signature = serialize_xml(body)
+            self._signatures[body] = signature
+        return signature
+
+    def key_for(self, service_type: str, operation: str, request) -> str:
+        return f"{service_type}|{operation}|{self._signature(request.body)}"
+
+    def get(self, key: str) -> Element | None:
+        """The cached body for ``key``, or None (counts hit/miss/expiry)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        expires_at, body = entry
+        if self._clock() >= expires_at:
+            del self._entries[key]
+            self.expired += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return body
+
+    def put(self, key: str, body: Element) -> None:
+        self._entries[key] = (self._clock() + self.config.ttl_seconds, body)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.config.max_entries:
+            self._entries.popitem(last=False)
+            self.evicted += 1
+
+    def matches_event(self, event_name: str) -> bool:
+        return any(
+            fnmatchcase(event_name, pattern) for pattern in self.config.invalidate_on
+        )
+
+    def invalidate(self) -> int:
+        """Flush every entry; returns how many were dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.flushes += 1
+        self.invalidated += dropped
+        return dropped
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "expired": self.expired,
+            "evicted": self.evicted,
+            "flushes": self.flushes,
+            "invalidated": self.invalidated,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ResponseCache entries={len(self._entries)} hits={self.hits}>"

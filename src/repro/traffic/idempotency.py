@@ -1,0 +1,166 @@
+"""Idempotency keys: provably exactly-once execution across redelivery.
+
+The retry handler "tries redelivery" of failed messages — but a member
+that timed out *after* executing the request (response lost on the way
+back) has already performed the side effect, and a blind redelivery
+performs it twice: the classic double ``collectPayment``.
+
+The remedy has two halves:
+
+- the VEP stamps each scope-matched request with a MASC extension header
+  carrying a key derived from the envelope's **message ID** (unique per
+  client request; the process-instance correlation ID is shared by every
+  request of an instance, so it cannot distinguish two distinct calls).
+  Header-preserving ``copy()``/``retargeted()`` means retries,
+  dead-letter replays, broadcasts and substitutions all carry the key of
+  the original request even though each attempt mints a fresh message ID;
+- the service container consults its :class:`IdempotencyStore` before
+  dispatching: the first delivery of a key executes and its response body
+  is recorded; every later delivery is answered from the record without
+  re-executing. A duplicate arriving while the first delivery is still
+  executing *waits* for its outcome instead of racing it.
+
+Only successful responses are recorded — a faulted execution leaves no
+record, so a retry of a genuine failure still re-executes (that is what
+retries are for).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.soap.addressing import MASC_NS
+from repro.soap.envelope import SoapEnvelope
+from repro.xmlutils import Element, QName
+
+__all__ = [
+    "IDEMPOTENCY_HEADER",
+    "IdempotencyStore",
+    "idempotency_key_of",
+    "stamp_idempotency_key",
+]
+
+#: The SOAP extension header (MASC namespace, never mustUnderstand) that
+#: carries the idempotency key end to end.
+IDEMPOTENCY_HEADER = QName(MASC_NS, "IdempotencyKey")
+
+
+def idempotency_key_of(envelope: SoapEnvelope) -> str | None:
+    """The idempotency key stamped on ``envelope``, or None."""
+    header = envelope.header(IDEMPOTENCY_HEADER)
+    if header is None:
+        return None
+    return header.text or None
+
+
+def stamp_idempotency_key(envelope: SoapEnvelope, key: str | None = None) -> str | None:
+    """Stamp ``envelope`` with an idempotency key header (idempotently).
+
+    An already-stamped envelope is left untouched — a dead-letter replay
+    re-entering the VEP must keep the key of the original request. With
+    no explicit ``key`` the envelope's message ID is used; returns the
+    effective key, or None when there is nothing to derive one from.
+    """
+    existing = idempotency_key_of(envelope)
+    if existing is not None:
+        return existing
+    if key is None:
+        key = envelope.addressing.message_id
+    if not key:
+        return None
+    envelope.add_header(Element(IDEMPOTENCY_HEADER, text=key))
+    return key
+
+
+class _Entry:
+    """One key's record: a wait event and, once known, the response body."""
+
+    __slots__ = ("event", "body")
+
+    def __init__(self, event) -> None:
+        self.event = event
+        self.body = None
+
+
+class IdempotencyStore:
+    """Per-service dedupe store executing each key at most once.
+
+    Keys are namespaced by service address so two services receiving the
+    same key (e.g. a broadcast) each execute once. Bounded LRU: completed
+    records past ``max_entries`` are evicted oldest-first; in-flight
+    claims are never evicted.
+    """
+
+    def __init__(self, env, max_entries: int = 4096) -> None:
+        self.env = env
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple[str, str], _Entry] = OrderedDict()
+        self.recorded = 0
+        self.deduped = 0
+        #: Duplicates that arrived while the first delivery was executing
+        #: and waited for its outcome instead of racing it.
+        self.coalesced = 0
+        self.evicted = 0
+
+    def execute_once(self, service_address: str, request, key: str, execute):
+        """Run ``execute(request)`` at most once for ``key``; a generator.
+
+        Deliveries after a recorded success are answered with the first
+        response's body without executing. A faulted or failed execution
+        clears its claim so the next delivery executes afresh.
+        """
+        slot = (service_address, key)
+        while True:
+            entry = self._entries.get(slot)
+            if entry is None:
+                break
+            if entry.body is not None:
+                self.deduped += 1
+                self._entries.move_to_end(slot)
+                return request.reply(entry.body)
+            # First delivery still executing: wait for its outcome, then
+            # re-check (an aborted claim lets this delivery execute).
+            self.coalesced += 1
+            yield entry.event
+        entry = _Entry(self.env.event())
+        self._entries[slot] = entry
+        try:
+            reply = yield from execute(request)
+        except BaseException:
+            self._entries.pop(slot, None)
+            entry.event.succeed(None)
+            raise
+        if reply is not None and not reply.is_fault and reply.body is not None:
+            entry.body = reply.body
+            self.recorded += 1
+            if len(self._entries) > self.max_entries:
+                self._evict_one()
+        else:
+            self._entries.pop(slot, None)
+        entry.event.succeed(None)
+        return reply
+
+    def _evict_one(self) -> None:
+        for slot, entry in self._entries.items():
+            if entry.body is not None:
+                oldest = slot
+                break
+        else:
+            return
+        del self._entries[oldest]
+        self.evicted += 1
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "recorded": self.recorded,
+            "deduped": self.deduped,
+            "coalesced": self.coalesced,
+            "evicted": self.evicted,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<IdempotencyStore entries={len(self._entries)} "
+            f"deduped={self.deduped}>"
+        )

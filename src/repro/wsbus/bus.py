@@ -21,6 +21,7 @@ from repro.resilience import ResilienceService
 from repro.services import Invoker, ServiceRegistry
 from repro.simulation import Environment, RandomSource
 from repro.soap import SoapFaultError
+from repro.traffic import TrafficService
 from repro.transport import Network
 from repro.wsbus.adaptation import AdaptationManager
 from repro.wsbus.monitoring import BusMonitoringService
@@ -118,6 +119,15 @@ class WsBus:
         self.slo.add_sink(self.adaptation.handle_event)
         self.slo.add_sink(self.monitoring.raise_event)
         self.slo.ensure_started()
+        #: Policy-driven traffic shaping (response cache, idempotency
+        #: keys, load leveling); inert until ``traffic.configure``
+        #: policies are loaded. Subscribed to the Monitoring Service's
+        #: event stream (which SLO events also flow through, above) so
+        #: cache invalidation is event-driven.
+        self.traffic = TrafficService(
+            env, self.repository, tracer=self.tracer, metrics=self.metrics
+        )
+        self.monitoring.add_sink(self.traffic.handle_event)
         #: Per-message mediation processing cost applied inside each VEP;
         #: calibrated so mediation adds roughly the paper's ~10% RTT.
         from repro.transport import LatencyModel as _LatencyModel
@@ -266,6 +276,7 @@ class WsBus:
             tracer=self.tracer,
             metrics=self.metrics,
             resilience=self.resilience,
+            traffic=self.traffic,
         )
         if from_registry:
             vep.refresh_members_from_registry()
@@ -378,6 +389,8 @@ class WsBus:
         }
         if self.resilience.active:
             summary["resilience"] = self.resilience.summary()
+        if self.traffic.active:
+            summary["traffic"] = self.traffic.summary()
         if self.slo.active:
             summary["slo"] = self.slo.summary()
         if self.metrics.enabled:

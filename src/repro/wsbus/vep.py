@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.observability import NULL_METRICS, NULL_TRACER, correlation_id_for
 from repro.soap import FaultCode, SoapEnvelope, SoapFault, SoapFaultError
+from repro.traffic.idempotency import stamp_idempotency_key
 from repro.wsbus.adaptation import AdaptationManager, broadcast_first_response
 from repro.wsbus.monitoring import BusMonitoringService, MonitoringPoint
 from repro.wsbus.pipeline import MessagePipeline, PipelineContext
@@ -35,6 +36,12 @@ class VepStats:
     violations: int = 0
     #: Requests rejected at admission (load shedding / bulkhead saturation).
     shed: int = 0
+    #: Requests answered from the traffic tier's response cache.
+    cache_hits: int = 0
+    #: Requests delayed by queue-based load leveling.
+    leveled: int = 0
+    #: Requests rejected by the load leveler (queue full / wait too long).
+    throttled: int = 0
 
 
 class VirtualEndpoint:
@@ -61,6 +68,7 @@ class VirtualEndpoint:
         tracer=None,
         metrics=None,
         resilience=None,
+        traffic=None,
     ) -> None:
         self.name = name
         self.contract = contract
@@ -101,6 +109,9 @@ class VirtualEndpoint:
         #: Optional :class:`~repro.resilience.ResilienceService` providing
         #: admission control (load shedding + per-VEP bulkhead).
         self.resilience = resilience
+        #: Optional :class:`~repro.traffic.TrafficService` providing the
+        #: shaping tier (response cache, idempotency keys, load leveling).
+        self.traffic = traffic
         self.address: str | None = None  # set by the bus on deployment
         self.stats = VepStats()
 
@@ -131,11 +142,92 @@ class VirtualEndpoint:
     # -- the message path -------------------------------------------------------------
 
     def handle(self, request: SoapEnvelope) -> Generator:
-        """Network handler: admission control + the mediation path.
+        """Network handler: traffic shaping, admission control, mediation.
 
-        Admission comes first: under overload the bus sheds this request
-        with a retryable fault (or parks it briefly in the VEP bulkhead
-        queue) *before* spending any mediation effort on it.
+        The traffic-shaping tier (response cache, idempotency stamping,
+        queue-based load leveling) runs first — a cache hit never touches
+        admission control at all, and a leveled request waits its turn
+        *before* occupying a shedder or bulkhead slot. With no traffic
+        policies loaded the tier is inert and the path is unchanged.
+        """
+        traffic = self.traffic
+        if traffic is not None and traffic.active:
+            return (yield from self._shaped_handle(request))
+        return (yield from self._admitted_handle(request))
+
+    def _shaped_handle(self, request: SoapEnvelope) -> Generator:
+        """The mediation path behind the policy-driven traffic tier."""
+        traffic = self.traffic
+        service_type = self.contract.service_type
+        operation = self._resolve_operation(request)
+        cache = cache_key = None
+        if operation is not None:
+            cache = traffic.cache_for(service_type, operation)
+            if cache is not None:
+                cache_key = cache.key_for(service_type, operation, request)
+                cached_body = cache.get(cache_key)
+                if cached_body is not None:
+                    self.stats.requests += 1
+                    self.stats.successes += 1
+                    self.stats.cache_hits += 1
+                    if self.metrics.enabled:
+                        self.metrics.counter("wsbus.traffic.cache.hits").inc()
+                    if self.tracer.enabled:
+                        span = self.tracer.start_span(
+                            "traffic.cache_hit",
+                            correlation_id=correlation_id_for(request),
+                            attributes={"vep": self.name, "operation": operation},
+                        )
+                        span.end()
+                    return request.reply(cached_body)
+                if self.metrics.enabled:
+                    self.metrics.counter("wsbus.traffic.cache.misses").inc()
+            if traffic.stamps(service_type, operation):
+                # Stamp the key onto a header-shallow copy (never mutate
+                # the client's own envelope). copy()/retargeted() preserve
+                # headers, so every redelivery path downstream — retry,
+                # dead-letter replay, broadcast, substitution — carries
+                # the same key to the service container's dedupe store.
+                stamped = request.copy()
+                if stamp_idempotency_key(stamped) is not None:
+                    request = stamped
+                    if self.metrics.enabled:
+                        self.metrics.counter(
+                            "wsbus.traffic.idempotency.stamped"
+                        ).inc()
+        leveler = traffic.leveler_for(self.name, service_type)
+        if leveler is not None:
+            try:
+                wait = leveler.admit()
+            except SoapFaultError as error:
+                self.stats.throttled += 1
+                if self.metrics.enabled:
+                    self.metrics.counter("wsbus.traffic.throttled").inc()
+                return request.reply_fault(error.fault)
+            if wait is not None:
+                self.stats.leveled += 1
+                if self.metrics.enabled:
+                    self.metrics.counter("wsbus.traffic.leveled").inc()
+                try:
+                    yield wait
+                finally:
+                    leveler.release()
+        reply = yield from self._admitted_handle(request)
+        if (
+            cache is not None
+            and cache_key is not None
+            and not reply.is_fault
+            and reply.body is not None
+        ):
+            cache.put(cache_key, reply.body)
+        return reply
+
+    def _admitted_handle(self, request: SoapEnvelope) -> Generator:
+        """Admission control + the mediation path.
+
+        Under overload the bus sheds this request with a retryable fault
+        (or parks it briefly in the VEP bulkhead queue) *before* spending
+        any mediation effort on it.
         """
         if self.resilience is None or not self.resilience.active:
             return (yield from self._observed_handle(request))
@@ -148,9 +240,11 @@ class VirtualEndpoint:
             if self.metrics.enabled:
                 self.metrics.counter("wsbus.vep.shed").inc()
             return request.reply_fault(error.fault)
-        if admission.wait is not None:
-            yield admission.wait
         try:
+            # The bulkhead wait lives inside the try so a failed wait
+            # event still releases the admission holds.
+            if admission.wait is not None:
+                yield admission.wait
             return (yield from self._observed_handle(request))
         finally:
             admission.release()

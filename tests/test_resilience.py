@@ -138,6 +138,68 @@ class TestCircuitBreaker:
         clock.now = 62.0
         assert breaker.would_allow()
 
+    def test_lost_probe_outcome_reclaims_via_allow_request(self):
+        """Regression: a half-open probe whose outcome never arrives (the
+        request was shed, bulkhead-rejected, or lost) used to wedge the
+        breaker — the probe budget stayed exhausted forever. The breaker
+        now re-opens once the probe is ``open_seconds`` old, restarting
+        the normal open → half-open cycle."""
+        clock = Clock()
+        breaker = make_breaker(clock, open_seconds=30.0, half_open_probes=1)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 31.0
+        assert breaker.allow_request()  # the probe whose outcome gets lost
+        # Probe budget exhausted; no outcome ever recorded.
+        clock.now = 60.0
+        assert not breaker.allow_request()
+        # open_seconds after the probe admission: reclaimed, back to OPEN.
+        clock.now = 61.0
+        assert not breaker.allow_request()
+        assert breaker.state.value == "open"
+        assert breaker.transitions[-1].reason == "half-open probe timed out"
+        assert breaker.transitions[-1].from_state == "half_open"
+        # The cycle restarts: a fresh probe is admitted and can close it.
+        clock.now = 92.0
+        assert breaker.allow_request()
+        breaker.record_success()
+        assert breaker.state.value == "closed"
+
+    def test_lost_probe_outcome_reclaims_via_would_allow(self):
+        """Selection filters a wedged breaker's endpoint out, so the
+        breaker may only ever see ``would_allow`` peeks — those must
+        reclaim a timed-out probe too, or the endpoint never returns."""
+        clock = Clock()
+        breaker = make_breaker(clock, open_seconds=30.0, half_open_probes=1)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 31.0
+        assert breaker.allow_request()
+        clock.now = 61.0
+        assert not breaker.would_allow()
+        assert breaker.state.value == "open"
+        assert breaker.transitions[-1].reason == "half-open probe timed out"
+        clock.now = 92.0
+        assert breaker.would_allow()
+
+    def test_resolved_probe_is_not_reclaimed(self):
+        """A probe that *did* report its outcome transitions normally —
+        the reclaim only fires for unresolved probes."""
+        clock = Clock()
+        breaker = make_breaker(clock, open_seconds=30.0, half_open_probes=1)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 31.0
+        assert breaker.allow_request()
+        breaker.record_success()
+        assert breaker.state.value == "closed"
+        clock.now = 120.0
+        assert breaker.allow_request()
+        assert breaker.state.value == "closed"
+        assert all(
+            t.reason != "half-open probe timed out" for t in breaker.transitions
+        )
+
 
 # ---------------------------------------------------------------------------
 # Bulkheads
@@ -243,6 +305,99 @@ class TestLoadShedder:
         assert shedder.try_admit() is not None
         shedder.retry_queue.depth = 2
         assert shedder.try_admit() is None
+
+    def test_unbalanced_release_is_floored_and_counted(self):
+        """Regression: a release without a matching admission used to
+        drive ``in_flight`` negative, silently raising the gate's real
+        capacity. It is now floored at zero and counted as a bug signal."""
+        shedder = LoadShedder(LoadSheddingAction(max_inflight=1))
+        shedder.release()
+        shedder.release()
+        assert shedder.in_flight == 0
+        assert shedder.stats()["unbalanced_releases"] == 2
+        # Capacity is intact: exactly one admission fits.
+        assert shedder.try_admit() is None
+        assert shedder.try_admit() is not None
+
+
+class TestVepAdmissionAccounting:
+    def test_failed_bulkhead_wait_still_releases_admission(
+        self, env, network, container
+    ):
+        """Regression: the VEP used to yield on the bulkhead-queue wait
+        *outside* the try/finally that releases the admission holds, so a
+        failed wait event leaked a shedder slot forever — a slow leak of
+        bus capacity under exactly the overloads shedding exists for."""
+        from repro.resilience import Admission
+
+        container.deploy(EchoService(env, "echo-a", "http://svc/a"))
+        bus = WsBus(
+            env, network, repository=PolicyRepository(), member_timeout=5.0
+        )
+        vep = bus.create_vep(
+            "echo", ECHO_CONTRACT, members=["http://svc/a"],
+            selection_strategy="primary",
+        )
+        shedder = LoadShedder(LoadSheddingAction(max_inflight=4))
+        failing_wait = env.event()
+        failing_wait.fail(RuntimeError("queue collapsed"), delay=0.1)
+
+        class StubResilience:
+            active = True
+
+            def admit_vep_request(self, vep_name, service_type):
+                assert shedder.try_admit() is None
+                return Admission([shedder], failing_wait)
+
+        vep.resilience = StubResilience()
+        request = SoapEnvelope.request(
+            vep.address or "http://vep/echo",
+            "urn:op:echo",
+            ECHO_CONTRACT.operation("echo").input.build(text="x"),
+        )
+
+        def driver():
+            with pytest.raises(RuntimeError):
+                yield from vep.handle(request)
+
+        run_process(env, driver())
+        assert shedder.in_flight == 0
+        assert shedder.stats()["unbalanced_releases"] == 0
+
+    def test_faulting_mediation_releases_admission(self, env, network, container):
+        """Shed-gate accounting stays balanced when every mediation ends
+        in a fault (no members → immediate SoapFaultError inside the
+        protected section)."""
+        repository = PolicyRepository()
+        document = PolicyDocument("shed-only")
+        document.adaptation_policies.append(
+            AdaptationPolicy(
+                name="bus-load-shedding",
+                triggers=("resilience.configure",),
+                scope=PolicyScope(),
+                actions=(LoadSheddingAction(max_inflight=2),),
+                priority=10,
+            )
+        )
+        repository.load(document)
+        bus = WsBus(env, network, repository=repository, member_timeout=5.0)
+        vep = bus.create_vep(
+            "echo", ECHO_CONTRACT, members=[], selection_strategy="primary"
+        )
+        invoker = Invoker(env, network, caller="client")
+
+        def client():
+            payload = ECHO_CONTRACT.operation("echo").input.build(text="x")
+            with pytest.raises(SoapFaultError):
+                yield from invoker.invoke(vep.address, "echo", payload, timeout=10.0)
+
+        for _ in range(3):
+            run_process(env, client())
+        shedder = bus.resilience.shedder
+        assert shedder is not None
+        assert shedder.stats()["in_flight"] == 0
+        assert shedder.stats()["unbalanced_releases"] == 0
+        assert shedder.stats()["admitted"] == 3
 
 
 # ---------------------------------------------------------------------------

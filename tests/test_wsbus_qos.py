@@ -5,6 +5,7 @@ import pytest
 from repro.services import InvocationOutcome, InvocationRecord
 from repro.soap import FaultCode
 from repro.wsbus import QoSMeasurementService
+from repro.wsbus.qos import EndpointQoS
 
 
 def record(target="http://a", start=0.0, duration=0.1, ok=True):
@@ -147,3 +148,115 @@ class TestBestEndpoint:
 
     def test_empty_candidates(self):
         assert QoSMeasurementService().best_endpoint([]) is None
+
+
+class TestAvailabilityWindowEdges:
+    """MTBF/(MTBF+MTTR) estimation at the awkward edges: outage bursts
+    clipped by the observation window, all-failure windows, and
+    zero-length horizons."""
+
+    def test_outage_burst_counts_once(self):
+        qos = QoSMeasurementService()
+        qos.observe(record(start=0.0, duration=1.0, ok=True))
+        qos.observe(record(start=2.0, duration=1.0, ok=False))
+        qos.observe(record(start=3.0, duration=1.0, ok=False))
+        qos.observe(record(start=5.0, duration=1.0, ok=True))
+        # One burst from t=2 to t=4 over a t=0..6 horizon.
+        assert qos.lookup("availability", 0, "mean", "http://a") == pytest.approx(
+            1.0 - 2.0 / 6.0
+        )
+
+    def test_burst_spanning_window_boundary_is_clipped(self):
+        """A failure burst straddling the window edge: only the in-window
+        part of the burst (and of the horizon) is charged."""
+        qos = QoSMeasurementService()
+        for start in (0.0, 1.0, 2.0):
+            qos.observe(record(start=start, duration=1.0, ok=False))
+        qos.observe(record(start=3.0, duration=1.0, ok=True))
+        # Full history: downtime 3 of horizon 4.
+        assert qos.lookup("availability", 0, "mean", "http://a") == pytest.approx(0.25)
+        # Window of 2 slices mid-burst: downtime 1 of horizon 2.
+        assert qos.lookup("availability", 2, "mean", "http://a") == pytest.approx(0.5)
+
+    def test_all_failure_window_is_zero(self):
+        qos = QoSMeasurementService()
+        qos.observe(record(start=0.0, duration=1.0, ok=False))
+        qos.observe(record(start=1.0, duration=1.0, ok=False))
+        assert qos.lookup("availability", 0, "mean", "http://a") == 0.0
+
+    def test_zero_horizon_uses_last_outcome(self):
+        ok = EndpointQoS("http://a")
+        ok.add(record(start=0.0, duration=0.0, ok=True))
+        assert ok.availability() == 1.0
+        bad = EndpointQoS("http://b")
+        bad.add(record(target="http://b", start=0.0, duration=0.0, ok=False))
+        assert bad.availability() == 0.0
+
+
+class TestThroughputWindowEdges:
+    def test_trailing_timeout_burn_does_not_dilute(self):
+        """The denominator is the successes' own delivery span: a failed
+        30-second timeout hanging off the window edge no longer drags an
+        honest 2-in-3-seconds rate down to 2-in-33."""
+        qos = QoSMeasurementService()
+        qos.observe(record(start=0.0, duration=1.0, ok=True))
+        qos.observe(record(start=2.0, duration=1.0, ok=True))
+        qos.observe(record(start=3.0, duration=30.0, ok=False))
+        assert qos.lookup("throughput", 0, "mean", "http://a") == pytest.approx(
+            2.0 / 3.0
+        )
+
+    def test_window_slice_recomputes_span(self):
+        qos = QoSMeasurementService()
+        qos.observe(record(start=0.0, duration=1.0, ok=True))
+        qos.observe(record(start=2.0, duration=1.0, ok=True))
+        qos.observe(record(start=3.0, duration=30.0, ok=False))
+        # Window of 2: one success from t=2..3 → 1 req/s.
+        assert qos.lookup("throughput", 2, "mean", "http://a") == pytest.approx(1.0)
+
+    def test_all_failure_window_is_zero_not_none(self):
+        qos = QoSMeasurementService()
+        qos.observe(record(start=0.0, duration=5.0, ok=False))
+        assert qos.lookup("throughput", 0, "mean", "http://a") == 0.0
+
+    def test_single_success_is_a_measurable_rate(self):
+        qos = QoSMeasurementService()
+        qos.observe(record(start=0.0, duration=0.5, ok=True))
+        assert qos.lookup("throughput", 0, "mean", "http://a") == pytest.approx(2.0)
+
+    def test_instantaneous_successes_are_unmeasurable(self):
+        qos = QoSMeasurementService()
+        qos.observe(record(start=0.0, duration=0.0, ok=True))
+        assert qos.lookup("throughput", 0, "mean", "http://a") is None
+
+
+class TestBestEndpointAllFailureWindows:
+    def test_all_failure_candidate_loses_to_any_success(self):
+        qos = QoSMeasurementService()
+        for start in (0.0, 1.0):
+            qos.observe(record(target="http://dead", start=start, ok=False))
+        qos.observe(record(target="http://alive", start=0.0, ok=True))
+        qos.observe(record(target="http://alive", start=2.0, ok=False))
+        for metric in ("availability", "throughput", "reliability"):
+            assert (
+                qos.best_endpoint(["http://dead", "http://alive"], metric=metric)
+                == "http://alive"
+            )
+
+    def test_measured_zero_beats_unmeasured(self):
+        """Measurement beats optimism even when the measurement is 0.0 —
+        an all-failure window is information, absence of history is not."""
+        qos = QoSMeasurementService()
+        qos.observe(record(target="http://dead", start=0.0, ok=False))
+        assert (
+            qos.best_endpoint(["http://unknown", "http://dead"], metric="availability")
+            == "http://dead"
+        )
+
+    def test_every_candidate_all_failures_still_selects(self):
+        qos = QoSMeasurementService()
+        qos.observe(record(target="http://d1", start=0.0, ok=False))
+        qos.observe(record(target="http://d2", start=0.0, ok=False))
+        assert qos.best_endpoint(
+            ["http://d1", "http://d2"], metric="availability"
+        ) in ("http://d1", "http://d2")
