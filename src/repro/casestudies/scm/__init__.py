@@ -22,6 +22,7 @@ from repro.casestudies.scm.deployment import (
 )
 from repro.casestudies.scm.policies import (
     broadcast_policy_document,
+    federation_policy_document,
     logging_skip_policy_document,
     resilience_policy_document,
     retailer_recovery_policy_document,
@@ -55,6 +56,7 @@ __all__ = [
     "build_scm_deployment",
     "build_scm_process",
     "build_scm_saga_process",
+    "federation_policy_document",
     "logging_skip_policy_document",
     "resilience_policy_document",
     "retailer_recovery_policy_document",

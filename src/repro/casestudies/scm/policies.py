@@ -24,6 +24,7 @@ from repro.policy import (
     CircuitBreakerAction,
     CompensateInstanceAction,
     ConcurrentInvokeAction,
+    FederationAction,
     IdempotencyAction,
     LoadLevelingAction,
     LoadSheddingAction,
@@ -32,6 +33,7 @@ from repro.policy import (
     ResponseCacheAction,
     RetryAction,
     SelectionStrategyAction,
+    ShardRoutingAction,
     SkipAction,
     SloAction,
     SubstituteAction,
@@ -41,6 +43,7 @@ from repro.policy import (
 
 __all__ = [
     "broadcast_policy_document",
+    "federation_policy_document",
     "logging_skip_policy_document",
     "resilience_policy_document",
     "retailer_recovery_policy_document",
@@ -384,6 +387,64 @@ def traffic_policy_document(
             adaptation_type="prevention",
         )
     )
+    return _round_trip(document)
+
+
+def federation_policy_document(
+    heartbeat_interval_seconds: float = 0.5,
+    suspicion_multiplier: float = 3.0,
+    gossip_interval_seconds: float = 2.0,
+    gossip_fanout: int = 1,
+    lease_seconds: float = 3.0,
+    virtual_nodes: int = 32,
+    pin_vep_pattern: str | None = None,
+    pin_bus: str | None = None,
+) -> PolicyDocument:
+    """Fleet tuning (and optional placement pins) for a federated bus.
+
+    One policy on the ``federation.configure`` trigger convention (scanned
+    at load time by the fleet's
+    :class:`~repro.federation.FederationService`) carries the
+    :class:`~repro.policy.FederationAction` knobs: heartbeat cadence and
+    suspicion threshold, gossip interval/fanout, leadership lease length,
+    and the consistent-hash ring's virtual-node count.  When
+    ``pin_vep_pattern``/``pin_bus`` are given a second policy pins the
+    matching VEPs to a named bus, overriding hash placement while that
+    bus is alive.
+    """
+    document = PolicyDocument("scm-federation")
+    document.adaptation_policies.append(
+        AdaptationPolicy(
+            name="fleet-federation-tuning",
+            triggers=("federation.configure",),
+            scope=PolicyScope(),
+            actions=(
+                FederationAction(
+                    heartbeat_interval_seconds=heartbeat_interval_seconds,
+                    suspicion_multiplier=suspicion_multiplier,
+                    gossip_interval_seconds=gossip_interval_seconds,
+                    gossip_fanout=gossip_fanout,
+                    lease_seconds=lease_seconds,
+                    virtual_nodes=virtual_nodes,
+                ),
+            ),
+            priority=10,
+            adaptation_type="prevention",
+        )
+    )
+    if pin_vep_pattern is not None and pin_bus is not None:
+        document.adaptation_policies.append(
+            AdaptationPolicy(
+                name="fleet-vep-pinning",
+                triggers=("federation.configure",),
+                scope=PolicyScope(),
+                actions=(
+                    ShardRoutingAction(bus=pin_bus, vep_pattern=pin_vep_pattern),
+                ),
+                priority=20,
+                adaptation_type="prevention",
+            )
+        )
     return _round_trip(document)
 
 

@@ -7,6 +7,7 @@ Usage::
     python -m repro storm [--seed 7] [--requests 60] [--jobs 2] [--trace spans.jsonl] [--slo]
     python -m repro storm --crash-engine [--seed 7] [--sagas] [--journal DIR]
     python -m repro storm --traffic [--seed 7] [--report report.json]
+    python -m repro storm --fleet 4 [--seed 7] [--report report.json]
     python -m repro replay JOURNAL [--instance ID] [--at SEQ] [--diff OTHER] [--verify]
     python -m repro top [--seed 7] [--interval 10]
     python -m repro scenarios
@@ -29,6 +30,11 @@ loop: burn-rate events drive a selection-strategy switch (see
 ablation: shed-only admission control vs the policy-driven traffic tier
 (response cache + load leveling + idempotency keys, see
 ``docs/traffic.md``); ``--report PATH`` writes the numbers as JSON.
+``storm --fleet N`` swaps the fault storm for the federation ablation:
+the same partitioned Retailer workload through one capacity-bounded bus
+vs an N-shard :class:`~repro.federation.BusFleet` (consistent-hash VEP
+placement, gossip QoS, leader-elected adaptation — see
+``docs/federation.md``); ``--report PATH`` writes the numbers as JSON.
 ``top`` runs a short SLO-enabled storm and renders the live per-endpoint
 operations table every ``--interval`` simulated seconds.
 ``storm --crash-engine`` swaps the resilience ablation for the durability
@@ -133,6 +139,15 @@ def _cmd_storm(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.fleet is not None:
+        if args.crash_engine or args.sagas or args.journal or args.slo or args.traffic:
+            print(
+                "--fleet runs its own ablation; it cannot combine with "
+                "--crash-engine/--sagas/--journal/--slo/--traffic",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_fleet_storm(args)
     if args.clients is None:
         args.clients = 32 if args.traffic else 6
     if args.requests is None:
@@ -330,6 +345,118 @@ def _run_traffic_storm(args: argparse.Namespace) -> int:
         and shaped.error_budget_burn < shed_arm.error_budget_burn
     ):
         print("traffic shaping failed to beat shed-only", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_fleet_storm(args: argparse.Namespace) -> int:
+    """The federation ablation: one capacity-bounded bus vs an N-shard fleet."""
+    import json
+
+    from repro.experiments import fleet_cells, run_cells, run_fleet_storm
+    from repro.metrics import Table
+
+    if args.fleet < 2:
+        print("--fleet needs at least 2 shards to compare against one bus", file=sys.stderr)
+        return 2
+    partitions = 6
+    clients = args.clients if args.clients is not None else 4
+    requests = args.requests if args.requests is not None else 30
+    tracer, exporter = _make_tracer(args)
+    if tracer is not None:
+        # Tracing runs the arms inline (jobs forced to 1); spans are
+        # recorded for the fleet arm, where leadership and gossip live.
+        _effective_jobs(args, tracer)
+        single = run_fleet_storm(
+            seed=args.seed,
+            shards=1,
+            partitions=partitions,
+            clients_per_partition=clients,
+            requests=requests,
+        )
+        fleet = run_fleet_storm(
+            seed=args.seed,
+            shards=args.fleet,
+            partitions=partitions,
+            clients_per_partition=clients,
+            requests=requests,
+            tracer=tracer,
+        )
+    else:
+        cells = fleet_cells(
+            seed=args.seed,
+            shards=args.fleet,
+            partitions=partitions,
+            clients_per_partition=clients,
+            requests=requests,
+        )
+        merged = run_cells(cells, jobs=_effective_jobs(args, tracer), chunk_size=args.chunk)
+        single = merged[(args.seed, 1)]
+        fleet = merged[(args.seed, args.fleet)]
+    table = Table(
+        [
+            "Arm",
+            "Delivered",
+            "Reliability",
+            "Throughput",
+            "p50 RTT",
+            "p99 RTT",
+            "Gossip merges",
+            "Leader",
+        ],
+        title="Fleet storm — one bus vs a sharded fleet",
+    )
+    for label, result in (("1 bus", single), (f"{args.fleet} buses", fleet)):
+        table.add_row(
+            [
+                label,
+                f"{result.delivered}/{result.total_requests}",
+                f"{result.reliability:.4f}",
+                f"{result.throughput:.1f}/s",
+                f"{result.rtt_stats.get('p50', 0.0):.4f}s",
+                f"{result.p99_rtt:.4f}s",
+                result.gossip_records,
+                result.leader or "-",
+            ]
+        )
+    print(table.render())
+    print("\nVEP placement (fleet arm):")
+    for name, owner in sorted(fleet.placement.items()):
+        print(f"  {name}: {owner}")
+    if args.report:
+        payload = {
+            "seed": args.seed,
+            "shards": args.fleet,
+            "partitions": partitions,
+            "clients_per_partition": clients,
+            "requests_per_client": requests,
+            "arms": [
+                {
+                    "shards": result.shards,
+                    "total_requests": result.total_requests,
+                    "delivered": result.delivered,
+                    "reliability": result.reliability,
+                    "throughput": result.throughput,
+                    "rtt_stats": result.rtt_stats,
+                    "leader": result.leader,
+                    "epoch": result.epoch,
+                    "leader_changes": result.leader_changes,
+                    "forwarded_events": result.forwarded_events,
+                    "gossip_records": result.gossip_records,
+                    "placement": result.placement,
+                }
+                for result in (single, fleet)
+            ],
+        }
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nwrote ablation report to {args.report}")
+    _close_tracer(tracer, exporter, args.trace)
+    # The acceptance bar, enforced here too so CI can gate on the exit code.
+    if not (
+        fleet.throughput > single.throughput and fleet.p99_rtt <= single.p99_rtt
+    ):
+        print("the sharded fleet failed to beat the single bus", file=sys.stderr)
         return 1
     return 0
 
@@ -697,11 +824,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     storm.add_argument(
         "--clients", type=int, default=None,
-        help="concurrent clients (default: 6; 32 with --traffic)",
+        help="concurrent clients (default: 6; 32 with --traffic; per "
+        "partition, 4, with --fleet)",
     )
     storm.add_argument(
         "--requests", type=int, default=None,
-        help="requests per client (default: 60; 120 with --traffic)",
+        help="requests per client (default: 60; 120 with --traffic; 30 with --fleet)",
     )
     storm.add_argument(
         "--traffic",
@@ -711,8 +839,15 @@ def build_parser() -> argparse.ArgumentParser:
         "idempotency keys)",
     )
     storm.add_argument(
+        "--fleet", type=int, default=None, metavar="N",
+        help="run the federation ablation instead: the same partitioned "
+        "workload through one capacity-bounded bus vs an N-shard fleet "
+        "(consistent-hash VEP placement, gossip QoS, leader-elected "
+        "adaptation)",
+    )
+    storm.add_argument(
         "--report", metavar="PATH",
-        help="with --traffic: write the ablation numbers as JSON to PATH",
+        help="with --traffic/--fleet: write the ablation numbers as JSON to PATH",
     )
     storm.add_argument(
         "--sagas",

@@ -6,6 +6,7 @@ a fresh seeded deployment, runs the workload, and returns plain data that
 callers render or assert on.
 """
 
+from repro.experiments.fleet import FleetStormResult, run_fleet_storm
 from repro.experiments.harness import (
     CrashRecoveryResult,
     OverloadStormResult,
@@ -25,6 +26,7 @@ from repro.experiments.harness import (
 from repro.experiments.parallel import (
     Cell,
     ShardError,
+    fleet_cells,
     run_cells,
     shutdown_pool,
     storm_cells,
@@ -40,12 +42,14 @@ from repro.experiments.reports import (
 __all__ = [
     "Cell",
     "CrashRecoveryResult",
+    "FleetStormResult",
     "OverloadStormResult",
     "ShardError",
     "StormResult",
     "Table1Row",
     "catalog_plan",
     "count_crash_boundaries",
+    "fleet_cells",
     "order_plan",
     "regenerate_figure5",
     "regenerate_table1",
@@ -56,6 +60,7 @@ __all__ = [
     "run_crash_recovery",
     "run_direct_configuration",
     "run_fault_storm",
+    "run_fleet_storm",
     "run_overload_storm",
     "run_rtt_point",
     "shed_only_policy_document",

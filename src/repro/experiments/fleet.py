@@ -1,0 +1,159 @@
+"""The federated-fleet storm: N bus shards vs one bus, same workload.
+
+The ablation isolates what federation buys: both arms run the *same*
+partitioned Retailer workload through a :class:`~repro.federation.BusFleet`
+whose buses carry a bounded mediation capacity (the paper's wsBus is a
+single mediation host — concurrency there is finite). The single-shard arm
+funnels every partition VEP through one bus's slots and queues; the
+N-shard arm spreads partitions across N buses, multiplying mediation
+capacity, while gossip keeps ``best_response_time`` selection converging
+on fleet-wide QoS observations and the leader election keeps exactly one
+Adaptation Manager in charge of fleet-wide reactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.casestudies.scm import (
+    RETAILER_CONTRACT,
+    build_scm_deployment,
+    federation_policy_document,
+    retailer_recovery_policy_document,
+)
+from repro.experiments.harness import catalog_plan
+from repro.federation import BusFleet
+from repro.metrics import describe, reliability_report
+from repro.observability import MetricsRegistry
+from repro.policy import PolicyRepository
+from repro.services import ProcessingModel
+from repro.workload import WorkloadRunner
+
+__all__ = ["FleetStormResult", "run_fleet_storm"]
+
+
+@dataclass
+class FleetStormResult:
+    """Outcome of one fleet-storm arm (``shards`` buses)."""
+
+    shards: int
+    total_requests: int
+    delivered: int
+    reliability: float
+    #: Successful requests per simulated second over the whole run.
+    throughput: float
+    #: RTT statistics over *all* requests, failures included — a request
+    #: that burned its timeout queueing for a mediation slot still cost
+    #: that time.
+    rtt_stats: dict[str, float]
+    leader: str | None
+    epoch: int
+    leader_changes: int
+    #: MASC/SLO events followers forwarded to the leader's manager.
+    forwarded_events: int
+    #: QoS observations merged by gossip anti-entropy across the fleet.
+    gossip_records: int
+    #: ``{vep name: owning bus}`` at the end of the run.
+    placement: dict[str, str]
+    fleet_stats: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    #: The live fleet (stripped to None when results cross processes).
+    fleet: BusFleet | None = None
+
+    @property
+    def p99_rtt(self) -> float:
+        return self.rtt_stats.get("p99", float("inf"))
+
+
+def run_fleet_storm(
+    seed: int,
+    shards: int,
+    partitions: int = 6,
+    clients_per_partition: int = 4,
+    requests: int = 30,
+    client_timeout: float = 8.0,
+    mediation_capacity: int = 6,
+    processing_seconds: float = 0.08,
+    tracer=None,
+) -> FleetStormResult:
+    """One fleet-storm arm: ``partitions`` Retailer VEPs over ``shards`` buses.
+
+    Every partition VEP fronts all four Retailers with
+    ``best_response_time`` selection, so the run exercises placement
+    (consistent-hash over the live buses), gossip (each bus only mediates
+    its own partitions, yet selection needs fleet-wide observations), and
+    leadership (one Adaptation Manager per fleet). ``mediation_capacity``
+    bounds concurrent mediations *per bus* — the resource the fleet
+    shards; Retailer processing is slowed to ``processing_seconds`` so
+    the slots are held long enough for the single-bus arm to queue.
+    """
+    deployment = build_scm_deployment(seed=seed, log_events=False)
+    for retailer in deployment.retailers.values():
+        retailer.processing = ProcessingModel(
+            base_seconds=processing_seconds,
+            per_kb_seconds=0.0,
+            jitter_fraction=0.1,
+        )
+    if tracer is not None:
+        tracer.rebind_clock(deployment.env)
+    repository = PolicyRepository()
+    repository.load(
+        retailer_recovery_policy_document(max_retries=1, retry_delay_seconds=0.25)
+    )
+    repository.load(
+        federation_policy_document(
+            heartbeat_interval_seconds=0.5,
+            suspicion_multiplier=3.0,
+            gossip_interval_seconds=1.0,
+            gossip_fanout=1,
+            lease_seconds=3.0,
+        )
+    )
+    metrics = MetricsRegistry()
+    fleet = BusFleet(
+        deployment.env,
+        deployment.network,
+        shards=shards,
+        repository=repository,
+        registry=deployment.registry,
+        random_source=deployment.random_source,
+        member_timeout=5.0,
+        mediation_capacity=mediation_capacity,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    plans = []
+    for index in range(partitions):
+        vep = fleet.create_vep(
+            f"retailers-p{index}",
+            RETAILER_CONTRACT,
+            members=deployment.retailer_addresses,
+            selection_strategy="best_response_time",
+        )
+        plans.append(catalog_plan(vep.address, timeout=client_timeout, think=0.05))
+    runner = WorkloadRunner(deployment.env, deployment.network)
+    result = runner.run_many(
+        plans, clients_per_plan=clients_per_partition, requests_per_client=requests
+    )
+    report = reliability_report("fleet storm", result.records)
+    total = len(result.records)
+    delivered = len(result.successes)
+    snapshot = metrics.snapshot()
+    counters = snapshot.get("counters", {})
+    return FleetStormResult(
+        shards=shards,
+        total_requests=total,
+        delivered=delivered,
+        reliability=delivered / total if total else 0.0,
+        throughput=result.throughput(),
+        rtt_stats=describe([record.duration for record in result.records]),
+        leader=fleet.leader,
+        epoch=fleet.election.epoch,
+        leader_changes=counters.get("federation.leader.changes", 0),
+        forwarded_events=counters.get("federation.events.forwarded", 0),
+        gossip_records=counters.get("federation.gossip.records", 0),
+        placement={name: spec.owner for name, spec in sorted(fleet.veps.items())},
+        fleet_stats=fleet.stats_summary(),
+        metrics=snapshot,
+        fleet=fleet,
+    )

@@ -52,6 +52,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
+from repro.experiments.fleet import run_fleet_storm
 from repro.experiments.harness import (
     run_direct_configuration,
     run_fault_storm,
@@ -64,6 +65,8 @@ __all__ = [
     "ShardError",
     "figure5_cells",
     "figure5_point_cell",
+    "fleet_cells",
+    "fleet_storm_cell",
     "run_cells",
     "shutdown_pool",
     "storm_cell",
@@ -311,6 +314,26 @@ def storm_cell(
     return replace(result, bus=None)
 
 
+def fleet_storm_cell(
+    seed: int,
+    shards: int,
+    partitions: int,
+    clients_per_partition: int,
+    requests: int,
+    tracer=None,
+):
+    """One fleet-storm arm; the (unpicklable) fleet is stripped from the result."""
+    result = run_fleet_storm(
+        seed=seed,
+        shards=shards,
+        partitions=partitions,
+        clients_per_partition=clients_per_partition,
+        requests=requests,
+        tracer=tracer,
+    )
+    return replace(result, fleet=None)
+
+
 # -- matrix builders ------------------------------------------------------------
 
 
@@ -362,6 +385,30 @@ def figure5_cells(
             if tracer is not None:
                 kwargs["tracer"] = tracer
             cells.append(Cell((operation, size_kb, "bus"), figure5_point_cell, kwargs))
+    return cells
+
+
+def fleet_cells(
+    seed: int,
+    shards: int,
+    partitions: int,
+    clients_per_partition: int,
+    requests: int,
+    tracer=None,
+) -> list[Cell]:
+    """Both fleet-storm ablation arms (one bus vs ``shards`` buses)."""
+    cells = []
+    for arm_shards in (1, shards):
+        kwargs = dict(
+            seed=seed,
+            shards=arm_shards,
+            partitions=partitions,
+            clients_per_partition=clients_per_partition,
+            requests=requests,
+        )
+        if tracer is not None and arm_shards == shards:
+            kwargs["tracer"] = tracer
+        cells.append(Cell((seed, arm_shards), fleet_storm_cell, kwargs))
     return cells
 
 

@@ -26,11 +26,16 @@ Three more drive the resilience fault-storm scenarios, all on fixed
 :class:`ProcessCrashInjector` targets the *orchestration host* instead of a
 service: it kills the workflow engine mid-flight so the crash-recovery
 scenarios can prove instances rehydrate from the checkpoint store.
+
+:class:`BusCrashInjector` targets a *bus instance* of a federated fleet:
+it kills one shard at a fixed time so the federation scenarios can prove
+membership suspicion, VEP failover, and leadership transfer.
 """
 
 from repro.faultinjection.injectors import (
     ApplicationFaultInjector,
     AvailabilityFaultInjector,
+    BusCrashInjector,
     DowntimeLog,
     EndpointFaultProfile,
     FlappingEndpointInjector,
@@ -43,6 +48,7 @@ from repro.faultinjection.injectors import (
 __all__ = [
     "ApplicationFaultInjector",
     "AvailabilityFaultInjector",
+    "BusCrashInjector",
     "DowntimeLog",
     "EndpointFaultProfile",
     "FlappingEndpointInjector",

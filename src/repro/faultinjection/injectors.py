@@ -12,6 +12,7 @@ from repro.transport import Network, NetworkEndpoint
 __all__ = [
     "ApplicationFaultInjector",
     "AvailabilityFaultInjector",
+    "BusCrashInjector",
     "DowntimeLog",
     "EndpointFaultProfile",
     "FlappingEndpointInjector",
@@ -501,3 +502,36 @@ class ProcessCrashInjector:
 
 def _ignore_hook(*_args, **_kwargs) -> None:
     """No-op engine hook (ProcessCrashInjector ignores other notifications)."""
+
+
+class BusCrashInjector:
+    """Kills one bus of a federated fleet at a fixed simulated time.
+
+    The federation counterpart of :class:`ProcessCrashInjector`: instead
+    of the orchestration host, it takes down a whole *bus instance* —
+    heartbeats stop, its VEP frontdoors go dark, and if it held the
+    leadership lease the fleet must detect the failure and transfer
+    leadership. ``crashed_event`` fires at the kill so scenarios can
+    sequence the failover phase deterministically.
+    """
+
+    def __init__(self, env: Environment, fleet, bus_name: str, at_time: float) -> None:
+        if at_time < 0:
+            raise ValueError(f"crash time must be non-negative: {at_time}")
+        if bus_name not in fleet.buses:
+            raise ValueError(f"unknown bus {bus_name!r}")
+        self.env = env
+        self.fleet = fleet
+        self.bus_name = bus_name
+        self.at_time = at_time
+        self.crash_time: float | None = None
+        self.crashed_event = env.event()
+        env.process(self._run(), name=("bus-crash", bus_name))
+
+    def _run(self) -> Generator:
+        if self.at_time > 0:
+            yield self.env.timeout(self.at_time)
+        self.fleet.crash_bus(self.bus_name)
+        self.crash_time = self.env.now
+        if not self.crashed_event.triggered:
+            self.crashed_event.succeed(self.env.now)

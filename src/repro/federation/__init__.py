@@ -1,0 +1,35 @@
+"""Federated multi-bus scale-out for the MASC middleware.
+
+One logical policy plane enacted by many bus instances: a
+:class:`BusFleet` runs N :class:`~repro.wsbus.WsBus` shards over the
+shared simulation environment with
+
+- consistent-hash (and policy-overridable) placement of VEPs on shards
+  (:class:`HashRing`, :class:`FederationService`),
+- heartbeat membership with failure suspicion (:class:`FleetMembership`),
+- gossip anti-entropy of QoS observation digests (:class:`QoSGossip`) so
+  best-of selection converges fleet-wide, and
+- lease-based leader election (:class:`LeaderElection`) so exactly one
+  bus's Adaptation Manager enacts fleet-wide policy reactions.
+"""
+
+from repro.federation.election import LeaderElection, LeaderLease
+from repro.federation.fleet import BusFleet, FleetVep
+from repro.federation.gossip import GossipAgent, QoSGossip
+from repro.federation.membership import BusMember, FleetMembership
+from repro.federation.ring import HashRing
+from repro.federation.service import FEDERATION_CONFIGURE, FederationService
+
+__all__ = [
+    "BusFleet",
+    "BusMember",
+    "FEDERATION_CONFIGURE",
+    "FederationService",
+    "FleetMembership",
+    "FleetVep",
+    "GossipAgent",
+    "HashRing",
+    "LeaderElection",
+    "LeaderLease",
+    "QoSGossip",
+]

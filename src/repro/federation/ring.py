@@ -1,0 +1,65 @@
+"""Consistent-hash ring placing VEPs on bus shards.
+
+Placement must be stable under membership change (only the VEPs owned by
+a departed bus move) and deterministic across runs and processes —
+hashes come from SHA-256, never from Python's randomized ``hash()``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+
+__all__ = ["HashRing"]
+
+
+def _hash(key: str) -> int:
+    return int.from_bytes(hashlib.sha256(key.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring with virtual nodes."""
+
+    def __init__(self, nodes=(), virtual_nodes: int = 32) -> None:
+        if virtual_nodes < 1:
+            raise ValueError(f"virtual_nodes must be positive: {virtual_nodes}")
+        self.virtual_nodes = virtual_nodes
+        self._nodes: set[str] = set()
+        #: Sorted ``(point, node)`` pairs; rebuilt on membership change.
+        self._ring: list[tuple[int, str]] = []
+        for node in nodes:
+            self.add(node)
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for replica in range(self.virtual_nodes):
+            self._ring.append((_hash(f"{node}#{replica}"), node))
+        self._ring.sort()
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._ring = [(point, owner) for point, owner in self._ring if owner != node]
+
+    def route(self, key: str) -> str:
+        """The node owning ``key`` (first ring point clockwise of its hash)."""
+        if not self._ring:
+            raise LookupError("hash ring has no nodes")
+        point = _hash(key)
+        index = bisect_right(self._ring, (point, "￿"))
+        if index == len(self._ring):
+            index = 0
+        return self._ring[index][1]

@@ -36,6 +36,7 @@ from repro.policy.actions import (
     AddActivityAction,
     ConcurrentInvokeAction,
     ExtendTimeoutAction,
+    FederationAction,
     IdempotencyAction,
     InvokeSpec,
     LoadLevelingAction,
@@ -45,6 +46,7 @@ from repro.policy.actions import (
     ResponseCacheAction,
     RetryAction,
     SelectionStrategyAction,
+    ShardRoutingAction,
     SkipAction,
     SloAction,
     SubstituteAction,
@@ -83,6 +85,7 @@ __all__ = [
     "ConcurrentInvokeAction",
     "DelayProcessAction",
     "ExtendTimeoutAction",
+    "FederationAction",
     "GoalPolicy",
     "IdempotencyAction",
     "InvokeSpec",
@@ -105,6 +108,7 @@ __all__ = [
     "ResponseCacheAction",
     "RetryAction",
     "SelectionStrategyAction",
+    "ShardRoutingAction",
     "SkipAction",
     "SloAction",
     "SubstituteAction",

@@ -32,6 +32,7 @@ __all__ = [
     "ConcurrentInvokeAction",
     "DelayProcessAction",
     "ExtendTimeoutAction",
+    "FederationAction",
     "IdempotencyAction",
     "InvokeSpec",
     "LoadLevelingAction",
@@ -46,6 +47,7 @@ __all__ = [
     "RetryAction",
     "SELECTION_STRATEGIES",
     "SelectionStrategyAction",
+    "ShardRoutingAction",
     "SkipAction",
     "SloAction",
     "SubstituteAction",
@@ -715,6 +717,91 @@ class LoadLevelingAction(TrafficAction):
             f"level load to {self.rate_per_second:g}/s (burst {self.burst}, "
             f"queue {self.max_queue}, wait <= {self.max_wait_seconds:g}s)"
         )
+
+
+# ---------------------------------------------------------------------------
+# Federation assertions (fleet plane)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FederationAction(AdaptationAction):
+    """Fleet-plane tuning for a federated multi-bus deployment.
+
+    Declared in adaptation policies carrying the conventional
+    ``federation.configure`` trigger (the same load-time-scan convention
+    as ``resilience.configure`` and ``traffic.configure``); the
+    :class:`~repro.federation.FederationService` materializes it into the
+    fleet's membership, gossip and leader-election machinery. With no
+    federation policies loaded the fleet runs on its built-in defaults.
+    """
+
+    heartbeat_interval_seconds: float = 0.5
+    #: A bus is suspected dead after ``heartbeat_interval_seconds`` times
+    #: this multiplier without a heartbeat.
+    suspicion_multiplier: float = 3.0
+    gossip_interval_seconds: float = 2.0
+    #: Peers each bus exchanges QoS digests with per gossip round.
+    gossip_fanout: int = 1
+    #: Leadership lease duration; a dead leader's lease must expire
+    #: before a follower may take over.
+    lease_seconds: float = 3.0
+    #: Virtual nodes per bus on the consistent-hash ring.
+    virtual_nodes: int = 32
+
+    layer = "federation"
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval_seconds <= 0:
+            raise ActionError(
+                f"heartbeat_interval_seconds must be positive: "
+                f"{self.heartbeat_interval_seconds}"
+            )
+        if self.suspicion_multiplier <= 1.0:
+            raise ActionError(
+                f"suspicion_multiplier must exceed 1: {self.suspicion_multiplier}"
+            )
+        if self.gossip_interval_seconds <= 0:
+            raise ActionError(
+                f"gossip_interval_seconds must be positive: {self.gossip_interval_seconds}"
+            )
+        if self.gossip_fanout < 1:
+            raise ActionError(f"gossip_fanout must be positive: {self.gossip_fanout}")
+        if self.lease_seconds <= 0:
+            raise ActionError(f"lease_seconds must be positive: {self.lease_seconds}")
+        if self.virtual_nodes < 1:
+            raise ActionError(f"virtual_nodes must be positive: {self.virtual_nodes}")
+
+    def describe(self) -> str:
+        return (
+            f"federation (heartbeat {self.heartbeat_interval_seconds:g}s "
+            f"x{self.suspicion_multiplier:g}, gossip {self.gossip_interval_seconds:g}s "
+            f"fanout {self.gossip_fanout}, lease {self.lease_seconds:g}s)"
+        )
+
+
+@dataclass(frozen=True)
+class ShardRoutingAction(AdaptationAction):
+    """Pin scope-matched VEPs to a named bus, overriding the hash ring.
+
+    The policy override of consistent-hash placement: VEPs whose name
+    matches ``vep_pattern`` (fnmatch) are owned by ``bus`` as long as
+    that bus is alive; when it is not, placement falls back to the ring.
+    """
+
+    bus: str = ""
+    vep_pattern: str = "*"
+
+    layer = "federation"
+
+    def __post_init__(self) -> None:
+        if not self.bus:
+            raise ActionError("ShardRoutingAction needs a bus name")
+        if not self.vep_pattern:
+            raise ActionError("vep_pattern must be non-empty")
+
+    def describe(self) -> str:
+        return f"route VEPs matching {self.vep_pattern!r} to bus {self.bus!r}"
 
 
 # ---------------------------------------------------------------------------

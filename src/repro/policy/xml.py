@@ -20,6 +20,7 @@ from repro.policy.actions import (
     DelayProcessAction,
     ConcurrentInvokeAction,
     ExtendTimeoutAction,
+    FederationAction,
     IdempotencyAction,
     InvokeSpec,
     LoadLevelingAction,
@@ -32,6 +33,7 @@ from repro.policy.actions import (
     ResumeProcessAction,
     RetryAction,
     SelectionStrategyAction,
+    ShardRoutingAction,
     SkipAction,
     SloAction,
     SubstituteAction,
@@ -353,6 +355,23 @@ def _action_to_element(action: AdaptationAction) -> Element:
         return Element(
             _masc("SelectionStrategy"), attributes={"strategy": action.strategy}
         )
+    if isinstance(action, FederationAction):
+        return Element(
+            _masc("Federation"),
+            attributes={
+                "heartbeatIntervalSeconds": str(action.heartbeat_interval_seconds),
+                "suspicionMultiplier": str(action.suspicion_multiplier),
+                "gossipIntervalSeconds": str(action.gossip_interval_seconds),
+                "gossipFanout": str(action.gossip_fanout),
+                "leaseSeconds": str(action.lease_seconds),
+                "virtualNodes": str(action.virtual_nodes),
+            },
+        )
+    if isinstance(action, ShardRoutingAction):
+        return Element(
+            _masc("ShardRouting"),
+            attributes={"bus": action.bus, "vepPattern": action.vep_pattern},
+        )
     if isinstance(action, AddActivityAction):
         attributes = {"anchor": action.anchor, "position": action.position}
         if action.block_name is not None:
@@ -630,6 +649,24 @@ def _parse_action(element: Element) -> AdaptationAction:
     if local == "SelectionStrategy":
         return SelectionStrategyAction(
             strategy=element.attributes.get("strategy", "best_reliability")
+        )
+    if local == "Federation":
+        return FederationAction(
+            heartbeat_interval_seconds=float(
+                element.attributes.get("heartbeatIntervalSeconds", "0.5")
+            ),
+            suspicion_multiplier=float(element.attributes.get("suspicionMultiplier", "3.0")),
+            gossip_interval_seconds=float(
+                element.attributes.get("gossipIntervalSeconds", "2.0")
+            ),
+            gossip_fanout=int(element.attributes.get("gossipFanout", "1")),
+            lease_seconds=float(element.attributes.get("leaseSeconds", "3.0")),
+            virtual_nodes=int(element.attributes.get("virtualNodes", "32")),
+        )
+    if local == "ShardRouting":
+        return ShardRoutingAction(
+            bus=_required(element, "bus"),
+            vep_pattern=element.attributes.get("vepPattern", "*"),
         )
     if local == "AddActivity":
         return AddActivityAction(

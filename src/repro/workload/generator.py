@@ -100,6 +100,44 @@ class WorkloadRunner:
         result.finished_at = self.env.now
         return result
 
+    def run_many(
+        self,
+        plans: list[RequestPlan],
+        clients_per_plan: int = 1,
+        requests_per_client: int = 100,
+    ) -> WorkloadResult:
+        """Drive several plans concurrently (one client pool per plan).
+
+        The fleet scenarios spread clients over partitioned VEPs: every
+        plan gets its own ``clients_per_plan`` clients, all running in the
+        same simulated window, and the result aggregates every record.
+        Client names carry the plan index (``client-p2-1``) so records are
+        attributable and runs stay deterministic.
+        """
+        if not plans:
+            raise ValueError("run_many needs at least one plan")
+        result = WorkloadResult(started_at=self.env.now)
+        processes = []
+        for plan_index, plan in enumerate(plans):
+            for client_id in range(clients_per_plan):
+                invoker = Invoker(
+                    self.env,
+                    self.network,
+                    caller=f"{self.caller_prefix}-p{plan_index}-{client_id}",
+                    default_timeout=plan.timeout,
+                )
+                invoker.add_observer(result.records.append)
+                processes.append(
+                    self.env.process(
+                        self._client_loop(invoker, plan, client_id, requests_per_client),
+                        name=("workload", plan_index, client_id),
+                    )
+                )
+        gate = self.env.all_of(processes)
+        self.env.run(gate)
+        result.finished_at = self.env.now
+        return result
+
     def _client_loop(
         self, invoker: Invoker, plan: RequestPlan, client_id: int, requests: int
     ) -> Generator:

@@ -102,6 +102,15 @@ class AdaptationManager:
         #: switches). The bus shares its live ``veps`` dict after init.
         self.veps: dict = {}
         self.event_adaptations: list[EventAdaptation] = []
+        #: Federation hooks: when this manager belongs to a *follower* bus
+        #: of a fleet, ``forward_to`` names the leader's manager and
+        #: :meth:`handle_event` delegates there instead of enacting
+        #: locally — exactly one bus enacts fleet-wide reactions.
+        self.forward_to: AdaptationManager | None = None
+        #: Display label of the owning bus (set by the fleet) stamped on
+        #: adaptation spans so traces show which bus enacted.
+        self.owner_label: str | None = None
+        self.forwarded_events = 0
 
     def recover(
         self,
@@ -217,6 +226,13 @@ class AdaptationManager:
         detection via ``event.trace_parent``, closing the observability
         loop: exemplar → violation event → adaptation.
         """
+        if self.forward_to is not None and self.forward_to is not self:
+            # Federation follower: the leader's manager enacts fleet-wide
+            # reactions; this bus only relays the detection.
+            self.forwarded_events += 1
+            if self.metrics.enabled:
+                self.metrics.counter("federation.events.forwarded").inc()
+            return self.forward_to.handle_event(event)
         policies = self.repository.adaptation_policies_for(event.name, **event.subject())
         enacted: list[EventAdaptation] = []
         for policy in policies:
@@ -227,14 +243,17 @@ class AdaptationManager:
                 continue
             span = None
             if self.tracer.enabled:
+                attributes = {
+                    "event": event.name,
+                    "policy": policy.name,
+                    "endpoint": event.endpoint,
+                }
+                if self.owner_label is not None:
+                    attributes["bus"] = self.owner_label
                 span = self.tracer.start_span(
                     "wsbus.adaptation.event",
                     parent=event.trace_parent,
-                    attributes={
-                        "event": event.name,
-                        "policy": policy.name,
-                        "endpoint": event.endpoint,
-                    },
+                    attributes=attributes,
                 )
             record = EventAdaptation(
                 time=self.env.now,
@@ -525,7 +544,9 @@ class AdaptationManager:
         outcome: RecoveryOutcome,
     ) -> Generator:
         outcome.actions_taken.append(action.describe())
-        targets = self.selection.broadcast_targets(vep.members, action.max_targets, excluded)
+        targets = self.selection.broadcast_targets(
+            vep.members, action.max_targets, excluded, vep_name=vep.name
+        )
         if not targets:
             raise SoapFaultError(
                 SoapFault(

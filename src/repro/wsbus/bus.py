@@ -14,6 +14,8 @@ la[t]ter routes request messages to the real services."
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.observability import NULL_METRICS, NULL_TRACER, correlation_id_for
 from repro.observability.slo import SloService
 from repro.policy import PolicyRepository
@@ -35,6 +37,56 @@ from repro.wsdl import ServiceContract
 __all__ = ["WsBus"]
 
 
+class _MediationGate:
+    """FIFO admission gate bounding concurrent mediations on one bus.
+
+    Models the finite processing capacity of a single bus instance: a
+    mediation slot is held for the full VEP handling of one request, and
+    arrivals beyond ``capacity`` wait in FIFO order. This is the resource
+    a federated fleet shards — N buses bring N times the slots.
+    """
+
+    __slots__ = ("env", "capacity", "inflight", "waiters", "peak_waiting", "total_admitted")
+
+    def __init__(self, env, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"mediation capacity must be positive: {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.inflight = 0
+        self.waiters: deque = deque()
+        self.peak_waiting = 0
+        self.total_admitted = 0
+
+    def acquire(self):
+        self.total_admitted += 1
+        if self.inflight < self.capacity:
+            self.inflight += 1
+            return
+        waiter = self.env.event()
+        self.waiters.append(waiter)
+        if len(self.waiters) > self.peak_waiting:
+            self.peak_waiting = len(self.waiters)
+        yield waiter
+
+    def release(self) -> None:
+        if self.waiters:
+            # The slot passes directly to the oldest waiter; ``inflight``
+            # stays constant.
+            self.waiters.popleft().succeed(None)
+        else:
+            self.inflight -= 1
+
+    def stats(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "inflight": self.inflight,
+            "waiting": len(self.waiters),
+            "peak_waiting": self.peak_waiting,
+            "admitted": self.total_admitted,
+        }
+
+
 class WsBus:
     """The deployable messaging intermediary hosting Virtual End Points."""
 
@@ -52,11 +104,15 @@ class WsBus:
         colocated_with_clients: bool = False,
         tracer=None,
         metrics=None,
+        name: str = "wsbus",
+        mediation_capacity: int | None = None,
     ) -> None:
         self.env = env
         self.network = network
         self.repository = repository if repository is not None else PolicyRepository()
         self.registry = registry
+        #: Display name; distinguishes instances in a federated fleet.
+        self.name = name
         self.base_address = base_address
         self.member_timeout = member_timeout
         #: Observability hooks; the no-op defaults cost one branch per site.
@@ -136,6 +192,11 @@ class WsBus:
             base_seconds=0.0006, per_kb_seconds=0.00004, jitter_fraction=0.1
         )
         self._overhead_rng = (random_source or RandomSource()).stream("wsbus.mediation")
+        #: Optional bound on concurrent mediations across this bus's VEPs
+        #: (the capacity one instance can sustain). ``None`` keeps the
+        #: pre-federation unbounded behavior byte-identical.
+        self.mediation_capacity = mediation_capacity
+        self._gate = _MediationGate(env, mediation_capacity) if mediation_capacity else None
 
     # -- outbound sending (shared by VEPs, retry queue, adaptation manager) --------
 
@@ -283,7 +344,8 @@ class WsBus:
         for member in vep.members:
             self.slo.register_endpoint(member, contract.service_type)
         vep.address = address or f"{self.base_address}/{name}"
-        endpoint = self.network.register(vep.address, vep.handle)
+        handler = vep.handle if self._gate is None else self._gated(vep.handle)
+        endpoint = self.network.register(vep.address, handler)
         if self.colocated_with_clients:
             from repro.transport import LatencyModel
 
@@ -292,6 +354,24 @@ class WsBus:
             )
         self.veps[name] = vep
         return vep
+
+    def _gated(self, handler):
+        """Wrap a VEP handler behind the bus's mediation-capacity gate."""
+        gate = self._gate
+
+        def mediate(envelope):
+            queued_at = self.env.now
+            yield from gate.acquire()
+            if self.metrics.enabled:
+                self.metrics.histogram("wsbus.mediation.queue_seconds").observe(
+                    self.env.now - queued_at
+                )
+            try:
+                return (yield from handler(envelope))
+            finally:
+                gate.release()
+
+        return mediate
 
     def vep(self, name: str) -> VirtualEndpoint | None:
         return self.veps.get(name)
@@ -387,6 +467,8 @@ class WsBus:
             },
             "dead_letters": len(self.dead_letters),
         }
+        if self._gate is not None:
+            summary["mediation_gate"] = self._gate.stats()
         if self.resilience.active:
             summary["resilience"] = self.resilience.summary()
         if self.traffic.active:

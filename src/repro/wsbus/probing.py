@@ -16,6 +16,7 @@ Two sensor paths from Section 3.1 beyond passive message observation:
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Callable, Generator
 from dataclasses import dataclass
 
@@ -57,17 +58,23 @@ class QoSProbe:
         interval_seconds: float = 30.0,
         timeout_seconds: float = 5.0,
         caller: str = "qos-probe",
+        window: int = 100,
     ) -> None:
         if interval_seconds <= 0:
             raise ValueError("probe interval must be positive")
+        if window <= 0:
+            raise ValueError("probe window must be positive")
         self.env = env
         self.target = target
         self.operation = operation
         self.payload_factory = payload_factory
         self.interval_seconds = interval_seconds
         self.timeout_seconds = timeout_seconds
+        self.window = window
         self.invoker = Invoker(env, network, caller=caller, default_timeout=timeout_seconds)
-        self.results: list[ProbeResult] = []
+        # Bounded: only the newest ``window`` probes count, so an endpoint
+        # that recovers is not haunted forever by faults from hours ago.
+        self.results: deque[ProbeResult] = deque(maxlen=window)
         self._running = False
 
     def start(self) -> None:
@@ -115,7 +122,12 @@ class QoSProbe:
 
     @property
     def observed_availability(self) -> float | None:
-        """Fraction of probes that succeeded (None before any probe)."""
+        """Fraction of the sliding probe window that succeeded.
+
+        None before any probe. Only the newest ``window`` results are
+        retained, so availability tracks the endpoint's *current* health
+        rather than a lifetime average that old outages would pin down.
+        """
         if not self.results:
             return None
         return sum(1 for r in self.results if r.succeeded) / len(self.results)
@@ -128,6 +140,9 @@ class ManagementEventSource:
         self.env = env
         self._sinks: list[Callable[[MASCEvent], None]] = []
         self.reported: list[MASCEvent] = []
+        #: ``(event, sink, error)`` triples for sinks that raised during
+        #: delivery; kept so operators can see which consumers misbehaved.
+        self.sink_errors: list[tuple[MASCEvent, Callable[[MASCEvent], None], Exception]] = []
 
     def add_sink(self, sink: Callable[[MASCEvent], None]) -> None:
         self._sinks.append(sink)
@@ -156,6 +171,16 @@ class ManagementEventSource:
             raised_by=source_system,
         )
         self.reported.append(event)
+        # Deliver to every sink before surfacing any failure: one broken
+        # consumer must not block fault propagation to the rest.
+        first_error: Exception | None = None
         for sink in self._sinks:
-            sink(event)
+            try:
+                sink(event)
+            except Exception as error:
+                self.sink_errors.append((event, sink, error))
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
         return event

@@ -164,6 +164,49 @@ class QoSMeasurementService:
     def attach_to_invoker(self, invoker) -> None:
         invoker.add_observer(self.observe)
 
+    # -- federation anti-entropy ---------------------------------------------------
+
+    def digest(self, limit: int = 0) -> dict[str, list[InvocationRecord]]:
+        """Per-endpoint observation digest for gossip exchange.
+
+        Returns the newest ``limit`` records per endpoint (all windowed
+        records when 0), keyed by address in sorted order so two buses
+        with the same observations produce identical digests.
+        """
+        out: dict[str, list[InvocationRecord]] = {}
+        for address in sorted(self.endpoints):
+            records = list(self.endpoints[address].records)
+            out[address] = records[-limit:] if limit > 0 else records
+        return out
+
+    def merge_records(self, address: str, records) -> int:
+        """Fold remotely observed records into an endpoint's rolling window.
+
+        Records already present in the window are skipped; the merged
+        window is re-ordered by completion time so a bus that *received*
+        an observation via gossip converges on the same window (and hence
+        the same ``best_endpoint`` answers) as the bus that made it.
+        Returns how many records were new.
+        """
+        endpoint = self.endpoints.get(address)
+        if endpoint is None:
+            endpoint = EndpointQoS(address, window=self.window)
+            self.endpoints[address] = endpoint
+        known = set(endpoint.records)
+        fresh = [r for r in records if r not in known]
+        if not fresh:
+            return 0
+        for record in fresh:
+            endpoint.total_invocations += 1
+            if not record.succeeded:
+                endpoint.total_failures += 1
+        combined = sorted(
+            list(endpoint.records) + fresh,
+            key=lambda r: (r.finished_at, r.started_at, r.target, r.caller, r.operation),
+        )
+        endpoint.records = deque(combined, maxlen=endpoint.window)
+        return len(fresh)
+
     # -- queries ------------------------------------------------------------------
 
     def endpoint(self, address: str) -> EndpointQoS | None:

@@ -51,6 +51,7 @@ class SelectionService:
         self.resilience = resilience
         self._rng = (random_source or RandomSource()).stream("wsbus.selection")
         self._round_robin_counters: dict[str, int] = {}
+        self._broadcast_counters: dict[str, int] = {}
         self._content_rules: dict[str, list[ContentRule]] = {}
 
     def add_content_rule(self, vep_name: str, rule: ContentRule) -> None:
@@ -109,14 +110,40 @@ class SelectionService:
         return candidates[0]
 
     def broadcast_targets(
-        self, members: list[str], max_targets: int = 0, exclude: set[str] | None = None
+        self,
+        members: list[str],
+        max_targets: int = 0,
+        exclude: set[str] | None = None,
+        vep_name: str | None = None,
     ) -> list[str]:
-        """The member set for concurrent invocation (first response wins)."""
+        """The member set for concurrent invocation (first response wins).
+
+        When ``max_targets`` bounds the fan-out, the window *rotates* over
+        the full member list (same anchoring as round-robin selection):
+        truncating with ``candidates[:max_targets]`` would permanently
+        starve the tail members of every broadcast. The rotation counter
+        is keyed by ``vep_name`` when the caller supplies one, falling
+        back to the member list itself.
+        """
         candidates = [m for m in members if not exclude or m not in exclude]
         candidates = self._admitted(candidates)
-        if max_targets > 0:
-            candidates = candidates[:max_targets]
-        return candidates
+        if max_targets <= 0 or len(candidates) <= max_targets:
+            return candidates
+        key = vep_name if vep_name is not None else "|".join(members)
+        counter = self._broadcast_counters.get(key, 0)
+        admitted = set(candidates)
+        size = len(members)
+        window: list[str] = []
+        for offset in range(size):
+            member = members[(counter + offset) % size]
+            if member in admitted:
+                window.append(member)
+                if len(window) == max_targets:
+                    # Next window starts after this one's last member, so
+                    # successive broadcasts sweep the whole membership.
+                    self._broadcast_counters[key] = counter + offset + 1
+                    break
+        return window
 
     def _admitted(self, candidates: list[str]) -> list[str]:
         """Drop members whose circuit breaker would reject the send.

@@ -431,7 +431,7 @@ class VirtualEndpoint:
                     source=self.name,
                 )
             )
-        targets = self.selection.broadcast_targets(self.members)
+        targets = self.selection.broadcast_targets(self.members, vep_name=self.name)
         if not targets:
             raise SoapFaultError(
                 SoapFault(

@@ -3,11 +3,13 @@
 import pytest
 
 from repro.policy import (
+    ActionError,
     AdaptationPolicy,
     AddActivityAction,
     BusinessValue,
     ConcurrentInvokeAction,
     ExtendTimeoutAction,
+    FederationAction,
     InvokeSpec,
     MessageCondition,
     MonitoringPolicy,
@@ -18,6 +20,7 @@ from repro.policy import (
     RemoveActivityAction,
     ReplaceActivityAction,
     RetryAction,
+    ShardRoutingAction,
     SkipAction,
     SubstituteAction,
     TerminateProcessAction,
@@ -224,3 +227,65 @@ class TestParsingErrors:
     def test_document_name_defaults(self):
         xml = '<Policy xmlns="http://schemas.xmlsoap.org/ws/2004/09/policy"/>'
         assert parse_policy_document(xml).name == "unnamed"
+
+
+class TestFederationVocabulary:
+    def _round_trip(self, *actions):
+        document = PolicyDocument("federation")
+        document.adaptation_policies.append(
+            AdaptationPolicy(
+                name="fleet-config",
+                triggers=("federation.configure",),
+                scope=PolicyScope(),
+                actions=tuple(actions),
+                adaptation_type="prevention",
+            )
+        )
+        reparsed = parse_policy_document(serialize_policy_document(document))
+        return reparsed.adaptation_policies[0]
+
+    def test_federation_action_round_trips(self):
+        action = FederationAction(
+            heartbeat_interval_seconds=0.25,
+            suspicion_multiplier=4.0,
+            gossip_interval_seconds=1.5,
+            gossip_fanout=2,
+            lease_seconds=2.0,
+            virtual_nodes=16,
+        )
+        policy = self._round_trip(action)
+        assert policy.triggers == ("federation.configure",)
+        assert policy.actions == (action,)
+
+    def test_shard_routing_round_trips_with_defaults(self):
+        policy = self._round_trip(
+            FederationAction(),
+            ShardRoutingAction(bus="bus-1", vep_pattern="orders-*"),
+            ShardRoutingAction(bus="bus-0"),
+        )
+        assert policy.actions == (
+            FederationAction(),
+            ShardRoutingAction(bus="bus-1", vep_pattern="orders-*"),
+            ShardRoutingAction(bus="bus-0"),
+        )
+        assert policy.actions[2].vep_pattern == "*"
+
+    def test_federation_action_validation(self):
+        with pytest.raises(ActionError):
+            FederationAction(heartbeat_interval_seconds=0.0)
+        with pytest.raises(ActionError):
+            FederationAction(suspicion_multiplier=1.0)
+        with pytest.raises(ActionError):
+            FederationAction(gossip_interval_seconds=-1.0)
+        with pytest.raises(ActionError):
+            FederationAction(gossip_fanout=0)
+        with pytest.raises(ActionError):
+            FederationAction(lease_seconds=0.0)
+        with pytest.raises(ActionError):
+            FederationAction(virtual_nodes=0)
+
+    def test_shard_routing_validation(self):
+        with pytest.raises(ActionError):
+            ShardRoutingAction(bus="")
+        with pytest.raises(ActionError):
+            ShardRoutingAction(bus="bus-0", vep_pattern="")

@@ -1,5 +1,7 @@
 """Scale/soak checks and direct selection-service unit tests."""
 
+from collections import Counter
+
 import pytest
 
 from conftest import ECHO_CONTRACT, EchoService
@@ -79,6 +81,35 @@ class TestSelectionServiceUnit:
             "http://b",
             "http://c",
         ]
+
+    def test_broadcast_window_rotates_over_all_members(self, selection):
+        """Regression: ``candidates[:max_targets]`` truncation meant the
+        tail members never received a single broadcast."""
+        counts = Counter()
+        for _ in range(6):
+            targets = selection.broadcast_targets(
+                self.MEMBERS, max_targets=2, vep_name="vep"
+            )
+            assert len(targets) == 2
+            counts.update(targets)
+        assert counts == Counter(
+            {"http://a": 4, "http://b": 4, "http://c": 4}
+        )
+
+    def test_broadcast_rotation_is_per_vep_and_skips_exclusions(self, selection):
+        first = selection.broadcast_targets(self.MEMBERS, max_targets=1, vep_name="v1")
+        assert first == ["http://a"]
+        # A different VEP keeps its own rotation counter.
+        assert selection.broadcast_targets(
+            self.MEMBERS, max_targets=1, vep_name="v2"
+        ) == ["http://a"]
+        # Exclusions are skipped without warping the sweep off course.
+        assert selection.broadcast_targets(
+            self.MEMBERS, max_targets=1, exclude={"http://b"}, vep_name="v1"
+        ) == ["http://c"]
+        assert selection.broadcast_targets(
+            self.MEMBERS, max_targets=1, vep_name="v1"
+        ) == ["http://a"]
 
     def test_random_is_seed_deterministic(self):
         a = SelectionService(QoSMeasurementService(), RandomSource(4))

@@ -550,6 +550,50 @@ class TestVepTrafficTier:
         assert counters["wsbus.traffic.cache.invalidated"] == 2
         assert "caches" in bus.stats_summary()["traffic"]
 
+    def test_policy_reload_shrinking_max_entries_rebuilds_cache(
+        self, env, network, container
+    ):
+        """Regression: shrinking ``max_entries`` through a policy reload
+        must drop the old oversized cache, not keep serving from it."""
+        container.deploy(EchoService(env, "echo-a", "http://svc/a"))
+        repository = PolicyRepository()
+        repository.load(
+            traffic_document(
+                ResponseCacheAction(ttl_seconds=60.0, max_entries=8),
+                operation="echo",
+                name="cache-v1",
+            )
+        )
+        bus = WsBus(env, network, repository=repository, member_timeout=5.0)
+        cache = bus.traffic.cache_for("Echo", "echo")
+        assert cache.config.max_entries == 8
+        for index in range(5):
+            cache.put(f"k{index}", Element("r"))
+        assert cache.stats()["entries"] == 5
+
+        # Operator reload: same scope, smaller budget.
+        repository.unload("cache-v1")
+        repository.load(
+            traffic_document(
+                ResponseCacheAction(ttl_seconds=60.0, max_entries=2),
+                operation="echo",
+                name="cache-v2",
+            )
+        )
+        bus.traffic.refresh_from_policies()
+
+        shrunk = bus.traffic.cache_for("Echo", "echo")
+        assert shrunk is not cache
+        assert shrunk.config.max_entries == 2
+        assert shrunk.stats()["entries"] == 0
+        for index in range(5):
+            shrunk.put(f"k{index}", Element("r"))
+        assert shrunk.stats()["entries"] == 2
+        assert shrunk.stats()["evicted"] == 3
+        # A no-op refresh keeps the live cache (and its entries).
+        bus.traffic.refresh_from_policies()
+        assert bus.traffic.cache_for("Echo", "echo") is shrunk
+
     def test_leveling_smooths_and_throttles(self, env, network, container):
         container.deploy(EchoService(env, "echo-a", "http://svc/a"))
         repository = PolicyRepository()

@@ -81,6 +81,39 @@ class TestQoSProbe:
         with pytest.raises(ValueError):
             QoSProbe(env, network, "http://x", "echo", probe_payload, interval_seconds=0)
 
+    def test_invalid_window(self, env, network):
+        with pytest.raises(ValueError):
+            QoSProbe(env, network, "http://x", "echo", probe_payload, window=0)
+
+    def test_results_window_bounds_history_and_availability(
+        self, env, network, container, echo_service
+    ):
+        """Regression: ``results`` grew without bound and availability
+        averaged the full history, so a long-dead prefix of failed probes
+        dragged the number down forever after the endpoint recovered."""
+        probe = QoSProbe(
+            env,
+            network,
+            "http://test/echo",
+            "echo",
+            probe_payload,
+            interval_seconds=1.0,
+            window=10,
+        )
+        endpoint = network.endpoint("http://test/echo")
+        endpoint.available = False
+        probe.start()
+        env.run(until=20.5)
+        assert probe.observed_availability == 0.0
+        assert len(probe.results) == 10  # bounded even while failing
+
+        endpoint.available = True
+        env.run(until=35.5)
+        assert len(probe.results) == 10
+        # The failed prefix aged out of the window entirely; the unbounded
+        # history would still report ~0.43 here.
+        assert probe.observed_availability == 1.0
+
     def test_start_is_idempotent(self, env, network, container, echo_service):
         probe = QoSProbe(
             env, network, "http://test/echo", "echo", probe_payload, interval_seconds=10.0
@@ -104,6 +137,32 @@ class TestManagementEvents:
         assert event.name == "fault.ServiceUnavailable"
         assert event.fault.source == "datacenter-monitor"
         assert event.context["reported_by"] == "datacenter-monitor"
+
+    def test_broken_sink_does_not_starve_other_sinks(self, env):
+        """Regression: one raising consumer stopped fault propagation to
+        every sink registered after it, silently losing the event."""
+        source = ManagementEventSource(env)
+
+        def broken(event):
+            raise RuntimeError("consumer crashed")
+
+        seen = []
+        source.add_sink(broken)
+        source.add_sink(seen.append)
+
+        with pytest.raises(RuntimeError, match="consumer crashed"):
+            source.report_fault(
+                "http://svc/a", FaultCode.SERVICE_UNAVAILABLE, "disk array degraded"
+            )
+
+        # The later sink still received the event, and the failure was
+        # recorded with full context instead of being swallowed.
+        assert len(seen) == 1
+        assert source.reported == seen
+        (event, sink, error) = source.sink_errors[0]
+        assert event is seen[0]
+        assert sink is broken
+        assert isinstance(error, RuntimeError)
 
     def test_external_fault_drives_preventive_quarantine(self, env, network, container):
         """A hardware-failure report from an external system quarantines
