@@ -28,6 +28,7 @@ from repro.casestudies.scm.policies import (
     retailer_recovery_policy_document,
     saga_policy_document,
     slo_policy_document,
+    tracing_policy_document,
     traffic_policy_document,
 )
 from repro.casestudies.scm.process import build_scm_process, build_scm_saga_process
@@ -62,5 +63,6 @@ __all__ = [
     "retailer_recovery_policy_document",
     "saga_policy_document",
     "slo_policy_document",
+    "tracing_policy_document",
     "traffic_policy_document",
 ]

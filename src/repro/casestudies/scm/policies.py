@@ -37,6 +37,7 @@ from repro.policy import (
     SkipAction,
     SloAction,
     SubstituteAction,
+    TracingAction,
     parse_policy_document,
     serialize_policy_document,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "retailer_recovery_policy_document",
     "saga_policy_document",
     "slo_policy_document",
+    "tracing_policy_document",
     "traffic_policy_document",
 ]
 
@@ -445,6 +447,40 @@ def federation_policy_document(
                 adaptation_type="prevention",
             )
         )
+    return _round_trip(document)
+
+
+def tracing_policy_document(
+    sample_rate: float = 1.0,
+    always_sample_faults: bool = True,
+    always_sample_slo_violations: bool = True,
+) -> PolicyDocument:
+    """Head-based trace sampling for a production-scale run.
+
+    One policy on the ``observability.tracing`` trigger convention
+    (scanned at load time by
+    :class:`~repro.observability.sampling.TracingService`) carries the
+    :class:`~repro.policy.TracingAction` knobs: the sample rate, and
+    whether faulted / SLO-violating traces are always promoted to the
+    exporters regardless of the head decision.
+    """
+    document = PolicyDocument("scm-tracing")
+    document.adaptation_policies.append(
+        AdaptationPolicy(
+            name="fleet-trace-sampling",
+            triggers=("observability.tracing",),
+            scope=PolicyScope(),
+            actions=(
+                TracingAction(
+                    sample_rate=sample_rate,
+                    always_sample_faults=always_sample_faults,
+                    always_sample_slo_violations=always_sample_slo_violations,
+                ),
+            ),
+            priority=10,
+            adaptation_type="prevention",
+        )
+    )
     return _round_trip(document)
 
 

@@ -9,6 +9,7 @@ Usage::
     python -m repro storm --traffic [--seed 7] [--report report.json]
     python -m repro storm --fleet 4 [--seed 7] [--report report.json]
     python -m repro replay JOURNAL [--instance ID] [--at SEQ] [--diff OTHER] [--verify]
+    python -m repro trace SPANS [SPANS ...] [--slowest N] [--tree ID] [--critical-path] [--attribution] [--report PATH]
     python -m repro top [--seed 7] [--interval 10]
     python -m repro scenarios
     python -m repro quickcheck
@@ -52,6 +53,14 @@ journal-derived snapshot.
 the reconstructed activity tree and variables at any sequence number
 (``--at SEQ``), diff two same-seed journals (``--diff OTHER``), or check
 checkpoint/journal byte-identity (``--verify``).
+``trace`` is the trace analyzer: it merges any mix of ``--trace`` JSONL
+files and flight-recorder dumps from one run, lists the slowest traces,
+renders one trace's span tree (``--tree ID``), extracts the critical
+path (``--critical-path``) and attributes every simulated second of it
+to a phase — queue-wait / mediation / network / service-execution /
+adaptation (``--attribution``; the phases must sum to the critical-path
+duration, enforced with a non-zero exit otherwise). See
+``docs/tracing.md``.
 ``quickcheck`` runs a fast, low-volume version of everything — a smoke
 test that the full stack works on this machine in a few seconds.
 """
@@ -168,7 +177,7 @@ def _cmd_storm(args: argparse.Namespace) -> int:
         # artifacts: the flight-recorder dump and the Prometheus snapshot.
         from repro.observability import FlightRecorder
 
-        recorder = tracer.add_exporter(FlightRecorder())
+        recorder = tracer.add_exporter(FlightRecorder(tracer=tracer))
         _effective_jobs(args, tracer)
         off = run_fault_storm(
             seed=args.seed, resilience=False, clients=args.clients, requests=args.requests
@@ -363,9 +372,15 @@ def _run_fleet_storm(args: argparse.Namespace) -> int:
     clients = args.clients if args.clients is not None else 4
     requests = args.requests if args.requests is not None else 30
     tracer, exporter = _make_tracer(args)
+    recorder = None
     if tracer is not None:
         # Tracing runs the arms inline (jobs forced to 1); spans are
         # recorded for the fleet arm, where leadership and gossip live.
+        # The flight recorder rides along so ``python -m repro trace``
+        # can demonstrate the JSONL + flight-dump merge on one run.
+        from repro.observability import FlightRecorder
+
+        recorder = tracer.add_exporter(FlightRecorder(tracer=tracer))
         _effective_jobs(args, tracer)
         single = run_fleet_storm(
             seed=args.seed,
@@ -451,6 +466,10 @@ def _run_fleet_storm(args: argparse.Namespace) -> int:
         with open(args.report, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
         print(f"\nwrote ablation report to {args.report}")
+    if recorder is not None:
+        flight_path = f"{args.trace}.flight.json"
+        recorder.dump(flight_path, reason="fleet-storm-complete")
+        print(f"wrote flight-recorder dump to {flight_path}")
     _close_tracer(tracer, exporter, args.trace)
     # The acceptance bar, enforced here too so CI can gate on the exit code.
     if not (
@@ -701,6 +720,110 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Analyze exported spans: slowest traces, tree, critical path, phases."""
+    import json
+    import math
+
+    from repro.metrics import Table
+    from repro.observability import (
+        assemble_trace,
+        attribute_latency,
+        critical_path,
+        group_traces,
+        load_spans,
+        render_trace_tree,
+        slowest_traces,
+        trace_report,
+    )
+    from repro.observability.analysis import PHASES
+
+    try:
+        spans = load_spans(args.spans)
+    except OSError as error:
+        print(f"cannot read spans: {error}", file=sys.stderr)
+        return 1
+    if not spans:
+        print("no spans found in the given files", file=sys.stderr)
+        return 1
+    grouped = group_traces(spans)
+    print(f"{len(spans)} span(s) across {len(grouped)} trace(s)")
+
+    if args.tree is not None:
+        bucket = grouped.get(args.tree)
+        if bucket is None:
+            print(f"no trace {args.tree!r} in the given files", file=sys.stderr)
+            return 1
+        print()
+        print(render_trace_tree(bucket))
+
+    summaries = slowest_traces(spans, limit=args.slowest)
+    table = Table(
+        ["trace", "root span", "start", "duration (s)", "spans", "status"],
+        title=f"Slowest {len(summaries)} trace(s)",
+    )
+    for summary in summaries:
+        table.add_row(
+            [
+                summary.trace_id,
+                summary.root_name,
+                f"{summary.start:.3f}",
+                f"{summary.duration:.6f}",
+                str(summary.span_count),
+                summary.status,
+            ]
+        )
+    print()
+    print(table.render())
+
+    target_id = args.tree if args.tree is not None else summaries[0].trace_id
+    tree = assemble_trace(grouped[target_id])
+
+    if args.critical_path:
+        print(f"\ncritical path of {target_id} ({tree.duration:.6f}s):")
+        for span in critical_path(tree):
+            start = span.start_time
+            end = span.end_time if span.end_time is not None else start
+            print(
+                f"  {span.name:<28} {end - start:>10.6f}s  "
+                f"[{start:.3f} .. {end:.3f}]  {span.span_id}"
+            )
+
+    if args.attribution:
+        # The invariant the acceptance gate rides on: phase self-times
+        # tile the root span exactly, for *every* trace in the files.
+        for trace_id, bucket in sorted(grouped.items()):
+            candidate = assemble_trace(bucket)
+            total = math.fsum(attribute_latency(candidate).values())
+            if not math.isclose(total, candidate.duration, rel_tol=1e-9, abs_tol=1e-9):
+                print(
+                    f"attribution for {trace_id} sums to {total!r}, "
+                    f"root duration is {candidate.duration!r}",
+                    file=sys.stderr,
+                )
+                return 1
+        attribution = attribute_latency(tree)
+        total = math.fsum(attribution.values())
+        print(f"\nlatency attribution for {target_id}:")
+        breakdown = Table(["phase", "seconds", "share"])
+        for phase in PHASES:
+            seconds = attribution.get(phase, 0.0)
+            share = seconds / total if total else 0.0
+            breakdown.add_row([phase, f"{seconds:.6f}", f"{share:6.1%}"])
+        print(breakdown.render())
+        print(
+            f"phases sum to {total:.6f}s == root span duration "
+            f"{tree.duration:.6f}s (checked for all {len(grouped)} trace(s))"
+        )
+
+    if args.report is not None:
+        payload = trace_report(spans, limit=args.slowest)
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nwrote trace report to {args.report}")
+    return 0
+
+
 def _cmd_scenarios(_args: argparse.Namespace) -> int:
     from repro.casestudies.stocktrading import (
         build_trading_deployment,
@@ -906,6 +1029,40 @@ def build_parser() -> argparse.ArgumentParser:
         "snapshot; exit 1 on any divergence",
     )
     replay.set_defaults(handler=_cmd_replay)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="analyze span exports: slowest traces, critical path, attribution",
+    )
+    trace.add_argument(
+        "spans", nargs="+", metavar="SPANS",
+        help="span files from one run: --trace JSONL exports and/or "
+        "flight-recorder dumps, merged and de-duplicated",
+    )
+    trace.add_argument(
+        "--slowest", type=int, default=10, metavar="N",
+        help="how many traces to list, slowest first (default 10)",
+    )
+    trace.add_argument(
+        "--tree", metavar="ID",
+        help="render this trace's span tree and target it for --critical-path/"
+        "--attribution (default: the slowest trace)",
+    )
+    trace.add_argument(
+        "--critical-path", action="store_true",
+        help="print the targeted trace's critical path, root to leaf",
+    )
+    trace.add_argument(
+        "--attribution", action="store_true",
+        help="attribute the targeted trace's latency to phases (queue-wait / "
+        "mediation / network / service-execution / adaptation); exits 1 if "
+        "any trace's phases fail to sum to its root duration",
+    )
+    trace.add_argument(
+        "--report", metavar="PATH",
+        help="write the full machine-readable trace report as JSON",
+    )
+    trace.set_defaults(handler=_cmd_trace)
 
     top = subparsers.add_parser(
         "top",

@@ -20,6 +20,7 @@ from repro.casestudies.scm import (
     build_scm_deployment,
     federation_policy_document,
     retailer_recovery_policy_document,
+    slo_policy_document,
 )
 from repro.experiments.harness import catalog_plan
 from repro.federation import BusFleet
@@ -57,6 +58,10 @@ class FleetStormResult:
     placement: dict[str, str]
     fleet_stats: dict = field(default_factory=dict)
     metrics: dict = field(default_factory=dict)
+    #: Simulated time the injected bus crash fired (None: no crash arm).
+    crash_time: float | None = None
+    #: SLO events emitted across every bus's engine during the run.
+    slo_events: int = 0
     #: The live fleet (stripped to None when results cross processes).
     fleet: BusFleet | None = None
 
@@ -75,6 +80,12 @@ def run_fleet_storm(
     mediation_capacity: int = 6,
     processing_seconds: float = 0.08,
     tracer=None,
+    slo: bool = False,
+    crash_bus: str | None = None,
+    crash_at: float = 0.0,
+    outage_endpoint: str | None = None,
+    outage_at: float = 0.0,
+    outage_duration: float = 0.0,
 ) -> FleetStormResult:
     """One fleet-storm arm: ``partitions`` Retailer VEPs over ``shards`` buses.
 
@@ -86,6 +97,15 @@ def run_fleet_storm(
     bounds concurrent mediations *per bus* — the resource the fleet
     shards; Retailer processing is slowed to ``processing_seconds`` so
     the slots are held long enough for the single-bus arm to queue.
+
+    The failure-scenario knobs build the trace-continuity storm:
+    ``slo`` loads the Retailer SLO objective (storm-scaled windows) on
+    every bus; ``crash_bus``/``crash_at`` arm a
+    :class:`~repro.faultinjection.BusCrashInjector`; and
+    ``outage_endpoint`` + ``outage_at``/``outage_duration`` open one
+    deterministic unavailability window at a member service so failed
+    deliveries burn the SLO budget and the violation → leader-forwarded
+    adaptation chain fires while the fleet is failing over.
     """
     deployment = build_scm_deployment(seed=seed, log_events=False)
     for retailer in deployment.retailers.values():
@@ -109,6 +129,21 @@ def run_fleet_storm(
             lease_seconds=3.0,
         )
     )
+    if slo:
+        # Storm-scaled windows: a few seconds of failed deliveries must
+        # be enough to burn the budget and emit the violation events the
+        # continuity scenario traces to the leader.
+        repository.load(
+            slo_policy_document(
+                window_seconds=60.0,
+                fast_window_seconds=8.0,
+                slow_window_seconds=16.0,
+                fast_burn_threshold=4.0,
+                slow_burn_threshold=1.5,
+                evaluation_interval_seconds=1.0,
+                min_requests=3,
+            )
+        )
     metrics = MetricsRegistry()
     fleet = BusFleet(
         deployment.env,
@@ -131,6 +166,26 @@ def run_fleet_storm(
             selection_strategy="best_response_time",
         )
         plans.append(catalog_plan(vep.address, timeout=client_timeout, think=0.05))
+    injector = None
+    if crash_bus is not None:
+        from repro.faultinjection import BusCrashInjector
+
+        injector = BusCrashInjector(deployment.env, fleet, crash_bus, crash_at)
+    if outage_endpoint is not None:
+        target = deployment.network.fault_injection_target(outage_endpoint)
+        if target is None:
+            raise ValueError(f"no endpoint registered at {outage_endpoint!r}")
+
+        def _outage_window():
+            if outage_at > 0:
+                yield deployment.env.timeout(outage_at)
+            target.available = False
+            yield deployment.env.timeout(outage_duration)
+            target.available = True
+
+        deployment.env.process(
+            _outage_window(), name=("storm-outage", outage_endpoint)
+        )
     runner = WorkloadRunner(deployment.env, deployment.network)
     result = runner.run_many(
         plans, clients_per_plan=clients_per_partition, requests_per_client=requests
@@ -155,5 +210,7 @@ def run_fleet_storm(
         placement={name: spec.owner for name, spec in sorted(fleet.veps.items())},
         fleet_stats=fleet.stats_summary(),
         metrics=snapshot,
+        crash_time=injector.crash_time if injector is not None else None,
+        slo_events=sum(len(bus.slo.events) for bus in fleet.buses.values()),
         fleet=fleet,
     )

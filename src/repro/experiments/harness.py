@@ -174,6 +174,7 @@ def run_fault_storm(
     client_timeout: float = 8.0,
     tracer=None,
     slo: bool = False,
+    extra_policies=(),
     on_tick=None,
     tick_interval: float = 10.0,
     flight_recorder=None,
@@ -215,6 +216,10 @@ def run_fault_storm(
         repository.load(resilience_policy_document())
     if slo:
         repository.load(slo_policy_document())
+    # Further policy documents the experiment should run under — e.g. a
+    # ``Tracing`` assertion controlling head-based trace sampling.
+    for document in extra_policies:
+        repository.load(document)
     metrics = MetricsRegistry()
     bus = WsBus(
         deployment.env,

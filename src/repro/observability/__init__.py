@@ -15,7 +15,16 @@ package adds that missing layer:
   counters and latency histograms;
 - :mod:`repro.observability.exporters` — pluggable span sinks: in-memory
   (tests), JSONL files (offline analysis), and a human-readable console
-  trace tree.
+  trace tree;
+- :mod:`repro.observability.trace_context` — the ``masc:TraceContext``
+  wire header (W3C-traceparent-style) that carries trace identity across
+  bus/shard/failover hops, so a fleet-mediated request is one trace;
+- :mod:`repro.observability.analysis` — trace assembly, critical-path
+  extraction and per-phase latency attribution over exported spans
+  (``python -m repro trace``);
+- :mod:`repro.observability.sampling` — policy-driven head-based trace
+  sampling (the WS-Policy4MASC ``Tracing`` assertion), with retroactive
+  promotion of faulted / SLO-violating traces.
 
 Everything defaults to the **no-op** :data:`NULL_TRACER` /
 :data:`NULL_METRICS` singletons: instrumented hot paths guard on
@@ -24,6 +33,15 @@ Figure 5 / Table 1 benchmarks are unaffected (see
 ``tests/test_observability.py::test_null_tracer_adds_zero_allocations``).
 """
 
+from repro.observability.analysis import (
+    attribute_latency,
+    assemble_trace,
+    critical_path,
+    group_traces,
+    load_spans,
+    slowest_traces,
+    trace_report,
+)
 from repro.observability.exporters import (
     ConsoleSummaryExporter,
     InMemoryExporter,
@@ -40,6 +58,14 @@ from repro.observability.metrics import (
     NullMetrics,
     labeled_name,
     merge_metric_snapshots,
+)
+from repro.observability.trace_context import (
+    TraceContext,
+    context_of_span,
+    format_traceparent,
+    parse_traceparent,
+    stamp_trace_context,
+    trace_context_of,
 )
 from repro.observability.tracing import (
     NULL_TRACER,
@@ -65,13 +91,28 @@ __all__ = [
     "SloService",
     "Span",
     "SpanExporter",
+    "TraceContext",
+    "TraceSampler",
     "Tracer",
+    "TracingService",
+    "assemble_trace",
+    "attribute_latency",
+    "context_of_span",
     "correlation_id_for",
+    "critical_path",
+    "format_traceparent",
+    "group_traces",
     "labeled_name",
+    "load_spans",
     "merge_metric_snapshots",
+    "parse_traceparent",
     "read_spans_jsonl",
     "render_top",
     "render_trace_tree",
+    "slowest_traces",
+    "stamp_trace_context",
+    "trace_context_of",
+    "trace_report",
 ]
 
 #: Lazily re-exported: the SLO engine imports :mod:`repro.core.events`
@@ -82,6 +123,8 @@ _LAZY = {
     "FlightRecorder": "repro.observability.ops",
     "SloObjective": "repro.observability.slo",
     "SloService": "repro.observability.slo",
+    "TraceSampler": "repro.observability.sampling",
+    "TracingService": "repro.observability.sampling",
     "render_top": "repro.observability.ops",
 }
 

@@ -9,8 +9,8 @@ A :class:`MetricsRegistry` is a flat namespace of named instruments:
   bounded window of recent samples for percentiles. Histograms may
   additionally be created with explicit bucket bounds, in which case each
   bucket keeps a bounded ring of **exemplars** — ``(value, trace_id,
-  correlation_id)`` samples linking an outlier observation back to its
-  cross-layer trace.
+  correlation_id, span_id)`` samples linking an outlier observation back
+  to its cross-layer trace (and the exact span inside it).
 
 Instrument names may carry Prometheus-style labels inline —
 ``wsbus.endpoint.requests{endpoint="http://scm/retailerA"}`` (see
@@ -40,16 +40,31 @@ __all__ = [
 ]
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote and newline are the three characters the
+    format requires escaping (in that order — escaping the escapes
+    first). Values are stored escaped inside the composed instrument
+    name, so the fragment is exposition-valid verbatim and the inline
+    ``key="value"`` encoding stays unambiguous even for hostile values.
+    """
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def labeled_name(base: str, **labels: str) -> str:
     """Compose an instrument name carrying an inline label set.
 
     Labels are sorted so the same logical series always maps to the same
     registry key; :meth:`MetricsRegistry.render_prometheus` splits them
-    back out into the exposition format.
+    back out into the exposition format. Label *values* are escaped here
+    (see :func:`_escape_label_value`), never at render time.
     """
     if not labels:
         return base
-    rendered = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
+    rendered = ",".join(
+        f'{key}="{_escape_label_value(labels[key])}"' for key in sorted(labels)
+    )
     return f"{base}{{{rendered}}}"
 
 
@@ -91,7 +106,7 @@ class Histogram:
 
     When ``buckets`` (sorted upper bounds) is given, observations are
     additionally counted per bucket, and each bucket keeps a bounded ring
-    of recent exemplars — ``(value, trace_id, correlation_id)`` — so an
+    of recent exemplars — ``(value, trace_id, correlation_id, span_id)`` — so an
     operator can jump from a p99 outlier straight to the trace that
     produced it. Histograms created without buckets pay nothing for the
     feature beyond a single ``is None`` check per observation.
@@ -142,6 +157,7 @@ class Histogram:
         value: float,
         trace_id: str | None = None,
         correlation_id: str | None = None,
+        span_id: str | None = None,
     ) -> None:
         self.count += 1
         self.total += value
@@ -155,7 +171,7 @@ class Histogram:
             index = bisect_right(bounds, value)
             self.bucket_counts[index] += 1
             if trace_id is not None:
-                self._exemplars[index].append((value, trace_id, correlation_id))
+                self._exemplars[index].append((value, trace_id, correlation_id, span_id))
 
     @property
     def mean(self) -> float:
@@ -188,13 +204,14 @@ class Histogram:
         out = []
         for index, ring in enumerate(self._exemplars):
             bound = bounds[index] if index < len(bounds) else float("inf")
-            for value, trace_id, correlation_id in ring:
+            for value, trace_id, correlation_id, span_id in ring:
                 out.append(
                     {
                         "bucket_le": bound,
                         "value": value,
                         "trace_id": trace_id,
                         "correlation_id": correlation_id,
+                        "span_id": span_id,
                     }
                 )
         return out
@@ -323,10 +340,12 @@ def _exemplar_suffix(ring) -> str:
     """The OpenMetrics exemplar annotation for one bucket (latest sample)."""
     if not ring:
         return ""
-    value, trace_id, correlation_id = ring[-1]
-    label = f'trace_id="{trace_id}"'
+    value, trace_id, correlation_id, span_id = ring[-1]
+    label = f'trace_id="{_escape_label_value(trace_id)}"'
+    if span_id is not None:
+        label += f',span_id="{_escape_label_value(span_id)}"'
     if correlation_id is not None:
-        label += f',correlation_id="{correlation_id}"'
+        label += f',correlation_id="{_escape_label_value(correlation_id)}"'
     return f" # {{{label}}} {value:.6f}"
 
 
@@ -394,7 +413,7 @@ class _NullInstrument:
     def inc(self, amount: int = 1) -> None:
         return None
 
-    def observe(self, value: float, trace_id=None, correlation_id=None) -> None:
+    def observe(self, value: float, trace_id=None, correlation_id=None, span_id=None) -> None:
         return None
 
     def percentile(self, q: float) -> float | None:

@@ -40,8 +40,12 @@ class FlightRecorder(SpanExporter):
     before it went wrong", not for archival (that's the JSONL exporter).
     """
 
-    def __init__(self, capacity: int = 512) -> None:
+    def __init__(self, capacity: int = 512, tracer=None) -> None:
         self.capacity = capacity
+        #: When given, :meth:`dump` first flushes the tracer's still-open
+        #: spans (exported with ``unfinished=true``) so a crash dump shows
+        #: what was *in flight*, not just what had completed.
+        self.tracer = tracer
         self.spans: deque[dict] = deque(maxlen=capacity)
         self.events: deque[dict] = deque(maxlen=capacity)
         self.dumped: list[str] = []
@@ -64,10 +68,14 @@ class FlightRecorder(SpanExporter):
 
     def dump(self, path, reason: str = "unspecified") -> Path:
         """Write the buffered spans/events to ``path`` as one JSON object."""
+        unfinished = 0
+        if self.tracer is not None:
+            unfinished = self.tracer.flush_open()
         target = Path(path)
         payload = {
             "reason": reason,
             "capacity": self.capacity,
+            "unfinished_spans_flushed": unfinished,
             "spans": list(self.spans),
             "events": list(self.events),
         }

@@ -46,6 +46,7 @@ from dataclasses import dataclass
 
 from repro.core.events import MASCEvent
 from repro.observability.metrics import NULL_METRICS, labeled_name
+from repro.observability.trace_context import TraceContext
 from repro.observability.tracing import NULL_TRACER
 from repro.policy.actions import BurnRateAlertAction, SloAction
 
@@ -233,6 +234,7 @@ class SloService:
         ok: bool,
         trace_id: str | None = None,
         correlation_id: str | None = None,
+        span_id: str | None = None,
     ) -> None:
         """One completed delivery attempt (called from the bus send path)."""
         instruments = self._instruments.get(target)
@@ -251,7 +253,9 @@ class SloService:
         requests.inc()
         if not ok:
             failures.inc()
-        histogram.observe(duration, trace_id=trace_id, correlation_id=correlation_id)
+        histogram.observe(
+            duration, trace_id=trace_id, correlation_id=correlation_id, span_id=span_id
+        )
 
     # -- evaluation ----------------------------------------------------------
 
@@ -362,8 +366,23 @@ class SloService:
         }
         span = None
         if self.tracer.enabled:
+            # The exemplar is the bridge from the aggregate violation back
+            # to one concrete cross-layer request trace: when the latest
+            # exemplar carries a span reference, the violation span joins
+            # *that request's trace* — so one trace id runs client →
+            # mediation → violation → (leader-forwarded) adaptation.
+            parent = None
+            if exemplars:
+                latest = exemplars[-1]
+                if latest.get("trace_id") and latest.get("span_id"):
+                    parent = TraceContext(
+                        trace_id=latest["trace_id"],
+                        span_id=latest["span_id"],
+                        correlation_id=latest.get("correlation_id"),
+                    )
             span = self.tracer.start_span(
                 "slo.violation" if name != "sloRecovered" else "slo.recovered",
+                parent=parent,
                 attributes={
                     "event": name,
                     "objective": objective.slo.name,
@@ -373,8 +392,6 @@ class SloService:
                 },
             )
             if exemplars:
-                # The exemplar is the bridge from the aggregate violation
-                # back to one concrete cross-layer request trace.
                 span.set_attribute("exemplar.trace_id", exemplars[-1]["trace_id"])
         event = MASCEvent(
             name=name,

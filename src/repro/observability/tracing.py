@@ -66,6 +66,7 @@ class Span:
         "attributes",
         "events",
         "status",
+        "sampled",
         "_tracer",
     )
 
@@ -79,6 +80,7 @@ class Span:
         start_time: float,
         tracer: "Tracer | None" = None,
         attributes: dict[str, Any] | None = None,
+        sampled: bool = True,
     ) -> None:
         self.name = name
         self.span_id = span_id
@@ -90,6 +92,10 @@ class Span:
         self.attributes: dict[str, Any] = attributes if attributes is not None else {}
         self.events: list[tuple[float, str, dict[str, Any]]] = []
         self.status = "ok"
+        #: Head-based sampling verdict, inherited from the parent (or the
+        #: wire context) and made at trace birth by the tracer's sampler.
+        #: Not serialized: an exported span was sampled by definition.
+        self.sampled = sampled
         self._tracer = tracer
 
     # -- recording -----------------------------------------------------------
@@ -195,12 +201,25 @@ class Tracer:
 
     enabled = True
 
+    #: Unsampled traces buffered for possible promotion, at most this many.
+    MAX_BUFFERED_TRACES = 256
+
     def __init__(self, clock=None) -> None:
         self._clock = clock
         self._exporters: list = []
         self._span_ids = itertools.count(1)
         self._trace_ids = itertools.count(1)
         self.finished_count = 0
+        #: Started-but-not-ended spans, flushed with ``unfinished=true`` at
+        #: :meth:`close` so a crash mid-span never loses the partial record.
+        self._open: dict[Span, None] = {}
+        #: Head-based sampler (None = record everything, the default).
+        self._sampler = None
+        #: trace_id -> finished-but-unexported spans of unsampled traces,
+        #: kept around (bounded) in case a later span promotes the trace.
+        self._buffered: "dict[str, list[Span]]" = {}
+        #: Unsampled traces promoted by a fault/SLO violation.
+        self._promoted: set[str] = set()
 
     # -- clock ---------------------------------------------------------------
 
@@ -231,15 +250,22 @@ class Tracer:
         parent: Span | None = None,
         attributes: dict[str, Any] | None = None,
     ) -> Span:
+        # ``parent`` is duck-typed: a live Span or a wire
+        # :class:`~repro.observability.trace_context.TraceContext` — anything
+        # exposing trace_id / span_id / correlation_id (and optionally
+        # sampled) joins its trace.
         if parent is not None:
             trace_id = parent.trace_id
             parent_id = parent.span_id
             if correlation_id is None:
                 correlation_id = parent.correlation_id
+            sampled = getattr(parent, "sampled", True)
         else:
             trace_id = f"tr-{next(self._trace_ids):06d}"
             parent_id = None
-        return Span(
+            sampler = self._sampler
+            sampled = sampler is None or sampler.sample(trace_id)
+        span = Span(
             name=name,
             span_id=f"sp-{next(self._span_ids):06d}",
             trace_id=trace_id,
@@ -248,7 +274,10 @@ class Tracer:
             start_time=self.now(),
             tracer=self,
             attributes=attributes,
+            sampled=sampled,
         )
+        self._open[span] = None
+        return span
 
     def span(self, name: str, **kwargs) -> Span:
         """``with tracer.span("x") as s:`` convenience (spans are CMs)."""
@@ -264,12 +293,56 @@ class Tracer:
         if exporter in self._exporters:
             self._exporters.remove(exporter)
 
+    # -- sampling ------------------------------------------------------------
+
+    def configure_sampling(self, sampler) -> None:
+        """Install (or clear, with None) a head-based trace sampler.
+
+        The sampler decides at trace birth (``sample(trace_id)``) and may
+        promote an unsampled trace after the fact (``promotes(span)`` —
+        faults, SLO violations); see
+        :class:`~repro.observability.sampling.TraceSampler`.
+        """
+        self._sampler = sampler
+
+    # -- shutdown ------------------------------------------------------------
+
+    def flush_open(self) -> int:
+        """Export still-open spans with an explicit ``unfinished=true``.
+
+        A crash (or an abandoned simulation process) can leave spans that
+        never reached :meth:`Span.end`; silently dropping them would make
+        the trace lie about what was in flight. Returns the flush count.
+        """
+        flushed = 0
+        for span in list(self._open):
+            span.set_attribute("unfinished", True)
+            span.end()
+            flushed += 1
+        return flushed
+
     def close(self) -> None:
+        self.flush_open()
         for exporter in self._exporters:
             exporter.close()
 
     def _finish(self, span: Span) -> None:
         self.finished_count += 1
+        self._open.pop(span, None)
+        if self._sampler is not None and not span.sampled:
+            trace_id = span.trace_id
+            if trace_id not in self._promoted and not self._sampler.promotes(span):
+                # Buffer the unsampled span: a later fault or SLO violation
+                # in this trace may still promote the whole thing.
+                buffered = self._buffered.setdefault(trace_id, [])
+                buffered.append(span)
+                while len(self._buffered) > self.MAX_BUFFERED_TRACES:
+                    self._buffered.pop(next(iter(self._buffered)))
+                return
+            self._promoted.add(trace_id)
+            for earlier in self._buffered.pop(trace_id, ()):
+                for exporter in self._exporters:
+                    exporter.export(earlier)
         for exporter in self._exporters:
             exporter.export(span)
 
@@ -289,6 +362,7 @@ class _NullSpan:
     status = "ok"
     duration = 0.0
     ended = True
+    sampled = False
 
     def set_attribute(self, key: str, value: Any) -> "_NullSpan":
         return self
@@ -339,6 +413,12 @@ class NullTracer:
 
     def remove_exporter(self, exporter) -> None:
         return None
+
+    def configure_sampling(self, sampler) -> None:
+        return None
+
+    def flush_open(self) -> int:
+        return 0
 
     def close(self) -> None:
         return None

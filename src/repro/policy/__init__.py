@@ -52,6 +52,7 @@ from repro.policy.actions import (
     SubstituteAction,
     SuspendProcessAction,
     TerminateProcessAction,
+    TracingAction,
     TrafficAction,
 )
 from repro.policy.assertions import (
@@ -114,6 +115,7 @@ __all__ = [
     "SubstituteAction",
     "SuspendProcessAction",
     "TerminateProcessAction",
+    "TracingAction",
     "TrafficAction",
     "WSP_NS",
     "parse_policy_document",

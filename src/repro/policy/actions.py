@@ -53,6 +53,7 @@ __all__ = [
     "SubstituteAction",
     "SuspendProcessAction",
     "TerminateProcessAction",
+    "TracingAction",
     "TrafficAction",
 ]
 
@@ -926,6 +927,49 @@ class BurnRateAlertAction(AdaptationAction):
             f"{self.fast_window_seconds:g}s, slow {self.slow_burn_threshold:g}x over "
             f"{self.slow_window_seconds:g}s, every {self.evaluation_interval_seconds:g}s)"
         )
+
+
+@dataclass(frozen=True)
+class TracingAction(AdaptationAction):
+    """Head-based trace sampling for the distributed-tracing tier.
+
+    Declared in adaptation policies carrying the conventional
+    ``observability.tracing`` trigger (the same load-time-scan convention
+    as ``observability.slo``); the bus's
+    :class:`~repro.observability.sampling.TracingService` materializes it
+    into a :class:`~repro.observability.sampling.TraceSampler` on the
+    active tracer. ``sample_rate`` is the fraction of new traces recorded
+    (decided deterministically from the trace id, so the same seed samples
+    the same traces regardless of ``--jobs``); faults and SLO violations
+    can *promote* an unsampled trace after the fact so the interesting
+    traces are never the ones thrown away. With no tracing policy loaded
+    every trace is recorded — and simulation results are byte-identical
+    either way, because sampling only filters what is exported.
+    """
+
+    sample_rate: float = 1.0
+    always_sample_faults: bool = True
+    always_sample_slo_violations: bool = True
+
+    layer = "messaging"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sample_rate <= 1.0:
+            raise ActionError(
+                f"sample_rate must be within [0, 1]: {self.sample_rate}"
+            )
+
+    def describe(self) -> str:
+        promotions = [
+            label
+            for label, enabled in (
+                ("faults", self.always_sample_faults),
+                ("slo-violations", self.always_sample_slo_violations),
+            )
+            if enabled
+        ]
+        suffix = f" + {'/'.join(promotions)}" if promotions else ""
+        return f"sample {self.sample_rate:.0%} of traces{suffix}"
 
 
 @dataclass(frozen=True)

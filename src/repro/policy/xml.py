@@ -39,6 +39,7 @@ from repro.policy.actions import (
     SubstituteAction,
     SuspendProcessAction,
     TerminateProcessAction,
+    TracingAction,
 )
 from repro.policy.assertions import MessageCondition, QoSThreshold
 from repro.policy.model import (
@@ -355,6 +356,17 @@ def _action_to_element(action: AdaptationAction) -> Element:
         return Element(
             _masc("SelectionStrategy"), attributes={"strategy": action.strategy}
         )
+    if isinstance(action, TracingAction):
+        return Element(
+            _masc("Tracing"),
+            attributes={
+                "sampleRate": str(action.sample_rate),
+                "alwaysSampleFaults": "true" if action.always_sample_faults else "false",
+                "alwaysSampleSloViolations": (
+                    "true" if action.always_sample_slo_violations else "false"
+                ),
+            },
+        )
     if isinstance(action, FederationAction):
         return Element(
             _masc("Federation"),
@@ -649,6 +661,16 @@ def _parse_action(element: Element) -> AdaptationAction:
     if local == "SelectionStrategy":
         return SelectionStrategyAction(
             strategy=element.attributes.get("strategy", "best_reliability")
+        )
+    if local == "Tracing":
+        return TracingAction(
+            sample_rate=float(element.attributes.get("sampleRate", "1.0")),
+            always_sample_faults=(
+                element.attributes.get("alwaysSampleFaults", "true") == "true"
+            ),
+            always_sample_slo_violations=(
+                element.attributes.get("alwaysSampleSloViolations", "true") == "true"
+            ),
         )
     if local == "Federation":
         return FederationAction(

@@ -79,6 +79,13 @@ class SoapHeader:
 
     element: Element
     must_understand: bool = False
+    #: Transparent headers travel in the serialized XML but are excluded
+    #: from :attr:`SoapEnvelope.size_bytes`. Observability metadata (the
+    #: ``masc:TraceContext`` header) is stamped transparent so the
+    #: transport's size-dependent latency model sees identical bytes
+    #: whether tracing is on or off — simulated timings never depend on
+    #: whether anyone is watching.
+    transparent: bool = False
 
 
 #: Fields whose reassignment changes the serialized form (and therefore
@@ -203,7 +210,10 @@ class SoapEnvelope:
         """
         return SoapEnvelope(
             addressing=self.addressing,
-            headers=[SoapHeader(h.element.copy(), h.must_understand) for h in self.headers],
+            headers=[
+                SoapHeader(h.element.copy(), h.must_understand, h.transparent)
+                for h in self.headers
+            ],
             body=self.body.copy() if self.body is not None else None,
             fault=self.fault,
             padding=self.padding,
@@ -217,8 +227,13 @@ class SoapEnvelope:
                 return header.element
         return None
 
-    def add_header(self, element: Element, must_understand: bool = False) -> None:
-        self.headers.append(SoapHeader(element, must_understand))
+    def add_header(
+        self,
+        element: Element,
+        must_understand: bool = False,
+        transparent: bool = False,
+    ) -> None:
+        self.headers.append(SoapHeader(element, must_understand, transparent))
         self._size_cache = None
 
     # -- XML mapping --------------------------------------------------------------
@@ -240,7 +255,7 @@ class SoapEnvelope:
             body.append(self.body.copy())
         return envelope
 
-    def _wire_element(self) -> Element:
+    def _wire_element(self, visible_only: bool = False) -> Element:
         """The serialization view of this envelope.
 
         Structurally identical to :meth:`to_element` (and serializes to the
@@ -249,10 +264,13 @@ class SoapEnvelope:
         (Envelope/Header/Body, the flat addressing blocks, and a shallow
         wrapper per ``mustUnderstand`` header) is allocated per call. The
         returned tree is a read-only view — callers that hand the tree out
-        for mutation must use :meth:`to_element`.
+        for mutation must use :meth:`to_element`. With ``visible_only`` the
+        view drops transparent headers — the size-accounting form.
         """
         header_children = self.addressing.to_elements()
         for extension in self.headers:
+            if visible_only and extension.transparent:
+                continue
             element = extension.element
             if extension.must_understand:
                 element = _borrowed(
@@ -293,12 +311,20 @@ class SoapEnvelope:
         intern their constant payloads, so the thousands of envelopes that
         share one payload tree pay for serialization once per addressing
         shape instead of once per message.
+
+        Transparent headers (observability metadata) never count: an
+        envelope whose only extension headers are transparent sizes
+        exactly like a headerless one, so the latency model — and every
+        simulated timing derived from it — is untouched by tracing.
         """
         cached = self._size_cache
         if cached is not None:
             return cached
         body = self.body
-        if body is not None and not self.headers:
+        headers = self.headers
+        if body is not None and (
+            not headers or all(header.transparent for header in headers)
+        ):
             shapes = _BODY_SIZE_MEMO.get(body)
             if shapes is None:
                 shapes = _BODY_SIZE_MEMO.setdefault(body, {})
@@ -313,10 +339,14 @@ class SoapEnvelope:
             )
             size = shapes.get(shape)
             if size is None:
-                size = shapes[shape] = len(self.to_xml().encode("utf-8"))
+                size = shapes[shape] = len(
+                    serialize_xml(self._wire_element(visible_only=True)).encode("utf-8")
+                )
             cached = size + self.padding
         else:
-            cached = len(self.to_xml().encode("utf-8")) + self.padding
+            cached = len(
+                serialize_xml(self._wire_element(visible_only=True)).encode("utf-8")
+            ) + self.padding
         self._size_cache = cached
         return cached
 
@@ -341,7 +371,14 @@ class SoapEnvelope:
                     addressing_blocks.append(child)
                 else:
                     extensions.append(
-                        SoapHeader(child.copy(), child.attributes.get(mu_attr) == "1")
+                        SoapHeader(
+                            child.copy(),
+                            child.attributes.get(mu_attr) == "1",
+                            # Observability metadata re-enters transparent, so
+                            # a parse/serialize round trip preserves sizing.
+                            child.name.namespace == MASC_NS
+                            and child.name.local == "TraceContext",
+                        )
                     )
         fault: SoapFault | None = None
         payload: Element | None = None

@@ -13,6 +13,8 @@ from __future__ import annotations
 from collections.abc import Callable, Generator
 from dataclasses import dataclass
 
+from repro.observability.tracing import NULL_TRACER
+from repro.observability.trace_context import trace_context_of
 from repro.simulation import Environment, Event, RandomSource, Timeout
 from repro.simulation.core import _PENDING
 from repro.soap import SoapEnvelope
@@ -118,6 +120,11 @@ class Network:
         self.latency = latency or LatencyModel()
         self._rng = (random_source or RandomSource()).stream("network.latency")
         self._endpoints: dict[str, NetworkEndpoint] = {}
+        #: Set by a tracing-enabled wsBus: exchanges whose envelope carries
+        #: a ``masc:TraceContext`` header get ``net.exchange`` /
+        #: ``service.execute`` spans. Client legs (no header yet) and
+        #: untraced runs take the exact pre-tracing path.
+        self.tracer = NULL_TRACER
 
     # -- endpoint management -----------------------------------------------------
 
@@ -190,6 +197,24 @@ class Network:
         return self._exchange_with_timeout(address, envelope, timeout)
 
     def _exchange(self, address: str, envelope: SoapEnvelope) -> Generator:
+        span = None
+        if self.tracer.enabled:
+            context = trace_context_of(envelope)
+            if context is not None:
+                span = self.tracer.start_span(
+                    "net.exchange", parent=context, attributes={"address": address}
+                )
+        try:
+            response = yield from self._exchange_inner(address, envelope, span)
+        except BaseException as error:
+            if span is not None:
+                span.end(status=f"error:{type(error).__name__}")
+            raise
+        if span is not None:
+            span.end()
+        return response
+
+    def _exchange_inner(self, address: str, envelope: SoapEnvelope, span) -> Generator:
         endpoint = self._endpoints.get(address)
         latency = self.latency
         if endpoint is not None and endpoint.latency is not None:
@@ -208,7 +233,21 @@ class Network:
         # The handler generator runs inline in this exchange: it is scoped to
         # exactly this request, so wrapping it in its own process only added
         # allocation and event traffic per message.
-        response = yield from endpoint.handler(envelope)
+        if span is None:
+            response = yield from endpoint.handler(envelope)
+        else:
+            # The handler leg is the service actually executing (or a
+            # downstream VEP mediating); its span separates service time
+            # from the transit time that stays in ``net.exchange``.
+            execute = self.tracer.start_span(
+                "service.execute", parent=span, attributes={"address": address}
+            )
+            try:
+                response = yield from endpoint.handler(envelope)
+            except BaseException as error:
+                execute.end(status=f"error:{type(error).__name__}")
+                raise
+            execute.end()
         if not isinstance(response, SoapEnvelope):
             raise TransportError(f"handler at {address!r} returned {response!r}", address)
         yield self.env.timeout(latency.sample(response.size_bytes, self._rng))

@@ -21,10 +21,15 @@ or increase its timeout interval").
 from __future__ import annotations
 
 from collections.abc import Generator
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.events import MASCEvent
 from repro.observability import NULL_METRICS, NULL_TRACER, correlation_id_for
+from repro.observability.trace_context import (
+    context_of_span,
+    format_traceparent,
+    parse_traceparent,
+)
 from repro.policy import AdaptationPolicy, PolicyRepository
 from repro.policy.actions import (
     ConcurrentInvokeAction,
@@ -228,10 +233,19 @@ class AdaptationManager:
         """
         if self.forward_to is not None and self.forward_to is not self:
             # Federation follower: the leader's manager enacts fleet-wide
-            # reactions; this bus only relays the detection.
+            # reactions; this bus only relays the detection. The event
+            # leaves this bus, so its live span reference is reduced to
+            # wire form — the same traceparent round trip a serialized
+            # MASC event takes — and the leader's adaptation span still
+            # joins the originating request's trace.
             self.forwarded_events += 1
             if self.metrics.enabled:
                 self.metrics.counter("federation.events.forwarded").inc()
+            if event.trace_parent is not None:
+                wire = parse_traceparent(
+                    format_traceparent(context_of_span(event.trace_parent))
+                )
+                event = replace(event, trace_parent=wire)
             return self.forward_to.handle_event(event)
         policies = self.repository.adaptation_policies_for(event.name, **event.subject())
         enacted: list[EventAdaptation] = []

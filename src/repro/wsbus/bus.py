@@ -17,7 +17,13 @@ from __future__ import annotations
 from collections import deque
 
 from repro.observability import NULL_METRICS, NULL_TRACER, correlation_id_for
+from repro.observability.sampling import TracingService
 from repro.observability.slo import SloService
+from repro.observability.trace_context import (
+    context_of_span,
+    stamp_trace_context,
+    trace_context_of,
+)
 from repro.policy import PolicyRepository
 from repro.resilience import ResilienceService
 from repro.services import Invoker, ServiceRegistry
@@ -175,6 +181,13 @@ class WsBus:
         self.slo.add_sink(self.adaptation.handle_event)
         self.slo.add_sink(self.monitoring.raise_event)
         self.slo.ensure_started()
+        #: Policy-driven trace sampling: inert until an
+        #: ``observability.tracing`` policy is loaded (record-everything
+        #: default). The network is handed the tracer so the service-side
+        #: legs of mediated calls appear in the same trace.
+        self.tracing = TracingService(self.tracer, self.repository)
+        if self.tracer.enabled:
+            network.tracer = self.tracer
         #: Policy-driven traffic shaping (response cache, idempotency
         #: keys, load leveling); inert until ``traffic.configure``
         #: policies are loaded. Subscribed to the Monitoring Service's
@@ -265,8 +278,12 @@ class WsBus:
             span = self.tracer.start_span(
                 "wsbus.send",
                 correlation_id=correlation_id_for(original),
+                parent=trace_context_of(original),
                 attributes={"target": target, "operation": operation},
             )
+            if outbound is original:
+                outbound = original.copy()
+            stamp_trace_context(outbound, context_of_span(span))
         started = self.env.now
         self.metrics.counter("wsbus.send.attempts").inc()
         try:
@@ -282,6 +299,7 @@ class WsBus:
                     ok=False,
                     trace_id=span.trace_id if span is not None else None,
                     correlation_id=span.correlation_id if span is not None else None,
+                    span_id=span.span_id if span is not None else None,
                 )
             if span is not None:
                 span.end(status=f"fault:{error.fault.code.value}")
@@ -294,6 +312,7 @@ class WsBus:
                 ok=True,
                 trace_id=span.trace_id if span is not None else None,
                 correlation_id=span.correlation_id if span is not None else None,
+                span_id=span.span_id if span is not None else None,
             )
         if span is not None:
             span.end()
@@ -356,20 +375,40 @@ class WsBus:
         return vep
 
     def _gated(self, handler):
-        """Wrap a VEP handler behind the bus's mediation-capacity gate."""
+        """Wrap a VEP handler behind the bus's mediation-capacity gate.
+
+        When tracing is on the whole gated pass runs under a
+        ``wsbus.mediate`` span whose self-time (everything not covered by
+        the child ``vep.handle`` span) is the admission-queue wait — the
+        quantity trace analytics attributes as *queue-wait*.
+        """
         gate = self._gate
 
         def mediate(envelope):
+            span = None
+            if self.tracer.enabled:
+                span = self.tracer.start_span(
+                    "wsbus.mediate",
+                    correlation_id=correlation_id_for(envelope),
+                    parent=trace_context_of(envelope),
+                    attributes={"bus": self.name},
+                )
+                envelope = envelope.copy()
+                stamp_trace_context(envelope, context_of_span(span))
             queued_at = self.env.now
             yield from gate.acquire()
             if self.metrics.enabled:
                 self.metrics.histogram("wsbus.mediation.queue_seconds").observe(
                     self.env.now - queued_at
                 )
+            if span is not None:
+                span.set_attribute("queue_seconds", round(self.env.now - queued_at, 9))
             try:
                 return (yield from handler(envelope))
             finally:
                 gate.release()
+                if span is not None:
+                    span.end()
 
         return mediate
 

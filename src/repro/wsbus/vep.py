@@ -14,6 +14,11 @@ from collections.abc import Generator
 from dataclasses import dataclass
 
 from repro.observability import NULL_METRICS, NULL_TRACER, correlation_id_for
+from repro.observability.trace_context import (
+    context_of_span,
+    stamp_trace_context,
+    trace_context_of,
+)
 from repro.soap import FaultCode, SoapEnvelope, SoapFault, SoapFaultError
 from repro.traffic.idempotency import stamp_idempotency_key
 from repro.wsbus.adaptation import AdaptationManager, broadcast_first_response
@@ -256,16 +261,29 @@ class VirtualEndpoint:
         span correlated on the request (ProcessInstanceID if the engine is
         calling, message ID otherwise); child spans cover selection,
         pipeline stages, recovery and retries. Disabled: one branch.
+
+        The span joins the request's wire trace context (the
+        ``masc:TraceContext`` header) when one is stamped — a request
+        mediated by another bus, a dead-letter replay, a gated mediation
+        pass — and re-stamps its own context onto a header-shallow copy so
+        every downstream copy (retry, replay, broadcast, substitution,
+        cross-bus failover) carries this hop in its ancestry.
         """
         if not self.tracer.enabled and not self.metrics.enabled:
             return (yield from self._handle(request, None))
         span = None
         if self.tracer.enabled:
+            attributes = {"vep": self.name, "strategy": self.selection_strategy}
+            if self.adaptation is not None and self.adaptation.owner_label is not None:
+                attributes["bus"] = self.adaptation.owner_label
             span = self.tracer.start_span(
                 "vep.handle",
                 correlation_id=correlation_id_for(request),
-                attributes={"vep": self.name, "strategy": self.selection_strategy},
+                parent=trace_context_of(request),
+                attributes=attributes,
             )
+            request = request.copy()
+            stamp_trace_context(request, context_of_span(span))
         started = self.env.now
         try:
             reply = yield from self._handle(request, span)

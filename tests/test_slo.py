@@ -17,10 +17,12 @@ from repro.observability import (
     FlightRecorder,
     Histogram,
     InMemoryExporter,
+    JsonlExporter,
     MetricsRegistry,
     SloService,
     Tracer,
     labeled_name,
+    read_spans_jsonl,
     render_top,
 )
 from repro.policy import (
@@ -373,6 +375,24 @@ class TestPrometheusRendering:
     def test_empty_registry_renders_empty(self):
         assert MetricsRegistry().render_prometheus() == ""
 
+    def test_hostile_label_values_are_escaped(self):
+        # Backslashes, quotes and newlines in a label value must follow
+        # Prometheus exposition escaping or the scrape breaks mid-file.
+        registry = MetricsRegistry()
+        hostile = 'http://svc/a"b\\c\nd'
+        registry.counter(labeled_name("wsbus.requests", endpoint=hostile)).inc()
+        histogram = registry.histogram(
+            labeled_name("wsbus.endpoint.seconds", endpoint=hostile), buckets=(1.0,)
+        )
+        histogram.observe(0.5, trace_id='tr-"1\\2\n3')
+        text = registry.render_prometheus()
+        assert 'endpoint="http://svc/a\\"b\\\\c\\nd"' in text
+        assert '# {trace_id="tr-\\"1\\\\2\\n3"}' in text
+        # The raw newline never survives into the output, so every sample
+        # stays one exposition line.
+        assert hostile not in text
+        assert 'a"b' not in text
+
 
 class TestFlightRecorder:
     def test_ring_buffer_keeps_most_recent(self, tmp_path):
@@ -404,6 +424,33 @@ class TestFlightRecorder:
         payload = json.loads(path.read_text())
         assert payload["events"][0]["name"] == "sloBurnRateExceeded"
         assert payload["events"][0]["context"]["fast_burn"] == 10.0
+
+    def test_dump_flushes_spans_still_open_at_the_crash(self, tmp_path):
+        # A crash mid-mediation leaves open spans; the dump must include
+        # them, flagged unfinished, instead of silently dropping them.
+        tracer = Tracer(clock=lambda: 3.0)
+        recorder = tracer.add_exporter(FlightRecorder(tracer=tracer))
+        finished = tracer.start_span("wsbus.mediate")
+        finished.end()
+        tracer.start_span("net.exchange")  # never ends: the crash
+        path = recorder.dump(tmp_path / "flight.json", reason="crash")
+        payload = json.loads(path.read_text())
+        assert payload["unfinished_spans_flushed"] == 1
+        by_name = {record["name"]: record for record in payload["spans"]}
+        assert "unfinished" not in by_name["wsbus.mediate"]["attributes"]
+        assert by_name["net.exchange"]["attributes"]["unfinished"] is True
+        assert by_name["net.exchange"]["end"] == 3.0
+
+    def test_tracer_close_flushes_open_spans_to_every_exporter(self, tmp_path):
+        tracer = Tracer(clock=lambda: 1.0)
+        recorder = tracer.add_exporter(FlightRecorder(tracer=tracer))
+        with JsonlExporter(tmp_path / "spans.jsonl") as exporter:
+            tracer.add_exporter(exporter)
+            tracer.start_span("wsbus.mediate")
+            tracer.close()
+        records = read_spans_jsonl(tmp_path / "spans.jsonl")
+        assert [r.attributes.get("unfinished") for r in records] == [True]
+        assert [s["name"] for s in recorder.spans] == ["wsbus.mediate"]
 
 
 # -- end-to-end: the closed loop ------------------------------------------------

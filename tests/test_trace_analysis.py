@@ -1,0 +1,300 @@
+"""Trace analytics: loading, assembly, critical path, attribution, CLI."""
+
+import json
+import math
+
+import pytest
+
+from repro.observability import (
+    Span,
+    assemble_trace,
+    attribute_latency,
+    critical_path,
+    group_traces,
+    load_spans,
+    slowest_traces,
+    trace_report,
+)
+from repro.observability.analysis import PHASES, phase_of
+
+
+def span(
+    name,
+    span_id,
+    trace_id="tr-000001",
+    parent=None,
+    start=0.0,
+    end=None,
+    status="ok",
+    **attributes,
+):
+    return Span.from_dict(
+        {
+            "name": name,
+            "span_id": span_id,
+            "trace_id": trace_id,
+            "parent_id": parent,
+            "correlation_id": "msg-1",
+            "start": start,
+            "end": end,
+            "status": status,
+            "attributes": attributes,
+        }
+    )
+
+
+def sample_trace():
+    """A hand-built five-phase trace with known self-times.
+
+    mediate [0,10] > vep [2,9] > send [3,8] > net [3.2,7.8] > execute [4,7],
+    plus a violation [8.5,8.9] directly under the root.
+    """
+    return [
+        span("wsbus.mediate", "sp-000001", start=0.0, end=10.0),
+        span("vep.handle", "sp-000002", parent="sp-000001", start=2.0, end=9.0),
+        span("wsbus.send", "sp-000003", parent="sp-000002", start=3.0, end=8.0),
+        span("net.exchange", "sp-000004", parent="sp-000003", start=3.2, end=7.8),
+        span("service.execute", "sp-000005", parent="sp-000004", start=4.0, end=7.0),
+        span("slo.violation", "sp-000006", parent="sp-000001", start=8.5, end=8.9),
+    ]
+
+
+class TestPhaseOf:
+    @pytest.mark.parametrize(
+        ("name", "phase"),
+        [
+            ("wsbus.mediate", "queue-wait"),
+            ("vep.handle", "mediation"),
+            ("traffic.cache_hit", "mediation"),
+            ("wsbus.send", "network"),
+            ("net.exchange", "network"),
+            ("service.execute", "service-execution"),
+            ("wsbus.retry", "adaptation"),
+            ("wsbus.adaptation.event", "adaptation"),
+            ("slo.violation", "adaptation"),
+            ("federation.vep.failover", "adaptation"),
+            ("something.unknown", "other"),
+        ],
+    )
+    def test_span_names_map_to_phases(self, name, phase):
+        assert phase_of(name) == phase
+
+
+class TestAssembly:
+    def test_tree_shape_and_duration(self):
+        tree = assemble_trace(sample_trace())
+        assert tree.root.name == "wsbus.mediate"
+        assert tree.duration == 10.0
+        assert tree.span_count == 6
+        assert [child.name for child in tree.children["sp-000001"]] == [
+            "vep.handle",
+            "slo.violation",
+        ]
+
+    def test_missing_ancestor_promotes_earliest_orphan(self):
+        spans = [
+            span("vep.handle", "sp-000002", parent="sp-gone", start=1.0, end=4.0),
+            span("wsbus.send", "sp-000003", parent="sp-000002", start=2.0, end=3.0),
+            span("slo.violation", "sp-000009", parent="sp-gone", start=3.5, end=3.8),
+        ]
+        tree = assemble_trace(spans)
+        assert tree.root.span_id == "sp-000002"
+        # The other orphan hangs off the stand-in root: nothing vanishes.
+        assert {child.span_id for child in tree.children["sp-000002"]} == {
+            "sp-000003",
+            "sp-000009",
+        }
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            assemble_trace([])
+
+    def test_group_traces_partitions_by_trace_id(self):
+        spans = sample_trace() + [
+            span("wsbus.mediate", "sp-000050", trace_id="tr-000002", start=1.0, end=2.0)
+        ]
+        grouped = group_traces(spans)
+        assert set(grouped) == {"tr-000001", "tr-000002"}
+        assert len(grouped["tr-000001"]) == 6
+
+    def test_slowest_traces_order_and_limit(self):
+        spans = sample_trace() + [
+            span("wsbus.mediate", "sp-000050", trace_id="tr-000002", start=1.0, end=2.0),
+            span("wsbus.mediate", "sp-000060", trace_id="tr-000003", start=0.0, end=30.0),
+        ]
+        rows = slowest_traces(spans, limit=2)
+        assert [row.trace_id for row in rows] == ["tr-000003", "tr-000001"]
+        assert rows[1].duration == 10.0
+        assert rows[1].span_count == 6
+
+
+class TestCriticalPath:
+    def test_path_follows_the_last_finishing_child(self):
+        tree = assemble_trace(sample_trace())
+        assert [item.name for item in critical_path(tree)] == [
+            "wsbus.mediate",
+            "vep.handle",
+            "wsbus.send",
+            "net.exchange",
+            "service.execute",
+        ]
+
+    def test_single_span_path_is_the_root(self):
+        tree = assemble_trace([span("wsbus.mediate", "sp-000001", end=1.0)])
+        assert [item.span_id for item in critical_path(tree)] == ["sp-000001"]
+
+
+class TestAttribution:
+    def test_phase_self_times_are_exclusive(self):
+        attribution = attribute_latency(assemble_trace(sample_trace()))
+        # Root self-time: [0,2] + [9,10].
+        assert attribution["queue-wait"] == pytest.approx(3.0)
+        # vep.handle minus its child and its overlapping sibling (the
+        # violation, deeper tie broken to the later-starting span).
+        assert attribution["mediation"] == pytest.approx(1.6)
+        assert attribution["network"] == pytest.approx(0.4 + 1.6)
+        assert attribution["service-execution"] == pytest.approx(3.0)
+        assert attribution["adaptation"] == pytest.approx(0.4)
+        assert attribution["other"] == 0.0
+
+    def test_phases_tile_the_root_duration_exactly(self):
+        tree = assemble_trace(sample_trace())
+        total = math.fsum(attribute_latency(tree).values())
+        assert math.isclose(total, tree.duration, rel_tol=1e-9, abs_tol=1e-9)
+
+    def test_child_outliving_its_parent_is_clipped(self):
+        # An abandoned exchange racing a timeout: the child ends after the
+        # parent. Only the overlap counts, and the total still tiles.
+        spans = [
+            span("wsbus.mediate", "sp-000001", start=0.0, end=5.0),
+            span("net.exchange", "sp-000002", parent="sp-000001", start=4.0, end=9.0),
+        ]
+        tree = assemble_trace(spans)
+        attribution = attribute_latency(tree)
+        assert attribution["queue-wait"] == pytest.approx(4.0)
+        assert attribution["network"] == pytest.approx(1.0)
+        assert math.isclose(
+            math.fsum(attribution.values()), tree.duration, rel_tol=1e-9
+        )
+
+    def test_unfinished_span_counts_as_zero_width(self):
+        spans = [
+            span("wsbus.mediate", "sp-000001", start=0.0, end=5.0),
+            span("net.exchange", "sp-000002", parent="sp-000001", start=2.0, end=None),
+        ]
+        attribution = attribute_latency(assemble_trace(spans))
+        assert attribution["queue-wait"] == pytest.approx(5.0)
+        assert attribution["network"] == 0.0
+
+
+class TestLoadSpans:
+    def _write_jsonl(self, path, spans):
+        with open(path, "w", encoding="utf-8") as handle:
+            for item in spans:
+                handle.write(json.dumps(item.to_dict()) + "\n")
+
+    def test_merges_jsonl_and_flight_dump_with_finished_winning(self, tmp_path):
+        finished = sample_trace()
+        jsonl = tmp_path / "spans.jsonl"
+        self._write_jsonl(jsonl, finished)
+        # The flight dump saw sp-000005 before it ended (crash flush).
+        unfinished = span(
+            "service.execute",
+            "sp-000005",
+            parent="sp-000004",
+            start=4.0,
+            end=None,
+            unfinished=True,
+        )
+        dump = tmp_path / "flight.json"
+        dump.write_text(
+            json.dumps(
+                {
+                    "reason": "crash",
+                    "spans": [unfinished.to_dict(), finished[0].to_dict()],
+                }
+            ),
+            encoding="utf-8",
+        )
+        merged = load_spans([dump, jsonl])
+        assert len(merged) == 6  # deduplicated
+        execute = next(item for item in merged if item.span_id == "sp-000005")
+        assert execute.end_time == 7.0  # the finished record won
+
+    def test_ordering_is_deterministic(self, tmp_path):
+        jsonl = tmp_path / "spans.jsonl"
+        self._write_jsonl(jsonl, list(reversed(sample_trace())))
+        merged = load_spans([jsonl])
+        assert [item.span_id for item in merged] == [
+            f"sp-{index:06d}" for index in range(1, 7)
+        ]
+
+
+class TestTraceReport:
+    def test_report_totals_match_durations(self):
+        spans = sample_trace()
+        report = trace_report(spans, limit=5)
+        assert report["span_count"] == 6
+        assert report["trace_count"] == 1
+        entry = report["traces"][0]
+        assert entry["trace_id"] == "tr-000001"
+        assert [step["name"] for step in entry["critical_path"]][0] == "wsbus.mediate"
+        assert math.isclose(
+            entry["attribution_total"], entry["duration"], rel_tol=1e-9
+        )
+        assert set(entry["attribution"]) == set(PHASES)
+
+
+class TestTraceCli:
+    def _jsonl(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            for item in sample_trace():
+                handle.write(json.dumps(item.to_dict()) + "\n")
+        return path
+
+    def test_trace_command_end_to_end(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._jsonl(tmp_path)
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "trace",
+                str(path),
+                "--critical-path",
+                "--attribution",
+                "--report",
+                str(report_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Slowest" in out
+        assert "critical path of tr-000001" in out
+        assert "service-execution" in out
+        assert "phases sum to" in out
+        payload = json.loads(report_path.read_text(encoding="utf-8"))
+        assert payload["trace_count"] == 1
+
+    def test_tree_renders_requested_trace(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["trace", str(self._jsonl(tmp_path)), "--tree", "tr-000001"])
+        assert code == 0
+        assert "wsbus.mediate" in capsys.readouterr().out
+
+    def test_unknown_trace_id_fails(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["trace", str(self._jsonl(tmp_path)), "--tree", "tr-999999"])
+        assert code == 1
+        assert "no trace" in capsys.readouterr().err
+
+    def test_empty_input_fails(self, tmp_path, capsys):
+        from repro.cli import main
+
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("", encoding="utf-8")
+        assert main(["trace", str(empty)]) == 1
+        assert "no spans" in capsys.readouterr().err
